@@ -1,0 +1,44 @@
+//! Experiment E6: cost of the empirical semiring classification (axiom
+//! sampling and offset detection) for each shipped semiring.
+
+use annot_core::classify::classify_with_bound;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn classification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classification/classify");
+    group
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    macro_rules! bench_semiring {
+        ($($name:literal => $ty:ty),* $(,)?) => {
+            $(
+                group.bench_function($name, |b| {
+                    b.iter(|| black_box(classify_with_bound::<$ty>(black_box(6))))
+                });
+            )*
+        };
+    }
+    bench_semiring!(
+        "B" => annot_semiring::Bool,
+        "N" => annot_semiring::Natural,
+        "T+" => annot_semiring::Tropical,
+        "T-" => annot_semiring::Schedule,
+        "Fuzzy" => annot_semiring::Fuzzy,
+        "Access" => annot_semiring::Clearance,
+        "Lin[X]" => annot_semiring::Lineage,
+        "Why[X]" => annot_semiring::Why,
+        "Trio[X]" => annot_semiring::Trio,
+        "PosBool[X]" => annot_semiring::PosBool,
+        "B[X]" => annot_semiring::BoolPoly,
+        "N[X]" => annot_semiring::NatPoly,
+        "B_2" => annot_semiring::BoundedNat<2>,
+        "B_5" => annot_semiring::BoundedNat<5>,
+    );
+    group.finish();
+}
+
+criterion_group!(benches, classification);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Experiment E1: the CQ half of Table 1.
+//!
+//! One benchmark group per row (C_hom, C_hcov, C_in, C_sur, C_bi), timing the
+//! decision procedure the row prescribes on a common workload of chain- and
+//! random-shaped CQ pairs of growing size, plus the paper's Example 4.6 pair.
+//! All rows are NP-complete in theory; the measurements show how the shared
+//! backtracking search behaves per criterion at practical sizes.
+
+use annot_bench::{cq_workload, example_4_6, CqCase};
+use annot_core::cq as decide;
+use annot_core::small_model::cq_contained_small_model;
+use annot_query::Cq;
+use annot_semiring::Tropical;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn workload() -> Vec<CqCase> {
+    let mut cases = cq_workload(&[2, 4, 6]);
+    cases.push(example_4_6());
+    cases
+}
+
+fn bench_row(
+    c: &mut Criterion,
+    row: &str,
+    procedure: &dyn Fn(&Cq, &Cq) -> bool,
+    cases: &[CqCase],
+) {
+    let mut group = c.benchmark_group(row);
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for case in cases {
+        group.bench_function(&case.name, |b| {
+            b.iter(|| black_box(procedure(black_box(&case.q1), black_box(&case.q2))))
+        });
+    }
+    group.finish();
+}
+
+fn table1_cq(c: &mut Criterion) {
+    let cases = workload();
+    bench_row(c, "table1_cq/C_hom(homomorphism)", &decide::contained_chom, &cases);
+    bench_row(c, "table1_cq/C_hcov(covering)", &decide::contained_chcov, &cases);
+    bench_row(c, "table1_cq/C_in(injective)", &decide::contained_cin, &cases);
+    bench_row(c, "table1_cq/C_sur(surjective)", &decide::contained_csur, &cases);
+    bench_row(c, "table1_cq/C_bi(bijective)", &decide::contained_cbi, &cases);
+    // The small-model row (T⁺) is only benchmarked on the smaller cases: its
+    // complete-description blow-up is Bell-number-sized by design.
+    let small_cases: Vec<CqCase> = cq_workload(&[2, 3, 4])
+        .into_iter()
+        .chain([example_4_6()])
+        .collect();
+    bench_row(
+        c,
+        "table1_cq/S1(small-model,T+)",
+        &|q1, q2| cq_contained_small_model::<Tropical>(q1, q2),
+        &small_cases,
+    );
+}
+
+criterion_group!(benches, table1_cq);
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! Shared workload definitions for the Criterion benches reproducing the
+//! evaluation artifacts of the paper (Table 1 and the worked examples).
+//!
+//! The paper is a theory paper: its "evaluation" is the classification table.
+//! To turn each row into something measurable we (a) fix representative
+//! semirings per class, (b) generate synthetic CQ/UCQ workloads of controlled
+//! size and shape, and (c) time the decision procedure the row prescribes.
+//! The benches also include scaling sweeps (query width) and an ablation of
+//! the homomorphism-search atom ordering.
+
+use annot_query::generator::{GeneratorConfig, QueryGenerator, QueryShape};
+use annot_query::{Cq, Ucq};
+
+/// A pair of CQs plus a human-readable label, used as one benchmark case.
+pub struct CqCase {
+    /// Label shown in the Criterion report.
+    pub name: String,
+    /// The (candidate) contained query.
+    pub q1: Cq,
+    /// The (candidate) containing query.
+    pub q2: Cq,
+}
+
+/// A pair of UCQs plus a label.
+pub struct UcqCase {
+    /// Label shown in the Criterion report.
+    pub name: String,
+    /// The (candidate) contained union.
+    pub q1: Ucq,
+    /// The (candidate) containing union.
+    pub q2: Ucq,
+}
+
+/// Builds the standard CQ workload used by the Table-1 CQ benches: for each
+/// requested number of atoms, one chain-shaped and one random-shaped pair.
+pub fn cq_workload(sizes: &[usize]) -> Vec<CqCase> {
+    let mut cases = Vec::new();
+    for &n in sizes {
+        for (shape, shape_name) in [(QueryShape::Chain, "chain"), (QueryShape::Random, "random")] {
+            let mut generator = QueryGenerator::new(GeneratorConfig {
+                num_atoms: n,
+                shape,
+                var_pool: (n + 1).max(3),
+                num_relations: 2,
+                seed: 7 * n as u64 + if shape == QueryShape::Chain { 0 } else { 1 },
+                ..Default::default()
+            });
+            let q1 = generator.cq();
+            let q2 = generator.cq();
+            cases.push(CqCase {
+                name: format!("{}-{}atoms", shape_name, n),
+                q1,
+                q2,
+            });
+        }
+    }
+    cases
+}
+
+/// Builds a "yes-instance" CQ workload where a homomorphism from `q2` to `q1`
+/// is guaranteed (worst case for search is often the positive side).
+pub fn cq_homomorphic_workload(sizes: &[usize]) -> Vec<CqCase> {
+    let mut cases = Vec::new();
+    for &n in sizes {
+        let mut generator = QueryGenerator::new(GeneratorConfig {
+            num_atoms: n,
+            shape: QueryShape::Random,
+            var_pool: (n + 1).max(3),
+            num_relations: 2,
+            seed: 1000 + n as u64,
+            ..Default::default()
+        });
+        let (q1, q2) = generator.homomorphic_pair();
+        cases.push(CqCase { name: format!("hom-pair-{}atoms", n), q1, q2 });
+    }
+    cases
+}
+
+/// Builds the standard UCQ workload: unions with the given number of members,
+/// each member having `atoms` atoms.
+pub fn ucq_workload(member_counts: &[usize], atoms: usize) -> Vec<UcqCase> {
+    let mut cases = Vec::new();
+    for &members in member_counts {
+        let mut generator = QueryGenerator::new(GeneratorConfig {
+            num_atoms: atoms,
+            shape: QueryShape::Random,
+            var_pool: 3,
+            num_relations: 1,
+            seed: 31 * members as u64,
+            ..Default::default()
+        });
+        let q1 = generator.ucq(members);
+        let q2 = generator.ucq(members);
+        cases.push(UcqCase {
+            name: format!("{}members-{}atoms", members, atoms),
+            q1,
+            q2,
+        });
+    }
+    cases
+}
+
+/// The Example 5.7 UCQ pair (used by the counting benches so that the bench
+/// exercises the exact queries the paper discusses).
+pub fn example_5_7() -> UcqCase {
+    let mut schema = annot_query::Schema::with_relations([("R", 2)]);
+    let q1 = annot_query::parser::parse_ucq(
+        &mut schema,
+        "Q() :- R(u, v), R(u, u) ; Q() :- R(u, v), R(v, v)",
+    )
+    .unwrap();
+    let q2 = annot_query::parser::parse_ucq(
+        &mut schema,
+        "Q() :- R(u, v), R(w, w) ; Q() :- R(u, u), R(u, u)",
+    )
+    .unwrap();
+    UcqCase { name: "example-5.7".to_string(), q1, q2 }
+}
+
+/// The Example 4.6 CQ pair.
+pub fn example_4_6() -> CqCase {
+    let mut schema = annot_query::Schema::with_relations([("R", 2)]);
+    let q1 = annot_query::parser::parse_cq(&mut schema, "Q() :- R(u, v), R(u, w)").unwrap();
+    let q2 = annot_query::parser::parse_cq(&mut schema, "Q() :- R(u, v), R(u, v)").unwrap();
+    CqCase { name: "example-4.6".to_string(), q1, q2 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_have_expected_shapes() {
+        let cases = cq_workload(&[2, 4]);
+        assert_eq!(cases.len(), 4);
+        assert!(cases.iter().all(|c| c.q1.num_atoms() >= 2));
+        let hom = cq_homomorphic_workload(&[3]);
+        assert_eq!(hom.len(), 1);
+        assert!(annot_hom::kinds::exists_hom(&hom[0].q2, &hom[0].q1));
+        let ucqs = ucq_workload(&[1, 2], 2);
+        assert_eq!(ucqs.len(), 2);
+        assert_eq!(ucqs[1].q1.len(), 2);
+        assert_eq!(example_5_7().q1.len(), 2);
+        assert_eq!(example_4_6().q1.num_atoms(), 2);
+    }
+}

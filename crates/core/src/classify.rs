@@ -1,0 +1,147 @@
+//! Empirical classification of semirings into the paper's sufficient-
+//! condition classes.
+//!
+//! Given only the [`Semiring`] operations (no declared profile), this module
+//! derives — by testing the defining axioms over the sample elements — which
+//! of the classes `S_hcov`, `S_in`, `S_sur`, `S¹`, `S^k` the semiring belongs
+//! to, and therefore which containment criteria are *sufficient* for it and
+//! which exact procedures may apply.  For finite semirings whose sample is
+//! the full carrier the classification is exact; for infinite semirings it is
+//! exact for refutations and high-confidence otherwise (the declared
+//! [`crate::classes::ClassifiedSemiring`] profiles carry the proved facts).
+
+use crate::classes::{CqCriterion, Offset, UcqCriterion};
+use annot_semiring::axioms::AxiomProfile;
+use annot_semiring::Semiring;
+
+/// The result of empirically classifying a semiring.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EmpiricalClassification {
+    /// The raw axiom profile.
+    pub axioms: AxiomProfile,
+    /// Membership in `S_hcov` (⊗-idempotence): homomorphic covering is a
+    /// sufficient condition for CQ containment (Prop. 4.1).
+    pub in_s_hcov: bool,
+    /// Membership in `S_in` (1-annihilation): injective homomorphisms are
+    /// sufficient (Prop. 4.5).
+    pub in_s_in: bool,
+    /// Membership in `S_sur` (⊗-semi-idempotence): surjective homomorphisms
+    /// are sufficient (Prop. 4.12).
+    pub in_s_sur: bool,
+    /// Membership in `C_hom = S_hcov ∩ S_in` (Thm. 3.3): plain homomorphisms
+    /// are sufficient *and* necessary.
+    pub in_c_hom: bool,
+    /// The offset (Sec. 5.2), if one was found below the probe bound.
+    pub offset: Offset,
+    /// The strongest CQ criterion the classification licenses as an *exact*
+    /// procedure (conservative: only `C_hom` can be certified from the
+    /// sufficient-condition axioms alone).
+    pub certified_cq_criterion: Option<CqCriterion>,
+    /// The strongest UCQ criterion similarly certified.
+    pub certified_ucq_criterion: Option<UcqCriterion>,
+}
+
+/// Classifies a semiring by probing its axioms on the sample elements.
+pub fn classify<K: Semiring>() -> EmpiricalClassification {
+    classify_with_bound::<K>(8)
+}
+
+/// Classifies with an explicit offset probe bound.
+pub fn classify_with_bound<K: Semiring>(offset_bound: u64) -> EmpiricalClassification {
+    let axioms = AxiomProfile::of::<K>(offset_bound);
+    let in_s_hcov = axioms.mul_idempotent;
+    let in_s_in = axioms.one_annihilating;
+    let in_s_sur = axioms.mul_semi_idempotent;
+    let in_c_hom = in_s_hcov && in_s_in;
+    let offset = match axioms.offset {
+        Some(k) => Offset::Finite(k),
+        None => Offset::Infinite,
+    };
+    // Only C_hom is certifiable from the element-level axioms alone (its two
+    // axioms are exactly ⊗-idempotence and 1-annihilation, Thm. 3.3); all
+    // other exact criteria need the polynomial-level necessary-condition
+    // axioms, which cannot be checked by sampling elements.
+    let certified_cq_criterion = if in_c_hom {
+        Some(CqCriterion::Homomorphism)
+    } else {
+        None
+    };
+    let certified_ucq_criterion = if in_c_hom {
+        Some(UcqCriterion::LocalHomomorphism)
+    } else {
+        None
+    };
+    EmpiricalClassification {
+        axioms,
+        in_s_hcov,
+        in_s_in,
+        in_s_sur,
+        in_c_hom,
+        offset,
+        certified_cq_criterion,
+        certified_ucq_criterion,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use annot_semiring::{
+        Bool, BoolPoly, BoundedNat, Clearance, Fuzzy, Lineage, NatPoly, Natural, PosBool,
+        Schedule, Trio, Tropical, Why,
+    };
+
+    #[test]
+    fn lattice_semirings_are_certified_chom() {
+        for classification in [
+            classify::<Bool>(),
+            classify::<PosBool>(),
+            classify::<Fuzzy>(),
+            classify::<Clearance>(),
+        ] {
+            assert!(classification.in_c_hom);
+            assert_eq!(
+                classification.certified_cq_criterion,
+                Some(CqCriterion::Homomorphism)
+            );
+            assert_eq!(
+                classification.certified_ucq_criterion,
+                Some(UcqCriterion::LocalHomomorphism)
+            );
+            assert_eq!(classification.offset, Offset::Finite(1));
+        }
+    }
+
+    #[test]
+    fn classification_matches_declared_sufficient_classes() {
+        use crate::classes::ClassifiedSemiring;
+        macro_rules! check {
+            ($($k:ty),* $(,)?) => {
+                $(
+                    let empirical = classify::<$k>();
+                    let declared = <$k>::class_profile();
+                    assert_eq!(empirical.in_s_hcov, declared.in_s_hcov, "{}", declared.name);
+                    assert_eq!(empirical.in_s_in, declared.in_s_in, "{}", declared.name);
+                    assert_eq!(empirical.in_s_sur, declared.in_s_sur, "{}", declared.name);
+                    assert_eq!(empirical.offset, declared.offset, "{}", declared.name);
+                )*
+            };
+        }
+        check!(
+            Bool, PosBool, Fuzzy, Clearance, Lineage, Tropical, Schedule, Why, Trio, NatPoly,
+            BoolPoly, Natural, BoundedNat<1>, BoundedNat<2>, BoundedNat<3>
+        );
+    }
+
+    #[test]
+    fn non_chom_semirings_are_not_certified() {
+        assert_eq!(classify::<Natural>().certified_cq_criterion, None);
+        assert_eq!(classify::<Tropical>().certified_cq_criterion, None);
+        assert_eq!(classify::<NatPoly>().certified_ucq_criterion, None);
+        assert!(classify::<Lineage>().in_s_hcov);
+        assert!(!classify::<Lineage>().in_c_hom);
+        assert!(classify::<Why>().in_s_sur);
+        assert_eq!(classify::<Trio>().offset, Offset::Infinite);
+        assert_eq!(classify::<BoundedNat<3>>().offset, Offset::Finite(3));
+    }
+}

@@ -1,0 +1,272 @@
+//! The unified containment API: dispatch on a semiring's class profile.
+//!
+//! [`ContainmentSolver`] picks, for a given [`ClassifiedSemiring`], the
+//! decision procedure Table 1 assigns to it (homomorphism, covering,
+//! injective, surjective, bijective, small-model, or the local / counting /
+//! unique-surjection UCQ criteria), and reports not just the verdict but also
+//! which procedure produced it.  For semirings with no known exact procedure
+//! (bag semantics `N`, `Trio[X]` at the UCQ level, …) the solver falls back
+//! to the paper's sufficient and necessary bounds and may answer
+//! [`Answer::Unknown`].
+
+use crate::classes::{ClassifiedSemiring, CqCriterion, UcqCriterion};
+use crate::poly_order::PolynomialOrder;
+use crate::{cq, small_model, ucq};
+use annot_hom::kinds;
+use annot_query::{Cq, Ucq};
+
+/// The outcome of a containment question.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Answer {
+    /// Containment holds; the string names the criterion used.
+    Contained(&'static str),
+    /// Containment does not hold.
+    NotContained(&'static str),
+    /// The available bounds do not settle the question.
+    Unknown {
+        /// Whether the strongest known sufficient condition held.
+        sufficient_holds: bool,
+        /// Whether the strongest known necessary condition held.
+        necessary_holds: bool,
+    },
+}
+
+impl Answer {
+    /// The verdict as a `bool`, when decided.
+    pub fn decided(&self) -> Option<bool> {
+        match self {
+            Answer::Contained(_) => Some(true),
+            Answer::NotContained(_) => Some(false),
+            Answer::Unknown { .. } => None,
+        }
+    }
+}
+
+fn verdict(holds: bool, criterion: &'static str) -> Answer {
+    if holds {
+        Answer::Contained(criterion)
+    } else {
+        Answer::NotContained(criterion)
+    }
+}
+
+/// Decides `Q₁ ⊆_K Q₂` for CQs, for semirings whose exact criterion is one of
+/// the homomorphism criteria (no polynomial order needed).
+pub fn decide_cq<K: ClassifiedSemiring>(q1: &Cq, q2: &Cq) -> Answer {
+    let profile = K::class_profile();
+    match profile.cq_criterion {
+        CqCriterion::Homomorphism => verdict(cq::contained_chom(q1, q2), "homomorphism (C_hom)"),
+        CqCriterion::Covering => verdict(cq::contained_chcov(q1, q2), "homomorphic covering (C_hcov)"),
+        CqCriterion::Injective => verdict(cq::contained_cin(q1, q2), "injective homomorphism (C_in)"),
+        CqCriterion::Surjective => verdict(cq::contained_csur(q1, q2), "surjective homomorphism (C_sur)"),
+        CqCriterion::Bijective => verdict(cq::contained_cbi(q1, q2), "bijective homomorphism (C_bi)"),
+        CqCriterion::SmallModel | CqCriterion::OpenProblem => bounds_cq(q1, q2, &profile),
+    }
+}
+
+/// Decides `Q₁ ⊆_K Q₂` for CQs when `K` additionally has a decidable
+/// polynomial order, enabling the small-model procedure for the
+/// ⊕-idempotent classes (`T⁺`, `T⁻`, …).
+pub fn decide_cq_with_poly_order<K: ClassifiedSemiring + PolynomialOrder>(
+    q1: &Cq,
+    q2: &Cq,
+) -> Answer {
+    let profile = K::class_profile();
+    match profile.cq_criterion {
+        CqCriterion::SmallModel => verdict(
+            small_model::cq_contained_small_model::<K>(q1, q2),
+            "small-model / canonical instances (Thm. 4.17)",
+        ),
+        _ => decide_cq::<K>(q1, q2),
+    }
+}
+
+fn bounds_cq(q1: &Cq, q2: &Cq, profile: &crate::classes::ClassProfile) -> Answer {
+    // Strongest sufficient condition available from the profile.
+    let sufficient = if profile.in_s_hcov {
+        kinds::homomorphically_covers(q2, q1)
+    } else if profile.in_s_in {
+        kinds::exists_injective_hom(q2, q1)
+    } else if profile.in_s_sur {
+        kinds::exists_surjective_hom(q2, q1)
+    } else {
+        kinds::exists_bijective_hom(q2, q1)
+    };
+    if sufficient {
+        return Answer::Contained("sufficient homomorphism bound");
+    }
+    // Strongest necessary condition.
+    let necessary = if profile.in_n_in && profile.in_n_sur {
+        kinds::exists_bijective_hom(q2, q1)
+    } else if profile.in_n_sur {
+        kinds::exists_surjective_hom(q2, q1)
+    } else if profile.in_n_in {
+        kinds::exists_injective_hom(q2, q1)
+    } else if profile.in_n_hcov {
+        kinds::homomorphically_covers(q2, q1)
+    } else {
+        kinds::exists_hom(q2, q1)
+    };
+    if !necessary {
+        return Answer::NotContained("necessary homomorphism bound violated");
+    }
+    Answer::Unknown { sufficient_holds: sufficient, necessary_holds: necessary }
+}
+
+/// Decides `Q₁ ⊆_K Q₂` for UCQs.
+pub fn decide_ucq<K: ClassifiedSemiring>(q1: &Ucq, q2: &Ucq) -> Answer {
+    let profile = K::class_profile();
+    match profile.ucq_criterion {
+        UcqCriterion::LocalHomomorphism => {
+            verdict(ucq::local::contained_chom(q1, q2), "member-wise homomorphism (C_hom)")
+        }
+        UcqCriterion::LocalInjective => {
+            verdict(ucq::local::contained_c1in(q1, q2), "member-wise injective homomorphism (C¹_in)")
+        }
+        UcqCriterion::LocalSurjective => {
+            verdict(ucq::local::contained_c1sur(q1, q2), "member-wise surjective homomorphism (C¹_sur)")
+        }
+        UcqCriterion::LocalBijective => {
+            verdict(ucq::local::contained_c1bi(q1, q2), "member-wise bijective homomorphism (C¹_bi)")
+        }
+        UcqCriterion::Covering1 => verdict(ucq::covering::covering1(q1, q2), "covering ⇉₁ (C¹_hcov)"),
+        UcqCriterion::Covering2 => verdict(ucq::covering::covering2(q1, q2), "covering ⇉₂ (C²_hcov)"),
+        UcqCriterion::CountingOffset(k) => verdict(
+            ucq::bijective::counting_offset(q1, q2, k),
+            "complete-description counting ↪_k (C^k_bi)",
+        ),
+        UcqCriterion::CountingInfinite => verdict(
+            ucq::bijective::counting_infinite(q1, q2),
+            "complete-description counting ↪_∞ (C^∞_bi)",
+        ),
+        UcqCriterion::UniqueSurjective => verdict(
+            ucq::surjective::unique_surjective(q1, q2),
+            "unique surjection ↠_∞ (C^∞_sur)",
+        ),
+        UcqCriterion::SmallModel | UcqCriterion::OpenProblem => bounds_ucq(q1, q2, &profile),
+    }
+}
+
+/// Decides `Q₁ ⊆_K Q₂` for UCQs when `K` has a decidable polynomial order.
+pub fn decide_ucq_with_poly_order<K: ClassifiedSemiring + PolynomialOrder>(
+    q1: &Ucq,
+    q2: &Ucq,
+) -> Answer {
+    let profile = K::class_profile();
+    match profile.ucq_criterion {
+        UcqCriterion::SmallModel => verdict(
+            small_model::ucq_contained_small_model::<K>(q1, q2),
+            "small-model / canonical instances (UCQ extension of Thm. 4.17)",
+        ),
+        _ => decide_ucq::<K>(q1, q2),
+    }
+}
+
+fn bounds_ucq(q1: &Ucq, q2: &Ucq, profile: &crate::classes::ClassProfile) -> Answer {
+    // Sufficient: the unique-witness bijective condition works for every
+    // semiring; for S_sur semirings the ↠_∞ criterion is stronger.
+    let sufficient = if profile.in_s_sur {
+        ucq::surjective::unique_surjective(q1, q2)
+    } else {
+        ucq::local::sufficient_for_all_semirings(q1, q2)
+    };
+    if sufficient {
+        return Answer::Contained("sufficient UCQ bound (↠_∞ / distinct bijective witnesses)");
+    }
+    // Necessary: member-wise homomorphism is necessary for every positive
+    // semiring; for semirings in N²_hcov (e.g. bag semantics) the covering
+    // ⇉₂ is stronger (Cor. 5.23).
+    let necessary = if profile.in_n_hcov {
+        ucq::covering::covering2(q1, q2)
+    } else {
+        q1.disjuncts()
+            .iter()
+            .all(|m1| q2.disjuncts().iter().any(|m2| kinds::exists_hom(m2, m1)))
+    };
+    if !necessary {
+        return Answer::NotContained("necessary UCQ bound violated");
+    }
+    Answer::Unknown { sufficient_holds: sufficient, necessary_holds: necessary }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use annot_query::parser;
+    use annot_query::Schema;
+    use annot_semiring::{Bool, Lineage, NatPoly, Natural, Tropical, Why};
+
+    fn cqs() -> (Cq, Cq) {
+        let mut s = Schema::with_relations([("R", 2)]);
+        let q1 = parser::parse_cq(&mut s, "Q() :- R(u, v), R(u, w)").unwrap();
+        let q2 = parser::parse_cq(&mut s, "Q() :- R(u, v), R(u, v)").unwrap();
+        (q1, q2)
+    }
+
+    #[test]
+    fn example_4_6_across_the_taxonomy() {
+        let (q1, q2) = cqs();
+        // Set semantics: equivalent.
+        assert_eq!(decide_cq::<Bool>(&q1, &q2).decided(), Some(true));
+        assert_eq!(decide_cq::<Bool>(&q2, &q1).decided(), Some(true));
+        // Lineage (covering): still contained.
+        assert_eq!(decide_cq::<Lineage>(&q1, &q2).decided(), Some(true));
+        // Why-provenance (surjective): not contained.
+        assert_eq!(decide_cq::<Why>(&q1, &q2).decided(), Some(false));
+        // Provenance polynomials (bijective): not contained.
+        assert_eq!(decide_cq::<NatPoly>(&q1, &q2).decided(), Some(false));
+        // Tropical semiring: contained, via the small-model procedure.
+        assert_eq!(
+            decide_cq_with_poly_order::<Tropical>(&q1, &q2).decided(),
+            Some(true)
+        );
+        // Bag semantics: the bounds do not settle it (it is in fact false).
+        assert_eq!(decide_cq::<Natural>(&q1, &q2).decided(), None);
+        // ... but the reverse direction is settled by the sufficient bound.
+        assert_eq!(decide_cq::<Natural>(&q2, &q1).decided(), Some(true));
+    }
+
+    #[test]
+    fn answers_carry_the_criterion_used() {
+        let (q1, q2) = cqs();
+        match decide_cq::<Bool>(&q1, &q2) {
+            Answer::Contained(reason) => assert!(reason.contains("homomorphism")),
+            other => panic!("unexpected answer {:?}", other),
+        }
+        match decide_cq_with_poly_order::<Tropical>(&q1, &q2) {
+            Answer::Contained(reason) => assert!(reason.contains("small-model")),
+            other => panic!("unexpected answer {:?}", other),
+        }
+        match decide_cq::<Natural>(&q1, &q2) {
+            Answer::Unknown { sufficient_holds, necessary_holds } => {
+                assert!(!sufficient_holds);
+                assert!(necessary_holds);
+            }
+            other => panic!("unexpected answer {:?}", other),
+        }
+    }
+
+    #[test]
+    fn ucq_dispatch() {
+        let mut s = Schema::with_relations([("R", 2)]);
+        let u1 = parser::parse_ucq(&mut s, "Q() :- R(u, v), R(u, u) ; Q() :- R(u, v), R(v, v)").unwrap();
+        let u2 = parser::parse_ucq(&mut s, "Q() :- R(u, v), R(w, w) ; Q() :- R(u, u), R(u, u)").unwrap();
+        // N[X]: decided by ↪_∞ (Ex. 5.7).
+        assert_eq!(decide_ucq::<NatPoly>(&u1, &u2).decided(), Some(true));
+        assert_eq!(decide_ucq::<NatPoly>(&u2, &u1).decided(), Some(false));
+        // B (set semantics): member-wise homomorphism.
+        assert_eq!(decide_ucq::<Bool>(&u1, &u2).decided(), Some(true));
+        // Why[X]: member-wise surjective homomorphisms.
+        assert_eq!(decide_ucq::<Why>(&u1, &u2).decided(), Some(true));
+        // Bag semantics: sufficient bound (↠_∞) settles this particular pair.
+        assert_eq!(decide_ucq::<Natural>(&u1, &u2).decided(), Some(true));
+        // Tropical: small-model UCQ procedure on Example 5.4.
+        let mut s2 = Schema::with_relations([("R", 1), ("S", 1)]);
+        let t1 = parser::parse_ucq(&mut s2, "Q() :- R(v), S(v)").unwrap();
+        let t2 = parser::parse_ucq(&mut s2, "Q() :- R(v), R(v) ; Q() :- S(v), S(v)").unwrap();
+        assert_eq!(
+            decide_ucq_with_poly_order::<Tropical>(&t1, &t2).decided(),
+            Some(true)
+        );
+    }
+}

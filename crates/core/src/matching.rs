@@ -1,0 +1,96 @@
+//! Bipartite maximum matching (augmenting paths).
+//!
+//! The unique-surjection criterion `↠_∞` of Sec. 5.3 (Thm. 5.17) asks for a
+//! *distinct* member of `⟨Q₂⟩` surjecting onto each member of `⟨Q₁⟩`; the
+//! paper's proof invokes Hall's marriage theorem, and operationally the
+//! question is whether a bipartite graph has a matching saturating the left
+//! side.  The same routine is reused by the `↪_k` counting criteria when an
+//! explicit assignment (rather than per-class counting) is wanted.
+
+/// Computes a maximum matching of the bipartite graph with `left` vertices
+/// `0..adjacency.len()` and `right` vertices `0..num_right`, where
+/// `adjacency[l]` lists the right vertices compatible with left vertex `l`.
+/// Returns the matching as `matched_right[r] = Some(l)`.
+pub fn maximum_matching(adjacency: &[Vec<usize>], num_right: usize) -> Vec<Option<usize>> {
+    let mut matched_right: Vec<Option<usize>> = vec![None; num_right];
+    for left in 0..adjacency.len() {
+        let mut visited = vec![false; num_right];
+        let _ = augment(left, adjacency, &mut matched_right, &mut visited);
+    }
+    matched_right
+}
+
+/// Whether a matching saturating every left vertex exists (i.e. the maximum
+/// matching has size `adjacency.len()`).
+pub fn has_left_saturating_matching(adjacency: &[Vec<usize>], num_right: usize) -> bool {
+    let matched = maximum_matching(adjacency, num_right);
+    let size = matched.iter().filter(|m| m.is_some()).count();
+    size == adjacency.len()
+}
+
+fn augment(
+    left: usize,
+    adjacency: &[Vec<usize>],
+    matched_right: &mut Vec<Option<usize>>,
+    visited: &mut Vec<bool>,
+) -> bool {
+    for &right in &adjacency[left] {
+        if visited[right] {
+            continue;
+        }
+        visited[right] = true;
+        match matched_right[right] {
+            None => {
+                matched_right[right] = Some(left);
+                return true;
+            }
+            Some(other) => {
+                if augment(other, adjacency, matched_right, visited) {
+                    matched_right[right] = Some(left);
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_matching_found() {
+        // 0-{0,1}, 1-{1}, 2-{0,2}
+        let adj = vec![vec![0, 1], vec![1], vec![0, 2]];
+        assert!(has_left_saturating_matching(&adj, 3));
+        let matched = maximum_matching(&adj, 3);
+        assert_eq!(matched.iter().filter(|m| m.is_some()).count(), 3);
+    }
+
+    #[test]
+    fn saturation_fails_when_neighbourhood_too_small() {
+        // Hall violation: three left vertices all only compatible with {0,1}.
+        let adj = vec![vec![0, 1], vec![0, 1], vec![0, 1]];
+        assert!(!has_left_saturating_matching(&adj, 2));
+        let matched = maximum_matching(&adj, 2);
+        assert_eq!(matched.iter().filter(|m| m.is_some()).count(), 2);
+    }
+
+    #[test]
+    fn empty_graphs() {
+        assert!(has_left_saturating_matching(&[], 0));
+        assert!(has_left_saturating_matching(&[], 5));
+        assert!(!has_left_saturating_matching(&[vec![]], 3));
+    }
+
+    #[test]
+    fn augmenting_paths_reassign() {
+        // 0-{0}, 1-{0,1}: greedy would block without augmentation.
+        let adj = vec![vec![0], vec![0, 1]];
+        assert!(has_left_saturating_matching(&adj, 2));
+        // 0-{0}, 1-{0}: impossible.
+        let adj2 = vec![vec![0], vec![0]];
+        assert!(!has_left_saturating_matching(&adj2, 2));
+    }
+}

@@ -1,0 +1,185 @@
+//! Decidable polynomial orders `¹_K` on `N[X]`-polynomials.
+//!
+//! The small-model containment procedure (Thm. 4.17) reduces containment over
+//! an ⊕-idempotent semiring `K` to finitely many comparisons `P₁ ¹_K P₂`
+//! between CQ-admissible polynomials, where `P ¹_K Q` means
+//! `P(a) ¹ Q(a)` for *every* valuation of the variables in `K`
+//! (Sec. 3.2).  This module provides the comparison for the semirings where
+//! it is decidable and implemented:
+//!
+//! * `T⁺` and `T⁻` — exact linear-programming procedure
+//!   ([`annot_polynomial::tropical`], Prop. 4.19);
+//! * finite semirings (`B`, the clearance lattice, `B_k`, `Fuzzy` on its
+//!   sample grid) — exhaustive evaluation over the full carrier;
+//! * `N[X]` and `B[X]` — the free/universal semirings, where the comparison
+//!   reduces to the natural order of the polynomials themselves (evaluate at
+//!   the generic point).
+
+use annot_polynomial::{leq_max_plus, leq_min_plus, Polynomial, Var};
+use annot_semiring::{
+    eval_polynomial, BoolPoly, BoundedNat, Clearance, NatPoly, Schedule, Semiring, Tropical,
+};
+
+/// A semiring for which the universally-quantified polynomial order
+/// `P₁ ¹_K P₂` is decidable (and implemented).
+pub trait PolynomialOrder: Semiring {
+    /// Decides `p1 ¹_K p2`: for every valuation `ν : Var → K`,
+    /// `Eval_ν(p1) ¹ Eval_ν(p2)`.
+    fn poly_leq(p1: &Polynomial, p2: &Polynomial) -> bool;
+}
+
+impl PolynomialOrder for Tropical {
+    fn poly_leq(p1: &Polynomial, p2: &Polynomial) -> bool {
+        leq_min_plus(p1, p2)
+    }
+}
+
+impl PolynomialOrder for Schedule {
+    fn poly_leq(p1: &Polynomial, p2: &Polynomial) -> bool {
+        leq_max_plus(p1, p2)
+    }
+}
+
+impl PolynomialOrder for NatPoly {
+    fn poly_leq(p1: &Polynomial, p2: &Polynomial) -> bool {
+        // N[X] is free: the inequality holds for every valuation iff it holds
+        // at the generic point, i.e. iff p1 ¹ p2 in the natural
+        // (coefficient-wise) order of N[X].
+        NatPoly::new(p1.clone()).leq(&NatPoly::new(p2.clone()))
+    }
+}
+
+impl PolynomialOrder for BoolPoly {
+    fn poly_leq(p1: &Polynomial, p2: &Polynomial) -> bool {
+        // B[X] is free for ⊕-idempotent semirings; same argument at the
+        // generic point.
+        BoolPoly::from_nat_poly(p1).leq(&BoolPoly::from_nat_poly(p2))
+    }
+}
+
+/// Exhaustive check of the polynomial order over all valuations into a finite
+/// carrier (given explicitly).  Exact whenever `carrier` really is the whole
+/// semiring.
+pub fn poly_leq_by_enumeration<K: Semiring>(
+    carrier: &[K],
+    p1: &Polynomial,
+    p2: &Polynomial,
+) -> bool {
+    let mut vars: Vec<Var> = p1.variables();
+    vars.extend(p2.variables());
+    vars.sort();
+    vars.dedup();
+    let mut assignment: Vec<K> = vec![K::zero(); vars.len()];
+    check_rec(carrier, p1, p2, &vars, 0, &mut assignment)
+}
+
+fn check_rec<K: Semiring>(
+    carrier: &[K],
+    p1: &Polynomial,
+    p2: &Polynomial,
+    vars: &[Var],
+    index: usize,
+    assignment: &mut Vec<K>,
+) -> bool {
+    if index == vars.len() {
+        let valuation = |v: Var| {
+            match vars.iter().position(|&w| w == v) {
+                Some(i) => assignment[i].clone(),
+                None => K::zero(),
+            }
+        };
+        let v1 = eval_polynomial(p1, &valuation);
+        let v2 = eval_polynomial(p2, &valuation);
+        return v1.leq(&v2);
+    }
+    for value in carrier {
+        assignment[index] = value.clone();
+        if !check_rec(carrier, p1, p2, vars, index + 1, assignment) {
+            return false;
+        }
+    }
+    true
+}
+
+impl PolynomialOrder for annot_semiring::Bool {
+    fn poly_leq(p1: &Polynomial, p2: &Polynomial) -> bool {
+        poly_leq_by_enumeration(&Self::sample_elements(), p1, p2)
+    }
+}
+
+impl PolynomialOrder for Clearance {
+    fn poly_leq(p1: &Polynomial, p2: &Polynomial) -> bool {
+        poly_leq_by_enumeration(&Self::sample_elements(), p1, p2)
+    }
+}
+
+impl<const K: u64> PolynomialOrder for BoundedNat<K> {
+    fn poly_leq(p1: &Polynomial, p2: &Polynomial) -> bool {
+        let carrier: Vec<Self> = (0..=K).map(BoundedNat::new).collect();
+        poly_leq_by_enumeration(&carrier, p1, p2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use annot_semiring::Bool;
+
+    fn x() -> Polynomial {
+        Polynomial::var(Var(0))
+    }
+    fn y() -> Polynomial {
+        Polynomial::var(Var(1))
+    }
+
+    #[test]
+    fn tropical_orders_delegate() {
+        let lhs = x().plus(&y()).pow(2);
+        let rhs = x().pow(2).plus(&y().pow(2));
+        assert!(Tropical::poly_leq(&lhs, &rhs));
+        assert!(Tropical::poly_leq(&rhs, &lhs));
+        assert!(!Schedule::poly_leq(&x(), &x().times(&y())));
+        assert!(Schedule::poly_leq(&x(), &x().plus(&y())));
+    }
+
+    #[test]
+    fn nat_poly_order_is_coefficientwise() {
+        assert!(NatPoly::poly_leq(&x(), &x().plus(&y())));
+        assert!(!NatPoly::poly_leq(&x().plus(&x()), &x()));
+        assert!(NatPoly::poly_leq(&x(), &x().plus(&x())));
+        // x ⋠ x² in N[X] (no monomial containment)
+        assert!(!NatPoly::poly_leq(&x(), &x().pow(2)));
+    }
+
+    #[test]
+    fn bool_poly_order_forgets_coefficients() {
+        assert!(BoolPoly::poly_leq(&x().plus(&x()), &x()));
+        assert!(BoolPoly::poly_leq(&x(), &x().plus(&y())));
+        assert!(!BoolPoly::poly_leq(&y(), &x()));
+    }
+
+    #[test]
+    fn boolean_enumeration_is_logical_implication() {
+        // x·y ¹_B x + y  (conjunction implies disjunction)
+        assert!(Bool::poly_leq(&x().times(&y()), &x().plus(&y())));
+        // x + y ⋠_B x·y
+        assert!(!Bool::poly_leq(&x().plus(&y()), &x().times(&y())));
+        // x ¹_B x²  (idempotence)
+        assert!(Bool::poly_leq(&x(), &x().pow(2)));
+        assert!(Bool::poly_leq(&x().pow(2), &x()));
+    }
+
+    #[test]
+    fn bounded_nat_enumeration_sees_saturation() {
+        // In B₂, x + x ¹ 2·x trivially and 3·x =_K 2·x, so 3x ¹ 2x holds.
+        let three_x = x().plus(&x()).plus(&x());
+        let two_x = x().plus(&x());
+        assert!(BoundedNat::<2>::poly_leq(&three_x, &two_x));
+        // In N[X] this fails.
+        assert!(!NatPoly::poly_leq(&three_x, &two_x));
+        // x² ¹ x fails in B₃ (x = 1 gives 1 ≤ 1, x = 2 gives 3 vs 2? 2²=4→3 > 2) — so not ≤.
+        assert!(!BoundedNat::<3>::poly_leq(&x().pow(2), &x()));
+        // Clearance (a lattice): x·y ¹ x.
+        assert!(Clearance::poly_leq(&x().times(&y()), &x()));
+    }
+}

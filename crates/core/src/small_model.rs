@@ -1,0 +1,184 @@
+//! The small-model / canonical-instance containment procedure (Sec. 4.6).
+//!
+//! Thm. 4.17: for an ⊕-idempotent semiring `K` (class `S¹`) and CQs `Q₁`,
+//! `Q₂`,
+//!
+//! > `Q₁ ⊆_K Q₂` iff `Q₁^⟦Q⟧(t) ¹_K Q₂^⟦Q⟧(t)` for every CCQ `Q ∈ ⟨Q₁⟩` and
+//! > every tuple `t` of variables of `Q₁`.
+//!
+//! Both sides of the comparison are CQ-admissible polynomials (evaluations
+//! over an abstractly-tagged instance), so the procedure is effective exactly
+//! when the polynomial order `¹_K` is decidable — which
+//! [`crate::poly_order::PolynomialOrder`] provides for `T⁺`, `T⁻`, finite
+//! semirings and the polynomial semirings.  This yields the containment
+//! procedures of Prop. 4.19 (in PSPACE; here implemented with exact
+//! rational LPs).
+//!
+//! The module also exposes the natural extension to UCQs (used to verify
+//! Ex. 5.4): evaluate the UCQs instead of single CQs over the canonical
+//! instances of `⟨Q₁⟩`.
+
+use crate::poly_order::PolynomialOrder;
+use annot_query::complete::{complete_description_cq, complete_description_ucq};
+use annot_query::eval::{eval_cq, eval_ucq};
+use annot_query::{CanonicalInstance, Ccq, Cq, Tuple, Ucq};
+
+/// Decides `Q₁ ⊆_K Q₂` for an ⊕-idempotent semiring `K` with a decidable
+/// polynomial order, by Thm. 4.17.
+///
+/// The caller is responsible for `K` being ⊕-idempotent (class `S¹`) — the
+/// generic dispatcher checks this via the class profile.
+pub fn cq_contained_small_model<K: PolynomialOrder>(q1: &Cq, q2: &Cq) -> bool {
+    let description = complete_description_cq(q1);
+    for ccq in description.disjuncts() {
+        let canonical = CanonicalInstance::of_ccq(ccq);
+        for t in output_tuples(ccq, q1.free_vars().len()) {
+            let p1 = eval_cq(q1, canonical.instance(), &t);
+            let p2 = eval_cq(q2, canonical.instance(), &t);
+            if !K::poly_leq(p1.polynomial(), p2.polynomial()) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The UCQ extension of the small-model procedure: checks
+/// `Q₁^⟦Q⟧(t) ¹_K Q₂^⟦Q⟧(t)` for every CCQ `Q ∈ ⟨Q₁⟩` of the *union* `Q₁`.
+///
+/// This is the procedure the paper sketches for `T⁺` in Ex. 5.4 (the
+/// member-wise local method fails there; the canonical-instance comparison
+/// succeeds).
+pub fn ucq_contained_small_model<K: PolynomialOrder>(q1: &Ucq, q2: &Ucq) -> bool {
+    if q1.is_empty() {
+        return true;
+    }
+    let arity = q1.disjuncts()[0].free_vars().len();
+    let description = complete_description_ucq(q1);
+    for ccq in description.disjuncts() {
+        let canonical = CanonicalInstance::of_ccq(ccq);
+        for t in output_tuples(ccq, arity) {
+            let p1 = eval_ucq(q1, canonical.instance(), &t);
+            let p2 = eval_ucq(q2, canonical.instance(), &t);
+            if !K::poly_leq(p1.polynomial(), p2.polynomial()) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// All candidate output tuples over the domain of `⟦ccq⟧` (the variables of
+/// the CCQ), of the given arity.
+fn output_tuples(ccq: &Ccq, arity: usize) -> Vec<Tuple> {
+    let domain: Vec<_> = ccq
+        .cq()
+        .all_vars()
+        .into_iter()
+        .map(CanonicalInstance::value_of)
+        .collect();
+    let mut result = Vec::new();
+    let mut current = Vec::with_capacity(arity);
+    enumerate(&domain, arity, &mut current, &mut result);
+    result
+}
+
+fn enumerate(
+    domain: &[annot_query::DbValue],
+    arity: usize,
+    current: &mut Tuple,
+    out: &mut Vec<Tuple>,
+) {
+    if current.len() == arity {
+        out.push(current.clone());
+        return;
+    }
+    for v in domain {
+        current.push(v.clone());
+        enumerate(domain, arity, current, out);
+        current.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use annot_query::parser;
+    use annot_query::Schema;
+    use annot_semiring::{Schedule, Tropical};
+
+    #[test]
+    fn example_4_6_tropical_containment() {
+        // Example 4.6: Q1 = ∃u,v,w R(u,v),R(u,w) IS T⁺-contained in
+        // Q2 = ∃u,v R(u,v),R(u,v), even though no injective homomorphism
+        // exists.  Q2 ⊆_{T⁺} Q1 holds as well (a homomorphism Q1 → Q2 exists
+        // and T⁺ is 1-annihilating... we simply check both with the
+        // procedure).
+        let mut schema = Schema::new();
+        let q1 = parser::parse_cq(&mut schema, "Q() :- R(u, v), R(u, w)").unwrap();
+        let q2 = parser::parse_cq(&mut schema, "Q() :- R(u, v), R(u, v)").unwrap();
+        assert!(cq_contained_small_model::<Tropical>(&q1, &q2));
+        assert!(cq_contained_small_model::<Tropical>(&q2, &q1));
+    }
+
+    #[test]
+    fn tropical_distinguishes_genuinely_larger_queries() {
+        // Q3 = ∃u,v R(u,v) (one atom) and Q1 = two atoms: over T⁺ annotations
+        // are costs and more atoms mean higher cost, so Q1 ⊆ Q3 (cheaper) but
+        // Q3 ⊄ Q1.
+        let mut schema = Schema::new();
+        let q1 = parser::parse_cq(&mut schema, "Q() :- R(u, v), R(u, w)").unwrap();
+        let q3 = parser::parse_cq(&mut schema, "Q() :- R(u, v)").unwrap();
+        assert!(cq_contained_small_model::<Tropical>(&q1, &q3));
+        assert!(!cq_contained_small_model::<Tropical>(&q3, &q1));
+    }
+
+    #[test]
+    fn schedule_algebra_prefers_more_atoms() {
+        // Over T⁻ (max-plus) the order is reversed: a query with more atoms
+        // dominates, so Q3 ⊆ Q1 but not conversely.
+        let mut schema = Schema::new();
+        let q1 = parser::parse_cq(&mut schema, "Q() :- R(u, v), R(u, w)").unwrap();
+        let q3 = parser::parse_cq(&mut schema, "Q() :- R(u, v)").unwrap();
+        assert!(cq_contained_small_model::<Schedule>(&q3, &q1));
+        assert!(!cq_contained_small_model::<Schedule>(&q1, &q3));
+    }
+
+    #[test]
+    fn example_5_4_ucq_containment_over_tropical() {
+        // Example 5.4: Q1 = {∃v R(v),S(v)}, Q2 = {∃v R(v),R(v); ∃v S(v),S(v)}.
+        // Q1 ⊆_{T⁺} Q2 although neither member of Q2 alone contains Q11.
+        let mut schema = Schema::new();
+        let q1 = parser::parse_ucq(&mut schema, "Q() :- R(v), S(v)").unwrap();
+        let q2 = parser::parse_ucq(&mut schema, "Q() :- R(v), R(v) ; Q() :- S(v), S(v)").unwrap();
+        assert!(ucq_contained_small_model::<Tropical>(&q1, &q2));
+        // The member-wise checks indeed fail:
+        let q11 = &q1.disjuncts()[0];
+        let q21 = &q2.disjuncts()[0];
+        let q22 = &q2.disjuncts()[1];
+        assert!(!cq_contained_small_model::<Tropical>(q11, q21));
+        assert!(!cq_contained_small_model::<Tropical>(q11, q22));
+        // And the converse union containment does not hold.
+        assert!(!ucq_contained_small_model::<Tropical>(&q2, &q1));
+    }
+
+    #[test]
+    fn free_variables_are_handled() {
+        let mut schema = Schema::new();
+        let q1 = parser::parse_cq(&mut schema, "Q(x) :- R(x, y), R(y, z)").unwrap();
+        let q2 = parser::parse_cq(&mut schema, "Q(x) :- R(x, y)").unwrap();
+        // Over T⁺ the longer chain is contained in the shorter one.
+        assert!(cq_contained_small_model::<Tropical>(&q1, &q2));
+        assert!(!cq_contained_small_model::<Tropical>(&q2, &q1));
+        // Reflexivity.
+        assert!(cq_contained_small_model::<Tropical>(&q1, &q1));
+    }
+
+    #[test]
+    fn empty_union_edge_cases() {
+        let mut schema = Schema::new();
+        let q = parser::parse_ucq(&mut schema, "Q() :- R(v)").unwrap();
+        assert!(ucq_contained_small_model::<Tropical>(&Ucq::empty(), &q));
+        assert!(!ucq_contained_small_model::<Tropical>(&q, &Ucq::empty()));
+    }
+}

@@ -1,0 +1,221 @@
+//! Isomorphisms and automorphisms of CCQs, and isomorphism counting.
+//!
+//! For complete CQs the paper observes (Sec. 5.2) that all endomorphisms are
+//! automorphisms, and that `Q₂ ⤖ Q₁` holds between CCQs iff they are
+//! *isomorphic* — they coincide up to renaming of existential variables.
+//! The counting criterion `↪_∞` (Def. 5.8) compares, for every CCQ `Q`, the
+//! number of members of each complete description isomorphic to `Q`
+//! (`⟨Q⟩[Q^≃]`); the covering criterion `⇉₂` needs to know whether a CCQ has
+//! non-trivial automorphisms.
+
+use crate::mapping::VarMap;
+use crate::search::{HomSearch, SearchOptions};
+use annot_query::{Ccq, Ducq, QVar};
+
+/// Whether two CCQs are isomorphic: there is a bijective renaming of
+/// variables (fixing the free variables positionally) mapping the atom
+/// multiset of one exactly onto the other and preserving the inequalities in
+/// both directions.
+pub fn are_isomorphic(a: &Ccq, b: &Ccq) -> bool {
+    if a.cq().num_atoms() != b.cq().num_atoms()
+        || a.cq().num_vars() != b.cq().num_vars()
+        || a.inequalities().len() != b.inequalities().len()
+        || a.cq().free_vars().len() != b.cq().free_vars().len()
+    {
+        return false;
+    }
+    find_isomorphism(a, b).is_some()
+}
+
+/// Finds an isomorphism from `a` to `b`, if one exists.
+pub fn find_isomorphism(a: &Ccq, b: &Ccq) -> Option<VarMap> {
+    let mut found = None;
+    HomSearch::new_ccq(a, b)
+        .with_options(SearchOptions { occurrence_injective: true, ..Default::default() })
+        .run(&mut |map| {
+            if is_isomorphism(map, a, b) {
+                found = Some(map.clone());
+                true
+            } else {
+                false
+            }
+        });
+    found
+}
+
+/// Checks that a total mapping (already known to send the atom multiset of
+/// `a` injectively into `b`'s) is an isomorphism: counts match, it is
+/// bijective on variables, and it maps the inequality set of `a` onto that of
+/// `b`.
+fn is_isomorphism(map: &VarMap, a: &Ccq, b: &Ccq) -> bool {
+    if a.cq().num_atoms() != b.cq().num_atoms() {
+        return false;
+    }
+    if !map.is_injective_on_vars() {
+        return false;
+    }
+    if a.cq().num_vars() != b.cq().num_vars() {
+        return false;
+    }
+    // Injective + equal cardinality ⇒ bijective on variables.
+    // Inequalities must map exactly onto inequalities.
+    for &(u, v) in a.inequalities() {
+        let hu = map.get(u).expect("total");
+        let hv = map.get(v).expect("total");
+        if !b.must_differ(hu, hv) {
+            return false;
+        }
+    }
+    a.inequalities().len() == b.inequalities().len()
+}
+
+/// Enumerates the automorphisms of a CCQ (isomorphisms to itself), as
+/// variable mappings.  The identity is always included.
+pub fn automorphisms(q: &Ccq) -> Vec<VarMap> {
+    let mut result = Vec::new();
+    HomSearch::new_ccq(q, q)
+        .with_options(SearchOptions { occurrence_injective: true, ..Default::default() })
+        .run(&mut |map| {
+            if is_isomorphism(map, q, q) {
+                result.push(map.clone());
+            }
+            false
+        });
+    result
+}
+
+/// Whether a CCQ has a non-trivial automorphism (one that is not the
+/// identity) — needed by the covering criterion ⇉₂ (Sec. 5.4).
+pub fn has_nontrivial_automorphism(q: &Ccq) -> bool {
+    automorphisms(q).iter().any(|map| {
+        (0..q.cq().num_vars() as u32).any(|i| map.get(QVar(i)) != Some(QVar(i)))
+    })
+}
+
+/// The number of members of a union of CCQs isomorphic to `q` — the quantity
+/// `⟨Q⟩[Q^≃]` of Def. 5.8.
+pub fn count_isomorphic(members: &Ducq, q: &Ccq) -> usize {
+    members
+        .disjuncts()
+        .iter()
+        .filter(|member| are_isomorphic(member, q))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use annot_query::complete::complete_description_cq;
+    use annot_query::{Cq, Schema};
+
+    fn schema() -> Schema {
+        Schema::with_relations([("R", 2), ("S", 1)])
+    }
+
+    fn ccq(builder: Cq) -> Ccq {
+        Ccq::completion_of(builder)
+    }
+
+    #[test]
+    fn renamed_queries_are_isomorphic() {
+        let a = ccq(Cq::builder(&schema())
+            .atom("R", &["u", "v"])
+            .atom("S", &["v"])
+            .build());
+        let b = ccq(Cq::builder(&schema())
+            .atom("R", &["x", "y"])
+            .atom("S", &["y"])
+            .build());
+        assert!(are_isomorphic(&a, &b));
+        assert!(are_isomorphic(&b, &a));
+        assert!(find_isomorphism(&a, &b).is_some());
+    }
+
+    #[test]
+    fn structurally_different_queries_are_not_isomorphic() {
+        let path = ccq(Cq::builder(&schema())
+            .atom("R", &["x", "y"])
+            .atom("R", &["y", "z"])
+            .build());
+        let fork = ccq(Cq::builder(&schema())
+            .atom("R", &["x", "y"])
+            .atom("R", &["x", "z"])
+            .build());
+        let double = ccq(Cq::builder(&schema())
+            .atom("R", &["x", "y"])
+            .atom("R", &["x", "y"])
+            .build());
+        assert!(!are_isomorphic(&path, &fork));
+        assert!(!are_isomorphic(&path, &double));
+        assert!(!are_isomorphic(&fork, &double));
+        assert!(are_isomorphic(&path, &path));
+    }
+
+    #[test]
+    fn loops_and_edges_differ() {
+        let loop_q = ccq(Cq::builder(&schema()).atom("R", &["x", "x"]).build());
+        let edge_q = ccq(Cq::builder(&schema()).atom("R", &["x", "y"]).build());
+        assert!(!are_isomorphic(&loop_q, &edge_q));
+        assert!(!are_isomorphic(&edge_q, &loop_q));
+    }
+
+    #[test]
+    fn automorphisms_of_symmetric_queries() {
+        // R(x,y), R(y,x): swapping x and y is a non-trivial automorphism.
+        let symmetric = ccq(Cq::builder(&schema())
+            .atom("R", &["x", "y"])
+            .atom("R", &["y", "x"])
+            .build());
+        let autos = automorphisms(&symmetric);
+        assert_eq!(autos.len(), 2);
+        assert!(has_nontrivial_automorphism(&symmetric));
+        // A path R(x,y), R(y,z) has only the identity automorphism.
+        let path = ccq(Cq::builder(&schema())
+            .atom("R", &["x", "y"])
+            .atom("R", &["y", "z"])
+            .build());
+        assert_eq!(automorphisms(&path).len(), 1);
+        assert!(!has_nontrivial_automorphism(&path));
+    }
+
+    #[test]
+    fn counting_isomorphic_members_in_complete_descriptions() {
+        // Example 5.7: ⟨Q2⟩ for Q2 = {R(u,v),R(w,w) ; R(u,u),R(u,u)} contains
+        // two CCQs isomorphic to Q'22 = R(u,u),R(u,u).
+        let q21 = Cq::builder(&schema())
+            .atom("R", &["u", "v"])
+            .atom("R", &["w", "w"])
+            .build();
+        let q22 = Cq::builder(&schema())
+            .atom("R", &["u", "u"])
+            .atom("R", &["u", "u"])
+            .build();
+        let mut desc = complete_description_cq(&q21);
+        desc = desc.union(&complete_description_cq(&q22));
+        let target = ccq(q22.clone());
+        assert_eq!(count_isomorphic(&desc, &target), 2);
+        // and exactly one member isomorphic to Q'21 (all three vars distinct).
+        let q21_distinct = ccq(q21);
+        assert_eq!(count_isomorphic(&desc, &q21_distinct), 1);
+    }
+
+    #[test]
+    fn free_variables_must_be_fixed() {
+        let a = Ccq::completion_of(
+            Cq::builder(&schema())
+                .free(&["x"])
+                .atom("R", &["x", "y"])
+                .build(),
+        );
+        let b = Ccq::completion_of(
+            Cq::builder(&schema())
+                .free(&["y"])
+                .atom("R", &["x", "y"])
+                .build(),
+        );
+        // Both are R(x,y) with one free variable, but the free position
+        // differs (first vs second argument), so they are not isomorphic.
+        assert!(!are_isomorphic(&a, &b));
+        assert!(are_isomorphic(&a, &a));
+    }
+}

@@ -1,0 +1,310 @@
+//! The homomorphism notions of the paper, one predicate per criterion.
+//!
+//! | notation | name | defined in | decides containment for |
+//! |----------|------|------------|--------------------------|
+//! | `Q₂ → Q₁`  | homomorphism | Sec. 3.3 | `C_hom` (Thm. 3.3) |
+//! | `Q₂ ⇉ Q₁`  | homomorphic covering | Sec. 4.1 | `C_hcov` (Thm. 4.3) |
+//! | `Q₂ ↪ Q₁`  | injective homomorphism | Sec. 4.2 | `C_in` (Thm. 4.9) |
+//! | `Q₂ ↠ Q₁`  | surjective homomorphism | Sec. 4.4 | `C_sur` (Thm. 4.14) |
+//! | `Q₂ ⤖ Q₁`  | bijective homomorphism | Sec. 4.3 | `C_bi` (Thm. 4.10) |
+//!
+//! Each predicate is available for plain CQs and (where the paper needs it)
+//! for CCQs, in which case the homomorphisms additionally preserve the
+//! inequalities.
+
+use crate::search::{HomSearch, SearchOptions};
+use annot_query::{Atom, Ccq, Cq};
+use std::collections::BTreeMap;
+
+/// `Q₂ → Q₁`: is there a homomorphism (containment mapping) from `q2` to
+/// `q1`?  (Chandra–Merlin; Sec. 3.3.)
+pub fn exists_hom(q2: &Cq, q1: &Cq) -> bool {
+    HomSearch::new(q2, q1).exists()
+}
+
+/// `Q₂ → Q₁` for CCQs, preserving inequalities.
+pub fn exists_hom_ccq(q2: &Ccq, q1: &Ccq) -> bool {
+    HomSearch::new_ccq(q2, q1).exists()
+}
+
+/// `Q₂ ↪ Q₁`: is there an injective (one-to-one on atoms) homomorphism from
+/// `q2` to `q1`?  The multiset of image atoms is a sub-multiset of `q1`'s
+/// atoms (Sec. 4.2).
+pub fn exists_injective_hom(q2: &Cq, q1: &Cq) -> bool {
+    HomSearch::new(q2, q1)
+        .with_options(SearchOptions { occurrence_injective: true, ..Default::default() })
+        .exists()
+}
+
+/// `Q₂ ↪ Q₁` for CCQs, preserving inequalities.
+pub fn exists_injective_hom_ccq(q2: &Ccq, q1: &Ccq) -> bool {
+    HomSearch::new_ccq(q2, q1)
+        .with_options(SearchOptions { occurrence_injective: true, ..Default::default() })
+        .exists()
+}
+
+/// `Q₂ ⤖ Q₁`: is there a bijective (exact) homomorphism from `q2` to `q1`?
+/// The multiset of image atoms equals `q1`'s atom multiset (Sec. 4.3).
+pub fn exists_bijective_hom(q2: &Cq, q1: &Cq) -> bool {
+    q2.num_atoms() == q1.num_atoms() && exists_injective_hom(q2, q1)
+}
+
+/// `Q₂ ⤖ Q₁` for CCQs, preserving inequalities.
+pub fn exists_bijective_hom_ccq(q2: &Ccq, q1: &Ccq) -> bool {
+    q2.cq().num_atoms() == q1.cq().num_atoms() && exists_injective_hom_ccq(q2, q1)
+}
+
+/// `Q₂ ↠ Q₁`: is there a surjective (onto) homomorphism from `q2` to `q1`?
+/// Every atom occurrence of `q1` appears in the image multiset (Sec. 4.4).
+pub fn exists_surjective_hom(q2: &Cq, q1: &Cq) -> bool {
+    surjective_search(q2, q1, None, None)
+}
+
+/// `Q₂ ↠ Q₁` for CCQs, preserving inequalities.
+pub fn exists_surjective_hom_ccq(q2: &Ccq, q1: &Ccq) -> bool {
+    surjective_search(q2.cq(), q1.cq(), Some(q2), Some(q1))
+}
+
+fn surjective_search(q2: &Cq, q1: &Cq, src: Option<&Ccq>, tgt: Option<&Ccq>) -> bool {
+    if q2.num_atoms() < q1.num_atoms() {
+        return false;
+    }
+    let search = match (src, tgt) {
+        (Some(s), Some(t)) => HomSearch::new_ccq(s, t),
+        _ => HomSearch::new(q2, q1),
+    };
+    search.run(&mut |map| {
+        // image multiset must cover q1's atom multiset
+        let image = map.image_atoms(q2);
+        multiset_contains(&image, q1.atoms())
+    })
+}
+
+/// `Q₂ ⇉ Q₁`: does `q2` homomorphically cover `q1`?  For every atom of `q1`
+/// there is a homomorphism from `q2` to `q1` whose image contains that atom
+/// (Sec. 4.1).
+pub fn homomorphically_covers(q2: &Cq, q1: &Cq) -> bool {
+    'atoms: for (target_index, _) in q1.atoms().iter().enumerate() {
+        for (source_index, source_atom) in q2.atoms().iter().enumerate() {
+            if source_atom.relation != q1.atoms()[target_index].relation {
+                continue;
+            }
+            if HomSearch::new(q2, q1)
+                .with_pin(source_index, target_index)
+                .exists()
+            {
+                continue 'atoms;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// `Q₂ ⇉ Q₁` for CCQs, preserving inequalities.
+pub fn homomorphically_covers_ccq(q2: &Ccq, q1: &Ccq) -> bool {
+    'atoms: for (target_index, _) in q1.cq().atoms().iter().enumerate() {
+        for (source_index, source_atom) in q2.cq().atoms().iter().enumerate() {
+            if source_atom.relation != q1.cq().atoms()[target_index].relation {
+                continue;
+            }
+            if HomSearch::new_ccq(q2, q1)
+                .with_pin(source_index, target_index)
+                .exists()
+            {
+                continue 'atoms;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Multiset containment of atom lists: every atom of `needles` occurs in
+/// `haystack` with at least the same multiplicity.
+pub fn multiset_contains(haystack: &[Atom], needles: &[Atom]) -> bool {
+    let mut counts: BTreeMap<&Atom, i64> = BTreeMap::new();
+    for a in haystack {
+        *counts.entry(a).or_insert(0) += 1;
+    }
+    for a in needles {
+        let c = counts.entry(a).or_insert(0);
+        *c -= 1;
+        if *c < 0 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Multiset equality of atom lists.
+pub fn multiset_equal(a: &[Atom], b: &[Atom]) -> bool {
+    a.len() == b.len() && multiset_contains(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use annot_query::{Cq, Schema};
+
+    fn schema() -> Schema {
+        Schema::with_relations([("R", 2), ("S", 1)])
+    }
+
+    /// Example 4.6 of the paper:
+    /// Q1 = ∃u,v,w R(u,v), R(u,w);  Q2 = ∃u,v R(u,v), R(u,v).
+    fn example_4_6() -> (Cq, Cq) {
+        let q1 = Cq::builder(&schema())
+            .atom("R", &["u", "v"])
+            .atom("R", &["u", "w"])
+            .build();
+        let q2 = Cq::builder(&schema())
+            .atom("R", &["u", "v"])
+            .atom("R", &["u", "v"])
+            .build();
+        (q1, q2)
+    }
+
+    #[test]
+    fn example_4_6_has_plain_but_no_injective_hom() {
+        let (q1, q2) = example_4_6();
+        // A homomorphism Q2 → Q1 exists (map both atoms to R(u,v)).
+        assert!(exists_hom(&q2, &q1));
+        // But no injective homomorphism (the paper's point in Sec. 4.2).
+        assert!(!exists_injective_hom(&q2, &q1));
+        assert!(!exists_bijective_hom(&q2, &q1));
+        // A surjective homomorphism Q2 → Q1 also fails (two occurrences of
+        // the same image atom cannot cover two distinct atoms).
+        assert!(!exists_surjective_hom(&q2, &q1));
+        // Homomorphic covering Q2 ⇉ Q1 also fails: the atom R(u,w) of Q1 is
+        // never in the image of a homomorphism from Q2 ... actually any hom
+        // image is a single atom {R(u,x)}, which can be made equal to R(u,w)
+        // by mapping v ↦ w, so the covering *does* hold.
+        assert!(homomorphically_covers(&q2, &q1));
+    }
+
+    #[test]
+    fn injective_and_surjective_on_simple_pairs() {
+        // Q1 = R(x,y), R(y,z); Q2 = R(a,b).
+        let q1 = Cq::builder(&schema())
+            .atom("R", &["x", "y"])
+            .atom("R", &["y", "z"])
+            .build();
+        let q2 = Cq::builder(&schema()).atom("R", &["a", "b"]).build();
+        assert!(exists_hom(&q2, &q1));
+        assert!(exists_injective_hom(&q2, &q1));
+        assert!(!exists_bijective_hom(&q2, &q1)); // different atom counts
+        assert!(!exists_surjective_hom(&q2, &q1)); // a single image atom cannot cover both atoms at once
+        // ... but each atom of Q1 is separately the image of some
+        // homomorphism from the edge, so the covering Q2 ⇉ Q1 holds.
+        assert!(homomorphically_covers(&q2, &q1));
+    }
+
+    #[test]
+    fn covering_of_path_by_edge() {
+        // An edge query covers a path query: each path atom separately is the
+        // image of some homomorphism from the edge.
+        let path = Cq::builder(&schema())
+            .atom("R", &["x", "y"])
+            .atom("R", &["y", "z"])
+            .build();
+        let edge = Cq::builder(&schema()).atom("R", &["a", "b"]).build();
+        assert!(homomorphically_covers(&edge, &path));
+    }
+
+    #[test]
+    fn bijective_requires_exact_multiset() {
+        // Q2 = R(a,b), R(b,c) maps bijectively onto Q1 = R(x,y), R(y,z).
+        let q1 = Cq::builder(&schema())
+            .atom("R", &["x", "y"])
+            .atom("R", &["y", "z"])
+            .build();
+        let q2 = Cq::builder(&schema())
+            .atom("R", &["a", "b"])
+            .atom("R", &["b", "c"])
+            .build();
+        assert!(exists_bijective_hom(&q2, &q1));
+        assert!(exists_surjective_hom(&q2, &q1));
+        assert!(exists_injective_hom(&q2, &q1));
+        // Collapsing the target breaks bijectivity but keeps surjectivity:
+        // Q3 = R(x,x).
+        let q3 = Cq::builder(&schema()).atom("R", &["x", "x"]).build();
+        assert!(!exists_bijective_hom(&q2, &q3));
+        assert!(exists_surjective_hom(&q2, &q3));
+        assert!(!exists_injective_hom(&q2, &q3));
+    }
+
+    #[test]
+    fn surjective_but_not_injective_example() {
+        // Q2 = R(u,v), R(u,v) ↠ Q1 = R(x,y): both atoms map onto the single
+        // target atom, covering it; injectivity fails.
+        let q2 = Cq::builder(&schema())
+            .atom("R", &["u", "v"])
+            .atom("R", &["u", "v"])
+            .build();
+        let q1 = Cq::builder(&schema()).atom("R", &["x", "y"]).build();
+        assert!(exists_surjective_hom(&q2, &q1));
+        assert!(!exists_injective_hom(&q2, &q1));
+        assert!(homomorphically_covers(&q2, &q1));
+    }
+
+    #[test]
+    fn free_variables_restrict_all_variants() {
+        let q1 = Cq::builder(&schema())
+            .free(&["x"])
+            .atom("R", &["x", "y"])
+            .build();
+        let q2 = Cq::builder(&schema())
+            .free(&["a"])
+            .atom("R", &["a", "b"])
+            .build();
+        assert!(exists_hom(&q2, &q1));
+        assert!(exists_injective_hom(&q2, &q1));
+        assert!(exists_bijective_hom(&q2, &q1));
+        assert!(exists_surjective_hom(&q2, &q1));
+        assert!(homomorphically_covers(&q2, &q1));
+        // Swapping the head variable to the second position blocks them.
+        let q3 = Cq::builder(&schema())
+            .free(&["b"])
+            .atom("R", &["a", "b"])
+            .build();
+        assert!(!exists_hom(&q3, &q1));
+        assert!(!exists_surjective_hom(&q3, &q1));
+    }
+
+    #[test]
+    fn multiset_helpers() {
+        let q = Cq::builder(&schema())
+            .atom("R", &["x", "y"])
+            .atom("R", &["x", "y"])
+            .atom("S", &["y"])
+            .build();
+        let atoms = q.atoms();
+        assert!(multiset_contains(atoms, &atoms[..2]));
+        assert!(multiset_contains(atoms, atoms));
+        assert!(!multiset_contains(&atoms[..2], atoms));
+        assert!(multiset_equal(atoms, atoms));
+        assert!(!multiset_equal(atoms, &atoms[..2]));
+    }
+
+    #[test]
+    fn ccq_variants_respect_inequalities() {
+        use annot_query::Ccq;
+        let loop_q = Ccq::completion_of(
+            Cq::builder(&schema()).atom("R", &["x", "x"]).build(),
+        );
+        let edge_distinct = Ccq::completion_of(
+            Cq::builder(&schema()).atom("R", &["u", "v"]).build(),
+        );
+        // R(u,v) with u≠v maps into R(x,x) only by collapsing u,v — forbidden.
+        assert!(!exists_hom_ccq(&edge_distinct, &loop_q));
+        assert!(!exists_injective_hom_ccq(&edge_distinct, &loop_q));
+        assert!(!exists_bijective_hom_ccq(&edge_distinct, &loop_q));
+        assert!(!exists_surjective_hom_ccq(&edge_distinct, &loop_q));
+        assert!(!homomorphically_covers_ccq(&edge_distinct, &loop_q));
+        // The loop maps into the loop.
+        assert!(exists_bijective_hom_ccq(&loop_q, &loop_q));
+        assert!(exists_surjective_hom_ccq(&loop_q, &loop_q));
+        assert!(homomorphically_covers_ccq(&loop_q, &loop_q));
+    }
+}

@@ -1,0 +1,410 @@
+//! The backtracking search engine underlying every homomorphism variant.
+//!
+//! All the criteria of the paper — plain homomorphisms (Sec. 3.3), injective,
+//! surjective and bijective homomorphisms (Sec. 4.2–4.4), homomorphic
+//! coverings (Sec. 4.1) and isomorphisms of CCQs (Sec. 5.2) — reduce to the
+//! same search problem: map the atoms of a source query `Q₂` onto atoms of a
+//! target query `Q₁` consistently with a variable mapping, subject to side
+//! conditions (occurrence-injectivity, pinned atoms, inequality preservation,
+//! an acceptance predicate on the completed mapping).  This module implements
+//! that search once, with a configurable atom ordering; the public
+//! per-criterion functions live in [`crate::kinds`] and [`crate::iso`].
+//!
+//! Deciding existence of these homomorphisms is NP-complete in general
+//! (Chandra–Merlin); the search is exponential in the worst case but the
+//! most-constrained-first ordering keeps the practical cases fast.
+
+use crate::mapping::VarMap;
+use annot_query::{Ccq, Cq, QVar};
+
+/// Atom-selection order used by the backtracking search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AtomOrder {
+    /// Process source atoms in syntactic order.
+    Syntactic,
+    /// Process the atom with the fewest compatible target occurrences first
+    /// (recomputed statically, not dynamically) — the default.
+    MostConstrained,
+}
+
+/// Configuration of a homomorphism search.
+#[derive(Clone, Debug)]
+pub struct SearchOptions {
+    /// Each target atom *occurrence* may be used by at most one source atom.
+    /// With this flag the found mapping's atom image is a sub-multiset of the
+    /// target's atoms (injective homomorphism); combined with equal atom
+    /// counts it is exactly the target multiset (bijective homomorphism).
+    pub occurrence_injective: bool,
+    /// Atom ordering heuristic.
+    pub order: AtomOrder,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            occurrence_injective: false,
+            order: AtomOrder::MostConstrained,
+        }
+    }
+}
+
+/// A single search problem: find a homomorphism from `source` to `target`.
+pub struct HomSearch<'a> {
+    source: &'a Cq,
+    target: &'a Cq,
+    source_ineqs: Option<&'a Ccq>,
+    target_ineqs: Option<&'a Ccq>,
+    options: SearchOptions,
+    /// Optional pin: the source atom at index `.0` must map to the target
+    /// atom occurrence at index `.1` (used for homomorphic coverings).
+    pin: Option<(usize, usize)>,
+}
+
+impl<'a> HomSearch<'a> {
+    /// Creates a search between two plain CQs.
+    pub fn new(source: &'a Cq, target: &'a Cq) -> Self {
+        HomSearch {
+            source,
+            target,
+            source_ineqs: None,
+            target_ineqs: None,
+            options: SearchOptions::default(),
+            pin: None,
+        }
+    }
+
+    /// Creates a search between two CCQs; the homomorphism must preserve the
+    /// source inequalities (Sec. 5: "homomorphisms … between CCQs should
+    /// preserve the inequalities").
+    pub fn new_ccq(source: &'a Ccq, target: &'a Ccq) -> Self {
+        HomSearch {
+            source: source.cq(),
+            target: target.cq(),
+            source_ineqs: Some(source),
+            target_ineqs: Some(target),
+            options: SearchOptions::default(),
+            pin: None,
+        }
+    }
+
+    /// Overrides the search options.
+    pub fn with_options(mut self, options: SearchOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Requires the source atom `source_atom` to map to the target occurrence
+    /// `target_atom`.
+    pub fn with_pin(mut self, source_atom: usize, target_atom: usize) -> Self {
+        self.pin = Some((source_atom, target_atom));
+        self
+    }
+
+    /// Runs the search, calling `accept` on every complete candidate mapping;
+    /// stops and returns `true` as soon as `accept` returns `true`.  Returns
+    /// `false` if no accepted mapping exists.
+    pub fn run(&self, accept: &mut dyn FnMut(&VarMap) -> bool) -> bool {
+        // Head condition: h(u₂) = u₁ positionally.
+        if self.source.free_vars().len() != self.target.free_vars().len() {
+            return false;
+        }
+        let mut map = VarMap::new(self.source.num_vars());
+        for (v2, v1) in self
+            .source
+            .free_vars()
+            .iter()
+            .zip(self.target.free_vars())
+        {
+            if !map.bind(*v2, *v1) {
+                return false;
+            }
+        }
+
+        // Order the source atoms.
+        let order = self.atom_order();
+        let mut used = vec![false; self.target.num_atoms()];
+        self.recurse(&order, 0, &mut map, &mut used, accept)
+    }
+
+    /// Convenience: does any accepted mapping exist (with trivial acceptance)?
+    pub fn exists(&self) -> bool {
+        self.run(&mut |_| true)
+    }
+
+    /// Convenience: the first homomorphism found, if any.
+    pub fn find(&self) -> Option<VarMap> {
+        let mut found = None;
+        self.run(&mut |m| {
+            found = Some(m.clone());
+            true
+        });
+        found
+    }
+
+    /// Enumerates all homomorphisms (calling `visit` on each); mainly used by
+    /// the surjectivity and counting checks.
+    pub fn for_each(&self, visit: &mut dyn FnMut(&VarMap)) {
+        self.run(&mut |m| {
+            visit(m);
+            false
+        });
+    }
+
+    fn atom_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.source.num_atoms()).collect();
+        if self.options.order == AtomOrder::MostConstrained {
+            let mut candidate_counts: Vec<usize> = Vec::with_capacity(order.len());
+            for atom in self.source.atoms() {
+                let count = self
+                    .target
+                    .atoms()
+                    .iter()
+                    .filter(|t| t.relation == atom.relation)
+                    .count();
+                candidate_counts.push(count);
+            }
+            order.sort_by_key(|&i| candidate_counts[i]);
+        }
+        // The pinned atom (if any) goes first so the pin prunes immediately.
+        if let Some((pinned, _)) = self.pin {
+            order.retain(|&i| i != pinned);
+            order.insert(0, pinned);
+        }
+        order
+    }
+
+    fn recurse(
+        &self,
+        order: &[usize],
+        depth: usize,
+        map: &mut VarMap,
+        used: &mut Vec<bool>,
+        accept: &mut dyn FnMut(&VarMap) -> bool,
+    ) -> bool {
+        if depth == order.len() {
+            if !map.is_total() {
+                // Cannot happen for safe queries, but guard anyway.
+                return false;
+            }
+            if !self.preserves_inequalities(map) {
+                return false;
+            }
+            return accept(map);
+        }
+        let source_index = order[depth];
+        let atom = &self.source.atoms()[source_index];
+        for (target_index, target_atom) in self.target.atoms().iter().enumerate() {
+            if target_atom.relation != atom.relation {
+                continue;
+            }
+            if self.options.occurrence_injective && used[target_index] {
+                continue;
+            }
+            if let Some((pinned_source, pinned_target)) = self.pin {
+                if source_index == pinned_source && target_index != pinned_target {
+                    continue;
+                }
+            }
+            // Try to unify the argument lists.
+            let mut touched: Vec<QVar> = Vec::new();
+            let mut ok = true;
+            for (&sv, &tv) in atom.args.iter().zip(&target_atom.args) {
+                if map.get(sv).is_none() {
+                    map.bind(sv, tv);
+                    touched.push(sv);
+                } else if map.get(sv) != Some(tv) {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                used[target_index] = true;
+                if self.recurse(order, depth + 1, map, used, accept) {
+                    return true;
+                }
+                used[target_index] = false;
+            }
+            for v in touched {
+                map.unbind(v);
+            }
+        }
+        false
+    }
+
+    /// Inequality preservation: for every inequality `u ≠ v` of the source,
+    /// the images must be distinct variables, and — when both images are
+    /// existential variables of the target — the pair must itself be an
+    /// inequality of the target (automatically true for complete CCQs).
+    fn preserves_inequalities(&self, map: &VarMap) -> bool {
+        let source = match self.source_ineqs {
+            None => return true,
+            Some(s) => s,
+        };
+        for &(a, b) in source.inequalities() {
+            let ha = map.get(a).expect("total mapping");
+            let hb = map.get(b).expect("total mapping");
+            if ha == hb {
+                return false;
+            }
+            if let Some(target) = self.target_ineqs {
+                let both_existential =
+                    !target.cq().is_free(ha) && !target.cq().is_free(hb);
+                if both_existential && !target.must_differ(ha, hb) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use annot_query::{Cq, Schema};
+
+    fn schema() -> Schema {
+        Schema::with_relations([("R", 2), ("S", 1)])
+    }
+
+    #[test]
+    fn chandra_merlin_classic() {
+        // Q1 = R(x,y), R(y,z)  (path of length 2)
+        // Q2 = R(u,v)          (single edge)
+        // There is a homomorphism Q2 → Q1, but none from Q1 to Q2 (the
+        // collapse would need u = v).
+        let q1 = Cq::builder(&schema())
+            .atom("R", &["x", "y"])
+            .atom("R", &["y", "z"])
+            .build();
+        let q2 = Cq::builder(&schema()).atom("R", &["u", "v"]).build();
+        assert!(HomSearch::new(&q2, &q1).exists());
+        assert!(!HomSearch::new(&q1, &q2).exists());
+    }
+
+    #[test]
+    fn hom_from_path_to_edge_requires_collapse() {
+        // Mapping R(x,y),R(y,z) into the single atom R(u,v) needs
+        // y ↦ v and y ↦ u simultaneously, impossible since u ≠ v are distinct
+        // variables... unless both atoms map to R(u,v) with x↦u, y↦v and then
+        // the second atom needs R(v, z↦?) = R(u,v) i.e. v = u: impossible.
+        let q1 = Cq::builder(&schema())
+            .atom("R", &["x", "y"])
+            .atom("R", &["y", "z"])
+            .build();
+        let q2 = Cq::builder(&schema()).atom("R", &["u", "v"]).build();
+        assert!(!HomSearch::new(&q1, &q2).exists());
+        // With a loop R(u,u) in the target, the collapse works.
+        let q3 = Cq::builder(&schema()).atom("R", &["u", "u"]).build();
+        assert!(HomSearch::new(&q1, &q3).exists());
+    }
+
+    #[test]
+    fn free_variables_must_map_positionally() {
+        let q1 = Cq::builder(&schema())
+            .free(&["x"])
+            .atom("R", &["x", "y"])
+            .build();
+        let q2 = Cq::builder(&schema())
+            .free(&["a"])
+            .atom("R", &["a", "b"])
+            .build();
+        assert!(HomSearch::new(&q2, &q1).exists());
+        // A Boolean query cannot map onto a unary-head query and vice versa.
+        let q3 = Cq::builder(&schema()).atom("R", &["u", "v"]).build();
+        assert!(!HomSearch::new(&q3, &q1).exists());
+        assert!(!HomSearch::new(&q1, &q3).exists());
+    }
+
+    #[test]
+    fn occurrence_injective_search() {
+        // Q2 = R(u,v), R(u,v) has 2 atoms; target Q1 = R(x,y) has only one
+        // occurrence, so an occurrence-injective mapping does not exist,
+        // while a plain homomorphism does.
+        let q2 = Cq::builder(&schema())
+            .atom("R", &["u", "v"])
+            .atom("R", &["u", "v"])
+            .build();
+        let q1 = Cq::builder(&schema()).atom("R", &["x", "y"]).build();
+        assert!(HomSearch::new(&q2, &q1).exists());
+        let injective = SearchOptions { occurrence_injective: true, ..Default::default() };
+        assert!(!HomSearch::new(&q2, &q1)
+            .with_options(injective.clone())
+            .exists());
+        // Against a target with two parallel occurrences it works.
+        let q1b = Cq::builder(&schema())
+            .atom("R", &["x", "y"])
+            .atom("R", &["x", "y"])
+            .build();
+        assert!(HomSearch::new(&q2, &q1b).with_options(injective).exists());
+    }
+
+    #[test]
+    fn pinned_atom_restricts_images() {
+        let q1 = Cq::builder(&schema())
+            .atom("R", &["x", "y"])
+            .atom("S", &["y"])
+            .build();
+        let q2 = Cq::builder(&schema())
+            .atom("R", &["u", "v"])
+            .build();
+        // Q2's only atom can be pinned to Q1's atom 0 (the R atom) ...
+        assert!(HomSearch::new(&q2, &q1).with_pin(0, 0).exists());
+        // ... but not to atom 1 (an S atom, different relation).
+        assert!(!HomSearch::new(&q2, &q1).with_pin(0, 1).exists());
+    }
+
+    #[test]
+    fn enumeration_visits_all_homomorphisms() {
+        // Q2 = R(u,v) into Q1 = R(a,b), R(c,d): two homomorphisms.
+        let q2 = Cq::builder(&schema()).atom("R", &["u", "v"]).build();
+        let q1 = Cq::builder(&schema())
+            .atom("R", &["a", "b"])
+            .atom("R", &["c", "d"])
+            .build();
+        let mut count = 0;
+        HomSearch::new(&q2, &q1).for_each(&mut |_| count += 1);
+        assert_eq!(count, 2);
+        assert!(HomSearch::new(&q2, &q1).find().is_some());
+        // In the opposite direction both disconnected atoms can map onto the
+        // single edge, so a homomorphism exists there as well.
+        assert!(HomSearch::new(&q1, &q2).find().is_some());
+    }
+
+    #[test]
+    fn syntactic_and_most_constrained_orders_agree() {
+        let q1 = Cq::builder(&schema())
+            .atom("R", &["x", "y"])
+            .atom("R", &["y", "z"])
+            .atom("S", &["z"])
+            .build();
+        let q2 = Cq::builder(&schema())
+            .atom("R", &["a", "b"])
+            .atom("S", &["b"])
+            .build();
+        for order in [AtomOrder::Syntactic, AtomOrder::MostConstrained] {
+            let options = SearchOptions { occurrence_injective: false, order };
+            assert!(HomSearch::new(&q2, &q1).with_options(options).exists());
+        }
+    }
+
+    #[test]
+    fn ccq_inequalities_are_preserved() {
+        use annot_query::Ccq;
+        // Source: R(u,v) with u ≠ v; target: R(x,x) — the only hom collapses
+        // u and v, violating the inequality.
+        let src = Cq::builder(&schema())
+            .atom("R", &["u", "v"])
+            .inequality("u", "v")
+            .build_ccq();
+        let tgt_loop = Ccq::completion_of(Cq::builder(&schema()).atom("R", &["x", "x"]).build());
+        assert!(!HomSearch::new_ccq(&src, &tgt_loop).exists());
+        // Target R(x,y) with x ≠ y admits it.
+        let tgt_edge = Ccq::completion_of(Cq::builder(&schema()).atom("R", &["x", "y"]).build());
+        assert!(HomSearch::new_ccq(&src, &tgt_edge).exists());
+        // Without the completion on the target, the image pair is not bound
+        // by an inequality, so preservation fails.
+        let tgt_plain = Ccq::from_cq(Cq::builder(&schema()).atom("R", &["x", "y"]).build());
+        assert!(!HomSearch::new_ccq(&src, &tgt_plain).exists());
+    }
+}

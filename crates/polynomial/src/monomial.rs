@@ -1,0 +1,344 @@
+//! Commutative monomials over polynomial variables.
+//!
+//! A monomial is a finite product of variables with positive integer
+//! exponents, e.g. `x² y`.  Monomials are the building blocks of the
+//! provenance-polynomial semiring `N[X]` (Sec. 3.2 of the paper) and appear
+//! throughout the axioms defining the classes `N_in`, `N_sur`, `C_bi`,
+//! `C^∞_bi`, ... (Sec. 4.2–4.4, 5.2).
+
+use crate::var::Var;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A commutative monomial: a sorted list of `(variable, exponent)` pairs with
+/// strictly positive exponents.  The empty monomial represents `1`.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Monomial {
+    /// Sorted by variable, exponents > 0.
+    factors: Vec<(Var, u32)>,
+}
+
+impl Monomial {
+    /// The unit monomial `1`.
+    pub fn one() -> Self {
+        Monomial { factors: Vec::new() }
+    }
+
+    /// The monomial consisting of a single variable.
+    pub fn var(v: Var) -> Self {
+        Monomial { factors: vec![(v, 1)] }
+    }
+
+    /// A single variable raised to a power.  `power == 0` yields `1`.
+    pub fn var_pow(v: Var, power: u32) -> Self {
+        if power == 0 {
+            Monomial::one()
+        } else {
+            Monomial { factors: vec![(v, power)] }
+        }
+    }
+
+    /// Builds a monomial from an unsorted list of `(variable, exponent)`
+    /// pairs; repeated variables are merged and zero exponents dropped.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Var, u32)>) -> Self {
+        let mut m = Monomial::one();
+        for (v, e) in pairs {
+            if e > 0 {
+                m = m.mul(&Monomial::var_pow(v, e));
+            }
+        }
+        m
+    }
+
+    /// Builds a monomial as a product of variables, e.g. `[x, x, y]` ↦ `x²y`.
+    pub fn from_vars(vars: impl IntoIterator<Item = Var>) -> Self {
+        Self::from_pairs(vars.into_iter().map(|v| (v, 1)))
+    }
+
+    /// Whether this is the unit monomial `1`.
+    pub fn is_one(&self) -> bool {
+        self.factors.is_empty()
+    }
+
+    /// Total degree (sum of exponents).
+    pub fn degree(&self) -> u32 {
+        self.factors.iter().map(|&(_, e)| e).sum()
+    }
+
+    /// Exponent of a variable in this monomial (`0` if absent).
+    pub fn exponent(&self, v: Var) -> u32 {
+        self.factors
+            .iter()
+            .find(|&&(w, _)| w == v)
+            .map(|&(_, e)| e)
+            .unwrap_or(0)
+    }
+
+    /// The set of variables occurring in the monomial, in increasing order.
+    pub fn variables(&self) -> impl Iterator<Item = Var> + '_ {
+        self.factors.iter().map(|&(v, _)| v)
+    }
+
+    /// Number of distinct variables.
+    pub fn num_variables(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// The `(variable, exponent)` pairs in increasing variable order.
+    pub fn factors(&self) -> &[(Var, u32)] {
+        &self.factors
+    }
+
+    /// Product of two monomials.
+    pub fn mul(&self, other: &Monomial) -> Monomial {
+        let mut factors = Vec::with_capacity(self.factors.len() + other.factors.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.factors.len() && j < other.factors.len() {
+            let (va, ea) = self.factors[i];
+            let (vb, eb) = other.factors[j];
+            match va.cmp(&vb) {
+                Ordering::Less => {
+                    factors.push((va, ea));
+                    i += 1;
+                }
+                Ordering::Greater => {
+                    factors.push((vb, eb));
+                    j += 1;
+                }
+                Ordering::Equal => {
+                    factors.push((va, ea + eb));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        factors.extend_from_slice(&self.factors[i..]);
+        factors.extend_from_slice(&other.factors[j..]);
+        Monomial { factors }
+    }
+
+    /// `self` raised to the power `k`.
+    pub fn pow(&self, k: u32) -> Monomial {
+        if k == 0 {
+            return Monomial::one();
+        }
+        Monomial {
+            factors: self.factors.iter().map(|&(v, e)| (v, e * k)).collect(),
+        }
+    }
+
+    /// Whether `self` divides `other` (componentwise exponent comparison).
+    pub fn divides(&self, other: &Monomial) -> bool {
+        self.factors
+            .iter()
+            .all(|&(v, e)| other.exponent(v) >= e)
+    }
+
+    /// Whether the monomial is multilinear (all exponents equal to 1).
+    pub fn is_multilinear(&self) -> bool {
+        self.factors.iter().all(|&(_, e)| e == 1)
+    }
+
+    /// Expands the monomial into the multiset of its variables, with each
+    /// variable repeated `exponent` times (so `x²y` ↦ `[x, x, y]`).
+    pub fn expand(&self) -> Vec<Var> {
+        let mut out = Vec::with_capacity(self.degree() as usize);
+        for &(v, e) in &self.factors {
+            for _ in 0..e {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// Number of distinct orderings of [`Self::expand`] — i.e. the number of
+    /// distinct *o-monomials* (Sec. 4.5) whose commutative image is `self`.
+    /// This is the multinomial coefficient `degree! / ∏ eᵢ!`, saturating at
+    /// `u64::MAX` for absurdly large inputs.
+    pub fn num_orderings(&self) -> u64 {
+        // Compute iteratively: choose positions for each variable in turn.
+        let mut remaining = self.degree() as u64;
+        let mut result: u64 = 1;
+        for &(_, e) in &self.factors {
+            result = result.saturating_mul(binomial(remaining, e as u64));
+            remaining -= e as u64;
+        }
+        result
+    }
+
+    /// Graded-lexicographic comparison: first by total degree, then
+    /// lexicographically on the exponent vectors.
+    pub fn grlex_cmp(&self, other: &Monomial) -> Ordering {
+        self.degree()
+            .cmp(&other.degree())
+            .then_with(|| self.factors.cmp(&other.factors))
+    }
+}
+
+/// Binomial coefficient with saturation.
+fn binomial(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result: u64 = 1;
+    for i in 0..k {
+        // result *= (n - i); result /= (i + 1);  — done in a way that stays exact
+        result = result.saturating_mul(n - i) / (i + 1);
+    }
+    result
+}
+
+impl PartialOrd for Monomial {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Monomial {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.grlex_cmp(other)
+    }
+}
+
+impl fmt::Debug for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_one() {
+            return write!(f, "1");
+        }
+        let mut first = true;
+        for &(v, e) in &self.factors {
+            if !first {
+                write!(f, "·")?;
+            }
+            first = false;
+            if e == 1 {
+                write!(f, "{}", v)?;
+            } else {
+                write!(f, "{}^{}", v, e)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    #[test]
+    fn one_is_empty_and_degree_zero() {
+        let m = Monomial::one();
+        assert!(m.is_one());
+        assert_eq!(m.degree(), 0);
+        assert_eq!(m.num_variables(), 0);
+        assert_eq!(format!("{}", m), "1");
+    }
+
+    #[test]
+    fn mul_merges_exponents() {
+        let xy = Monomial::var(v(0)).mul(&Monomial::var(v(1)));
+        let x2y = xy.mul(&Monomial::var(v(0)));
+        assert_eq!(x2y.exponent(v(0)), 2);
+        assert_eq!(x2y.exponent(v(1)), 1);
+        assert_eq!(x2y.exponent(v(2)), 0);
+        assert_eq!(x2y.degree(), 3);
+        assert!(!x2y.is_multilinear());
+        assert!(xy.is_multilinear());
+    }
+
+    #[test]
+    fn mul_is_commutative_and_associative() {
+        let a = Monomial::from_pairs([(v(0), 2), (v(3), 1)]);
+        let b = Monomial::from_pairs([(v(1), 1), (v(3), 2)]);
+        let c = Monomial::from_pairs([(v(0), 1)]);
+        assert_eq!(a.mul(&b), b.mul(&a));
+        assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+    }
+
+    #[test]
+    fn var_pow_zero_is_one() {
+        assert!(Monomial::var_pow(v(4), 0).is_one());
+        assert_eq!(Monomial::var_pow(v(4), 3).degree(), 3);
+    }
+
+    #[test]
+    fn pow_multiplies_exponents() {
+        let xy = Monomial::from_vars([v(0), v(1)]);
+        let sq = xy.pow(2);
+        assert_eq!(sq.exponent(v(0)), 2);
+        assert_eq!(sq.exponent(v(1)), 2);
+        assert!(xy.pow(0).is_one());
+    }
+
+    #[test]
+    fn divides_checks_exponents() {
+        let x = Monomial::var(v(0));
+        let x2y = Monomial::from_pairs([(v(0), 2), (v(1), 1)]);
+        assert!(x.divides(&x2y));
+        assert!(!x2y.divides(&x));
+        assert!(Monomial::one().divides(&x));
+        assert!(x2y.divides(&x2y));
+    }
+
+    #[test]
+    fn expand_repeats_variables() {
+        let x2y = Monomial::from_pairs([(v(0), 2), (v(1), 1)]);
+        assert_eq!(x2y.expand(), vec![v(0), v(0), v(1)]);
+    }
+
+    #[test]
+    fn from_vars_collects_duplicates() {
+        let m = Monomial::from_vars([v(1), v(0), v(1)]);
+        assert_eq!(m.exponent(v(1)), 2);
+        assert_eq!(m.exponent(v(0)), 1);
+    }
+
+    #[test]
+    fn num_orderings_is_multinomial() {
+        // x²y has 3!/2! = 3 orderings: xxy, xyx, yxx
+        let x2y = Monomial::from_pairs([(v(0), 2), (v(1), 1)]);
+        assert_eq!(x2y.num_orderings(), 3);
+        // xyz has 3! = 6 orderings
+        let xyz = Monomial::from_vars([v(0), v(1), v(2)]);
+        assert_eq!(xyz.num_orderings(), 6);
+        // x³ has a single ordering
+        assert_eq!(Monomial::var_pow(v(0), 3).num_orderings(), 1);
+        assert_eq!(Monomial::one().num_orderings(), 1);
+    }
+
+    #[test]
+    fn grlex_orders_by_degree_first() {
+        let x = Monomial::var(v(0));
+        let y = Monomial::var(v(1));
+        let xy = x.mul(&y);
+        assert!(x < xy);
+        assert!(y < xy);
+        assert!(x < y);
+        assert_eq!(x.cmp(&x), Ordering::Equal);
+    }
+
+    #[test]
+    fn display_formats() {
+        let m = Monomial::from_pairs([(v(0), 2), (v(1), 1)]);
+        assert_eq!(format!("{}", m), "x0^2·x1");
+    }
+
+    #[test]
+    fn binomial_saturates_and_is_exact_for_small_values() {
+        assert_eq!(super::binomial(5, 2), 10);
+        assert_eq!(super::binomial(10, 0), 1);
+        assert_eq!(super::binomial(3, 5), 0);
+        assert_eq!(super::binomial(52, 5), 2_598_960);
+    }
+}

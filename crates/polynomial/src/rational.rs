@@ -1,0 +1,228 @@
+//! Exact rational arithmetic over `i128`.
+//!
+//! The decision procedures of Sec. 4.6 (containment over the tropical
+//! semirings `T⁺` and `T⁻`) reduce to the feasibility of systems of linear
+//! inequalities with integer coefficients; we solve those exactly over the
+//! rationals with Fourier–Motzkin elimination (see [`crate::linear`]).  A
+//! tiny, dependency-free rational type suffices.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// An exact rational number `num / den` with `den > 0`, always kept in lowest
+/// terms.  Arithmetic panics on overflow of `i128`, which cannot be reached
+/// by the small systems built in this crate.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rational {
+    /// Creates the rational `num / den`.  Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let (num, den) = (num * sign, den * sign);
+        let g = gcd(num, den);
+        if g == 0 {
+            Rational { num: 0, den: 1 }
+        } else {
+            Rational { num: num / g, den: den / g }
+        }
+    }
+
+    /// The rational representing an integer.
+    pub fn from_int(n: i128) -> Self {
+        Rational { num: n, den: 1 }
+    }
+
+    /// Zero.
+    pub fn zero() -> Self {
+        Rational::from_int(0)
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        Rational::from_int(1)
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn numerator(self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denominator(self) -> i128 {
+        self.den
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// Whether the value is strictly positive.
+    pub fn is_positive(self) -> bool {
+        self.num > 0
+    }
+
+    /// Whether the value is strictly negative.
+    pub fn is_negative(self) -> bool {
+        self.num < 0
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Self {
+        Rational { num: self.num.abs(), den: self.den }
+    }
+
+    /// Multiplicative inverse.  Panics on zero.
+    pub fn recip(self) -> Self {
+        assert!(self.num != 0, "division by zero");
+        Rational::new(self.den, self.num)
+    }
+
+    /// Approximate conversion to `f64` (for reporting only).
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        Rational::new(self.num * rhs.den + rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        Rational::new(self.num * rhs.den - rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        Rational::new(self.num * rhs.num, self.den * rhs.den)
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Rational) -> Rational {
+        assert!(rhs.num != 0, "division by zero");
+        Rational::new(self.num * rhs.den, self.den * rhs.num)
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational { num: -self.num, den: self.den }
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.num * other.den).cmp(&(other.num * self.den))
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl From<i128> for Rational {
+    fn from(n: i128) -> Self {
+        Rational::from_int(n)
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(n: i64) -> Self {
+        Rational::from_int(n as i128)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_lowest_terms() {
+        assert_eq!(Rational::new(2, 4), Rational::new(1, 2));
+        assert_eq!(Rational::new(-2, -4), Rational::new(1, 2));
+        assert_eq!(Rational::new(2, -4), Rational::new(-1, 2));
+        assert_eq!(Rational::new(0, 5), Rational::zero());
+        assert_eq!(Rational::new(0, -5).denominator(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let half = Rational::new(1, 2);
+        let third = Rational::new(1, 3);
+        assert_eq!(half + third, Rational::new(5, 6));
+        assert_eq!(half - third, Rational::new(1, 6));
+        assert_eq!(half * third, Rational::new(1, 6));
+        assert_eq!(half / third, Rational::new(3, 2));
+        assert_eq!(-half, Rational::new(-1, 2));
+        assert_eq!(half.recip(), Rational::from_int(2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rational::new(1, 3) < Rational::new(1, 2));
+        assert!(Rational::new(-1, 2) < Rational::zero());
+        assert!(Rational::new(7, 3) > Rational::from_int(2));
+        assert_eq!(Rational::new(4, 2).cmp(&Rational::from_int(2)), Ordering::Equal);
+    }
+
+    #[test]
+    fn predicates_and_display() {
+        assert!(Rational::new(3, 4).is_positive());
+        assert!(Rational::new(-3, 4).is_negative());
+        assert!(Rational::zero().is_zero());
+        assert_eq!(Rational::new(-3, 4).abs(), Rational::new(3, 4));
+        assert_eq!(format!("{}", Rational::new(3, 4)), "3/4");
+        assert_eq!(format!("{}", Rational::from_int(5)), "5");
+        assert!((Rational::new(1, 4).to_f64() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,249 @@
+//! Complete descriptions ⟨Q⟩ of CQs and UCQs (Sec. 4.6 and 5 of the paper).
+//!
+//! The complete description of a CQ `Q` with existential variables `v` is the
+//! multiset of CCQs obtained as follows: for every partition `π` of `v`,
+//! identify the variables within each block and attach an inequality between
+//! every pair of variables that remain distinct.  The result is equivalent to
+//! `Q` over every semiring (`Q ≡_K ⟨Q⟩`): the CCQs partition the valuation
+//! space of `Q` according to which existential variables coincide.
+//!
+//! Complete descriptions are the key device behind the UCQ-containment
+//! criteria `↪_∞`, `↪_k`, `↠_∞` and `⇉₂` (Sec. 5.2–5.4).
+
+use crate::ccq::Ccq;
+use crate::cq::{Atom, Cq, QVar};
+use crate::ucq::{Ducq, Ucq};
+use std::collections::BTreeMap;
+
+/// Computes the complete description ⟨Q⟩ of a CQ, one CCQ per set partition
+/// of its existential variables.
+pub fn complete_description_cq(query: &Cq) -> Ducq {
+    let existential = query.existential_vars();
+    let partitions = set_partitions(existential.len());
+    let mut out = Vec::with_capacity(partitions.len());
+    for partition in &partitions {
+        out.push(collapse(query, &existential, partition));
+    }
+    Ducq::new(out)
+}
+
+/// Computes the complete description ⟨Q⟩ of a UCQ: the multiset union of the
+/// complete descriptions of its members.
+pub fn complete_description_ucq(query: &Ucq) -> Ducq {
+    let mut out = Ducq::empty();
+    for cq in query.disjuncts() {
+        out = out.union(&complete_description_cq(cq));
+    }
+    out
+}
+
+/// Builds the CCQ for one partition: identify the existential variables in
+/// each block and add inequalities between all remaining distinct existential
+/// variables.
+fn collapse(query: &Cq, existential: &[QVar], partition: &[Vec<usize>]) -> Ccq {
+    // representative of each existential variable = smallest variable of its
+    // block.
+    let mut repr: BTreeMap<QVar, QVar> = BTreeMap::new();
+    for block in partition {
+        let rep = block.iter().map(|&i| existential[i]).min().expect("non-empty block");
+        for &i in block {
+            repr.insert(existential[i], rep);
+        }
+    }
+    let rename = |v: QVar| -> QVar { *repr.get(&v).unwrap_or(&v) };
+
+    // Re-index the surviving variables compactly, keeping the original names.
+    let survivors: Vec<QVar> = {
+        let mut s: Vec<QVar> = query
+            .all_vars()
+            .into_iter()
+            .filter(|v| rename(*v) == *v)
+            .collect();
+        s.sort();
+        s
+    };
+    let new_index: BTreeMap<QVar, QVar> = survivors
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, QVar(i as u32)))
+        .collect();
+    let var_names: Vec<String> = survivors
+        .iter()
+        .map(|&v| query.var_name(v).to_string())
+        .collect();
+    let to_new = |v: QVar| -> QVar { new_index[&rename(v)] };
+
+    let atoms: Vec<Atom> = query
+        .atoms()
+        .iter()
+        .map(|a| a.map_vars(&to_new))
+        .collect();
+    let free: Vec<QVar> = query.free_vars().iter().map(|&v| to_new(v)).collect();
+    let cq = Cq::new(query.schema().clone(), free, atoms, var_names);
+
+    // inequalities between every pair of distinct surviving existential
+    // representatives.
+    let ex_survivors: Vec<QVar> = cq.existential_vars();
+    let mut inequalities = Vec::new();
+    for (i, &a) in ex_survivors.iter().enumerate() {
+        for &b in &ex_survivors[i + 1..] {
+            inequalities.push((a, b));
+        }
+    }
+    Ccq::new(cq, inequalities)
+}
+
+/// Enumerates all set partitions of `{0, …, n-1}`.  Each partition is a list
+/// of blocks; blocks and elements appear in a canonical order.  The number of
+/// partitions is the Bell number `B(n)`.
+pub fn set_partitions(n: usize) -> Vec<Vec<Vec<usize>>> {
+    let mut result = Vec::new();
+    let mut current: Vec<Vec<usize>> = Vec::new();
+    partition_rec(0, n, &mut current, &mut result);
+    result
+}
+
+fn partition_rec(
+    element: usize,
+    n: usize,
+    current: &mut Vec<Vec<usize>>,
+    result: &mut Vec<Vec<Vec<usize>>>,
+) {
+    if element == n {
+        result.push(current.clone());
+        return;
+    }
+    for i in 0..current.len() {
+        current[i].push(element);
+        partition_rec(element + 1, n, current, result);
+        current[i].pop();
+    }
+    current.push(vec![element]);
+    partition_rec(element + 1, n, current, result);
+    current.pop();
+}
+
+/// The Bell number `B(n)` (number of CCQs in the complete description of a
+/// CQ with `n` existential variables) — useful for sizing benchmarks.
+pub fn bell_number(n: usize) -> u64 {
+    // Bell triangle.
+    let mut row = vec![1u64];
+    for _ in 0..n {
+        let mut next = Vec::with_capacity(row.len() + 1);
+        next.push(*row.last().expect("non-empty"));
+        for &x in &row {
+            let prev = *next.last().expect("non-empty");
+            next.push(prev + x);
+        }
+        row = next;
+    }
+    row[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn schema() -> Schema {
+        Schema::with_relations([("R", 2)])
+    }
+
+    #[test]
+    fn set_partitions_counts_are_bell_numbers() {
+        assert_eq!(set_partitions(0).len(), 1);
+        assert_eq!(set_partitions(1).len(), 1);
+        assert_eq!(set_partitions(2).len(), 2);
+        assert_eq!(set_partitions(3).len(), 5);
+        assert_eq!(set_partitions(4).len(), 15);
+        assert_eq!(bell_number(0), 1);
+        assert_eq!(bell_number(3), 5);
+        assert_eq!(bell_number(5), 52);
+        assert_eq!(bell_number(6), 203);
+    }
+
+    #[test]
+    fn example_4_6_complete_description() {
+        // ⟨Q1⟩ for Q1 = ∃u,v,w R(u,v), R(u,w) has 5 CCQs (the paper lists
+        // Q11 … Q15).
+        let q1 = Cq::builder(&schema())
+            .atom("R", &["u", "v"])
+            .atom("R", &["u", "w"])
+            .build();
+        let desc = complete_description_cq(&q1);
+        assert_eq!(desc.len(), 5);
+        // Every member is complete and equivalent in atom count (2 atoms).
+        for ccq in desc.disjuncts() {
+            assert!(ccq.is_complete());
+            assert_eq!(ccq.cq().num_atoms(), 2);
+        }
+        // Exactly one member has a single variable (u = v = w): Q15.
+        let singletons = desc
+            .disjuncts()
+            .iter()
+            .filter(|c| c.cq().num_vars() == 1)
+            .count();
+        assert_eq!(singletons, 1);
+        // Exactly one member keeps all three variables distinct: Q11.
+        let full = desc
+            .disjuncts()
+            .iter()
+            .filter(|c| c.cq().num_vars() == 3)
+            .count();
+        assert_eq!(full, 1);
+        // The three-variable member carries all three inequalities.
+        let q11 = desc
+            .disjuncts()
+            .iter()
+            .find(|c| c.cq().num_vars() == 3)
+            .unwrap();
+        assert_eq!(q11.inequalities().len(), 3);
+    }
+
+    #[test]
+    fn free_variables_are_never_merged() {
+        let q = Cq::builder(&schema())
+            .free(&["x"])
+            .atom("R", &["x", "y"])
+            .atom("R", &["y", "z"])
+            .build();
+        let desc = complete_description_cq(&q);
+        // two existential variables → B(2) = 2 CCQs
+        assert_eq!(desc.len(), 2);
+        for ccq in desc.disjuncts() {
+            assert_eq!(ccq.cq().free_vars().len(), 1);
+            assert_eq!(ccq.cq().var_name(ccq.cq().free_vars()[0]), "x");
+            assert!(ccq.is_complete());
+        }
+    }
+
+    #[test]
+    fn ucq_description_is_union_of_member_descriptions() {
+        let q1 = Cq::builder(&schema())
+            .atom("R", &["u", "v"])
+            .build();
+        let q2 = Cq::builder(&schema())
+            .atom("R", &["u", "u"])
+            .build();
+        let ucq = Ucq::new([q1, q2]);
+        let desc = complete_description_ucq(&ucq);
+        // B(2) + B(1) = 2 + 1 = 3
+        assert_eq!(desc.len(), 3);
+    }
+
+    #[test]
+    fn variable_names_survive_collapsing() {
+        let q1 = Cq::builder(&schema())
+            .atom("R", &["u", "v"])
+            .build();
+        let desc = complete_description_cq(&q1);
+        let collapsed = desc
+            .disjuncts()
+            .iter()
+            .find(|c| c.cq().num_vars() == 1)
+            .unwrap();
+        // the surviving variable keeps one of the original names
+        assert_eq!(collapsed.cq().var_name(QVar(0)), "u");
+        assert_eq!(collapsed.cq().atoms()[0].args, vec![QVar(0), QVar(0)]);
+    }
+}

@@ -1,0 +1,359 @@
+//! Evaluation of CQs, CCQs and UCQs over K-instances.
+//!
+//! For a CQ `Q = ∃v R₁(u₁,v₁), …, Rₙ(uₙ,vₙ)`, a K-instance `I` and a tuple
+//! `t`, the evaluation is (Sec. 2 of the paper)
+//!
+//! ```text
+//! Qᴵ(t) = Σ_{f ∈ V(Q,t)}  Π_{1≤i≤n}  Rᵢᴵ(f(uᵢ,vᵢ))
+//! ```
+//!
+//! where `V(Q, t)` is the set of mappings from the query variables to the
+//! domain with `f(u) = t`.  Mappings sending any atom to a tuple annotated
+//! `0` contribute `0`, so the sum effectively ranges over mappings into the
+//! active domain; the queries in this crate are *safe* (every variable occurs
+//! in an atom), which keeps the sum finite.
+//!
+//! For CCQs the sum is restricted to mappings respecting the inequalities;
+//! for UCQs the evaluations of the members are summed (the empty UCQ
+//! evaluates to `0`).
+
+use crate::ccq::Ccq;
+use crate::cq::{Cq, QVar};
+use crate::instance::Instance;
+use crate::schema::{DbValue, Tuple};
+use crate::ucq::{Ducq, Ucq};
+use annot_semiring::Semiring;
+
+/// Evaluates a CQ on an instance for an output tuple `t`.
+///
+/// Panics if `t` has a different length than the query's free-variable list.
+pub fn eval_cq<K: Semiring>(query: &Cq, instance: &Instance<K>, t: &Tuple) -> K {
+    eval_with_inequalities(query, None, instance, t)
+}
+
+/// Evaluates a CCQ (CQ with inequalities) on an instance for `t`.
+pub fn eval_ccq<K: Semiring>(query: &Ccq, instance: &Instance<K>, t: &Tuple) -> K {
+    eval_with_inequalities(query.cq(), Some(query), instance, t)
+}
+
+/// Evaluates a UCQ on an instance for `t` (the semiring sum of its members).
+pub fn eval_ucq<K: Semiring>(query: &Ucq, instance: &Instance<K>, t: &Tuple) -> K {
+    let mut total = K::zero();
+    for cq in query.disjuncts() {
+        total = total.add(&eval_cq(cq, instance, t));
+    }
+    total
+}
+
+/// Evaluates a union of CCQs on an instance for `t`.
+pub fn eval_ducq<K: Semiring>(query: &Ducq, instance: &Instance<K>, t: &Tuple) -> K {
+    let mut total = K::zero();
+    for ccq in query.disjuncts() {
+        total = total.add(&eval_ccq(ccq, instance, t));
+    }
+    total
+}
+
+/// Evaluates a Boolean CQ (no free variables) on an instance.
+pub fn eval_boolean_cq<K: Semiring>(query: &Cq, instance: &Instance<K>) -> K {
+    eval_cq(query, instance, &Vec::new())
+}
+
+/// Evaluates a Boolean UCQ on an instance.
+pub fn eval_boolean_ucq<K: Semiring>(query: &Ucq, instance: &Instance<K>) -> K {
+    eval_ucq(query, instance, &Vec::new())
+}
+
+/// All output tuples with a non-zero annotation, together with their
+/// annotations.  The candidate outputs are tuples over the instance's active
+/// domain (constants outside the active domain can never satisfy a safe CQ).
+pub fn answers<K: Semiring>(query: &Cq, instance: &Instance<K>) -> Vec<(Tuple, K)> {
+    let arity = query.free_vars().len();
+    let domain: Vec<DbValue> = instance.active_domain().into_iter().collect();
+    let mut results = Vec::new();
+    let mut current: Tuple = Vec::with_capacity(arity);
+    enumerate_tuples(&domain, arity, &mut current, &mut |t| {
+        let value = eval_cq(query, instance, t);
+        if !value.is_zero() {
+            results.push((t.clone(), value));
+        }
+    });
+    results
+}
+
+fn enumerate_tuples(
+    domain: &[DbValue],
+    arity: usize,
+    current: &mut Tuple,
+    callback: &mut dyn FnMut(&Tuple),
+) {
+    if current.len() == arity {
+        callback(current);
+        return;
+    }
+    for v in domain {
+        current.push(v.clone());
+        enumerate_tuples(domain, arity, current, callback);
+        current.pop();
+    }
+}
+
+/// Core evaluation: backtracking join over the atoms of the query.
+fn eval_with_inequalities<K: Semiring>(
+    query: &Cq,
+    inequalities: Option<&Ccq>,
+    instance: &Instance<K>,
+    t: &Tuple,
+) -> K {
+    assert_eq!(
+        t.len(),
+        query.free_vars().len(),
+        "output tuple arity does not match the query head"
+    );
+    // Initial partial assignment: free variables bound to `t`.
+    let mut assignment: Vec<Option<DbValue>> = vec![None; query.num_vars()];
+    for (v, value) in query.free_vars().iter().zip(t) {
+        match &assignment[v.0 as usize] {
+            None => assignment[v.0 as usize] = Some(value.clone()),
+            Some(existing) => {
+                // A repeated free variable must receive equal values.
+                if existing != value {
+                    return K::zero();
+                }
+            }
+        }
+    }
+    let mut total = K::zero();
+    eval_rec(
+        query,
+        inequalities,
+        instance,
+        0,
+        &mut assignment,
+        &K::one(),
+        &mut total,
+    );
+    total
+}
+
+fn eval_rec<K: Semiring>(
+    query: &Cq,
+    inequalities: Option<&Ccq>,
+    instance: &Instance<K>,
+    atom_index: usize,
+    assignment: &mut Vec<Option<DbValue>>,
+    partial_product: &K,
+    total: &mut K,
+) {
+    if partial_product.is_zero() {
+        return;
+    }
+    if atom_index == query.num_atoms() {
+        // All variables are bound (safety).  Check the inequalities.
+        if let Some(ccq) = inequalities {
+            let ok = ccq.inequalities().iter().all(|&(a, b)| {
+                assignment[a.0 as usize] != assignment[b.0 as usize]
+            });
+            if !ok {
+                return;
+            }
+        }
+        *total = total.add(partial_product);
+        return;
+    }
+    let atom = &query.atoms()[atom_index];
+    // Iterate over the supported tuples of the atom's relation and try to
+    // unify them with the current partial assignment.
+    let candidates: Vec<(Tuple, K)> = instance
+        .support(atom.relation)
+        .map(|(tup, k)| (tup.clone(), k.clone()))
+        .collect();
+    for (tuple, annotation) in candidates {
+        let mut touched: Vec<QVar> = Vec::new();
+        let mut consistent = true;
+        for (var, value) in atom.args.iter().zip(&tuple) {
+            match &assignment[var.0 as usize] {
+                None => {
+                    assignment[var.0 as usize] = Some(value.clone());
+                    touched.push(*var);
+                }
+                Some(existing) => {
+                    if existing != value {
+                        consistent = false;
+                        break;
+                    }
+                }
+            }
+        }
+        if consistent {
+            let product = partial_product.mul(&annotation);
+            eval_rec(
+                query,
+                inequalities,
+                instance,
+                atom_index + 1,
+                assignment,
+                &product,
+                total,
+            );
+        }
+        for var in touched {
+            assignment[var.0 as usize] = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use annot_semiring::{Bool, NatPoly, Natural, Semiring, Tropical};
+    use annot_polynomial::{Polynomial, Var};
+
+    fn schema() -> Schema {
+        Schema::with_relations([("R", 2), ("S", 1)])
+    }
+
+    fn path_instance() -> Instance<Natural> {
+        // R(a,b) ↦ 2, R(b,c) ↦ 3, S(c) ↦ 1
+        let mut i = Instance::new(schema());
+        i.insert_named("R", vec!["a".into(), "b".into()], Natural(2));
+        i.insert_named("R", vec!["b".into(), "c".into()], Natural(3));
+        i.insert_named("S", vec!["c".into()], Natural(1));
+        i
+    }
+
+    #[test]
+    fn boolean_query_over_bags_counts_derivations() {
+        // Q() :- R(x,y), R(y,z): the only valuation is x=a,y=b,z=c with
+        // annotation 2·3 = 6.
+        let q = Cq::builder(&schema())
+            .atom("R", &["x", "y"])
+            .atom("R", &["y", "z"])
+            .build();
+        assert_eq!(eval_boolean_cq(&q, &path_instance()), Natural(6));
+    }
+
+    #[test]
+    fn free_variables_select_tuples() {
+        // Q(x) :- R(x, y)
+        let q = Cq::builder(&schema())
+            .free(&["x"])
+            .atom("R", &["x", "y"])
+            .build();
+        let i = path_instance();
+        assert_eq!(eval_cq(&q, &i, &vec!["a".into()]), Natural(2));
+        assert_eq!(eval_cq(&q, &i, &vec!["b".into()]), Natural(3));
+        assert_eq!(eval_cq(&q, &i, &vec!["c".into()]), Natural(0));
+        let ans = answers(&q, &i);
+        assert_eq!(ans.len(), 2);
+    }
+
+    #[test]
+    fn repeated_atoms_square_annotations() {
+        // Q() :- S(v), S(v) over S(c) ↦ 3 gives 9 under bag semantics.
+        let mut i: Instance<Natural> = Instance::new(schema());
+        i.insert_named("S", vec!["c".into()], Natural(3));
+        let q = Cq::builder(&schema())
+            .atom("S", &["v"])
+            .atom("S", &["v"])
+            .build();
+        assert_eq!(eval_boolean_cq(&q, &i), Natural(9));
+    }
+
+    #[test]
+    fn joins_sum_over_all_valuations() {
+        // Q() :- R(x,y), R(z,w): every pair of R-tuples, 4 valuations:
+        // 2·2 + 2·3 + 3·2 + 3·3 = 25 = (2+3)².
+        let q = Cq::builder(&schema())
+            .atom("R", &["x", "y"])
+            .atom("R", &["z", "w"])
+            .build();
+        assert_eq!(eval_boolean_cq(&q, &path_instance()), Natural(25));
+    }
+
+    #[test]
+    fn tropical_evaluation_takes_minimum_cost() {
+        // Same join over T⁺: min over valuations of the sum of costs.
+        let mut i: Instance<Tropical> = Instance::new(schema());
+        i.insert_named("R", vec!["a".into(), "b".into()], Tropical::Finite(2));
+        i.insert_named("R", vec!["b".into(), "c".into()], Tropical::Finite(3));
+        let q = Cq::builder(&schema())
+            .atom("R", &["x", "y"])
+            .atom("R", &["y", "z"])
+            .build();
+        assert_eq!(eval_boolean_cq(&q, &i), Tropical::Finite(5));
+        let q2 = Cq::builder(&schema())
+            .atom("R", &["x", "y"])
+            .atom("R", &["z", "w"])
+            .build();
+        assert_eq!(eval_boolean_cq(&q2, &i), Tropical::Finite(4)); // 2+2
+    }
+
+    #[test]
+    fn ccq_inequalities_restrict_valuations() {
+        // Q() :- R(x,y), R(z,w), x != z over the path instance: only the two
+        // valuations using different first tuples survive: 2·3 + 3·2 = 12.
+        let q = Cq::builder(&schema())
+            .atom("R", &["x", "y"])
+            .atom("R", &["z", "w"])
+            .inequality("x", "z")
+            .build_ccq();
+        assert_eq!(eval_ccq(&q, &path_instance(), &vec![]), Natural(12));
+    }
+
+    #[test]
+    fn ucq_evaluation_sums_members() {
+        let q1 = Cq::builder(&schema()).atom("S", &["v"]).build();
+        let q2 = Cq::builder(&schema())
+            .atom("R", &["x", "y"])
+            .build();
+        let ucq = Ucq::new([q1, q2]);
+        // S contributes 1, R contributes 2 + 3.
+        assert_eq!(eval_boolean_ucq(&ucq, &path_instance()), Natural(6));
+        assert_eq!(
+            eval_boolean_ucq(&Ucq::empty(), &path_instance()),
+            Natural::zero()
+        );
+    }
+
+    #[test]
+    fn repeated_free_variable_requires_equal_values() {
+        // Q(x, x) :- R(x, x): output tuple must repeat the same value.
+        let mut i: Instance<Bool> = Instance::new(schema());
+        i.insert_named("R", vec!["a".into(), "a".into()], Bool(true));
+        let q = Cq::builder(&schema())
+            .free(&["x", "x"])
+            .atom("R", &["x", "x"])
+            .build();
+        assert_eq!(eval_cq(&q, &i, &vec!["a".into(), "a".into()]), Bool(true));
+        assert_eq!(eval_cq(&q, &i, &vec!["a".into(), "b".into()]), Bool(false));
+    }
+
+    #[test]
+    fn provenance_polynomials_record_derivations() {
+        // Annotate tuples with distinct variables and evaluate into N[X]:
+        // Q() :- R(x,y), R(y,z) over R(a,b) ↦ p₀, R(b,c) ↦ p₁ yields p₀·p₁.
+        let mut i: Instance<NatPoly> = Instance::new(schema());
+        i.insert_named("R", vec!["a".into(), "b".into()], NatPoly::var(Var(0)));
+        i.insert_named("R", vec!["b".into(), "c".into()], NatPoly::var(Var(1)));
+        let q = Cq::builder(&schema())
+            .atom("R", &["x", "y"])
+            .atom("R", &["y", "z"])
+            .build();
+        let result = eval_boolean_cq(&q, &i);
+        let expected = Polynomial::var(Var(0)).times(&Polynomial::var(Var(1)));
+        assert_eq!(result.polynomial(), &expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity does not match")]
+    fn output_arity_is_checked() {
+        let q = Cq::builder(&schema())
+            .free(&["x"])
+            .atom("S", &["x"])
+            .build();
+        let i: Instance<Bool> = Instance::new(schema());
+        let _ = eval_cq(&q, &i, &vec![]);
+    }
+}

@@ -1,0 +1,261 @@
+//! Random query and instance generators for workloads.
+//!
+//! The paper proves theorems rather than running experiments; to *measure*
+//! the decision procedures of Table 1 we need workloads.  This module
+//! produces synthetic CQs/UCQs with controlled shape (chain, star, random),
+//! size (number of atoms) and variable-sharing density, plus random
+//! K-instances for brute-force cross-validation.  Shapes follow the standard
+//! query-optimisation micro-benchmark conventions (path/star joins).
+
+use crate::cq::{Atom, Cq, QVar};
+use crate::instance::Instance;
+use crate::schema::{DbValue, Schema};
+use crate::ucq::Ucq;
+use annot_semiring::Semiring;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The join shape of a generated CQ.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryShape {
+    /// `R(x₀,x₁), R(x₁,x₂), …` — a path of binary atoms.
+    Chain,
+    /// `R(x₀,x₁), R(x₀,x₂), …` — all atoms share the first variable.
+    Star,
+    /// Atoms over random variable pairs drawn from a bounded pool.
+    Random,
+}
+
+/// Configuration for the random CQ generator.
+#[derive(Clone, Debug)]
+pub struct GeneratorConfig {
+    /// Number of atoms per CQ.
+    pub num_atoms: usize,
+    /// Join shape.
+    pub shape: QueryShape,
+    /// Number of distinct relation symbols to draw from.
+    pub num_relations: usize,
+    /// For [`QueryShape::Random`]: size of the variable pool.
+    pub var_pool: usize,
+    /// Number of free (head) variables (0 = Boolean query).
+    pub free_vars: usize,
+    /// RNG seed, for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            num_atoms: 3,
+            shape: QueryShape::Chain,
+            num_relations: 2,
+            var_pool: 4,
+            free_vars: 0,
+            seed: 42,
+        }
+    }
+}
+
+/// A random-query generator with a reproducible RNG.
+#[derive(Debug)]
+pub struct QueryGenerator {
+    config: GeneratorConfig,
+    schema: Schema,
+    rng: StdRng,
+}
+
+impl QueryGenerator {
+    /// Creates a generator; the schema contains `num_relations` binary
+    /// relations `R0, R1, …`.
+    pub fn new(config: GeneratorConfig) -> Self {
+        let mut schema = Schema::new();
+        for i in 0..config.num_relations.max(1) {
+            schema.add_relation(&format!("R{}", i), 2);
+        }
+        let rng = StdRng::seed_from_u64(config.seed);
+        QueryGenerator { config, schema, rng }
+    }
+
+    /// The schema shared by all generated queries and instances.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Generates one CQ according to the configuration.
+    pub fn cq(&mut self) -> Cq {
+        let n = self.config.num_atoms.max(1);
+        let mut atoms: Vec<(usize, u32, u32)> = Vec::with_capacity(n);
+        let mut max_var = 0u32;
+        for i in 0..n {
+            let rel = self.rng.gen_range(0..self.config.num_relations.max(1));
+            let (a, b) = match self.config.shape {
+                QueryShape::Chain => (i as u32, i as u32 + 1),
+                QueryShape::Star => (0, i as u32 + 1),
+                QueryShape::Random => {
+                    let pool = self.config.var_pool.max(2) as u32;
+                    (self.rng.gen_range(0..pool), self.rng.gen_range(0..pool))
+                }
+            };
+            max_var = max_var.max(a).max(b);
+            atoms.push((rel, a, b));
+        }
+        // Compact variable indices to those actually used.
+        let mut used: Vec<u32> = atoms.iter().flat_map(|&(_, a, b)| [a, b]).collect();
+        used.sort_unstable();
+        used.dedup();
+        let index_of = |v: u32| used.iter().position(|&u| u == v).expect("used var") as u32;
+        let var_names: Vec<String> = used.iter().map(|v| format!("v{}", v)).collect();
+        let cq_atoms: Vec<Atom> = atoms
+            .iter()
+            .map(|&(rel, a, b)| {
+                Atom::new(
+                    self.schema.relation(&format!("R{}", rel)).expect("relation"),
+                    vec![QVar(index_of(a)), QVar(index_of(b))],
+                )
+            })
+            .collect();
+        let free: Vec<QVar> = (0..self.config.free_vars.min(used.len()))
+            .map(|i| QVar(i as u32))
+            .collect();
+        Cq::new(self.schema.clone(), free, cq_atoms, var_names)
+    }
+
+    /// Generates a UCQ with the given number of member CQs.
+    pub fn ucq(&mut self, disjuncts: usize) -> Ucq {
+        Ucq::new((0..disjuncts.max(1)).map(|_| self.cq()).collect::<Vec<_>>())
+    }
+
+    /// Generates a pair of CQs that are guaranteed to satisfy `Q₂ → Q₁`
+    /// (there is a homomorphism from the second onto the first): the second
+    /// query is obtained from the first by collapsing some variables and
+    /// dropping atoms is avoided so the identity already witnesses the
+    /// homomorphism.  Useful for benchmarking the "yes"-side of containment.
+    pub fn homomorphic_pair(&mut self) -> (Cq, Cq) {
+        let q1 = self.cq();
+        // Q2: same atoms with some variables merged (maps onto Q1 by the
+        // inverse renaming being a homomorphism from Q2 to Q1? — careful:
+        // merging variables of Q1 yields Q2 such that Q1 → Q2; for a
+        // homomorphism Q2 → Q1 we instead *duplicate* atoms of Q1).
+        let mut atoms = q1.atoms().to_vec();
+        if let Some(first) = q1.atoms().first() {
+            atoms.push(first.clone());
+        }
+        let q2 = Cq::new(
+            q1.schema().clone(),
+            q1.free_vars().to_vec(),
+            atoms,
+            q1.var_names().to_vec(),
+        );
+        (q1, q2)
+    }
+
+    /// Generates a random K-instance over the generator's schema with the
+    /// given domain size and tuple count; annotations are drawn from the
+    /// semiring's sample elements (excluding `0`).
+    pub fn instance<K: Semiring>(&mut self, domain_size: usize, tuples: usize) -> Instance<K> {
+        let samples: Vec<K> = K::sample_elements()
+            .into_iter()
+            .filter(|k| !k.is_zero())
+            .collect();
+        let mut inst = Instance::new(self.schema.clone());
+        let rels: Vec<_> = self.schema.rel_ids().collect();
+        for _ in 0..tuples {
+            let rel = rels[self.rng.gen_range(0..rels.len())];
+            let arity = self.schema.arity(rel);
+            let tuple: Vec<DbValue> = (0..arity)
+                .map(|_| DbValue::Int(self.rng.gen_range(0..domain_size.max(1) as i64)))
+                .collect();
+            let ann = samples[self.rng.gen_range(0..samples.len())].clone();
+            inst.insert(rel, tuple, ann);
+        }
+        inst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use annot_semiring::{Bool, Natural};
+
+    #[test]
+    fn chain_queries_have_expected_shape() {
+        let mut generator = QueryGenerator::new(GeneratorConfig {
+            num_atoms: 4,
+            shape: QueryShape::Chain,
+            ..Default::default()
+        });
+        let q = generator.cq();
+        assert_eq!(q.num_atoms(), 4);
+        assert_eq!(q.num_vars(), 5);
+        // consecutive atoms share a variable
+        for i in 0..3 {
+            assert_eq!(q.atoms()[i].args[1], q.atoms()[i + 1].args[0]);
+        }
+    }
+
+    #[test]
+    fn star_queries_share_the_center() {
+        let mut generator = QueryGenerator::new(GeneratorConfig {
+            num_atoms: 5,
+            shape: QueryShape::Star,
+            ..Default::default()
+        });
+        let q = generator.cq();
+        assert_eq!(q.num_atoms(), 5);
+        let center = q.atoms()[0].args[0];
+        assert!(q.atoms().iter().all(|a| a.args[0] == center));
+    }
+
+    #[test]
+    fn random_queries_are_reproducible_by_seed() {
+        let config = GeneratorConfig {
+            num_atoms: 6,
+            shape: QueryShape::Random,
+            seed: 7,
+            ..Default::default()
+        };
+        let q1 = QueryGenerator::new(config.clone()).cq();
+        let q2 = QueryGenerator::new(config).cq();
+        assert_eq!(q1, q2);
+    }
+
+    #[test]
+    fn free_variables_respected() {
+        let mut generator = QueryGenerator::new(GeneratorConfig {
+            num_atoms: 3,
+            free_vars: 1,
+            ..Default::default()
+        });
+        let q = generator.cq();
+        assert_eq!(q.free_vars().len(), 1);
+    }
+
+    #[test]
+    fn ucq_generation() {
+        let mut generator = QueryGenerator::new(GeneratorConfig::default());
+        let u = generator.ucq(3);
+        assert_eq!(u.len(), 3);
+    }
+
+    #[test]
+    fn homomorphic_pair_has_superset_atoms() {
+        let mut generator = QueryGenerator::new(GeneratorConfig::default());
+        let (q1, q2) = generator.homomorphic_pair();
+        assert_eq!(q2.num_atoms(), q1.num_atoms() + 1);
+        assert_eq!(q1.num_vars(), q2.num_vars());
+    }
+
+    #[test]
+    fn instance_generation_respects_bounds() {
+        let mut generator = QueryGenerator::new(GeneratorConfig::default());
+        let inst: Instance<Natural> = generator.instance(3, 10);
+        assert!(inst.support_size() <= 10);
+        assert!(inst.active_domain().len() <= 6);
+        let inst_b: Instance<Bool> = generator.instance(2, 5);
+        for rel in inst_b.schema().rel_ids() {
+            for (_, k) in inst_b.support(rel) {
+                assert!(!k.is_zero());
+            }
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! K-instances: databases whose tuples carry semiring annotations.
+//!
+//! For a semiring `K` and schema `S`, a K-instance assigns to every relation
+//! symbol a K-relation — a function from tuples to `K` with finite support
+//! (Sec. 2 of the paper).  Tuples not stored explicitly are annotated `0`.
+
+use crate::schema::{DbValue, RelId, Schema, Tuple};
+use annot_semiring::Semiring;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// An annotated database instance over a semiring `K`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Instance<K: Semiring> {
+    schema: Schema,
+    relations: HashMap<RelId, HashMap<Tuple, K>>,
+}
+
+impl<K: Semiring> Instance<K> {
+    /// Creates an empty instance over a schema.
+    pub fn new(schema: Schema) -> Self {
+        Instance { schema, relations: HashMap::new() }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Sets the annotation of a tuple.  Setting `0` removes the tuple from
+    /// the support.  Panics if the tuple length does not match the arity.
+    pub fn insert(&mut self, rel: RelId, tuple: Tuple, annotation: K) {
+        assert_eq!(
+            tuple.len(),
+            self.schema.arity(rel),
+            "tuple arity mismatch for {}",
+            self.schema.name(rel)
+        );
+        let table = self.relations.entry(rel).or_default();
+        if annotation.is_zero() {
+            table.remove(&tuple);
+        } else {
+            table.insert(tuple, annotation);
+        }
+    }
+
+    /// Convenience: insert by relation name.
+    pub fn insert_named(&mut self, rel: &str, tuple: Tuple, annotation: K) {
+        let id = self
+            .schema
+            .relation(rel)
+            .unwrap_or_else(|| panic!("unknown relation {}", rel));
+        self.insert(id, tuple, annotation);
+    }
+
+    /// Adds `annotation` to the current annotation of a tuple.
+    pub fn add_annotation(&mut self, rel: RelId, tuple: Tuple, annotation: K) {
+        let current = self.annotation(rel, &tuple);
+        self.insert(rel, tuple, current.add(&annotation));
+    }
+
+    /// The annotation of a tuple (`0` if absent).
+    pub fn annotation(&self, rel: RelId, tuple: &Tuple) -> K {
+        self.relations
+            .get(&rel)
+            .and_then(|t| t.get(tuple))
+            .cloned()
+            .unwrap_or_else(K::zero)
+    }
+
+    /// The annotation of a tuple, by relation name.
+    pub fn annotation_named(&self, rel: &str, tuple: &Tuple) -> K {
+        match self.schema.relation(rel) {
+            Some(id) => self.annotation(id, tuple),
+            None => K::zero(),
+        }
+    }
+
+    /// Iterates over the support of a relation: `(tuple, annotation)` pairs
+    /// with non-zero annotation.
+    pub fn support(&self, rel: RelId) -> impl Iterator<Item = (&Tuple, &K)> + '_ {
+        self.relations
+            .get(&rel)
+            .into_iter()
+            .flat_map(|t| t.iter())
+    }
+
+    /// Total number of tuples in the support of the instance.
+    pub fn support_size(&self) -> usize {
+        self.relations.values().map(|t| t.len()).sum()
+    }
+
+    /// The active domain: every value appearing in some supported tuple.
+    pub fn active_domain(&self) -> BTreeSet<DbValue> {
+        let mut dom = BTreeSet::new();
+        for table in self.relations.values() {
+            for tuple in table.keys() {
+                dom.extend(tuple.iter().cloned());
+            }
+        }
+        dom
+    }
+
+    /// Applies a function to every annotation, producing an instance over
+    /// another semiring.  When `f` is a semiring morphism this is the functor
+    /// on K-instances used throughout the paper (e.g. specialising an
+    /// `N[X]`-instance by a valuation of its variables).
+    pub fn map_annotations<L: Semiring>(&self, f: &dyn Fn(&K) -> L) -> Instance<L> {
+        let mut out = Instance::new(self.schema.clone());
+        for (&rel, table) in &self.relations {
+            for (tuple, k) in table {
+                out.insert(rel, tuple.clone(), f(k));
+            }
+        }
+        out
+    }
+}
+
+impl<K: Semiring> fmt::Display for Instance<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut rels: Vec<&RelId> = self.relations.keys().collect();
+        rels.sort();
+        for rel in rels {
+            let mut tuples: Vec<(&Tuple, &K)> = self.relations[rel].iter().collect();
+            tuples.sort_by(|a, b| a.0.cmp(b.0));
+            for (tuple, k) in tuples {
+                write!(f, "{}(", self.schema.name(*rel))?;
+                for (i, v) in tuple.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", v)?;
+                }
+                writeln!(f, ") ↦ {:?}", k)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use annot_semiring::{Bool, Natural};
+
+    fn schema() -> Schema {
+        Schema::with_relations([("R", 2), ("S", 1)])
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let s = schema();
+        let r = s.relation("R").unwrap();
+        let mut i: Instance<Natural> = Instance::new(s);
+        i.insert(r, vec![1.into(), 2.into()], Natural(3));
+        assert_eq!(i.annotation(r, &vec![1.into(), 2.into()]), Natural(3));
+        assert_eq!(i.annotation(r, &vec![2.into(), 1.into()]), Natural(0));
+        assert_eq!(i.annotation_named("R", &vec![1.into(), 2.into()]), Natural(3));
+        assert_eq!(i.annotation_named("T", &vec![]), Natural(0));
+        assert_eq!(i.support_size(), 1);
+    }
+
+    #[test]
+    fn inserting_zero_removes_from_support() {
+        let s = schema();
+        let r = s.relation("R").unwrap();
+        let mut i: Instance<Natural> = Instance::new(s);
+        i.insert(r, vec![1.into(), 2.into()], Natural(3));
+        i.insert(r, vec![1.into(), 2.into()], Natural(0));
+        assert_eq!(i.support_size(), 0);
+        assert_eq!(i.support(r).count(), 0);
+    }
+
+    #[test]
+    fn add_annotation_accumulates() {
+        let s = schema();
+        let r = s.relation("S").unwrap();
+        let mut i: Instance<Natural> = Instance::new(s);
+        i.add_annotation(r, vec!["a".into()], Natural(2));
+        i.add_annotation(r, vec!["a".into()], Natural(5));
+        assert_eq!(i.annotation(r, &vec!["a".into()]), Natural(7));
+    }
+
+    #[test]
+    fn active_domain_collects_values() {
+        let mut i: Instance<Bool> = Instance::new(schema());
+        i.insert_named("R", vec![1.into(), 2.into()], Bool(true));
+        i.insert_named("S", vec!["a".into()], Bool(true));
+        let dom = i.active_domain();
+        assert_eq!(dom.len(), 3);
+        assert!(dom.contains(&DbValue::Int(1)));
+        assert!(dom.contains(&DbValue::str("a")));
+    }
+
+    #[test]
+    fn map_annotations_changes_semiring() {
+        let mut i: Instance<Natural> = Instance::new(schema());
+        i.insert_named("S", vec![1.into()], Natural(4));
+        i.insert_named("S", vec![2.into()], Natural(0));
+        let b: Instance<Bool> = i.map_annotations(&|n| Bool(n.0 > 0));
+        assert_eq!(b.annotation_named("S", &vec![1.into()]), Bool(true));
+        assert_eq!(b.annotation_named("S", &vec![2.into()]), Bool(false));
+        assert_eq!(b.support_size(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked_on_insert() {
+        let s = schema();
+        let r = s.relation("R").unwrap();
+        let mut i: Instance<Bool> = Instance::new(s);
+        i.insert(r, vec![1.into()], Bool(true));
+    }
+
+    #[test]
+    fn display_lists_support() {
+        let mut i: Instance<Natural> = Instance::new(schema());
+        i.insert_named("S", vec![1.into()], Natural(2));
+        let shown = format!("{}", i);
+        assert!(shown.contains("S(1)"));
+    }
+}

@@ -1,0 +1,319 @@
+//! A small Datalog-style concrete syntax for CQs, CCQs and UCQs.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! ucq   := rule (";" rule)*
+//! rule  := head ":-" body
+//! head  := ident "(" vars? ")"
+//! body  := literal ("," literal)*
+//! literal := atom | inequality
+//! atom  := ident "(" vars? ")"
+//! inequality := ident "!=" ident
+//! vars  := ident ("," ident)*
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! Q(x) :- R(x, y), S(y)
+//! Q() :- R(u, v), R(u, w)                      (Boolean CQ)
+//! Q() :- R(u, v), R(u, v), u != v              (CCQ)
+//! Q() :- R(v) ; Q() :- S(v)                    (UCQ with two members)
+//! ```
+//!
+//! Relations are looked up in (or, if unknown, added to) the supplied
+//! [`Schema`], inferring arities from first use.
+
+use crate::ccq::Ccq;
+use crate::cq::{Atom, Cq, QVar};
+use crate::schema::Schema;
+use crate::ucq::Ucq;
+use std::collections::HashMap;
+use std::fmt;
+
+/// An error produced while parsing a query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description of what went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { message: message.into() })
+}
+
+/// Parses a single CQ (no inequalities allowed).
+pub fn parse_cq(schema: &mut Schema, input: &str) -> Result<Cq, ParseError> {
+    let ccq = parse_ccq(schema, input)?;
+    if !ccq.inequalities().is_empty() {
+        return err("expected a plain CQ but found inequalities");
+    }
+    Ok(ccq.cq().clone())
+}
+
+/// Parses a single CQ with (optional) inequalities.
+pub fn parse_ccq(schema: &mut Schema, input: &str) -> Result<Ccq, ParseError> {
+    let rules = split_rules(input);
+    if rules.len() != 1 {
+        return err(format!("expected exactly one rule, found {}", rules.len()));
+    }
+    parse_rule(schema, rules[0])
+}
+
+/// Parses a UCQ: one or more rules separated by `;` (or newlines).
+pub fn parse_ucq(schema: &mut Schema, input: &str) -> Result<Ucq, ParseError> {
+    let rules = split_rules(input);
+    if rules.is_empty() {
+        return Ok(Ucq::empty());
+    }
+    let mut members = Vec::new();
+    for rule in rules {
+        let ccq = parse_rule(schema, rule)?;
+        if !ccq.inequalities().is_empty() {
+            return err("UCQ members may not contain inequalities");
+        }
+        members.push(ccq.cq().clone());
+    }
+    Ok(Ucq::new(members))
+}
+
+fn split_rules(input: &str) -> Vec<&str> {
+    input
+        .split(|c| c == ';' || c == '\n')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+fn parse_rule(schema: &mut Schema, rule: &str) -> Result<Ccq, ParseError> {
+    let (head, body) = match rule.split_once(":-") {
+        Some(parts) => parts,
+        None => return err(format!("missing ':-' in rule `{}`", rule)),
+    };
+    let (_, head_vars) = parse_predicate(head.trim())?;
+
+    let mut vars: Vec<String> = Vec::new();
+    let mut index: HashMap<String, QVar> = HashMap::new();
+    let intern = |name: &str, vars: &mut Vec<String>, index: &mut HashMap<String, QVar>| {
+        if let Some(&v) = index.get(name) {
+            v
+        } else {
+            let v = QVar(vars.len() as u32);
+            vars.push(name.to_string());
+            index.insert(name.to_string(), v);
+            v
+        }
+    };
+
+    let mut atoms: Vec<Atom> = Vec::new();
+    let mut inequalities: Vec<(QVar, QVar)> = Vec::new();
+    for literal in split_literals(body) {
+        let literal = literal.trim();
+        if literal.is_empty() {
+            continue;
+        }
+        if let Some((lhs, rhs)) = literal.split_once("!=") {
+            let a = intern(check_ident(lhs.trim())?, &mut vars, &mut index);
+            let b = intern(check_ident(rhs.trim())?, &mut vars, &mut index);
+            if a == b {
+                return err(format!("inequality `{}` relates a variable to itself", literal));
+            }
+            inequalities.push((a, b));
+        } else {
+            let (name, args) = parse_predicate(literal)?;
+            let rel = match schema.relation(&name) {
+                Some(r) => {
+                    if schema.arity(r) != args.len() {
+                        return err(format!(
+                            "relation {} used with arity {} but declared with {}",
+                            name,
+                            args.len(),
+                            schema.arity(r)
+                        ));
+                    }
+                    r
+                }
+                None => schema.add_relation(&name, args.len()),
+            };
+            let arg_vars: Vec<QVar> = args
+                .iter()
+                .map(|a| intern(a, &mut vars, &mut index))
+                .collect();
+            atoms.push(Atom::new(rel, arg_vars));
+        }
+    }
+    if atoms.is_empty() {
+        return err("a query needs at least one atom");
+    }
+
+    let mut free = Vec::new();
+    for head_var in &head_vars {
+        match index.get(head_var) {
+            Some(&v) => free.push(v),
+            None => {
+                return err(format!(
+                    "head variable `{}` does not occur in the body",
+                    head_var
+                ))
+            }
+        }
+    }
+    let cq = Cq::new(schema.clone(), free, atoms, vars);
+    Ok(Ccq::new(cq, inequalities))
+}
+
+/// Splits a rule body at top-level commas (commas inside parentheses separate
+/// atom arguments, not literals).
+fn split_literals(body: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in body.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                parts.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&body[start..]);
+    parts
+}
+
+fn parse_predicate(text: &str) -> Result<(String, Vec<String>), ParseError> {
+    let open = match text.find('(') {
+        Some(i) => i,
+        None => return err(format!("expected `(` in `{}`", text)),
+    };
+    if !text.trim_end().ends_with(')') {
+        return err(format!("expected `)` at the end of `{}`", text));
+    }
+    let name = check_ident(text[..open].trim())?.to_string();
+    let inner = text.trim_end();
+    let args_text = &inner[open + 1..inner.len() - 1];
+    let args: Vec<String> = if args_text.trim().is_empty() {
+        Vec::new()
+    } else {
+        args_text
+            .split(',')
+            .map(|a| Ok(check_ident(a.trim())?.to_string()))
+            .collect::<Result<Vec<_>, ParseError>>()?
+    };
+    Ok((name, args))
+}
+
+fn check_ident(text: &str) -> Result<&str, ParseError> {
+    if text.is_empty() {
+        return err("empty identifier");
+    }
+    if !text
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '\'')
+    {
+        return err(format!("invalid identifier `{}`", text));
+    }
+    Ok(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_cq() {
+        let mut schema = Schema::new();
+        let q = parse_cq(&mut schema, "Q(x) :- R(x, y), S(y)").unwrap();
+        assert_eq!(q.free_vars().len(), 1);
+        assert_eq!(q.num_atoms(), 2);
+        assert_eq!(q.num_vars(), 2);
+        assert_eq!(schema.arity(schema.relation("R").unwrap()), 2);
+        assert_eq!(schema.arity(schema.relation("S").unwrap()), 1);
+        assert_eq!(format!("{}", q), "Q(x) :- R(x, y), S(y)");
+    }
+
+    #[test]
+    fn parses_boolean_cq_and_reuses_schema() {
+        let mut schema = Schema::with_relations([("R", 2)]);
+        let q = parse_cq(&mut schema, "Q() :- R(u, v), R(u, w)").unwrap();
+        assert!(q.is_boolean());
+        assert_eq!(q.num_atoms(), 2);
+        assert_eq!(schema.len(), 1);
+    }
+
+    #[test]
+    fn parses_ccq_with_inequalities() {
+        let mut schema = Schema::new();
+        let q = parse_ccq(&mut schema, "Q() :- R(u, v), R(u, v), u != v").unwrap();
+        assert_eq!(q.inequalities().len(), 1);
+        assert_eq!(q.cq().num_atoms(), 2);
+        assert!(q.is_complete());
+    }
+
+    #[test]
+    fn parses_ucq_with_semicolons_and_newlines() {
+        let mut schema = Schema::new();
+        let u = parse_ucq(&mut schema, "Q() :- R(v), R(v) ; Q() :- S(v), S(v)").unwrap();
+        assert_eq!(u.len(), 2);
+        let u2 = parse_ucq(&mut schema, "Q() :- R(v)\nQ() :- S(v)").unwrap();
+        assert_eq!(u2.len(), 2);
+        assert!(parse_ucq(&mut schema, "   ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn error_cases() {
+        let mut schema = Schema::new();
+        assert!(parse_cq(&mut schema, "R(x, y)").is_err()); // no ':-'
+        assert!(parse_cq(&mut schema, "Q(z) :- R(x, y)").is_err()); // unsafe head
+        assert!(parse_cq(&mut schema, "Q() :- ").is_err()); // no atoms
+        assert!(parse_cq(&mut schema, "Q() :- R(x, y), x != y").is_err()); // CQ with ineq
+        assert!(parse_ccq(&mut schema, "Q() :- R(x), x != x").is_err()); // reflexive
+        assert!(parse_cq(&mut schema, "Q() :- R(x y)").is_err()); // bad ident
+        assert!(parse_cq(&mut schema, "Q() :- R(x").is_err()); // missing paren
+        // arity clash with previous use of R/2
+        let mut schema2 = Schema::with_relations([("R", 2)]);
+        assert!(parse_cq(&mut schema2, "Q() :- R(x)").is_err());
+        // two rules where one was expected
+        assert!(parse_cq(&mut schema, "Q() :- R(x,y) ; Q() :- R(y,x)").is_err());
+        let e = parse_cq(&mut schema, "nope").unwrap_err();
+        assert!(format!("{}", e).contains("parse error"));
+    }
+
+    #[test]
+    fn repeated_variables_and_atoms_are_preserved() {
+        let mut schema = Schema::new();
+        let q = parse_cq(&mut schema, "Q() :- E(u, u), E(u, u)").unwrap();
+        assert_eq!(q.num_atoms(), 2);
+        assert_eq!(q.num_vars(), 1);
+        assert_eq!(q.atoms()[0], q.atoms()[1]);
+    }
+
+    #[test]
+    fn example_5_7_queries_parse() {
+        let mut schema = Schema::new();
+        let q1 = parse_ucq(
+            &mut schema,
+            "Q() :- R(u, v), R(u, u) ; Q() :- R(u, v), R(v, v)",
+        )
+        .unwrap();
+        let q2 = parse_ucq(
+            &mut schema,
+            "Q() :- R(u, v), R(w, w) ; Q() :- R(u, u), R(u, u)",
+        )
+        .unwrap();
+        assert_eq!(q1.len(), 2);
+        assert_eq!(q2.len(), 2);
+        assert_eq!(q2.disjuncts()[1].num_vars(), 1);
+    }
+}

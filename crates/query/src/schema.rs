@@ -1,0 +1,181 @@
+//! Schemas, relation symbols, database values and tuples.
+//!
+//! A schema (Sec. 2 of the paper) is a finite set of relation symbols, each
+//! with a non-negative arity.  Relation symbols are interned into dense
+//! [`RelId`]s so that atoms, instances and homomorphism searches compare
+//! symbols by integer.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A relation symbol, identified by its index in the owning [`Schema`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct RelId(pub u32);
+
+/// A database schema: an ordered list of named relation symbols with arities.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Schema {
+    relations: Vec<(String, usize)>,
+    by_name: HashMap<String, RelId>,
+}
+
+impl Schema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a schema from `(name, arity)` pairs.
+    pub fn with_relations<'a>(rels: impl IntoIterator<Item = (&'a str, usize)>) -> Self {
+        let mut schema = Schema::new();
+        for (name, arity) in rels {
+            schema.add_relation(name, arity);
+        }
+        schema
+    }
+
+    /// Adds (or retrieves) a relation symbol.  Panics if a relation with the
+    /// same name but a different arity already exists.
+    pub fn add_relation(&mut self, name: &str, arity: usize) -> RelId {
+        if let Some(&id) = self.by_name.get(name) {
+            assert_eq!(
+                self.relations[id.0 as usize].1, arity,
+                "relation {} re-declared with a different arity",
+                name
+            );
+            return id;
+        }
+        let id = RelId(self.relations.len() as u32);
+        self.relations.push((name.to_string(), arity));
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up a relation symbol by name.
+    pub fn relation(&self, name: &str) -> Option<RelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of a relation symbol.
+    pub fn name(&self, rel: RelId) -> &str {
+        &self.relations[rel.0 as usize].0
+    }
+
+    /// The arity of a relation symbol.
+    pub fn arity(&self, rel: RelId) -> usize {
+        self.relations[rel.0 as usize].1
+    }
+
+    /// The number of relation symbols.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether the schema has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Iterates over all relation symbols.
+    pub fn rel_ids(&self) -> impl Iterator<Item = RelId> + '_ {
+        (0..self.relations.len() as u32).map(RelId)
+    }
+}
+
+/// A database value (an element of the domain `D`).
+///
+/// Query evaluation only ever compares values for equality, so the concrete
+/// carrier is irrelevant to the theory; integers and strings cover the
+/// examples, and `Fresh` values are used internally by canonical instances
+/// (one value per query variable).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum DbValue {
+    /// An integer constant.
+    Int(i64),
+    /// A string constant.
+    Str(String),
+    /// A fresh value, used for canonical instances ⟦Q⟧ whose domain is the
+    /// set of variables of `Q` (Sec. 4.6).
+    Fresh(u32),
+}
+
+impl DbValue {
+    /// Convenience constructor for string values.
+    pub fn str(s: &str) -> Self {
+        DbValue::Str(s.to_string())
+    }
+}
+
+impl From<i64> for DbValue {
+    fn from(v: i64) -> Self {
+        DbValue::Int(v)
+    }
+}
+
+impl From<&str> for DbValue {
+    fn from(v: &str) -> Self {
+        DbValue::Str(v.to_string())
+    }
+}
+
+impl fmt::Display for DbValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbValue::Int(i) => write!(f, "{}", i),
+            DbValue::Str(s) => write!(f, "{}", s),
+            DbValue::Fresh(n) => write!(f, "#{}", n),
+        }
+    }
+}
+
+/// A database tuple.
+pub type Tuple = Vec<DbValue>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_interns_relations() {
+        let mut s = Schema::new();
+        let r = s.add_relation("R", 2);
+        let t = s.add_relation("S", 1);
+        let r2 = s.add_relation("R", 2);
+        assert_eq!(r, r2);
+        assert_ne!(r, t);
+        assert_eq!(s.name(r), "R");
+        assert_eq!(s.arity(r), 2);
+        assert_eq!(s.arity(t), 1);
+        assert_eq!(s.relation("S"), Some(t));
+        assert_eq!(s.relation("T"), None);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.rel_ids().count(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let mut s = Schema::new();
+        s.add_relation("R", 2);
+        s.add_relation("R", 3);
+    }
+
+    #[test]
+    fn with_relations_builder() {
+        let s = Schema::with_relations([("R", 2), ("S", 1)]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.arity(s.relation("R").unwrap()), 2);
+    }
+
+    #[test]
+    fn db_values() {
+        assert_eq!(DbValue::from(3), DbValue::Int(3));
+        assert_eq!(DbValue::from("a"), DbValue::Str("a".into()));
+        assert_eq!(DbValue::str("a"), DbValue::Str("a".into()));
+        assert_eq!(format!("{}", DbValue::Int(7)), "7");
+        assert_eq!(format!("{}", DbValue::str("x")), "x");
+        assert_eq!(format!("{}", DbValue::Fresh(2)), "#2");
+        assert_ne!(DbValue::Int(1), DbValue::Fresh(1));
+    }
+}

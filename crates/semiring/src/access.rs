@@ -1,0 +1,119 @@
+//! The access-control (security clearance) semiring.
+//!
+//! `A = ⟨{P < C < S < T < 0}, min, max, 0, P⟩` annotates every tuple with
+//! the clearance required to see it: `P`ublic, `C`onfidential, `S`ecret,
+//! `T`op-secret, or `0` ("nobody"), ordered by increasing secrecy.  Combining
+//! alternative derivations takes the *least* restrictive clearance (`min` in
+//! secrecy, which is the semiring ⊕), combining joint derivations the *most*
+//! restrictive (`max`, the semiring ⊗).  This is a finite distributive
+//! lattice — a total order, in fact — so it belongs to `C_hom` and behaves
+//! exactly like set semantics with respect to containment (Thm. 3.3).
+//!
+//! The natural order of the semiring runs from `Nobody` (the semiring zero:
+//! the tuple is visible to no one, i.e. absent) up to `Public` (the semiring
+//! one).
+
+use crate::ops::Semiring;
+
+/// A clearance level.  The derived `Ord` lists them from most permissive
+/// (`Public`) to most restrictive (`Nobody`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Clearance {
+    /// Visible to everyone — the multiplicative identity.
+    Public,
+    /// Requires confidential clearance.
+    Confidential,
+    /// Requires secret clearance.
+    Secret,
+    /// Requires top-secret clearance.
+    TopSecret,
+    /// Visible to nobody — the additive identity (absent tuple).
+    Nobody,
+}
+
+impl Semiring for Clearance {
+    const NAME: &'static str = "Access";
+
+    fn zero() -> Self {
+        Clearance::Nobody
+    }
+
+    fn one() -> Self {
+        Clearance::Public
+    }
+
+    fn add(&self, other: &Self) -> Self {
+        // least restrictive of the two
+        *self.min(other)
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        // most restrictive of the two
+        *self.max(other)
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        // natural order: a ¹ b ⇔ ∃c. min(a,c) = b ⇔ b is at most as
+        // restrictive as a; Nobody is the bottom.
+        other <= self
+    }
+
+    fn sample_elements() -> Vec<Self> {
+        vec![
+            Clearance::Public,
+            Clearance::Confidential,
+            Clearance::Secret,
+            Clearance::TopSecret,
+            Clearance::Nobody,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axioms;
+
+    #[test]
+    fn constants() {
+        assert_eq!(Clearance::zero(), Clearance::Nobody);
+        assert_eq!(Clearance::one(), Clearance::Public);
+    }
+
+    #[test]
+    fn add_takes_least_restrictive() {
+        assert_eq!(
+            Clearance::Secret.add(&Clearance::Confidential),
+            Clearance::Confidential
+        );
+        assert_eq!(Clearance::Nobody.add(&Clearance::TopSecret), Clearance::TopSecret);
+    }
+
+    #[test]
+    fn mul_takes_most_restrictive() {
+        assert_eq!(
+            Clearance::Secret.mul(&Clearance::Confidential),
+            Clearance::Secret
+        );
+        assert_eq!(Clearance::Public.mul(&Clearance::TopSecret), Clearance::TopSecret);
+        assert_eq!(Clearance::Nobody.mul(&Clearance::Public), Clearance::Nobody);
+    }
+
+    #[test]
+    fn order_has_nobody_at_bottom_and_public_at_top() {
+        assert!(Clearance::Nobody.leq(&Clearance::TopSecret));
+        assert!(Clearance::TopSecret.leq(&Clearance::Secret));
+        assert!(Clearance::Secret.leq(&Clearance::Public));
+        assert!(!Clearance::Public.leq(&Clearance::Secret));
+    }
+
+    #[test]
+    fn laws_positivity_and_chom_membership() {
+        assert!(axioms::check_semiring_laws::<Clearance>().is_ok());
+        assert!(axioms::is_positive::<Clearance>());
+        assert!(axioms::is_mul_idempotent::<Clearance>());
+        assert!(axioms::is_one_annihilating::<Clearance>());
+        assert!(axioms::is_add_idempotent::<Clearance>());
+        assert_eq!(axioms::smallest_offset::<Clearance>(4), Some(1));
+    }
+}

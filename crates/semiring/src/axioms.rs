@@ -1,0 +1,294 @@
+//! Sampling-based checkers for semiring laws and for the axioms that define
+//! the paper's semiring classes.
+//!
+//! Each checker quantifies over [`Semiring::sample_elements`].  For finite
+//! semirings whose sample is the full carrier (e.g. `B`, the clearance
+//! lattice, `B_k`) the checks are exact; for infinite semirings they are
+//! exact refuters and high-confidence confirmations — the test-suites of the
+//! individual semiring modules pair them with hand-proved class memberships,
+//! and `annot-core::classify` documents the same caveat.
+//!
+//! The axioms checked are the ones the paper uses to *define* classes of
+//! semirings (all variables universally quantified, Sec. 3.3–4.4, 5.2):
+//!
+//! | axiom | class defined |
+//! |-------|---------------|
+//! | `x ⊗ x =_K x` (⊗-idempotence) | `S_hcov` |
+//! | `1 ⊕ x =_K 1` (1-annihilation) | `S_in` |
+//! | `x⊗y ¹_K x⊗x⊗y` (⊗-semi-idempotence) | `S_sur` |
+//! | `x ⊕ x =_K x` (⊕-idempotence) | `S¹` |
+//! | `k·x =_K ℓ·x` for all `ℓ ≥ k` (offset `k`) | `S^k` |
+
+use crate::ops::Semiring;
+
+/// A violation of a semiring or positivity law, for diagnostics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LawViolation {
+    /// Name of the violated law.
+    pub law: &'static str,
+    /// Human-readable description of the counterexample.
+    pub details: String,
+}
+
+/// Checks the commutative-semiring laws (Sec. 2) over the sample elements:
+/// associativity and commutativity of `⊕` and `⊗`, identities, distributivity
+/// and annihilation by `0`.  Returns all violations found.
+pub fn check_semiring_laws<K: Semiring>() -> Result<(), Vec<LawViolation>> {
+    let elems = K::sample_elements();
+    let mut violations = Vec::new();
+    let zero = K::zero();
+    let one = K::one();
+
+    if zero == one {
+        violations.push(LawViolation {
+            law: "non-triviality",
+            details: "0 = 1 (the paper considers only nontrivial semirings)".into(),
+        });
+    }
+
+    for a in &elems {
+        if &a.add(&zero) != a {
+            violations.push(violation("additive identity", &[a]));
+        }
+        if &a.mul(&one) != a {
+            violations.push(violation("multiplicative identity", &[a]));
+        }
+        if !a.mul(&zero).is_zero() {
+            violations.push(violation("annihilation by zero", &[a]));
+        }
+        for b in &elems {
+            if a.add(b) != b.add(a) {
+                violations.push(violation("commutativity of ⊕", &[a, b]));
+            }
+            if a.mul(b) != b.mul(a) {
+                violations.push(violation("commutativity of ⊗", &[a, b]));
+            }
+            for c in &elems {
+                if a.add(&b.add(c)) != a.add(b).add(c) {
+                    violations.push(violation("associativity of ⊕", &[a, b, c]));
+                }
+                if a.mul(&b.mul(c)) != a.mul(b).mul(c) {
+                    violations.push(violation("associativity of ⊗", &[a, b, c]));
+                }
+                if a.mul(&b.add(c)) != a.mul(b).add(&a.mul(c)) {
+                    violations.push(violation("distributivity", &[a, b, c]));
+                }
+            }
+        }
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+fn violation<K: Semiring>(law: &'static str, witnesses: &[&K]) -> LawViolation {
+    LawViolation {
+        law,
+        details: format!("counterexample: {:?}", witnesses),
+    }
+}
+
+/// Checks positivity (Prop. 3.1): `0 ¹ a` for every element, and `¹` is
+/// preserved by addition; also checks that `¹` is reflexive, transitive and
+/// antisymmetric on the sample.
+pub fn is_positive<K: Semiring>() -> bool {
+    let elems = K::sample_elements();
+    let zero = K::zero();
+    // 0 is the least element.
+    if !elems.iter().all(|a| zero.leq(a)) {
+        return false;
+    }
+    // Partial-order laws on the sample.
+    for a in &elems {
+        if !a.leq(a) {
+            return false;
+        }
+        for b in &elems {
+            if a.leq(b) && b.leq(a) && a != b {
+                return false; // antisymmetry
+            }
+            for c in &elems {
+                if a.leq(b) && b.leq(c) && !a.leq(c) {
+                    return false; // transitivity
+                }
+                // monotonicity of ⊕
+                if a.leq(b) && !a.add(c).leq(&b.add(c)) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// ⊗-idempotence: `x ⊗ x =_K x` (the first axiom of `C_hom`, defining
+/// `S_hcov`).
+pub fn is_mul_idempotent<K: Semiring>() -> bool {
+    K::sample_elements()
+        .iter()
+        .all(|x| x.mul(x).order_eq(x))
+}
+
+/// 1-annihilation: `1 ⊕ x =_K 1` (the second axiom of `C_hom`, defining
+/// `S_in`).
+pub fn is_one_annihilating<K: Semiring>() -> bool {
+    let one = K::one();
+    K::sample_elements()
+        .iter()
+        .all(|x| one.add(x).order_eq(&one))
+}
+
+/// ⊗-semi-idempotence: `x⊗y ¹_K x⊗x⊗y` (axiom 1′ defining `S_sur`,
+/// Sec. 4.4).
+pub fn is_mul_semi_idempotent<K: Semiring>() -> bool {
+    let elems = K::sample_elements();
+    elems.iter().all(|x| {
+        elems
+            .iter()
+            .all(|y| x.mul(y).leq(&x.mul(x).mul(y)))
+    })
+}
+
+/// ⊕-idempotence: `x ⊕ x =_K x` (defining `S¹`, Sec. 4.6 / 5).
+pub fn is_add_idempotent<K: Semiring>() -> bool {
+    K::sample_elements()
+        .iter()
+        .all(|x| x.add(x).order_eq(x))
+}
+
+/// The `k`-fold sum `x ⊕ ⋯ ⊕ x`.
+pub fn nat_multiple<K: Semiring>(k: u64, x: &K) -> K {
+    let mut acc = K::zero();
+    for _ in 0..k {
+        acc = acc.add(x);
+    }
+    acc
+}
+
+/// Finds the smallest offset of the semiring up to `bound`, if any
+/// (Sec. 5.2).  A semiring has offset `k` when `k·x =_K ℓ·x` for every
+/// `ℓ ≥ k`; by Prop. 5.11 it suffices to find the least `k` with
+/// `k·x =_K (k+1)·x` for all `x`.  Returns `None` if no offset `≤ bound`
+/// exists (e.g. for `N`, `N[X]`, `Trio[X]`, whose offset is `∞`).
+pub fn smallest_offset<K: Semiring>(bound: u64) -> Option<u64> {
+    let elems = K::sample_elements();
+    (1..=bound).find(|&k| {
+        elems.iter().all(|x| {
+            nat_multiple(k, x).order_eq(&nat_multiple(k + 1, x))
+        })
+    })
+}
+
+/// A compact record of which defining axioms a semiring satisfies (over its
+/// sample), used by `annot-core::classify` to place it in the taxonomy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AxiomProfile {
+    /// `x ⊗ x =_K x`.
+    pub mul_idempotent: bool,
+    /// `1 ⊕ x =_K 1`.
+    pub one_annihilating: bool,
+    /// `x⊗y ¹_K x⊗x⊗y`.
+    pub mul_semi_idempotent: bool,
+    /// `x ⊕ x =_K x`.
+    pub add_idempotent: bool,
+    /// Smallest offset (`None` = no offset below the probe bound, treated
+    /// as `∞`).
+    pub offset: Option<u64>,
+}
+
+impl AxiomProfile {
+    /// Computes the profile of a semiring by sampling, probing offsets up to
+    /// `offset_bound`.
+    pub fn of<K: Semiring>(offset_bound: u64) -> Self {
+        AxiomProfile {
+            mul_idempotent: is_mul_idempotent::<K>(),
+            one_annihilating: is_one_annihilating::<K>(),
+            mul_semi_idempotent: is_mul_semi_idempotent::<K>(),
+            add_idempotent: is_add_idempotent::<K>(),
+            offset: smallest_offset::<K>(offset_bound),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boolean::Bool;
+    use crate::natural::Natural;
+    use crate::tropical::Tropical;
+
+    /// A deliberately broken "semiring" used to make sure the law checker
+    /// actually reports violations.
+    #[derive(Clone, PartialEq, Debug)]
+    struct Broken(u64);
+
+    impl Semiring for Broken {
+        const NAME: &'static str = "Broken";
+        fn zero() -> Self {
+            Broken(0)
+        }
+        fn one() -> Self {
+            Broken(1)
+        }
+        fn add(&self, other: &Self) -> Self {
+            // not commutative on purpose
+            Broken(self.0.saturating_mul(2).saturating_add(other.0))
+        }
+        fn mul(&self, other: &Self) -> Self {
+            Broken(self.0.saturating_mul(other.0))
+        }
+        fn leq(&self, other: &Self) -> bool {
+            self.0 <= other.0
+        }
+        fn sample_elements() -> Vec<Self> {
+            vec![Broken(0), Broken(1), Broken(2)]
+        }
+    }
+
+    #[test]
+    fn broken_semiring_is_detected() {
+        let report = check_semiring_laws::<Broken>();
+        assert!(report.is_err());
+        let violations = report.unwrap_err();
+        assert!(violations.iter().any(|v| v.law == "commutativity of ⊕"));
+    }
+
+    #[test]
+    fn law_violation_reports_are_informative() {
+        let violations = check_semiring_laws::<Broken>().unwrap_err();
+        assert!(violations[0].details.contains("counterexample"));
+    }
+
+    #[test]
+    fn nat_multiple_counts() {
+        assert_eq!(nat_multiple(3, &Natural(2)), Natural(6));
+        assert_eq!(nat_multiple(0, &Natural(2)), Natural(0));
+        assert_eq!(nat_multiple(4, &Bool(true)), Bool(true));
+        assert_eq!(nat_multiple(4, &Bool(false)), Bool(false));
+    }
+
+    #[test]
+    fn axiom_profiles_of_representatives() {
+        let b = AxiomProfile::of::<Bool>(4);
+        assert!(b.mul_idempotent && b.one_annihilating && b.add_idempotent);
+        assert_eq!(b.offset, Some(1));
+
+        let n = AxiomProfile::of::<Natural>(6);
+        assert!(!n.mul_idempotent && !n.one_annihilating && !n.add_idempotent);
+        assert!(n.mul_semi_idempotent);
+        assert_eq!(n.offset, None);
+
+        let t = AxiomProfile::of::<Tropical>(4);
+        assert!(t.one_annihilating && !t.mul_idempotent && t.add_idempotent);
+        assert_eq!(t.offset, Some(1));
+    }
+
+    #[test]
+    fn positivity_of_representatives() {
+        assert!(is_positive::<Bool>());
+        assert!(is_positive::<Natural>());
+        assert!(is_positive::<Tropical>());
+    }
+}

@@ -1,0 +1,100 @@
+//! The set-semantics semiring `B = ⟨{false, true}, ∨, ∧, false, true⟩`.
+//!
+//! Ordinary relational databases are `B`-relations: a tuple is annotated with
+//! `true` iff it belongs to the relation (Sec. 3.3 of the paper).  `B` is the
+//! prototypical member of the class `C_hom`: it is a distributive lattice,
+//! so it satisfies both ⊗-idempotence and 1-annihilation, and containment of
+//! CQs over `B` coincides with the classical Chandra–Merlin homomorphism
+//! criterion.
+
+use crate::ops::Semiring;
+
+/// An element of the Boolean (set-semantics) semiring.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, PartialOrd, Ord)]
+pub struct Bool(pub bool);
+
+impl Semiring for Bool {
+    const NAME: &'static str = "B";
+
+    fn zero() -> Self {
+        Bool(false)
+    }
+
+    fn one() -> Self {
+        Bool(true)
+    }
+
+    fn add(&self, other: &Self) -> Self {
+        Bool(self.0 || other.0)
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        Bool(self.0 && other.0)
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        // natural order: false ¹ true
+        !self.0 || other.0
+    }
+
+    fn sample_elements() -> Vec<Self> {
+        vec![Bool(false), Bool(true)]
+    }
+}
+
+impl From<bool> for Bool {
+    fn from(b: bool) -> Self {
+        Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axioms;
+
+    #[test]
+    fn constants() {
+        assert!(Bool::zero().is_zero());
+        assert!(Bool::one().is_one());
+        assert_ne!(Bool::zero(), Bool::one());
+    }
+
+    #[test]
+    fn operations_are_or_and() {
+        let t = Bool(true);
+        let f = Bool(false);
+        assert_eq!(t.add(&f), t);
+        assert_eq!(f.add(&f), f);
+        assert_eq!(t.mul(&f), f);
+        assert_eq!(t.mul(&t), t);
+    }
+
+    #[test]
+    fn order_is_false_below_true() {
+        assert!(Bool(false).leq(&Bool(true)));
+        assert!(!Bool(true).leq(&Bool(false)));
+        assert!(Bool(true).leq(&Bool(true)));
+    }
+
+    #[test]
+    fn satisfies_semiring_and_positivity_laws() {
+        let report = axioms::check_semiring_laws::<Bool>();
+        assert!(report.is_ok(), "{:?}", report);
+        assert!(axioms::is_positive::<Bool>());
+    }
+
+    #[test]
+    fn is_in_chom() {
+        assert!(axioms::is_mul_idempotent::<Bool>());
+        assert!(axioms::is_one_annihilating::<Bool>());
+        assert!(axioms::is_add_idempotent::<Bool>());
+        assert_eq!(axioms::smallest_offset::<Bool>(8), Some(1));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Bool::from(true), Bool(true));
+        assert_eq!(Bool::from(false), Bool::zero());
+    }
+}

@@ -1,0 +1,143 @@
+//! Bounded (saturating) bag semantics: `B_k = ⟨{0, …, k}, ⊕, ⊗, 0, 1⟩` with
+//! addition and multiplication truncated at `k`.
+//!
+//! `B_k` is the quotient of `N` by the congruence identifying all values
+//! `≥ k`; the map `n ↦ min(n, k)` is a semiring morphism, so `B_k` is a
+//! positive, naturally ordered semiring.  Its interest for the paper is that
+//! `B_k` has **smallest offset `k`** (Sec. 5.2: `k·x =_K ℓ·x` for all
+//! `ℓ ≥ k`), making the family `{B_k}` the canonical witnesses of the offset
+//! hierarchy `S¹ ⊂ S² ⊂ ⋯ ⊂ S^∞` used by the UCQ-containment
+//! characterisations `↪_k` (Thm. 5.13).
+//!
+//! `B_1` is isomorphic to the Boolean semiring `B`.
+
+use crate::ops::Semiring;
+
+/// An element of the saturating bag semiring with cutoff `K`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, PartialOrd, Ord)]
+pub struct BoundedNat<const K: u64>(u64);
+
+impl<const K: u64> BoundedNat<K> {
+    /// Creates an element, truncating at the cutoff.
+    pub fn new(n: u64) -> Self {
+        BoundedNat(n.min(K))
+    }
+
+    /// The underlying (truncated) value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// The cutoff `K` of this semiring.
+    pub fn cutoff() -> u64 {
+        K
+    }
+}
+
+impl<const K: u64> Semiring for BoundedNat<K> {
+    const NAME: &'static str = "B_k";
+
+    fn zero() -> Self {
+        BoundedNat(0)
+    }
+
+    fn one() -> Self {
+        // A cutoff of 0 would collapse 0 = 1, yielding the trivial semiring,
+        // which the paper excludes; `BoundedNat<0>` is therefore not a valid
+        // instantiation and `new` below keeps 1 at the cutoff.
+        BoundedNat(1.min(K))
+    }
+
+    fn add(&self, other: &Self) -> Self {
+        BoundedNat::new(self.0 + other.0)
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        BoundedNat::new(self.0 * other.0)
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.0 <= other.0
+    }
+
+    fn sample_elements() -> Vec<Self> {
+        let mut out: Vec<Self> = (0..=K.min(6)).map(BoundedNat::new).collect();
+        if K > 6 {
+            out.push(BoundedNat::new(K));
+        }
+        out
+    }
+}
+
+impl<const K: u64> From<u64> for BoundedNat<K> {
+    fn from(n: u64) -> Self {
+        BoundedNat::new(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axioms;
+
+    type B1 = BoundedNat<1>;
+    type B2 = BoundedNat<2>;
+    type B3 = BoundedNat<3>;
+
+    #[test]
+    fn truncation() {
+        assert_eq!(B2::new(7).value(), 2);
+        assert_eq!(B2::new(1).value(), 1);
+        assert_eq!(B2::cutoff(), 2);
+        assert_eq!(B3::from(9), B3::new(3));
+    }
+
+    #[test]
+    fn arithmetic_saturates_at_cutoff() {
+        assert_eq!(B2::new(1).add(&B2::new(1)), B2::new(2));
+        assert_eq!(B2::new(2).add(&B2::new(2)), B2::new(2));
+        assert_eq!(B2::new(2).mul(&B2::new(2)), B2::new(2));
+        assert_eq!(B3::new(2).mul(&B3::new(2)), B3::new(3));
+        assert_eq!(B3::new(2).mul(&B3::zero()), B3::zero());
+    }
+
+    #[test]
+    fn semiring_laws_hold_for_small_cutoffs() {
+        assert!(axioms::check_semiring_laws::<B1>().is_ok());
+        assert!(axioms::check_semiring_laws::<B2>().is_ok());
+        assert!(axioms::check_semiring_laws::<B3>().is_ok());
+        assert!(axioms::is_positive::<B1>());
+        assert!(axioms::is_positive::<B2>());
+        assert!(axioms::is_positive::<B3>());
+    }
+
+    #[test]
+    fn offsets_match_cutoffs() {
+        assert_eq!(axioms::smallest_offset::<B1>(8), Some(1));
+        assert_eq!(axioms::smallest_offset::<B2>(8), Some(2));
+        assert_eq!(axioms::smallest_offset::<B3>(8), Some(3));
+    }
+
+    #[test]
+    fn b1_behaves_like_booleans() {
+        assert!(axioms::is_mul_idempotent::<B1>());
+        assert!(axioms::is_one_annihilating::<B1>());
+        assert!(axioms::is_add_idempotent::<B1>());
+    }
+
+    #[test]
+    fn b2_and_b3_are_not_in_chom() {
+        // B₂ happens to be ⊗-idempotent on its tiny carrier (2·2 saturates
+        // back to 2), but it fails 1-annihilation, so it is outside C_hom;
+        // B₃ fails both axioms.
+        assert!(axioms::is_mul_idempotent::<B2>());
+        assert!(!axioms::is_mul_idempotent::<B3>());
+        assert!(!axioms::is_one_annihilating::<B2>());
+        assert!(!axioms::is_one_annihilating::<B3>());
+        assert!(!axioms::is_add_idempotent::<B2>());
+        assert!(!axioms::is_add_idempotent::<B3>());
+        // Both satisfy ⊗-semi-idempotence, hence lie in S_sur.
+        assert!(axioms::is_mul_semi_idempotent::<B2>());
+        assert!(axioms::is_mul_semi_idempotent::<B3>());
+    }
+}

@@ -1,0 +1,160 @@
+//! Fuzzy and Viterbi semirings over the unit interval.
+//!
+//! * The **fuzzy** semiring `F = ⟨[0,1], max, min, 0, 1⟩` annotates tuples
+//!   with degrees of membership.  It is a distributive lattice, hence a
+//!   member of `C_hom` (Sec. 3.3): containment coincides with the classical
+//!   homomorphism criterion.
+//!
+//! * The **Viterbi** semiring `V = ⟨[0,1], max, ×, 0, 1⟩` annotates tuples
+//!   with confidence scores; a query result is the confidence of its best
+//!   derivation.  `V` satisfies 1-annihilation (`max(1, x) = 1`) but not
+//!   ⊗-idempotence, so like `T⁺` it lies in `S_in \ C_hom` — in fact `V` is
+//!   isomorphic to `T⁺` over the reals via `x ↦ −ln x`.
+//!
+//! Values are held as `f64` clamped to `[0, 1]`.  To keep equality exact for
+//! axiom checking, sample elements use dyadic values which are closed under
+//! `max` / `min` and exactly representable; `×` of samples is exact as well.
+
+use crate::ops::Semiring;
+
+/// A fuzzy membership degree in `[0, 1]` with `max` / `min` operations.
+#[derive(Clone, Copy, PartialEq, Debug, Default, PartialOrd)]
+pub struct Fuzzy(f64);
+
+impl Fuzzy {
+    /// Creates a membership degree, clamping into `[0, 1]`.
+    pub fn new(v: f64) -> Self {
+        Fuzzy(v.clamp(0.0, 1.0))
+    }
+
+    /// The underlying value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl Semiring for Fuzzy {
+    const NAME: &'static str = "Fuzzy";
+
+    fn zero() -> Self {
+        Fuzzy(0.0)
+    }
+
+    fn one() -> Self {
+        Fuzzy(1.0)
+    }
+
+    fn add(&self, other: &Self) -> Self {
+        Fuzzy(self.0.max(other.0))
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        Fuzzy(self.0.min(other.0))
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.0 <= other.0
+    }
+
+    fn sample_elements() -> Vec<Self> {
+        vec![
+            Fuzzy(0.0),
+            Fuzzy(0.25),
+            Fuzzy(0.5),
+            Fuzzy(0.75),
+            Fuzzy(1.0),
+        ]
+    }
+}
+
+/// A Viterbi confidence score in `[0, 1]` with `max` / `×` operations.
+#[derive(Clone, Copy, PartialEq, Debug, Default, PartialOrd)]
+pub struct Viterbi(f64);
+
+impl Viterbi {
+    /// Creates a confidence score, clamping into `[0, 1]`.
+    pub fn new(v: f64) -> Self {
+        Viterbi(v.clamp(0.0, 1.0))
+    }
+
+    /// The underlying value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl Semiring for Viterbi {
+    const NAME: &'static str = "Viterbi";
+
+    fn zero() -> Self {
+        Viterbi(0.0)
+    }
+
+    fn one() -> Self {
+        Viterbi(1.0)
+    }
+
+    fn add(&self, other: &Self) -> Self {
+        Viterbi(self.0.max(other.0))
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        Viterbi(self.0 * other.0)
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.0 <= other.0
+    }
+
+    fn sample_elements() -> Vec<Self> {
+        vec![Viterbi(0.0), Viterbi(0.25), Viterbi(0.5), Viterbi(1.0)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axioms;
+
+    #[test]
+    fn fuzzy_ops_and_clamping() {
+        assert_eq!(Fuzzy::new(1.5), Fuzzy::one());
+        assert_eq!(Fuzzy::new(-0.5), Fuzzy::zero());
+        assert_eq!(Fuzzy::new(0.3).add(&Fuzzy::new(0.7)), Fuzzy::new(0.7));
+        assert_eq!(Fuzzy::new(0.3).mul(&Fuzzy::new(0.7)), Fuzzy::new(0.3));
+        assert!((Fuzzy::new(0.25).value() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn viterbi_ops() {
+        assert_eq!(Viterbi::new(0.5).add(&Viterbi::new(0.25)), Viterbi::new(0.5));
+        assert_eq!(Viterbi::new(0.5).mul(&Viterbi::new(0.5)), Viterbi::new(0.25));
+        assert_eq!(Viterbi::new(0.5).mul(&Viterbi::zero()), Viterbi::zero());
+        assert!((Viterbi::new(0.7).value() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn laws_and_positivity() {
+        assert!(axioms::check_semiring_laws::<Fuzzy>().is_ok());
+        assert!(axioms::check_semiring_laws::<Viterbi>().is_ok());
+        assert!(axioms::is_positive::<Fuzzy>());
+        assert!(axioms::is_positive::<Viterbi>());
+    }
+
+    #[test]
+    fn fuzzy_is_in_chom() {
+        assert!(axioms::is_mul_idempotent::<Fuzzy>());
+        assert!(axioms::is_one_annihilating::<Fuzzy>());
+        assert!(axioms::is_add_idempotent::<Fuzzy>());
+    }
+
+    #[test]
+    fn viterbi_is_in_sin_but_not_chom() {
+        assert!(axioms::is_one_annihilating::<Viterbi>());
+        assert!(!axioms::is_mul_idempotent::<Viterbi>());
+        assert!(axioms::is_add_idempotent::<Viterbi>());
+        // Like T⁺, Viterbi is not ⊗-semi-idempotent: x·x·y ≤ x·y with the
+        // inequality strict for 0 < x < 1, so x·y ¹ x·x·y fails.
+        assert!(!axioms::is_mul_semi_idempotent::<Viterbi>());
+    }
+}

@@ -1,0 +1,155 @@
+//! The lineage semiring `Lin[X]` (Cui, Widom, Wiener; ACM TODS 2000).
+//!
+//! A non-absent tuple is annotated with the *set* of base tuples that
+//! contribute to it; both addition and multiplication take unions.  A
+//! dedicated bottom element `⊥` annotates absent tuples (it is the additive
+//! identity and multiplicative annihilator), while the empty set is the
+//! multiplicative identity.
+//!
+//! `Lin[X]` satisfies ⊗-idempotence but not 1-annihilation; it is the paper's
+//! canonical member of `C_hcov` (Thm. 4.3): containment of CQs over `Lin[X]`
+//! is characterised by homomorphic coverings, and of UCQs by the covering
+//! criterion `⇉₁` (Thm. 5.24, `C¹_hcov`).
+
+use crate::ops::Semiring;
+use annot_polynomial::Var;
+use std::collections::BTreeSet;
+
+/// An element of `Lin[X]`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Lineage {
+    /// `⊥`: the annotation of absent tuples (semiring zero).
+    Bottom,
+    /// A set of contributing base tuples (possibly empty, which is the
+    /// semiring one).
+    Set(BTreeSet<Var>),
+}
+
+impl Lineage {
+    /// The annotation of a base tuple tagged with variable `v`.
+    pub fn var(v: Var) -> Self {
+        Lineage::Set([v].into_iter().collect())
+    }
+
+    /// Builds a lineage set from variables.
+    pub fn from_vars(vs: impl IntoIterator<Item = Var>) -> Self {
+        Lineage::Set(vs.into_iter().collect())
+    }
+
+    /// The contributing variables, or `None` for `⊥`.
+    pub fn vars(&self) -> Option<&BTreeSet<Var>> {
+        match self {
+            Lineage::Bottom => None,
+            Lineage::Set(s) => Some(s),
+        }
+    }
+}
+
+impl Default for Lineage {
+    fn default() -> Self {
+        Lineage::Bottom
+    }
+}
+
+impl Semiring for Lineage {
+    const NAME: &'static str = "Lin[X]";
+
+    fn zero() -> Self {
+        Lineage::Bottom
+    }
+
+    fn one() -> Self {
+        Lineage::Set(BTreeSet::new())
+    }
+
+    fn add(&self, other: &Self) -> Self {
+        match (self, other) {
+            (Lineage::Bottom, x) | (x, Lineage::Bottom) => x.clone(),
+            (Lineage::Set(a), Lineage::Set(b)) => {
+                Lineage::Set(a.union(b).cloned().collect())
+            }
+        }
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        match (self, other) {
+            (Lineage::Bottom, _) | (_, Lineage::Bottom) => Lineage::Bottom,
+            (Lineage::Set(a), Lineage::Set(b)) => {
+                Lineage::Set(a.union(b).cloned().collect())
+            }
+        }
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Lineage::Bottom, _) => true,
+            (Lineage::Set(_), Lineage::Bottom) => false,
+            (Lineage::Set(a), Lineage::Set(b)) => a.is_subset(b),
+        }
+    }
+
+    fn sample_elements() -> Vec<Self> {
+        let x = Var(0);
+        let y = Var(1);
+        vec![
+            Lineage::Bottom,
+            Lineage::one(),
+            Lineage::var(x),
+            Lineage::var(y),
+            Lineage::from_vars([x, y]),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axioms;
+
+    #[test]
+    fn bottom_is_zero_and_empty_set_is_one() {
+        let x = Lineage::var(Var(0));
+        assert_eq!(x.add(&Lineage::Bottom), x);
+        assert_eq!(x.mul(&Lineage::Bottom), Lineage::Bottom);
+        assert_eq!(x.mul(&Lineage::one()), x);
+        assert_eq!(Lineage::default(), Lineage::Bottom);
+        assert_eq!(Lineage::from_natural(7), Lineage::one());
+    }
+
+    #[test]
+    fn both_operations_are_union() {
+        let x = Lineage::var(Var(0));
+        let y = Lineage::var(Var(1));
+        let both = Lineage::from_vars([Var(0), Var(1)]);
+        assert_eq!(x.add(&y), both);
+        assert_eq!(x.mul(&y), both);
+        assert_eq!(x.vars().unwrap().len(), 1);
+        assert!(Lineage::Bottom.vars().is_none());
+    }
+
+    #[test]
+    fn order_is_bottom_then_subset() {
+        let x = Lineage::var(Var(0));
+        let both = Lineage::from_vars([Var(0), Var(1)]);
+        assert!(Lineage::Bottom.leq(&x));
+        assert!(x.leq(&both));
+        assert!(!both.leq(&x));
+        assert!(!x.leq(&Lineage::Bottom));
+    }
+
+    #[test]
+    fn laws_and_positivity() {
+        assert!(axioms::check_semiring_laws::<Lineage>().is_ok());
+        assert!(axioms::is_positive::<Lineage>());
+    }
+
+    #[test]
+    fn class_membership_matches_paper() {
+        // Lin[X] ∈ S_hcov: ⊗-idempotent; not 1-annihilating; ⊕-idempotent.
+        assert!(axioms::is_mul_idempotent::<Lineage>());
+        assert!(!axioms::is_one_annihilating::<Lineage>());
+        assert!(axioms::is_add_idempotent::<Lineage>());
+        assert!(axioms::is_mul_semi_idempotent::<Lineage>());
+        assert_eq!(axioms::smallest_offset::<Lineage>(4), Some(1));
+    }
+}

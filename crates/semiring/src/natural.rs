@@ -1,0 +1,109 @@
+//! Bag semantics: the semiring of natural numbers
+//! `N = ⟨N₀, +, ×, 0, 1⟩` with the usual order.
+//!
+//! Annotating tuples with multiplicities models SQL bag semantics (Sec. 4 of
+//! the paper).  `N` satisfies neither ⊗-idempotence nor 1-annihilation, so it
+//! falls outside `C_hom`; it lies in `N_hcov` (homomorphic covering is a
+//! *necessary* condition for containment), in `S_sur` (a surjective
+//! homomorphism is *sufficient*), and in `N²_hcov` for UCQs (Cor. 5.23) —
+//! but the exact decidability of CQ containment over `N` is the famous open
+//! problem the paper routes around.
+
+use crate::ops::Semiring;
+
+/// A bag-semantics annotation: a natural number multiplicity.
+///
+/// Arithmetic saturates at `u64::MAX`, which is unobservable for any workload
+/// this library generates and keeps the type total.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, PartialOrd, Ord)]
+pub struct Natural(pub u64);
+
+impl Semiring for Natural {
+    const NAME: &'static str = "N";
+
+    fn zero() -> Self {
+        Natural(0)
+    }
+
+    fn one() -> Self {
+        Natural(1)
+    }
+
+    fn add(&self, other: &Self) -> Self {
+        Natural(self.0.saturating_add(other.0))
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        Natural(self.0.saturating_mul(other.0))
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.0 <= other.0
+    }
+
+    fn sample_elements() -> Vec<Self> {
+        vec![
+            Natural(0),
+            Natural(1),
+            Natural(2),
+            Natural(3),
+            Natural(5),
+            Natural(7),
+        ]
+    }
+}
+
+impl From<u64> for Natural {
+    fn from(n: u64) -> Self {
+        Natural(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axioms;
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Natural(2).add(&Natural(3)), Natural(5));
+        assert_eq!(Natural(2).mul(&Natural(3)), Natural(6));
+        assert_eq!(Natural(7).mul(&Natural::zero()), Natural::zero());
+        assert_eq!(Natural(7).mul(&Natural::one()), Natural(7));
+    }
+
+    #[test]
+    fn saturation_keeps_operations_total() {
+        let big = Natural(u64::MAX);
+        assert_eq!(big.add(&Natural(1)), big);
+        assert_eq!(big.mul(&Natural(2)), big);
+    }
+
+    #[test]
+    fn order_is_numeric() {
+        assert!(Natural(2).leq(&Natural(5)));
+        assert!(!Natural(5).leq(&Natural(2)));
+        assert!(Natural(0).leq(&Natural(0)));
+    }
+
+    #[test]
+    fn satisfies_semiring_and_positivity_laws() {
+        let report = axioms::check_semiring_laws::<Natural>();
+        assert!(report.is_ok(), "{:?}", report);
+        assert!(axioms::is_positive::<Natural>());
+    }
+
+    #[test]
+    fn class_axioms_match_the_paper() {
+        // Not in C_hom: fails both axioms.
+        assert!(!axioms::is_mul_idempotent::<Natural>());
+        assert!(!axioms::is_one_annihilating::<Natural>());
+        // Not ⊕-idempotent, and no finite offset (Sec. 5.2).
+        assert!(!axioms::is_add_idempotent::<Natural>());
+        assert_eq!(axioms::smallest_offset::<Natural>(8), None);
+        // Satisfies ⊗-semi-idempotence (x·y ≤ x·x·y fails at x = 0? no:
+        // 0·y = 0 ≤ 0; at x ≥ 1 it holds), so N ∈ S_sur as the paper states
+        // via type-B systems.
+        assert!(axioms::is_mul_semi_idempotent::<Natural>());
+    }
+}

@@ -1,0 +1,183 @@
+//! The semiring of positive Boolean expressions `PosBool[X]`.
+//!
+//! Elements are monotone Boolean functions over the variables `X`, used for
+//! incomplete and probabilistic databases (Imieliński–Lipski c-tables, event
+//! tables).  We represent each function canonically by its antichain of
+//! minimal true-points (irredundant monotone DNF): a set of pairwise
+//! incomparable clauses, each clause a set of variables.
+//!
+//! `PosBool[X]` is a distributive lattice, hence a member of `C_hom`
+//! (Sec. 3.3): over it, CQ containment coincides with the classical
+//! homomorphism criterion.
+
+use crate::ops::Semiring;
+use annot_polynomial::Var;
+use std::collections::BTreeSet;
+
+/// A clause: a conjunction of variables, represented by their set.
+pub type Clause = BTreeSet<Var>;
+
+/// A monotone Boolean function in irredundant DNF (antichain of clauses).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct PosBool(BTreeSet<Clause>);
+
+impl PosBool {
+    /// The function `v` (a single variable).
+    pub fn var(v: Var) -> Self {
+        PosBool([[v].into_iter().collect()].into_iter().collect())
+    }
+
+    /// Builds a function from clauses, minimising to an antichain.
+    pub fn from_clauses(clauses: impl IntoIterator<Item = Clause>) -> Self {
+        PosBool(minimise(clauses.into_iter().collect()))
+    }
+
+    /// The minimal clauses.
+    pub fn clauses(&self) -> &BTreeSet<Clause> {
+        &self.0
+    }
+
+    /// Evaluates the function under a truth assignment.
+    pub fn eval(&self, assignment: &dyn Fn(Var) -> bool) -> bool {
+        self.0
+            .iter()
+            .any(|clause| clause.iter().all(|&v| assignment(v)))
+    }
+}
+
+/// Removes clauses that are supersets of other clauses.
+fn minimise(clauses: BTreeSet<Clause>) -> BTreeSet<Clause> {
+    clauses
+        .iter()
+        .filter(|c| {
+            !clauses
+                .iter()
+                .any(|d| d != *c && d.is_subset(c))
+        })
+        .cloned()
+        .collect()
+}
+
+impl Semiring for PosBool {
+    const NAME: &'static str = "PosBool[X]";
+
+    fn zero() -> Self {
+        PosBool(BTreeSet::new()) // false
+    }
+
+    fn one() -> Self {
+        PosBool([Clause::new()].into_iter().collect()) // true
+    }
+
+    fn add(&self, other: &Self) -> Self {
+        // disjunction
+        PosBool(minimise(self.0.union(&other.0).cloned().collect()))
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        // conjunction: pairwise unions of clauses
+        let mut out = BTreeSet::new();
+        for a in &self.0 {
+            for b in &other.0 {
+                out.insert(a.union(b).cloned().collect());
+            }
+        }
+        PosBool(minimise(out))
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        // natural order = logical implication: every clause of `self`
+        // contains some clause of `other`.
+        self.0
+            .iter()
+            .all(|a| other.0.iter().any(|b| b.is_subset(a)))
+    }
+
+    fn sample_elements() -> Vec<Self> {
+        let x = Var(0);
+        let y = Var(1);
+        vec![
+            PosBool::zero(),
+            PosBool::one(),
+            PosBool::var(x),
+            PosBool::var(y),
+            PosBool::var(x).add(&PosBool::var(y)),
+            PosBool::var(x).mul(&PosBool::var(y)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axioms;
+
+    #[test]
+    fn or_and_behave_logically() {
+        let x = PosBool::var(Var(0));
+        let y = PosBool::var(Var(1));
+        let or = x.add(&y);
+        let and = x.mul(&y);
+        let assign_x = |v: Var| v == Var(0);
+        assert!(or.eval(&assign_x));
+        assert!(!and.eval(&assign_x));
+        assert!(and.eval(&|_| true));
+        assert!(!or.eval(&|_| false));
+        assert!(PosBool::one().eval(&|_| false));
+        assert!(!PosBool::zero().eval(&|_| true));
+    }
+
+    #[test]
+    fn absorption_keeps_antichains() {
+        let x = PosBool::var(Var(0));
+        let y = PosBool::var(Var(1));
+        // x ∨ (x ∧ y) = x
+        let lhs = x.add(&x.mul(&y));
+        assert_eq!(lhs, x);
+        // x ∧ (x ∨ y) = x
+        let lhs2 = x.mul(&x.add(&y));
+        assert_eq!(lhs2, x);
+        assert_eq!(lhs2.clauses().len(), 1);
+    }
+
+    #[test]
+    fn one_annihilation_and_idempotence() {
+        let x = PosBool::var(Var(0));
+        assert_eq!(PosBool::one().add(&x), PosBool::one());
+        assert_eq!(x.mul(&x), x);
+        assert_eq!(PosBool::from_natural(4), PosBool::one());
+    }
+
+    #[test]
+    fn order_is_implication() {
+        let x = PosBool::var(Var(0));
+        let y = PosBool::var(Var(1));
+        let and = x.mul(&y);
+        let or = x.add(&y);
+        assert!(and.leq(&x));
+        assert!(x.leq(&or));
+        assert!(and.leq(&or));
+        assert!(!or.leq(&and));
+        assert!(!x.leq(&y));
+        assert!(PosBool::zero().leq(&and));
+    }
+
+    #[test]
+    fn from_clauses_minimises() {
+        let c1: Clause = [Var(0)].into_iter().collect();
+        let c2: Clause = [Var(0), Var(1)].into_iter().collect();
+        let p = PosBool::from_clauses([c1.clone(), c2]);
+        assert_eq!(p.clauses().len(), 1);
+        assert!(p.clauses().contains(&c1));
+    }
+
+    #[test]
+    fn laws_positivity_and_chom_membership() {
+        assert!(axioms::check_semiring_laws::<PosBool>().is_ok());
+        assert!(axioms::is_positive::<PosBool>());
+        assert!(axioms::is_mul_idempotent::<PosBool>());
+        assert!(axioms::is_one_annihilating::<PosBool>());
+        assert!(axioms::is_add_idempotent::<PosBool>());
+        assert_eq!(axioms::smallest_offset::<PosBool>(4), Some(1));
+    }
+}

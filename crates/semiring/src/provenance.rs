@@ -1,0 +1,225 @@
+//! Provenance-polynomial semirings: `N[X]` and `B[X]`.
+//!
+//! * [`NatPoly`] wraps [`annot_polynomial::Polynomial`] and is the semiring
+//!   `N[X]` of provenance polynomials with natural coefficients (Sec. 3.2),
+//!   ordered by its natural order (coefficient-wise comparison).  `N[X]` is
+//!   universal for all positive semirings (Prop. 3.2) and belongs to `C_bi`
+//!   and `C^∞_bi`: containment of CQs (resp. UCQs) over `N[X]` is
+//!   characterised by bijective homomorphisms (resp. by the counting
+//!   criterion `↪_∞` over complete descriptions, Prop. 5.9).
+//!
+//! * [`BoolPoly`] is `B[X]`, polynomials with Boolean coefficients —
+//!   equivalently, finite sets of monomials.  `B[X]` is universal for the
+//!   ⊕-idempotent semirings (`S¹`) and belongs to `C_bi` and `C¹_bi`.
+
+use crate::ops::Semiring;
+use annot_polynomial::{Monomial, Polynomial, Var};
+use std::collections::BTreeSet;
+
+/// The provenance-polynomial semiring `N[X]`.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct NatPoly(pub Polynomial);
+
+impl NatPoly {
+    /// The polynomial consisting of a single variable.
+    pub fn var(v: Var) -> Self {
+        NatPoly(Polynomial::var(v))
+    }
+
+    /// Wraps an arbitrary polynomial.
+    pub fn new(p: Polynomial) -> Self {
+        NatPoly(p)
+    }
+
+    /// The wrapped polynomial.
+    pub fn polynomial(&self) -> &Polynomial {
+        &self.0
+    }
+}
+
+impl Semiring for NatPoly {
+    const NAME: &'static str = "N[X]";
+
+    fn zero() -> Self {
+        NatPoly(Polynomial::zero())
+    }
+
+    fn one() -> Self {
+        NatPoly(Polynomial::one())
+    }
+
+    fn add(&self, other: &Self) -> Self {
+        NatPoly(self.0.plus(&other.0))
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        NatPoly(self.0.times(&other.0))
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        // Natural order of N[X]: P ¹ Q ⇔ ∃R. P + R = Q ⇔ coefficient-wise ≤.
+        self.0
+            .terms()
+            .all(|(m, c)| c <= other.0.coefficient(m))
+    }
+
+    fn sample_elements() -> Vec<Self> {
+        let x = Polynomial::var(Var(0));
+        let y = Polynomial::var(Var(1));
+        vec![
+            NatPoly(Polynomial::zero()),
+            NatPoly(Polynomial::one()),
+            NatPoly(Polynomial::constant(2)),
+            NatPoly(x.clone()),
+            NatPoly(y.clone()),
+            NatPoly(x.plus(&y)),
+            NatPoly(x.times(&y)),
+            NatPoly(x.pow(2)),
+        ]
+    }
+}
+
+/// The Boolean provenance-polynomial semiring `B[X]`: finite sets of
+/// monomials (polynomials with coefficients in `{false, true}`).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct BoolPoly(BTreeSet<Monomial>);
+
+impl BoolPoly {
+    /// The polynomial consisting of a single variable.
+    pub fn var(v: Var) -> Self {
+        BoolPoly([Monomial::var(v)].into_iter().collect())
+    }
+
+    /// Builds an element from a collection of monomials.
+    pub fn from_monomials(ms: impl IntoIterator<Item = Monomial>) -> Self {
+        BoolPoly(ms.into_iter().collect())
+    }
+
+    /// Converts an `N[X]` polynomial by dropping coefficients to `true`.
+    pub fn from_nat_poly(p: &Polynomial) -> Self {
+        BoolPoly(p.terms().map(|(m, _)| m.clone()).collect())
+    }
+
+    /// The set of monomials with a `true` coefficient.
+    pub fn monomials(&self) -> &BTreeSet<Monomial> {
+        &self.0
+    }
+}
+
+impl Semiring for BoolPoly {
+    const NAME: &'static str = "B[X]";
+
+    fn zero() -> Self {
+        BoolPoly(BTreeSet::new())
+    }
+
+    fn one() -> Self {
+        BoolPoly([Monomial::one()].into_iter().collect())
+    }
+
+    fn add(&self, other: &Self) -> Self {
+        BoolPoly(self.0.union(&other.0).cloned().collect())
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        let mut out = BTreeSet::new();
+        for a in &self.0 {
+            for b in &other.0 {
+                out.insert(a.mul(b));
+            }
+        }
+        BoolPoly(out)
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        // Natural order: subset of monomials.
+        self.0.is_subset(&other.0)
+    }
+
+    fn sample_elements() -> Vec<Self> {
+        let x = Monomial::var(Var(0));
+        let y = Monomial::var(Var(1));
+        vec![
+            BoolPoly::zero(),
+            BoolPoly::one(),
+            BoolPoly::from_monomials([x.clone()]),
+            BoolPoly::from_monomials([y.clone()]),
+            BoolPoly::from_monomials([x.clone(), y.clone()]),
+            BoolPoly::from_monomials([x.mul(&y)]),
+            BoolPoly::from_monomials([x.mul(&x)]),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axioms;
+
+    #[test]
+    fn nat_poly_ops_mirror_polynomials() {
+        let x = NatPoly::var(Var(0));
+        let y = NatPoly::var(Var(1));
+        let sum = x.add(&y);
+        let prod = x.mul(&y);
+        assert_eq!(sum.polynomial().num_terms(), 2);
+        assert_eq!(prod.polynomial().num_terms(), 1);
+        assert_eq!(NatPoly::from_natural(3), NatPoly::new(Polynomial::constant(3)));
+    }
+
+    #[test]
+    fn nat_poly_order_is_coefficientwise() {
+        let x = NatPoly::var(Var(0));
+        let y = NatPoly::var(Var(1));
+        let xy = x.add(&y);
+        assert!(x.leq(&xy));
+        assert!(!xy.leq(&x));
+        assert!(x.leq(&x.add(&x)));
+        assert!(!x.add(&x).leq(&x));
+        assert!(NatPoly::zero().leq(&x));
+    }
+
+    #[test]
+    fn nat_poly_laws_and_classes() {
+        assert!(axioms::check_semiring_laws::<NatPoly>().is_ok());
+        assert!(axioms::is_positive::<NatPoly>());
+        assert!(!axioms::is_mul_idempotent::<NatPoly>());
+        assert!(!axioms::is_one_annihilating::<NatPoly>());
+        assert!(!axioms::is_add_idempotent::<NatPoly>());
+        assert!(!axioms::is_mul_semi_idempotent::<NatPoly>());
+        assert_eq!(axioms::smallest_offset::<NatPoly>(6), None);
+    }
+
+    #[test]
+    fn bool_poly_ops() {
+        let x = BoolPoly::var(Var(0));
+        let y = BoolPoly::var(Var(1));
+        // x + x = x (idempotent addition)
+        assert_eq!(x.add(&x), x);
+        // (x + y)·(x + y) = x² + xy + y² as a *set* of monomials
+        let p = x.add(&y);
+        let sq = p.mul(&p);
+        assert_eq!(sq.monomials().len(), 3);
+        assert_eq!(BoolPoly::from_natural(5), BoolPoly::one());
+        assert_eq!(BoolPoly::from_natural(0), BoolPoly::zero());
+    }
+
+    #[test]
+    fn bool_poly_from_nat_poly_forgets_coefficients() {
+        let p = Polynomial::var(Var(0)).plus(&Polynomial::var(Var(0)));
+        let b = BoolPoly::from_nat_poly(&p);
+        assert_eq!(b, BoolPoly::var(Var(0)));
+    }
+
+    #[test]
+    fn bool_poly_laws_and_classes() {
+        assert!(axioms::check_semiring_laws::<BoolPoly>().is_ok());
+        assert!(axioms::is_positive::<BoolPoly>());
+        // B[X] is ⊕-idempotent (offset 1) but not ⊗-idempotent and not
+        // 1-annihilating.
+        assert!(axioms::is_add_idempotent::<BoolPoly>());
+        assert_eq!(axioms::smallest_offset::<BoolPoly>(4), Some(1));
+        assert!(!axioms::is_mul_idempotent::<BoolPoly>());
+        assert!(!axioms::is_one_annihilating::<BoolPoly>());
+    }
+}

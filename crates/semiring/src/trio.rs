@@ -1,0 +1,173 @@
+//! The Trio semiring `Trio[X]` (Das Sarma, Theobald, Widom; ICDE 2008).
+//!
+//! Trio's lineage model keeps, for each output tuple, the *bag* of witness
+//! sets: how many derivations use exactly which set of base tuples.
+//! Formally an element is a finite multiset of subsets of `X`; addition adds
+//! multiplicities, multiplication combines witness sets by union and
+//! multiplies multiplicities.
+//!
+//! In the paper's taxonomy `Trio[X]` lies in `C_sur` (surjective
+//! homomorphisms characterise CQ containment, Thm. 4.14) and, unlike
+//! `Why[X]`, it is *not* in `N¹_sur` (Sec. 5.3) because its addition is not
+//! idempotent.
+
+use crate::ops::Semiring;
+use annot_polynomial::Var;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A witness set.
+pub type Witness = BTreeSet<Var>;
+
+/// An element of `Trio[X]`: a multiset of witness sets, represented as a map
+/// from witness set to (positive) multiplicity.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Trio(BTreeMap<Witness, u64>);
+
+impl Trio {
+    /// The annotation of a base tuple tagged with variable `v`: `{{v} ↦ 1}`.
+    pub fn var(v: Var) -> Self {
+        let mut m = BTreeMap::new();
+        m.insert([v].into_iter().collect(), 1);
+        Trio(m)
+    }
+
+    /// Builds an element from `(witness, multiplicity)` pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Witness, u64)>) -> Self {
+        let mut m = BTreeMap::new();
+        for (w, c) in pairs {
+            if c > 0 {
+                *m.entry(w).or_insert(0) += c;
+            }
+        }
+        Trio(m)
+    }
+
+    /// The multiplicity of a witness set.
+    pub fn multiplicity(&self, w: &Witness) -> u64 {
+        self.0.get(w).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(witness, multiplicity)` pairs.
+    pub fn witnesses(&self) -> impl Iterator<Item = (&Witness, u64)> + '_ {
+        self.0.iter().map(|(w, &c)| (w, c))
+    }
+}
+
+impl Semiring for Trio {
+    const NAME: &'static str = "Trio[X]";
+
+    fn zero() -> Self {
+        Trio(BTreeMap::new())
+    }
+
+    fn one() -> Self {
+        let mut m = BTreeMap::new();
+        m.insert(Witness::new(), 1);
+        Trio(m)
+    }
+
+    fn add(&self, other: &Self) -> Self {
+        let mut out = self.0.clone();
+        for (w, c) in &other.0 {
+            *out.entry(w.clone()).or_insert(0) += c;
+        }
+        Trio(out)
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        let mut out: BTreeMap<Witness, u64> = BTreeMap::new();
+        for (wa, ca) in &self.0 {
+            for (wb, cb) in &other.0 {
+                let union: Witness = wa.union(wb).cloned().collect();
+                *out.entry(union).or_insert(0) += ca * cb;
+            }
+        }
+        Trio(out)
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        // natural order: multiplicity-wise ≤
+        self.0
+            .iter()
+            .all(|(w, &c)| c <= other.multiplicity(w))
+    }
+
+    fn sample_elements() -> Vec<Self> {
+        let x = Var(0);
+        let y = Var(1);
+        vec![
+            Trio::zero(),
+            Trio::one(),
+            Trio::var(x),
+            Trio::var(y),
+            Trio::var(x).add(&Trio::var(y)),
+            Trio::var(x).mul(&Trio::var(y)),
+            Trio::var(x).add(&Trio::var(x)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axioms;
+
+    #[test]
+    fn ops_track_multiplicities() {
+        let x = Trio::var(Var(0));
+        let y = Trio::var(Var(1));
+        // x + x has multiplicity 2 on the witness {x}.
+        let xx = x.add(&x);
+        assert_eq!(xx.multiplicity(&[Var(0)].into_iter().collect()), 2);
+        // (x + y)·(x + y): witness {x,y} has multiplicity 2 (two derivations),
+        // {x} and {y} have multiplicity 1 each (from x·x, y·y — union collapses).
+        let sq = x.add(&y).mul(&x.add(&y));
+        assert_eq!(sq.multiplicity(&[Var(0), Var(1)].into_iter().collect()), 2);
+        assert_eq!(sq.multiplicity(&[Var(0)].into_iter().collect()), 1);
+        assert_eq!(sq.multiplicity(&[Var(1)].into_iter().collect()), 1);
+        assert_eq!(sq.witnesses().count(), 3);
+    }
+
+    #[test]
+    fn identities() {
+        let x = Trio::var(Var(0));
+        assert_eq!(x.add(&Trio::zero()), x);
+        assert_eq!(x.mul(&Trio::one()), x);
+        assert_eq!(x.mul(&Trio::zero()), Trio::zero());
+        assert_eq!(Trio::from_natural(2).multiplicity(&Witness::new()), 2);
+    }
+
+    #[test]
+    fn from_pairs_merges_and_drops_zeros() {
+        let w: Witness = [Var(0)].into_iter().collect();
+        let t = Trio::from_pairs([(w.clone(), 1), (w.clone(), 2), (Witness::new(), 0)]);
+        assert_eq!(t.multiplicity(&w), 3);
+        assert_eq!(t.witnesses().count(), 1);
+    }
+
+    #[test]
+    fn order_is_multiplicity_wise() {
+        let x = Trio::var(Var(0));
+        let xx = x.add(&x);
+        assert!(x.leq(&xx));
+        assert!(!xx.leq(&x));
+        assert!(Trio::zero().leq(&x));
+    }
+
+    #[test]
+    fn laws_and_positivity() {
+        assert!(axioms::check_semiring_laws::<Trio>().is_ok());
+        assert!(axioms::is_positive::<Trio>());
+    }
+
+    #[test]
+    fn class_membership_matches_paper() {
+        // Trio[X]: ⊗-semi-idempotent (∈ S_sur) but not ⊗-idempotent, not
+        // 1-annihilating, and — unlike Why[X] — not ⊕-idempotent.
+        assert!(axioms::is_mul_semi_idempotent::<Trio>());
+        assert!(!axioms::is_mul_idempotent::<Trio>());
+        assert!(!axioms::is_one_annihilating::<Trio>());
+        assert!(!axioms::is_add_idempotent::<Trio>());
+        assert_eq!(axioms::smallest_offset::<Trio>(6), None);
+    }
+}

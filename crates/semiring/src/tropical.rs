@@ -1,0 +1,247 @@
+//! The tropical semiring `T⁺` and the schedule (max-plus) algebra `T⁻`.
+//!
+//! * `T⁺ = ⟨N₀ ∪ {∞}, min, +, ∞, 0⟩` (Sec. 4.2): annotations are costs, a
+//!   query result is the minimum total cost of a derivation.  `T⁺` satisfies
+//!   1-annihilation (`min(0, x) = 0`), hence lies in `S_in`, but not
+//!   ⊗-idempotence; it is the paper's running example of a semiring for which
+//!   the injective-homomorphism criterion is sufficient but not necessary
+//!   (Ex. 4.6), handled instead by the small-model procedure of Sec. 4.6.
+//!
+//! * `T⁻ = ⟨N₀ ∪ {−∞}, max, +, −∞, 0⟩` (Sec. 4.4): the schedule algebra.
+//!   It satisfies ⊗-semi-idempotence (`x·y ¹ x·x·y`), hence lies in `S_sur`,
+//!   but not in `N_sur`.
+//!
+//! Both semirings are ⊕-idempotent (class `S¹`), so Thm. 4.17 applies.
+
+use crate::ops::Semiring;
+
+/// An element of the tropical (min-plus) semiring `T⁺`.
+/// `Infinity` is the additive identity (the annotation of absent tuples).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Tropical {
+    /// A finite cost.
+    Finite(u64),
+    /// `∞`, the semiring zero.
+    Infinity,
+}
+
+impl Tropical {
+    /// A finite element.
+    pub fn finite(n: u64) -> Self {
+        Tropical::Finite(n)
+    }
+
+    /// Whether the element is finite.
+    pub fn is_finite(self) -> bool {
+        matches!(self, Tropical::Finite(_))
+    }
+}
+
+impl Semiring for Tropical {
+    const NAME: &'static str = "T+";
+
+    fn zero() -> Self {
+        Tropical::Infinity
+    }
+
+    fn one() -> Self {
+        Tropical::Finite(0)
+    }
+
+    fn add(&self, other: &Self) -> Self {
+        // min
+        match (self, other) {
+            (Tropical::Infinity, x) | (x, Tropical::Infinity) => *x,
+            (Tropical::Finite(a), Tropical::Finite(b)) => Tropical::Finite(*a.min(b)),
+        }
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        // +
+        match (self, other) {
+            (Tropical::Infinity, _) | (_, Tropical::Infinity) => Tropical::Infinity,
+            (Tropical::Finite(a), Tropical::Finite(b)) => {
+                Tropical::Finite(a.saturating_add(*b))
+            }
+        }
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        // natural order: a ¹ b ⇔ ∃c. min(a, c) = b ⇔ b ≤ a numerically,
+        // with ∞ as the least element of the order.
+        match (self, other) {
+            (Tropical::Infinity, _) => true,
+            (Tropical::Finite(_), Tropical::Infinity) => false,
+            (Tropical::Finite(a), Tropical::Finite(b)) => b <= a,
+        }
+    }
+
+    fn sample_elements() -> Vec<Self> {
+        vec![
+            Tropical::Infinity,
+            Tropical::Finite(0),
+            Tropical::Finite(1),
+            Tropical::Finite(2),
+            Tropical::Finite(3),
+            Tropical::Finite(10),
+        ]
+    }
+}
+
+/// An element of the schedule (max-plus) algebra `T⁻`.
+/// `NegInfinity` is the additive identity.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Schedule {
+    /// `−∞`, the semiring zero.
+    NegInfinity,
+    /// A finite duration.
+    Finite(u64),
+}
+
+impl Schedule {
+    /// A finite element.
+    pub fn finite(n: u64) -> Self {
+        Schedule::Finite(n)
+    }
+
+    /// Whether the element is finite.
+    pub fn is_finite(self) -> bool {
+        matches!(self, Schedule::Finite(_))
+    }
+}
+
+impl Semiring for Schedule {
+    const NAME: &'static str = "T-";
+
+    fn zero() -> Self {
+        Schedule::NegInfinity
+    }
+
+    fn one() -> Self {
+        Schedule::Finite(0)
+    }
+
+    fn add(&self, other: &Self) -> Self {
+        // max
+        match (self, other) {
+            (Schedule::NegInfinity, x) | (x, Schedule::NegInfinity) => *x,
+            (Schedule::Finite(a), Schedule::Finite(b)) => Schedule::Finite(*a.max(b)),
+        }
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        // +
+        match (self, other) {
+            (Schedule::NegInfinity, _) | (_, Schedule::NegInfinity) => Schedule::NegInfinity,
+            (Schedule::Finite(a), Schedule::Finite(b)) => {
+                Schedule::Finite(a.saturating_add(*b))
+            }
+        }
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        // natural order: a ¹ b ⇔ ∃c. max(a, c) = b ⇔ a ≤ b, with −∞ least.
+        match (self, other) {
+            (Schedule::NegInfinity, _) => true,
+            (Schedule::Finite(_), Schedule::NegInfinity) => false,
+            (Schedule::Finite(a), Schedule::Finite(b)) => a <= b,
+        }
+    }
+
+    fn sample_elements() -> Vec<Self> {
+        vec![
+            Schedule::NegInfinity,
+            Schedule::Finite(0),
+            Schedule::Finite(1),
+            Schedule::Finite(2),
+            Schedule::Finite(3),
+            Schedule::Finite(10),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axioms;
+
+    #[test]
+    fn tropical_constants_and_ops() {
+        assert_eq!(Tropical::zero(), Tropical::Infinity);
+        assert_eq!(Tropical::one(), Tropical::Finite(0));
+        assert_eq!(
+            Tropical::Finite(3).add(&Tropical::Finite(5)),
+            Tropical::Finite(3)
+        );
+        assert_eq!(
+            Tropical::Finite(3).mul(&Tropical::Finite(5)),
+            Tropical::Finite(8)
+        );
+        assert_eq!(Tropical::Finite(3).mul(&Tropical::Infinity), Tropical::Infinity);
+        assert_eq!(Tropical::Finite(3).add(&Tropical::Infinity), Tropical::Finite(3));
+        assert!(Tropical::finite(2).is_finite());
+        assert!(!Tropical::Infinity.is_finite());
+    }
+
+    #[test]
+    fn tropical_order_is_reverse_numeric() {
+        assert!(Tropical::Infinity.leq(&Tropical::Finite(0)));
+        assert!(Tropical::Finite(7).leq(&Tropical::Finite(3)));
+        assert!(!Tropical::Finite(3).leq(&Tropical::Finite(7)));
+        assert!(Tropical::Finite(3).leq(&Tropical::Finite(3)));
+        assert!(!Tropical::Finite(3).leq(&Tropical::Infinity));
+    }
+
+    #[test]
+    fn schedule_constants_and_ops() {
+        assert_eq!(Schedule::zero(), Schedule::NegInfinity);
+        assert_eq!(Schedule::one(), Schedule::Finite(0));
+        assert_eq!(
+            Schedule::Finite(3).add(&Schedule::Finite(5)),
+            Schedule::Finite(5)
+        );
+        assert_eq!(
+            Schedule::Finite(3).mul(&Schedule::Finite(5)),
+            Schedule::Finite(8)
+        );
+        assert_eq!(
+            Schedule::Finite(3).mul(&Schedule::NegInfinity),
+            Schedule::NegInfinity
+        );
+        assert!(Schedule::finite(0).is_finite());
+    }
+
+    #[test]
+    fn schedule_order_is_numeric() {
+        assert!(Schedule::NegInfinity.leq(&Schedule::Finite(0)));
+        assert!(Schedule::Finite(3).leq(&Schedule::Finite(7)));
+        assert!(!Schedule::Finite(7).leq(&Schedule::Finite(3)));
+    }
+
+    #[test]
+    fn both_satisfy_laws_and_positivity() {
+        assert!(axioms::check_semiring_laws::<Tropical>().is_ok());
+        assert!(axioms::check_semiring_laws::<Schedule>().is_ok());
+        assert!(axioms::is_positive::<Tropical>());
+        assert!(axioms::is_positive::<Schedule>());
+    }
+
+    #[test]
+    fn class_axioms_match_the_paper() {
+        // T⁺: 1-annihilation holds (min(0, x) = 0), ⊗-idempotence does not.
+        assert!(axioms::is_one_annihilating::<Tropical>());
+        assert!(!axioms::is_mul_idempotent::<Tropical>());
+        // T⁻: ⊗-semi-idempotence holds, 1-annihilation does not
+        // (max(0, x) = x ≠ 0 in general).
+        assert!(axioms::is_mul_semi_idempotent::<Schedule>());
+        assert!(!axioms::is_one_annihilating::<Schedule>());
+        assert!(!axioms::is_mul_idempotent::<Schedule>());
+        // Both are ⊕-idempotent, hence in S¹ (offset 1).
+        assert!(axioms::is_add_idempotent::<Tropical>());
+        assert!(axioms::is_add_idempotent::<Schedule>());
+        assert_eq!(axioms::smallest_offset::<Tropical>(8), Some(1));
+        assert_eq!(axioms::smallest_offset::<Schedule>(8), Some(1));
+        // T⁺ does NOT satisfy ⊗-semi-idempotence (its order is reversed).
+        assert!(!axioms::is_mul_semi_idempotent::<Tropical>());
+    }
+}

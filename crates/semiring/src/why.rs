@@ -1,0 +1,154 @@
+//! The why-provenance semiring `Why[X]` (Buneman, Khanna, Tan; ICDT 2001).
+//!
+//! An annotation is a finite set of *witness sets*, each witness set being a
+//! set of base-tuple identifiers (variables) sufficient to derive the output
+//! tuple.  Addition is union of witness families; multiplication combines
+//! every pair of witnesses by union; `0 = ∅`; `1 = {∅}`.
+//!
+//! In the paper's taxonomy `Why[X]` lies in `C_sur` (Thm. 4.14) — containment
+//! of CQs over `Why[X]` is characterised by surjective homomorphisms — and in
+//! `C¹_sur` for UCQs (Cor. 5.18).
+
+use crate::ops::Semiring;
+use annot_polynomial::Var;
+use std::collections::BTreeSet;
+
+/// A witness set: a set of base-tuple variables.
+pub type Witness = BTreeSet<Var>;
+
+/// An element of `Why[X]`: a set of witness sets.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Why(BTreeSet<Witness>);
+
+impl Why {
+    /// The annotation of a base tuple tagged with variable `v`: `{{v}}`.
+    pub fn var(v: Var) -> Self {
+        let mut w = BTreeSet::new();
+        w.insert([v].into_iter().collect());
+        Why(w)
+    }
+
+    /// Builds an element from an iterator of witness sets.
+    pub fn from_witnesses(ws: impl IntoIterator<Item = Witness>) -> Self {
+        Why(ws.into_iter().collect())
+    }
+
+    /// The witness sets.
+    pub fn witnesses(&self) -> &BTreeSet<Witness> {
+        &self.0
+    }
+}
+
+impl Semiring for Why {
+    const NAME: &'static str = "Why[X]";
+
+    fn zero() -> Self {
+        Why(BTreeSet::new())
+    }
+
+    fn one() -> Self {
+        Why([Witness::new()].into_iter().collect())
+    }
+
+    fn add(&self, other: &Self) -> Self {
+        Why(self.0.union(&other.0).cloned().collect())
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        let mut out = BTreeSet::new();
+        for a in &self.0 {
+            for b in &other.0 {
+                out.insert(a.union(b).cloned().collect());
+            }
+        }
+        Why(out)
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        // natural order (⊕ is idempotent): subset
+        self.0.is_subset(&other.0)
+    }
+
+    fn sample_elements() -> Vec<Self> {
+        let x = Var(0);
+        let y = Var(1);
+        vec![
+            Why::zero(),
+            Why::one(),
+            Why::var(x),
+            Why::var(y),
+            Why::var(x).add(&Why::var(y)),
+            Why::var(x).mul(&Why::var(y)),
+            Why::var(x).add(&Why::one()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axioms;
+
+    #[test]
+    fn base_annotation_and_ops() {
+        let x = Why::var(Var(0));
+        let y = Why::var(Var(1));
+        let sum = x.add(&y);
+        assert_eq!(sum.witnesses().len(), 2);
+        let prod = x.mul(&y);
+        assert_eq!(prod.witnesses().len(), 1);
+        let joint: Witness = [Var(0), Var(1)].into_iter().collect();
+        assert!(prod.witnesses().contains(&joint));
+    }
+
+    #[test]
+    fn one_is_the_empty_witness() {
+        let x = Why::var(Var(0));
+        assert_eq!(x.mul(&Why::one()), x);
+        assert_eq!(x.mul(&Why::zero()), Why::zero());
+        assert_eq!(Why::from_natural(3), Why::one());
+    }
+
+    #[test]
+    fn order_is_subset() {
+        let x = Why::var(Var(0));
+        let y = Why::var(Var(1));
+        assert!(x.leq(&x.add(&y)));
+        assert!(!x.add(&y).leq(&x));
+        assert!(Why::zero().leq(&x));
+    }
+
+    #[test]
+    fn laws_and_positivity() {
+        assert!(axioms::check_semiring_laws::<Why>().is_ok());
+        assert!(axioms::is_positive::<Why>());
+    }
+
+    #[test]
+    fn class_membership_matches_paper() {
+        // Why[X] is ⊕-idempotent, ⊗-semi-idempotent, but not ⊗-idempotent
+        // and not 1-annihilating — the profile of C_sur.
+        assert!(axioms::is_add_idempotent::<Why>());
+        assert!(axioms::is_mul_semi_idempotent::<Why>());
+        assert!(!axioms::is_mul_idempotent::<Why>());
+        assert!(!axioms::is_one_annihilating::<Why>());
+        assert_eq!(axioms::smallest_offset::<Why>(4), Some(1));
+    }
+
+    #[test]
+    fn witness_merging_example() {
+        // (x + y)·x = {x} ∪ {x,y} — two witnesses, one minimal.
+        let x = Why::var(Var(0));
+        let y = Why::var(Var(1));
+        let p = x.add(&y).mul(&x);
+        assert_eq!(p.witnesses().len(), 2);
+        assert!(p.witnesses().contains(&[Var(0)].into_iter().collect()));
+        assert!(p
+            .witnesses()
+            .contains(&[Var(0), Var(1)].into_iter().collect()));
+        assert_eq!(
+            Why::from_witnesses(p.witnesses().iter().cloned()),
+            p
+        );
+    }
+}

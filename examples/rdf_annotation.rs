@@ -1,0 +1,81 @@
+//! Annotated RDF-style data (Sec. 4.2 of the paper): the class `S_in` of
+//! 1-annihilating semirings is exactly the class that can safely annotate
+//! RDFS data, and optimisation of queries over such data needs containment
+//! procedures for those semirings.
+//!
+//! We model a small annotated triple store with three different annotation
+//! domains — access-control clearances, fuzzy trust scores, and tropical
+//! "staleness" costs — and compare query rewritings under each.
+//!
+//! Run with `cargo run --example rdf_annotation`.
+
+use annot_core::decide::{decide_cq, decide_cq_with_poly_order};
+use annot_query::eval::answers;
+use annot_query::{parser, Instance, Schema};
+use annot_semiring::{Clearance, Fuzzy, Tropical};
+
+fn main() {
+    let mut schema = Schema::new();
+    // triple(s, p, o) encoded as one relation per predicate.
+    let q_direct = parser::parse_cq(&mut schema, "Q(x) :- WorksAt(x, y), LocatedIn(y, z)").unwrap();
+    let q_loose = parser::parse_cq(&mut schema, "Q(x) :- WorksAt(x, y)").unwrap();
+    println!("Q_direct = {}", q_direct);
+    println!("Q_loose  = {}", q_loose);
+
+    // Clearance-annotated triples.
+    let mut acl: Instance<Clearance> = Instance::new(schema.clone());
+    acl.insert_named("WorksAt", vec!["alice".into(), "acme".into()], Clearance::Public);
+    acl.insert_named("WorksAt", vec!["bob".into(), "gov".into()], Clearance::Secret);
+    acl.insert_named("LocatedIn", vec!["acme".into(), "paris".into()], Clearance::Public);
+    acl.insert_named("LocatedIn", vec!["gov".into(), "london".into()], Clearance::TopSecret);
+    println!("\nclearance needed to see each answer of Q_direct:");
+    for (tuple, clearance) in answers(&q_direct, &acl) {
+        println!("  {:?} -> {:?}", tuple, clearance);
+    }
+
+    // Fuzzy trust scores for the same triples.
+    let mut trust: Instance<Fuzzy> = Instance::new(schema.clone());
+    trust.insert_named("WorksAt", vec!["alice".into(), "acme".into()], Fuzzy::new(0.9));
+    trust.insert_named("WorksAt", vec!["bob".into(), "gov".into()], Fuzzy::new(0.6));
+    trust.insert_named("LocatedIn", vec!["acme".into(), "paris".into()], Fuzzy::new(0.8));
+    trust.insert_named("LocatedIn", vec!["gov".into(), "london".into()], Fuzzy::new(0.95));
+    println!("\ntrust in each answer of Q_direct:");
+    for (tuple, score) in answers(&q_direct, &trust) {
+        println!("  {:?} -> {:?}", tuple, score);
+    }
+
+    // Tropical staleness: how out-of-date is the best derivation?
+    let mut staleness: Instance<Tropical> = Instance::new(schema.clone());
+    staleness.insert_named("WorksAt", vec!["alice".into(), "acme".into()], Tropical::Finite(3));
+    staleness.insert_named("WorksAt", vec!["bob".into(), "gov".into()], Tropical::Finite(10));
+    staleness.insert_named("LocatedIn", vec!["acme".into(), "paris".into()], Tropical::Finite(1));
+    staleness.insert_named("LocatedIn", vec!["gov".into(), "london".into()], Tropical::Finite(0));
+    println!("\nstaleness of each answer of Q_direct:");
+    for (tuple, cost) in answers(&q_direct, &staleness) {
+        println!("  {:?} -> {:?}", tuple, cost);
+    }
+
+    // May the optimiser replace Q_direct by Q_loose (drop the join)?
+    println!("\nis Q_direct ⊆ Q_loose?");
+    println!(
+        "  clearances (C_hom, homomorphism criterion): {:?}",
+        decide_cq::<Clearance>(&q_direct, &q_loose)
+    );
+    println!(
+        "  fuzzy trust (C_hom):                        {:?}",
+        decide_cq::<Fuzzy>(&q_direct, &q_loose)
+    );
+    println!(
+        "  staleness costs (T+, small-model):          {:?}",
+        decide_cq_with_poly_order::<Tropical>(&q_direct, &q_loose)
+    );
+    println!("\nand the reverse, Q_loose ⊆ Q_direct?");
+    println!(
+        "  clearances: {:?}",
+        decide_cq::<Clearance>(&q_loose, &q_direct)
+    );
+    println!(
+        "  staleness:  {:?}",
+        decide_cq_with_poly_order::<Tropical>(&q_loose, &q_direct)
+    );
+}

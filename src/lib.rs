@@ -1,0 +1,1 @@
+pub use annot_core as core;

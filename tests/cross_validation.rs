@@ -1,0 +1,183 @@
+//! Property-based cross-validation (experiments E5/E7 of DESIGN.md).
+//!
+//! Uses proptest to generate random polynomials and random small queries and
+//! checks the structural invariants the paper relies on: semiring laws under
+//! evaluation (Prop. 3.2), homogeneity of CQ-admissible polynomials
+//! (Sec. 4.5), equivalence of a query with its complete description (Sec. 5),
+//! and the universal sufficient/necessary homomorphism bounds (Sec. 3.3,
+//! 4.3).
+
+use annot_core::brute_force::{find_counterexample_cq, BruteForceConfig};
+use annot_hom::kinds;
+use annot_polynomial::admissible::is_cq_admissible;
+use annot_polynomial::{Monomial, Polynomial, Var};
+use annot_query::complete::complete_description_cq;
+use annot_query::eval::{eval_boolean_cq, eval_cq, eval_ducq};
+use annot_query::generator::{GeneratorConfig, QueryGenerator, QueryShape};
+use annot_query::{CanonicalInstance, Instance};
+use annot_semiring::{eval_polynomial, Natural, Semiring, Tropical, Why};
+use proptest::prelude::*;
+
+/// Strategy: a random polynomial over up to 3 variables, degree ≤ 3,
+/// coefficients ≤ 3.
+fn polynomial_strategy() -> impl Strategy<Value = Polynomial> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(0u32..3, 0..3), // variable indices of a monomial
+            1u64..4,                                   // coefficient
+        ),
+        0..4,
+    )
+    .prop_map(|terms| {
+        Polynomial::from_terms(terms.into_iter().map(|(vars, coeff)| {
+            (
+                Monomial::from_vars(vars.into_iter().map(Var)),
+                coeff,
+            )
+        }))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Prop. 3.2: evaluation into N (bag semantics) is a semiring morphism.
+    #[test]
+    fn evaluation_is_a_morphism(p in polynomial_strategy(), q in polynomial_strategy(),
+                                a in 0u64..4, b in 0u64..4, c in 0u64..4) {
+        let valuation = move |v: Var| Natural(match v.0 { 0 => a, 1 => b, _ => c });
+        let ep = eval_polynomial::<Natural>(&p, &valuation);
+        let eq = eval_polynomial::<Natural>(&q, &valuation);
+        prop_assert_eq!(eval_polynomial::<Natural>(&p.plus(&q), &valuation), ep.add(&eq));
+        prop_assert_eq!(eval_polynomial::<Natural>(&p.times(&q), &valuation), ep.mul(&eq));
+    }
+
+    /// Polynomial arithmetic is commutative/associative/distributive.
+    #[test]
+    fn polynomial_ring_laws(p in polynomial_strategy(), q in polynomial_strategy(),
+                            r in polynomial_strategy()) {
+        prop_assert_eq!(p.plus(&q), q.plus(&p));
+        prop_assert_eq!(p.times(&q), q.times(&p));
+        prop_assert_eq!(p.plus(&q).plus(&r), p.plus(&q.plus(&r)));
+        prop_assert_eq!(p.times(&q).times(&r), p.times(&q.times(&r)));
+        prop_assert_eq!(p.times(&q.plus(&r)), p.times(&q).plus(&p.times(&r)));
+    }
+
+    /// Every CQ-admissible polynomial is homogeneous and its coefficients are
+    /// bounded by the number of orderings of the monomial (Sec. 4.5).
+    #[test]
+    fn admissible_polynomials_are_homogeneous(p in polynomial_strategy()) {
+        if is_cq_admissible(&p) {
+            prop_assert!(p.is_homogeneous());
+            for (m, c) in p.terms() {
+                prop_assert!(c <= m.num_orderings());
+            }
+        }
+    }
+
+    /// The tropical order is a preorder compatible with addition (positivity
+    /// requirement (C4) at the polynomial level).
+    #[test]
+    fn tropical_order_is_monotone(p in polynomial_strategy(), q in polynomial_strategy(),
+                                  r in polynomial_strategy()) {
+        use annot_polynomial::leq_min_plus;
+        prop_assert!(leq_min_plus(&p, &p));
+        if leq_min_plus(&p, &q) {
+            prop_assert!(leq_min_plus(&p.plus(&r), &q.plus(&r)));
+        }
+    }
+}
+
+/// Random CQ workloads: a query is always equivalent to its complete
+/// description (Q ≡_K ⟨Q⟩) on random instances, for an idempotent and a
+/// non-idempotent semiring.
+#[test]
+fn complete_description_equivalence_on_random_queries() {
+    for seed in 0..30u64 {
+        let mut generator = QueryGenerator::new(GeneratorConfig {
+            num_atoms: 2 + (seed % 2) as usize,
+            shape: QueryShape::Random,
+            var_pool: 3,
+            num_relations: 1,
+            seed,
+            ..Default::default()
+        });
+        let q = generator.cq();
+        let description = complete_description_cq(&q);
+        let instance: Instance<Natural> = generator.instance(3, 5);
+        let direct = eval_boolean_cq(&q, &instance);
+        let via_description = eval_ducq(&description, &instance, &vec![]);
+        assert_eq!(direct, via_description, "Q ≢ ⟨Q⟩ for {}", q);
+
+        let tropical: Instance<Tropical> =
+            instance.map_annotations(&|n| Tropical::Finite(n.0.min(20)));
+        assert_eq!(
+            eval_boolean_cq(&q, &tropical),
+            eval_ducq(&description, &tropical, &vec![])
+        );
+    }
+}
+
+/// The universal bounds of the paper on random workloads:
+/// `Q₂ ⤖ Q₁ ⇒ Q₁ ⊆_K Q₂` and `Q₁ ⊆_K Q₂ ⇒ Q₂ → Q₁` for every semiring.
+#[test]
+fn universal_bounds_on_random_queries() {
+    let config = BruteForceConfig { domain_size: 2, max_support: 3 };
+    for seed in 100..130u64 {
+        let mut generator = QueryGenerator::new(GeneratorConfig {
+            num_atoms: 2,
+            shape: QueryShape::Random,
+            var_pool: 3,
+            num_relations: 1,
+            seed,
+            ..Default::default()
+        });
+        let q1 = generator.cq();
+        let q2 = generator.cq();
+        // Sufficiency of bijective homomorphisms, tested over Why[X]
+        // (idempotent) and N (non-idempotent).
+        if kinds::exists_bijective_hom(&q2, &q1) {
+            assert!(find_counterexample_cq::<Why>(&q1, &q2, &config).is_none());
+            assert!(find_counterexample_cq::<Natural>(&q1, &q2, &config).is_none());
+        }
+        // Necessity of plain homomorphisms: a semantic counterexample over
+        // *any* semiring implies no containment, which implies nothing
+        // syntactically; but conversely if no homomorphism Q2 → Q1 exists
+        // there must be a B-counterexample (the canonical instance one), so
+        // check that.
+        if !kinds::exists_hom(&q2, &q1) {
+            assert!(
+                find_counterexample_cq::<annot_semiring::Bool>(&q1, &q2, &config).is_some()
+                    || q1.num_vars() > 2,
+                "no homomorphism but no small Boolean counterexample: {} vs {}",
+                q1,
+                q2
+            );
+        }
+    }
+}
+
+/// Evaluating a CQ over the canonical instance of another CQ realises the
+/// homomorphism criterion: Q2 → Q1 iff Q2 evaluates to a non-zero polynomial
+/// over ⟦Q1⟧ with the identity output tuple (Chandra–Merlin via provenance).
+#[test]
+fn canonical_instances_capture_homomorphisms() {
+    for seed in 200..240u64 {
+        let mut generator = QueryGenerator::new(GeneratorConfig {
+            num_atoms: 2,
+            shape: QueryShape::Random,
+            var_pool: 3,
+            num_relations: 1,
+            seed,
+            ..Default::default()
+        });
+        let q1 = generator.cq();
+        let q2 = generator.cq();
+        let canonical = CanonicalInstance::of_cq(&q1);
+        let value = eval_cq(&q2, canonical.instance(), &canonical.identity_tuple(&q2));
+        let hom = kinds::exists_hom(&q2, &q1);
+        // Both queries here are Boolean, so the identity tuple is empty and
+        // the equivalence is exact.
+        assert_eq!(hom, !value.polynomial().is_zero(), "{} vs {}", q1, q2);
+    }
+}
