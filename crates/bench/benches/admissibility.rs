@@ -33,7 +33,9 @@ fn admissibility(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(600));
     for (name, p) in &polynomials {
-        group.bench_function(*name, |b| b.iter(|| black_box(is_cq_admissible(black_box(p)))));
+        group.bench_function(*name, |b| {
+            b.iter(|| black_box(is_cq_admissible(black_box(p))))
+        });
     }
     group.finish();
 

@@ -64,7 +64,10 @@ fn hom_scaling(c: &mut Criterion) {
         ] {
             group.bench_function(format!("{}/{}", label, case.name), |b| {
                 b.iter(|| {
-                    let options = SearchOptions { occurrence_injective: false, order };
+                    let options = SearchOptions {
+                        occurrence_injective: false,
+                        order,
+                    };
                     black_box(
                         HomSearch::new(&case.q2, &case.q1)
                             .with_options(options)

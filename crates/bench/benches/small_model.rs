@@ -56,12 +56,22 @@ fn small_model(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(800));
     group.bench_function("symbolic(Thm 4.17)", |b| {
-        b.iter(|| black_box(cq_contained_small_model::<Tropical>(&example.q1, &example.q2)))
+        b.iter(|| {
+            black_box(cq_contained_small_model::<Tropical>(
+                &example.q1,
+                &example.q2,
+            ))
+        })
     });
     group.bench_function("brute-force(domain=2)", |b| {
-        let config = BruteForceConfig { domain_size: 2, max_support: 4 };
+        let config = BruteForceConfig {
+            domain_size: 2,
+            max_support: 4,
+        };
         b.iter(|| {
-            black_box(find_counterexample_cq::<Tropical>(&example.q1, &example.q2, &config).is_none())
+            black_box(
+                find_counterexample_cq::<Tropical>(&example.q1, &example.q2, &config).is_none(),
+            )
         })
     });
     group.finish();

@@ -21,12 +21,7 @@ fn workload() -> Vec<CqCase> {
     cases
 }
 
-fn bench_row(
-    c: &mut Criterion,
-    row: &str,
-    procedure: &dyn Fn(&Cq, &Cq) -> bool,
-    cases: &[CqCase],
-) {
+fn bench_row(c: &mut Criterion, row: &str, procedure: &dyn Fn(&Cq, &Cq) -> bool, cases: &[CqCase]) {
     let mut group = c.benchmark_group(row);
     group
         .sample_size(20)
@@ -42,11 +37,36 @@ fn bench_row(
 
 fn table1_cq(c: &mut Criterion) {
     let cases = workload();
-    bench_row(c, "table1_cq/C_hom(homomorphism)", &decide::contained_chom, &cases);
-    bench_row(c, "table1_cq/C_hcov(covering)", &decide::contained_chcov, &cases);
-    bench_row(c, "table1_cq/C_in(injective)", &decide::contained_cin, &cases);
-    bench_row(c, "table1_cq/C_sur(surjective)", &decide::contained_csur, &cases);
-    bench_row(c, "table1_cq/C_bi(bijective)", &decide::contained_cbi, &cases);
+    bench_row(
+        c,
+        "table1_cq/C_hom(homomorphism)",
+        &decide::contained_chom,
+        &cases,
+    );
+    bench_row(
+        c,
+        "table1_cq/C_hcov(covering)",
+        &decide::contained_chcov,
+        &cases,
+    );
+    bench_row(
+        c,
+        "table1_cq/C_in(injective)",
+        &decide::contained_cin,
+        &cases,
+    );
+    bench_row(
+        c,
+        "table1_cq/C_sur(surjective)",
+        &decide::contained_csur,
+        &cases,
+    );
+    bench_row(
+        c,
+        "table1_cq/C_bi(bijective)",
+        &decide::contained_cbi,
+        &cases,
+    );
     // The small-model row (T⁺) is only benchmarked on the smaller cases: its
     // complete-description blow-up is Bell-number-sized by design.
     let small_cases: Vec<CqCase> = cq_workload(&[2, 3, 4])

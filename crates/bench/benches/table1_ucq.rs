@@ -40,20 +40,60 @@ fn bench_row(
 
 fn table1_ucq(c: &mut Criterion) {
     let cases = workload();
-    bench_row(c, "table1_ucq/C_hom(member-wise hom)", &local::contained_chom, &cases);
-    bench_row(c, "table1_ucq/C1_in(member-wise injective)", &local::contained_c1in, &cases);
-    bench_row(c, "table1_ucq/C1_sur(member-wise surjective)", &local::contained_c1sur, &cases);
-    bench_row(c, "table1_ucq/C1_bi(member-wise bijective)", &local::contained_c1bi, &cases);
-    bench_row(c, "table1_ucq/C1_hcov(covering-1)", &covering::covering1, &cases);
-    bench_row(c, "table1_ucq/C2_hcov(covering-2)", &covering::covering2, &cases);
+    bench_row(
+        c,
+        "table1_ucq/C_hom(member-wise hom)",
+        &local::contained_chom,
+        &cases,
+    );
+    bench_row(
+        c,
+        "table1_ucq/C1_in(member-wise injective)",
+        &local::contained_c1in,
+        &cases,
+    );
+    bench_row(
+        c,
+        "table1_ucq/C1_sur(member-wise surjective)",
+        &local::contained_c1sur,
+        &cases,
+    );
+    bench_row(
+        c,
+        "table1_ucq/C1_bi(member-wise bijective)",
+        &local::contained_c1bi,
+        &cases,
+    );
+    bench_row(
+        c,
+        "table1_ucq/C1_hcov(covering-1)",
+        &covering::covering1,
+        &cases,
+    );
+    bench_row(
+        c,
+        "table1_ucq/C2_hcov(covering-2)",
+        &covering::covering2,
+        &cases,
+    );
     bench_row(
         c,
         "table1_ucq/Ck_bi(counting,k=2)",
         &|q1, q2| bijective::counting_offset(q1, q2, 2),
         &cases,
     );
-    bench_row(c, "table1_ucq/Cinf_bi(counting-infinite)", &bijective::counting_infinite, &cases);
-    bench_row(c, "table1_ucq/Cinf_sur(unique-surjection)", &surjective::unique_surjective, &cases);
+    bench_row(
+        c,
+        "table1_ucq/Cinf_bi(counting-infinite)",
+        &bijective::counting_infinite,
+        &cases,
+    );
+    bench_row(
+        c,
+        "table1_ucq/Cinf_sur(unique-surjection)",
+        &surjective::unique_surjective,
+        &cases,
+    );
 }
 
 criterion_group!(benches, table1_ucq);

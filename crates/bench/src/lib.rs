@@ -71,7 +71,11 @@ pub fn cq_homomorphic_workload(sizes: &[usize]) -> Vec<CqCase> {
             ..Default::default()
         });
         let (q1, q2) = generator.homomorphic_pair();
-        cases.push(CqCase { name: format!("hom-pair-{}atoms", n), q1, q2 });
+        cases.push(CqCase {
+            name: format!("hom-pair-{}atoms", n),
+            q1,
+            q2,
+        });
     }
     cases
 }
@@ -114,7 +118,11 @@ pub fn example_5_7() -> UcqCase {
         "Q() :- R(u, v), R(w, w) ; Q() :- R(u, u), R(u, u)",
     )
     .unwrap();
-    UcqCase { name: "example-5.7".to_string(), q1, q2 }
+    UcqCase {
+        name: "example-5.7".to_string(),
+        q1,
+        q2,
+    }
 }
 
 /// The Example 4.6 CQ pair.
@@ -122,7 +130,11 @@ pub fn example_4_6() -> CqCase {
     let mut schema = annot_query::Schema::with_relations([("R", 2)]);
     let q1 = annot_query::parser::parse_cq(&mut schema, "Q() :- R(u, v), R(u, w)").unwrap();
     let q2 = annot_query::parser::parse_cq(&mut schema, "Q() :- R(u, v), R(u, v)").unwrap();
-    CqCase { name: "example-4.6".to_string(), q1, q2 }
+    CqCase {
+        name: "example-4.6".to_string(),
+        q1,
+        q2,
+    }
 }
 
 #[cfg(test)]

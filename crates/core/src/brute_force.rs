@@ -14,7 +14,7 @@
 //! the relevant elements the search is a genuine decision procedure for the
 //! finite semirings used in the test-suite.
 
-use annot_query::eval::{eval_ucq, eval_cq};
+use annot_query::eval::{eval_cq, eval_ucq};
 use annot_query::{Cq, DbValue, Instance, Schema, Tuple, Ucq};
 use annot_semiring::Semiring;
 
@@ -45,7 +45,10 @@ pub struct BruteForceConfig {
 
 impl Default for BruteForceConfig {
     fn default() -> Self {
-        BruteForceConfig { domain_size: 2, max_support: usize::MAX }
+        BruteForceConfig {
+            domain_size: 2,
+            max_support: usize::MAX,
+        }
     }
 }
 
@@ -57,11 +60,7 @@ pub fn find_counterexample_cq<K: Semiring>(
     q2: &Cq,
     config: &BruteForceConfig,
 ) -> Option<CounterExample<K>> {
-    find_counterexample_ucq(
-        &Ucq::single(q1.clone()),
-        &Ucq::single(q2.clone()),
-        config,
-    )
+    find_counterexample_ucq(&Ucq::single(q1.clone()), &Ucq::single(q2.clone()), config)
 }
 
 /// UCQ version of [`find_counterexample_cq`].
@@ -172,7 +171,15 @@ fn enumerate_annotations<K: Semiring>(
     }
     for choice in 0..=samples.len() {
         current[index] = choice;
-        if enumerate_annotations(schema, all_tuples, samples, current, index + 1, config, visit) {
+        if enumerate_annotations(
+            schema,
+            all_tuples,
+            samples,
+            current,
+            index + 1,
+            config,
+            visit,
+        ) {
             return true;
         }
     }
@@ -197,7 +204,10 @@ mod tests {
         let mut s = schema();
         let q1 = parser::parse_cq(&mut s, "Q() :- R(u, v), R(u, w)").unwrap();
         let q2 = parser::parse_cq(&mut s, "Q() :- R(u, v), R(u, v)").unwrap();
-        let config = BruteForceConfig { domain_size: 2, max_support: 4 };
+        let config = BruteForceConfig {
+            domain_size: 2,
+            max_support: 4,
+        };
         let counterexample = find_counterexample_cq::<Natural>(&q1, &q2, &config);
         assert!(counterexample.is_some());
         let ce = counterexample.unwrap();
@@ -216,7 +226,10 @@ mod tests {
         let mut s = schema();
         let q1 = parser::parse_cq(&mut s, "Q() :- R(u, v), R(v, w)").unwrap();
         let q2 = parser::parse_cq(&mut s, "Q() :- R(a, b)").unwrap();
-        let config = BruteForceConfig { domain_size: 2, max_support: 3 };
+        let config = BruteForceConfig {
+            domain_size: 2,
+            max_support: 3,
+        };
         // Under set semantics the path is contained in the edge.
         assert!(no_counterexample_cq::<Bool>(&q1, &q2, &config));
         // Under bag semantics it is not (the edge count can be smaller than
@@ -233,6 +246,8 @@ mod tests {
         let config = BruteForceConfig::default();
         assert!(find_counterexample_ucq::<Natural>(&Ucq::empty(), &q, &config).is_none());
         assert!(find_counterexample_ucq::<Natural>(&q, &Ucq::empty(), &config).is_some());
-        assert!(find_counterexample_ucq::<Natural>(&Ucq::empty(), &Ucq::empty(), &config).is_none());
+        assert!(
+            find_counterexample_ucq::<Natural>(&Ucq::empty(), &Ucq::empty(), &config).is_none()
+        );
     }
 }

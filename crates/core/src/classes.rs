@@ -476,7 +476,11 @@ mod tests {
             Offset::Finite(k) => Some(k),
             Offset::Infinite => None,
         };
-        assert_eq!(declared_offset, empirical.offset, "{}: offset mismatch", declared.name);
+        assert_eq!(
+            declared_offset, empirical.offset,
+            "{}: offset mismatch",
+            declared.name
+        );
     }
 
     #[test]
@@ -514,12 +518,24 @@ mod tests {
 
     #[test]
     fn table1_criteria() {
-        assert_eq!(Bool::class_profile().cq_criterion, CqCriterion::Homomorphism);
+        assert_eq!(
+            Bool::class_profile().cq_criterion,
+            CqCriterion::Homomorphism
+        );
         assert_eq!(Lineage::class_profile().cq_criterion, CqCriterion::Covering);
         assert_eq!(Why::class_profile().cq_criterion, CqCriterion::Surjective);
-        assert_eq!(NatPoly::class_profile().cq_criterion, CqCriterion::Bijective);
-        assert_eq!(Tropical::class_profile().cq_criterion, CqCriterion::SmallModel);
-        assert_eq!(Natural::class_profile().cq_criterion, CqCriterion::OpenProblem);
+        assert_eq!(
+            NatPoly::class_profile().cq_criterion,
+            CqCriterion::Bijective
+        );
+        assert_eq!(
+            Tropical::class_profile().cq_criterion,
+            CqCriterion::SmallModel
+        );
+        assert_eq!(
+            Natural::class_profile().cq_criterion,
+            CqCriterion::OpenProblem
+        );
         assert_eq!(
             NatPoly::class_profile().ucq_criterion,
             UcqCriterion::CountingInfinite

@@ -87,8 +87,8 @@ pub fn classify_with_bound<K: Semiring>(offset_bound: u64) -> EmpiricalClassific
 mod tests {
     use super::*;
     use annot_semiring::{
-        Bool, BoolPoly, BoundedNat, Clearance, Fuzzy, Lineage, NatPoly, Natural, PosBool,
-        Schedule, Trio, Tropical, Why,
+        Bool, BoolPoly, BoundedNat, Clearance, Fuzzy, Lineage, NatPoly, Natural, PosBool, Schedule,
+        Trio, Tropical, Why,
     };
 
     #[test]
@@ -128,8 +128,21 @@ mod tests {
             };
         }
         check!(
-            Bool, PosBool, Fuzzy, Clearance, Lineage, Tropical, Schedule, Why, Trio, NatPoly,
-            BoolPoly, Natural, BoundedNat<1>, BoundedNat<2>, BoundedNat<3>
+            Bool,
+            PosBool,
+            Fuzzy,
+            Clearance,
+            Lineage,
+            Tropical,
+            Schedule,
+            Why,
+            Trio,
+            NatPoly,
+            BoolPoly,
+            Natural,
+            BoundedNat<1>,
+            BoundedNat<2>,
+            BoundedNat<3>
         );
     }
 

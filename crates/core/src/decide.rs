@@ -56,10 +56,19 @@ pub fn decide_cq<K: ClassifiedSemiring>(q1: &Cq, q2: &Cq) -> Answer {
     let profile = K::class_profile();
     match profile.cq_criterion {
         CqCriterion::Homomorphism => verdict(cq::contained_chom(q1, q2), "homomorphism (C_hom)"),
-        CqCriterion::Covering => verdict(cq::contained_chcov(q1, q2), "homomorphic covering (C_hcov)"),
-        CqCriterion::Injective => verdict(cq::contained_cin(q1, q2), "injective homomorphism (C_in)"),
-        CqCriterion::Surjective => verdict(cq::contained_csur(q1, q2), "surjective homomorphism (C_sur)"),
-        CqCriterion::Bijective => verdict(cq::contained_cbi(q1, q2), "bijective homomorphism (C_bi)"),
+        CqCriterion::Covering => {
+            verdict(cq::contained_chcov(q1, q2), "homomorphic covering (C_hcov)")
+        }
+        CqCriterion::Injective => {
+            verdict(cq::contained_cin(q1, q2), "injective homomorphism (C_in)")
+        }
+        CqCriterion::Surjective => verdict(
+            cq::contained_csur(q1, q2),
+            "surjective homomorphism (C_sur)",
+        ),
+        CqCriterion::Bijective => {
+            verdict(cq::contained_cbi(q1, q2), "bijective homomorphism (C_bi)")
+        }
         CqCriterion::SmallModel | CqCriterion::OpenProblem => bounds_cq(q1, q2, &profile),
     }
 }
@@ -110,27 +119,38 @@ fn bounds_cq(q1: &Cq, q2: &Cq, profile: &crate::classes::ClassProfile) -> Answer
     if !necessary {
         return Answer::NotContained("necessary homomorphism bound violated");
     }
-    Answer::Unknown { sufficient_holds: sufficient, necessary_holds: necessary }
+    Answer::Unknown {
+        sufficient_holds: sufficient,
+        necessary_holds: necessary,
+    }
 }
 
 /// Decides `Q₁ ⊆_K Q₂` for UCQs.
 pub fn decide_ucq<K: ClassifiedSemiring>(q1: &Ucq, q2: &Ucq) -> Answer {
     let profile = K::class_profile();
     match profile.ucq_criterion {
-        UcqCriterion::LocalHomomorphism => {
-            verdict(ucq::local::contained_chom(q1, q2), "member-wise homomorphism (C_hom)")
+        UcqCriterion::LocalHomomorphism => verdict(
+            ucq::local::contained_chom(q1, q2),
+            "member-wise homomorphism (C_hom)",
+        ),
+        UcqCriterion::LocalInjective => verdict(
+            ucq::local::contained_c1in(q1, q2),
+            "member-wise injective homomorphism (C¹_in)",
+        ),
+        UcqCriterion::LocalSurjective => verdict(
+            ucq::local::contained_c1sur(q1, q2),
+            "member-wise surjective homomorphism (C¹_sur)",
+        ),
+        UcqCriterion::LocalBijective => verdict(
+            ucq::local::contained_c1bi(q1, q2),
+            "member-wise bijective homomorphism (C¹_bi)",
+        ),
+        UcqCriterion::Covering1 => {
+            verdict(ucq::covering::covering1(q1, q2), "covering ⇉₁ (C¹_hcov)")
         }
-        UcqCriterion::LocalInjective => {
-            verdict(ucq::local::contained_c1in(q1, q2), "member-wise injective homomorphism (C¹_in)")
+        UcqCriterion::Covering2 => {
+            verdict(ucq::covering::covering2(q1, q2), "covering ⇉₂ (C²_hcov)")
         }
-        UcqCriterion::LocalSurjective => {
-            verdict(ucq::local::contained_c1sur(q1, q2), "member-wise surjective homomorphism (C¹_sur)")
-        }
-        UcqCriterion::LocalBijective => {
-            verdict(ucq::local::contained_c1bi(q1, q2), "member-wise bijective homomorphism (C¹_bi)")
-        }
-        UcqCriterion::Covering1 => verdict(ucq::covering::covering1(q1, q2), "covering ⇉₁ (C¹_hcov)"),
-        UcqCriterion::Covering2 => verdict(ucq::covering::covering2(q1, q2), "covering ⇉₂ (C²_hcov)"),
         UcqCriterion::CountingOffset(k) => verdict(
             ucq::bijective::counting_offset(q1, q2, k),
             "complete-description counting ↪_k (C^k_bi)",
@@ -186,7 +206,10 @@ fn bounds_ucq(q1: &Ucq, q2: &Ucq, profile: &crate::classes::ClassProfile) -> Ans
     if !necessary {
         return Answer::NotContained("necessary UCQ bound violated");
     }
-    Answer::Unknown { sufficient_holds: sufficient, necessary_holds: necessary }
+    Answer::Unknown {
+        sufficient_holds: sufficient,
+        necessary_holds: necessary,
+    }
 }
 
 #[cfg(test)]
@@ -238,7 +261,10 @@ mod tests {
             other => panic!("unexpected answer {:?}", other),
         }
         match decide_cq::<Natural>(&q1, &q2) {
-            Answer::Unknown { sufficient_holds, necessary_holds } => {
+            Answer::Unknown {
+                sufficient_holds,
+                necessary_holds,
+            } => {
                 assert!(!sufficient_holds);
                 assert!(necessary_holds);
             }
@@ -249,8 +275,10 @@ mod tests {
     #[test]
     fn ucq_dispatch() {
         let mut s = Schema::with_relations([("R", 2)]);
-        let u1 = parser::parse_ucq(&mut s, "Q() :- R(u, v), R(u, u) ; Q() :- R(u, v), R(v, v)").unwrap();
-        let u2 = parser::parse_ucq(&mut s, "Q() :- R(u, v), R(w, w) ; Q() :- R(u, u), R(u, u)").unwrap();
+        let u1 =
+            parser::parse_ucq(&mut s, "Q() :- R(u, v), R(u, u) ; Q() :- R(u, v), R(v, v)").unwrap();
+        let u2 =
+            parser::parse_ucq(&mut s, "Q() :- R(u, v), R(w, w) ; Q() :- R(u, u), R(u, u)").unwrap();
         // N[X]: decided by ↪_∞ (Ex. 5.7).
         assert_eq!(decide_ucq::<NatPoly>(&u1, &u2).decided(), Some(true));
         assert_eq!(decide_ucq::<NatPoly>(&u2, &u1).decided(), Some(false));

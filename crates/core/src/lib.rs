@@ -50,7 +50,11 @@ pub mod poly_order;
 pub mod small_model;
 pub mod ucq;
 
-pub use classes::{ClassProfile, ClassifiedSemiring, Complexity, CqCriterion, Offset, UcqCriterion};
+pub use classes::{
+    ClassProfile, ClassifiedSemiring, Complexity, CqCriterion, Offset, UcqCriterion,
+};
 pub use classify::{classify, EmpiricalClassification};
-pub use decide::{decide_cq, decide_cq_with_poly_order, decide_ucq, decide_ucq_with_poly_order, Answer};
+pub use decide::{
+    decide_cq, decide_cq_with_poly_order, decide_ucq, decide_ucq_with_poly_order, Answer,
+};
 pub use poly_order::PolynomialOrder;

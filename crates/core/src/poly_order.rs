@@ -82,11 +82,9 @@ fn check_rec<K: Semiring>(
     assignment: &mut Vec<K>,
 ) -> bool {
     if index == vars.len() {
-        let valuation = |v: Var| {
-            match vars.iter().position(|&w| w == v) {
-                Some(i) => assignment[i].clone(),
-                None => K::zero(),
-            }
+        let valuation = |v: Var| match vars.iter().position(|&w| w == v) {
+            Some(i) => assignment[i].clone(),
+            None => K::zero(),
         };
         let v1 = eval_polynomial(p1, &valuation);
         let v2 = eval_polynomial(p2, &valuation);

@@ -19,7 +19,9 @@ use annot_query::{Ccq, Cq, Ducq, Ucq};
 
 /// `Q₂ ⇉₁ Q₁` on plain UCQs.
 pub fn covering1(q1: &Ucq, q2: &Ucq) -> bool {
-    q1.disjuncts().iter().all(|member1| covered_by_union(member1, q2))
+    q1.disjuncts()
+        .iter()
+        .all(|member1| covered_by_union(member1, q2))
 }
 
 /// Whether every atom of `target` is in the image of a homomorphism from

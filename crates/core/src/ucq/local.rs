@@ -14,9 +14,11 @@ use annot_query::{Cq, Ucq};
 /// The generic local method: every member of `q1` is related to some member
 /// of `q2` by the supplied CQ-level check.
 pub fn locally_contained(q1: &Ucq, q2: &Ucq, cq_check: &dyn Fn(&Cq, &Cq) -> bool) -> bool {
-    q1.disjuncts()
-        .iter()
-        .all(|member1| q2.disjuncts().iter().any(|member2| cq_check(member1, member2)))
+    q1.disjuncts().iter().all(|member1| {
+        q2.disjuncts()
+            .iter()
+            .any(|member2| cq_check(member1, member2))
+    })
 }
 
 /// `C_hom` (Thm. 5.2): `Q₁ ⊆_K Q₂ ⇔ Q₂ → Q₁` member-wise.

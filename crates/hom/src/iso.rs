@@ -31,7 +31,10 @@ pub fn are_isomorphic(a: &Ccq, b: &Ccq) -> bool {
 pub fn find_isomorphism(a: &Ccq, b: &Ccq) -> Option<VarMap> {
     let mut found = None;
     HomSearch::new_ccq(a, b)
-        .with_options(SearchOptions { occurrence_injective: true, ..Default::default() })
+        .with_options(SearchOptions {
+            occurrence_injective: true,
+            ..Default::default()
+        })
         .run(&mut |map| {
             if is_isomorphism(map, a, b) {
                 found = Some(map.clone());
@@ -74,7 +77,10 @@ fn is_isomorphism(map: &VarMap, a: &Ccq, b: &Ccq) -> bool {
 pub fn automorphisms(q: &Ccq) -> Vec<VarMap> {
     let mut result = Vec::new();
     HomSearch::new_ccq(q, q)
-        .with_options(SearchOptions { occurrence_injective: true, ..Default::default() })
+        .with_options(SearchOptions {
+            occurrence_injective: true,
+            ..Default::default()
+        })
         .run(&mut |map| {
             if is_isomorphism(map, q, q) {
                 result.push(map.clone());
@@ -87,9 +93,9 @@ pub fn automorphisms(q: &Ccq) -> Vec<VarMap> {
 /// Whether a CCQ has a non-trivial automorphism (one that is not the
 /// identity) — needed by the covering criterion ⇉₂ (Sec. 5.4).
 pub fn has_nontrivial_automorphism(q: &Ccq) -> bool {
-    automorphisms(q).iter().any(|map| {
-        (0..q.cq().num_vars() as u32).any(|i| map.get(QVar(i)) != Some(QVar(i)))
-    })
+    automorphisms(q)
+        .iter()
+        .any(|map| (0..q.cq().num_vars() as u32).any(|i| map.get(QVar(i)) != Some(QVar(i))))
 }
 
 /// The number of members of a union of CCQs isomorphic to `q` — the quantity

@@ -32,14 +32,20 @@ pub fn exists_hom_ccq(q2: &Ccq, q1: &Ccq) -> bool {
 /// atoms (Sec. 4.2).
 pub fn exists_injective_hom(q2: &Cq, q1: &Cq) -> bool {
     HomSearch::new(q2, q1)
-        .with_options(SearchOptions { occurrence_injective: true, ..Default::default() })
+        .with_options(SearchOptions {
+            occurrence_injective: true,
+            ..Default::default()
+        })
         .exists()
 }
 
 /// `Q₂ ↪ Q₁` for CCQs, preserving inequalities.
 pub fn exists_injective_hom_ccq(q2: &Ccq, q1: &Ccq) -> bool {
     HomSearch::new_ccq(q2, q1)
-        .with_options(SearchOptions { occurrence_injective: true, ..Default::default() })
+        .with_options(SearchOptions {
+            occurrence_injective: true,
+            ..Default::default()
+        })
         .exists()
 }
 
@@ -195,8 +201,8 @@ mod tests {
         assert!(exists_injective_hom(&q2, &q1));
         assert!(!exists_bijective_hom(&q2, &q1)); // different atom counts
         assert!(!exists_surjective_hom(&q2, &q1)); // a single image atom cannot cover both atoms at once
-        // ... but each atom of Q1 is separately the image of some
-        // homomorphism from the edge, so the covering Q2 ⇉ Q1 holds.
+                                                   // ... but each atom of Q1 is separately the image of some
+                                                   // homomorphism from the edge, so the covering Q2 ⇉ Q1 holds.
         assert!(homomorphically_covers(&q2, &q1));
     }
 
@@ -290,12 +296,9 @@ mod tests {
     #[test]
     fn ccq_variants_respect_inequalities() {
         use annot_query::Ccq;
-        let loop_q = Ccq::completion_of(
-            Cq::builder(&schema()).atom("R", &["x", "x"]).build(),
-        );
-        let edge_distinct = Ccq::completion_of(
-            Cq::builder(&schema()).atom("R", &["u", "v"]).build(),
-        );
+        let loop_q = Ccq::completion_of(Cq::builder(&schema()).atom("R", &["x", "x"]).build());
+        let edge_distinct =
+            Ccq::completion_of(Cq::builder(&schema()).atom("R", &["u", "v"]).build());
         // R(u,v) with u≠v maps into R(x,x) only by collapsing u,v — forbidden.
         assert!(!exists_hom_ccq(&edge_distinct, &loop_q));
         assert!(!exists_injective_hom_ccq(&edge_distinct, &loop_q));

@@ -18,7 +18,9 @@ impl VarMap {
     /// An empty (fully undefined) mapping for a source query with
     /// `num_source_vars` variables.
     pub fn new(num_source_vars: usize) -> Self {
-        VarMap { map: vec![None; num_source_vars] }
+        VarMap {
+            map: vec![None; num_source_vars],
+        }
     }
 
     /// The image of a source variable, if defined.

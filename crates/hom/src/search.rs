@@ -109,12 +109,7 @@ impl<'a> HomSearch<'a> {
             return false;
         }
         let mut map = VarMap::new(self.source.num_vars());
-        for (v2, v1) in self
-            .source
-            .free_vars()
-            .iter()
-            .zip(self.target.free_vars())
-        {
+        for (v2, v1) in self.source.free_vars().iter().zip(self.target.free_vars()) {
             if !map.bind(*v2, *v1) {
                 return false;
             }
@@ -247,8 +242,7 @@ impl<'a> HomSearch<'a> {
                 return false;
             }
             if let Some(target) = self.target_ineqs {
-                let both_existential =
-                    !target.cq().is_free(ha) && !target.cq().is_free(hb);
+                let both_existential = !target.cq().is_free(ha) && !target.cq().is_free(hb);
                 if both_existential && !target.must_differ(ha, hb) {
                     return false;
                 }
@@ -327,7 +321,10 @@ mod tests {
             .build();
         let q1 = Cq::builder(&schema()).atom("R", &["x", "y"]).build();
         assert!(HomSearch::new(&q2, &q1).exists());
-        let injective = SearchOptions { occurrence_injective: true, ..Default::default() };
+        let injective = SearchOptions {
+            occurrence_injective: true,
+            ..Default::default()
+        };
         assert!(!HomSearch::new(&q2, &q1)
             .with_options(injective.clone())
             .exists());
@@ -345,9 +342,7 @@ mod tests {
             .atom("R", &["x", "y"])
             .atom("S", &["y"])
             .build();
-        let q2 = Cq::builder(&schema())
-            .atom("R", &["u", "v"])
-            .build();
+        let q2 = Cq::builder(&schema()).atom("R", &["u", "v"]).build();
         // Q2's only atom can be pinned to Q1's atom 0 (the R atom) ...
         assert!(HomSearch::new(&q2, &q1).with_pin(0, 0).exists());
         // ... but not to atom 1 (an S atom, different relation).
@@ -383,7 +378,10 @@ mod tests {
             .atom("S", &["b"])
             .build();
         for order in [AtomOrder::Syntactic, AtomOrder::MostConstrained] {
-            let options = SearchOptions { occurrence_injective: false, order };
+            let options = SearchOptions {
+                occurrence_injective: false,
+                order,
+            };
             assert!(HomSearch::new(&q2, &q1).with_options(options).exists());
         }
     }

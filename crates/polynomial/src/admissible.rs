@@ -120,7 +120,12 @@ fn search(
 pub fn distinct_orderings(m: &Monomial) -> Vec<OMonomial> {
     let expanded = m.expand();
     let mut results: BTreeSet<OMonomial> = BTreeSet::new();
-    permute(&expanded, &mut Vec::new(), &mut vec![false; expanded.len()], &mut results);
+    permute(
+        &expanded,
+        &mut Vec::new(),
+        &mut vec![false; expanded.len()],
+        &mut results,
+    );
     results.into_iter().collect()
 }
 
@@ -260,8 +265,14 @@ fn zigzag_connected(rep: &[OMonomial], i: usize, j: usize, a: Var, b: Var) -> bo
     }
     let mut adjacency: HashMap<Node, Vec<Node>> = HashMap::new();
     for &(l, r) in &edges {
-        adjacency.entry(Node::Left(l)).or_default().push(Node::Right(r));
-        adjacency.entry(Node::Right(r)).or_default().push(Node::Left(l));
+        adjacency
+            .entry(Node::Left(l))
+            .or_default()
+            .push(Node::Right(r));
+        adjacency
+            .entry(Node::Right(r))
+            .or_default()
+            .push(Node::Left(l));
     }
     let start = Node::Left(a);
     let goal = Node::Right(b);
@@ -379,15 +390,9 @@ mod tests {
         // two-node cycle.  Taking all three orderings, however, the chains
         // force the o-monomial xxx into the representation, so 3x²y is NOT
         // admissible.
-        let p2 = Polynomial::from_monomial(
-            Monomial::from_pairs([(Var(0), 2), (Var(1), 1)]),
-            2,
-        );
+        let p2 = Polynomial::from_monomial(Monomial::from_pairs([(Var(0), 2), (Var(1), 1)]), 2);
         assert!(is_cq_admissible(&p2));
-        let p3 = Polynomial::from_monomial(
-            Monomial::from_pairs([(Var(0), 2), (Var(1), 1)]),
-            3,
-        );
+        let p3 = Polynomial::from_monomial(Monomial::from_pairs([(Var(0), 2), (Var(1), 1)]), 3);
         assert!(!is_cq_admissible(&p3));
     }
 

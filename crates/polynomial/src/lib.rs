@@ -69,13 +69,13 @@ mod integration_tests {
         let y = Polynomial::var(Var(1));
         let p = x.plus(&y).times(&x);
         let into_bool = |vx: bool, vy: bool| {
-            p.eval_generic(
-                false,
-                true,
-                &|a, b| *a || *b,
-                &|a, b| *a && *b,
-                &|v| if v == Var(0) { vx } else { vy },
-            )
+            p.eval_generic(false, true, &|a, b| *a || *b, &|a, b| *a && *b, &|v| {
+                if v == Var(0) {
+                    vx
+                } else {
+                    vy
+                }
+            })
         };
         assert!(into_bool(true, false));
         assert!(into_bool(true, true));
@@ -93,7 +93,11 @@ mod integration_tests {
         assert_eq!(m.degree(), 1);
         let mut pool = VarPool::new();
         assert_eq!(pool.var("x"), Var(0));
-        assert_eq!(eq_tropical(&Polynomial::one(), &Polynomial::one(), TropicalKind::MinPlus), true);
+        assert!(eq_tropical(
+            &Polynomial::one(),
+            &Polynomial::one(),
+            TropicalKind::MinPlus
+        ));
         assert!(find_admissible_representation(&Polynomial::one()).is_some());
     }
 }

@@ -21,12 +21,16 @@ pub struct Monomial {
 impl Monomial {
     /// The unit monomial `1`.
     pub fn one() -> Self {
-        Monomial { factors: Vec::new() }
+        Monomial {
+            factors: Vec::new(),
+        }
     }
 
     /// The monomial consisting of a single variable.
     pub fn var(v: Var) -> Self {
-        Monomial { factors: vec![(v, 1)] }
+        Monomial {
+            factors: vec![(v, 1)],
+        }
     }
 
     /// A single variable raised to a power.  `power == 0` yields `1`.
@@ -34,7 +38,9 @@ impl Monomial {
         if power == 0 {
             Monomial::one()
         } else {
-            Monomial { factors: vec![(v, power)] }
+            Monomial {
+                factors: vec![(v, power)],
+            }
         }
     }
 
@@ -129,9 +135,7 @@ impl Monomial {
 
     /// Whether `self` divides `other` (componentwise exponent comparison).
     pub fn divides(&self, other: &Monomial) -> bool {
-        self.factors
-            .iter()
-            .all(|&(v, e)| other.exponent(v) >= e)
+        self.factors.iter().all(|&(v, e)| other.exponent(v) >= e)
     }
 
     /// Whether the monomial is multilinear (all exponents equal to 1).

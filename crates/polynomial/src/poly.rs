@@ -23,7 +23,9 @@ pub struct Polynomial {
 impl Polynomial {
     /// The zero polynomial.
     pub fn zero() -> Self {
-        Polynomial { terms: BTreeMap::new() }
+        Polynomial {
+            terms: BTreeMap::new(),
+        }
     }
 
     /// The unit polynomial `1`.
@@ -153,11 +155,8 @@ impl Polynomial {
     /// Whether the polynomial uses all the given variables (each appears in
     /// at least one monomial) — used by the `Nᵏ_hcov` axioms (Sec. 5.4).
     pub fn uses_all_variables(&self, vars: &[Var]) -> bool {
-        vars.iter().all(|v| {
-            self.terms
-                .keys()
-                .any(|m| m.exponent(*v) > 0)
-        })
+        vars.iter()
+            .all(|v| self.terms.keys().any(|m| m.exponent(*v) > 0))
     }
 
     /// Polynomial addition.
@@ -351,10 +350,7 @@ mod tests {
         let p = x().plus(&y()).pow(2);
         assert_eq!(p.coefficient(&Monomial::var_pow(Var(0), 2)), 1);
         assert_eq!(p.coefficient(&Monomial::var_pow(Var(1), 2)), 1);
-        assert_eq!(
-            p.coefficient(&Monomial::from_vars([Var(0), Var(1)])),
-            2
-        );
+        assert_eq!(p.coefficient(&Monomial::from_vars([Var(0), Var(1)])), 2);
         assert_eq!(p.num_terms(), 3);
     }
 
@@ -424,13 +420,13 @@ mod tests {
     fn eval_generic_matches_nat() {
         let p = x().plus(&y()).pow(3);
         let by_nat = p.eval_nat(&|v| if v == Var(0) { 2 } else { 7 });
-        let by_generic = p.eval_generic(
-            0u64,
-            1u64,
-            &|a, b| a + b,
-            &|a, b| a * b,
-            &|v| if v == Var(0) { 2 } else { 7 },
-        );
+        let by_generic = p.eval_generic(0u64, 1u64, &|a, b| a + b, &|a, b| a * b, &|v| {
+            if v == Var(0) {
+                2
+            } else {
+                7
+            }
+        });
         assert_eq!(by_nat, by_generic);
     }
 

@@ -39,7 +39,10 @@ impl Rational {
         if g == 0 {
             Rational { num: 0, den: 1 }
         } else {
-            Rational { num: num / g, den: den / g }
+            Rational {
+                num: num / g,
+                den: den / g,
+            }
         }
     }
 
@@ -85,7 +88,10 @@ impl Rational {
 
     /// Absolute value.
     pub fn abs(self) -> Self {
-        Rational { num: self.num.abs(), den: self.den }
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
     }
 
     /// Multiplicative inverse.  Panics on zero.
@@ -132,7 +138,10 @@ impl Div for Rational {
 impl Neg for Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        Rational { num: -self.num, den: self.den }
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 
@@ -212,7 +221,10 @@ mod tests {
         assert!(Rational::new(1, 3) < Rational::new(1, 2));
         assert!(Rational::new(-1, 2) < Rational::zero());
         assert!(Rational::new(7, 3) > Rational::from_int(2));
-        assert_eq!(Rational::new(4, 2).cmp(&Rational::from_int(2)), Ordering::Equal);
+        assert_eq!(
+            Rational::new(4, 2).cmp(&Rational::from_int(2)),
+            Ordering::Equal
+        );
     }
 
     #[test]

@@ -71,7 +71,8 @@ pub fn leq_tropical(p1: &Polynomial, p2: &Polynomial, kind: TropicalKind) -> boo
             let e2 = exponent_vectors(p2, &vars);
             // Failure ⟺ ∃ monomial e of P1 s.t. every monomial of P2 can be
             // made strictly larger simultaneously.
-            !e1.iter().any(|e| dominated_everywhere_fails(e, &e2, vars.len()))
+            !e1.iter()
+                .any(|e| dominated_everywhere_fails(e, &e2, vars.len()))
         }
         TropicalKind::MaxPlus => {
             if p1.is_zero() {

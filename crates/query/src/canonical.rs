@@ -75,7 +75,7 @@ impl CanonicalInstance {
     /// tuples in Thm. 4.17.
     pub fn domain(&self) -> Vec<DbValue> {
         (0..self.num_query_vars as u32)
-            .map(|i| DbValue::Fresh(i))
+            .map(DbValue::Fresh)
             .collect()
     }
 
@@ -113,7 +113,10 @@ mod tests {
         assert_eq!(canon.num_vars(), 2);
         assert_eq!(canon.instance().support_size(), 2);
         let r = schema().relation("R").unwrap();
-        let uv = vec![CanonicalInstance::value_of(QVar(0)), CanonicalInstance::value_of(QVar(1))];
+        let uv = vec![
+            CanonicalInstance::value_of(QVar(0)),
+            CanonicalInstance::value_of(QVar(1)),
+        ];
         let ann = canon.instance().annotation(r, &uv);
         assert_eq!(ann.polynomial(), &Polynomial::var(Var(0)));
 

@@ -31,12 +31,18 @@ impl Ccq {
             assert_ne!(a, b, "inequality between a variable and itself");
             set.insert(normalise(a, b));
         }
-        Ccq { cq, inequalities: set }
+        Ccq {
+            cq,
+            inequalities: set,
+        }
     }
 
     /// A CCQ with no inequalities (equivalent to the plain CQ).
     pub fn from_cq(cq: Cq) -> Self {
-        Ccq { cq, inequalities: BTreeSet::new() }
+        Ccq {
+            cq,
+            inequalities: BTreeSet::new(),
+        }
     }
 
     /// The underlying CQ.

@@ -45,7 +45,11 @@ fn collapse(query: &Cq, existential: &[QVar], partition: &[Vec<usize>]) -> Ccq {
     // block.
     let mut repr: BTreeMap<QVar, QVar> = BTreeMap::new();
     for block in partition {
-        let rep = block.iter().map(|&i| existential[i]).min().expect("non-empty block");
+        let rep = block
+            .iter()
+            .map(|&i| existential[i])
+            .min()
+            .expect("non-empty block");
         for &i in block {
             repr.insert(existential[i], rep);
         }
@@ -73,11 +77,7 @@ fn collapse(query: &Cq, existential: &[QVar], partition: &[Vec<usize>]) -> Ccq {
         .collect();
     let to_new = |v: QVar| -> QVar { new_index[&rename(v)] };
 
-    let atoms: Vec<Atom> = query
-        .atoms()
-        .iter()
-        .map(|a| a.map_vars(&to_new))
-        .collect();
+    let atoms: Vec<Atom> = query.atoms().iter().map(|a| a.map_vars(&to_new)).collect();
     let free: Vec<QVar> = query.free_vars().iter().map(|&v| to_new(v)).collect();
     let cq = Cq::new(query.schema().clone(), free, atoms, var_names);
 
@@ -219,12 +219,8 @@ mod tests {
 
     #[test]
     fn ucq_description_is_union_of_member_descriptions() {
-        let q1 = Cq::builder(&schema())
-            .atom("R", &["u", "v"])
-            .build();
-        let q2 = Cq::builder(&schema())
-            .atom("R", &["u", "u"])
-            .build();
+        let q1 = Cq::builder(&schema()).atom("R", &["u", "v"]).build();
+        let q2 = Cq::builder(&schema()).atom("R", &["u", "u"]).build();
         let ucq = Ucq::new([q1, q2]);
         let desc = complete_description_ucq(&ucq);
         // B(2) + B(1) = 2 + 1 = 3
@@ -233,9 +229,7 @@ mod tests {
 
     #[test]
     fn variable_names_survive_collapsing() {
-        let q1 = Cq::builder(&schema())
-            .atom("R", &["u", "v"])
-            .build();
+        let q1 = Cq::builder(&schema()).atom("R", &["u", "v"]).build();
         let desc = complete_description_cq(&q1);
         let collapsed = desc
             .disjuncts()

@@ -58,7 +58,12 @@ impl Cq {
     /// Every variable (free or existential) must occur in some atom — the
     /// usual safety condition, required for evaluations to be finite sums.
     pub fn new(schema: Schema, free: Vec<QVar>, atoms: Vec<Atom>, var_names: Vec<String>) -> Self {
-        let cq = Cq { schema, free, atoms, var_names };
+        let cq = Cq {
+            schema,
+            free,
+            atoms,
+            var_names,
+        };
         cq.validate();
         cq
     }
@@ -71,7 +76,7 @@ impl Cq {
             .collect();
         for v in 0..self.var_names.len() as u32 {
             assert!(
-                used.contains(&QVar(v)) ,
+                used.contains(&QVar(v)),
                 "unsafe query: variable {} occurs in no atom",
                 self.var_names[v as usize]
             );

@@ -151,9 +151,10 @@ fn eval_rec<K: Semiring>(
     if atom_index == query.num_atoms() {
         // All variables are bound (safety).  Check the inequalities.
         if let Some(ccq) = inequalities {
-            let ok = ccq.inequalities().iter().all(|&(a, b)| {
-                assignment[a.0 as usize] != assignment[b.0 as usize]
-            });
+            let ok = ccq
+                .inequalities()
+                .iter()
+                .all(|&(a, b)| assignment[a.0 as usize] != assignment[b.0 as usize]);
             if !ok {
                 return;
             }
@@ -207,8 +208,8 @@ fn eval_rec<K: Semiring>(
 mod tests {
     use super::*;
     use crate::schema::Schema;
-    use annot_semiring::{Bool, NatPoly, Natural, Semiring, Tropical};
     use annot_polynomial::{Polynomial, Var};
+    use annot_semiring::{Bool, NatPoly, Natural, Semiring, Tropical};
 
     fn schema() -> Schema {
         Schema::with_relations([("R", 2), ("S", 1)])
@@ -305,9 +306,7 @@ mod tests {
     #[test]
     fn ucq_evaluation_sums_members() {
         let q1 = Cq::builder(&schema()).atom("S", &["v"]).build();
-        let q2 = Cq::builder(&schema())
-            .atom("R", &["x", "y"])
-            .build();
+        let q2 = Cq::builder(&schema()).atom("R", &["x", "y"]).build();
         let ucq = Ucq::new([q1, q2]);
         // S contributes 1, R contributes 2 + 3.
         assert_eq!(eval_boolean_ucq(&ucq, &path_instance()), Natural(6));

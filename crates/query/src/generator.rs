@@ -73,7 +73,11 @@ impl QueryGenerator {
             schema.add_relation(&format!("R{}", i), 2);
         }
         let rng = StdRng::seed_from_u64(config.seed);
-        QueryGenerator { config, schema, rng }
+        QueryGenerator {
+            config,
+            schema,
+            rng,
+        }
     }
 
     /// The schema shared by all generated queries and instances.
@@ -109,7 +113,9 @@ impl QueryGenerator {
             .iter()
             .map(|&(rel, a, b)| {
                 Atom::new(
-                    self.schema.relation(&format!("R{}", rel)).expect("relation"),
+                    self.schema
+                        .relation(&format!("R{}", rel))
+                        .expect("relation"),
                     vec![QVar(index_of(a)), QVar(index_of(b))],
                 )
             })

@@ -19,7 +19,10 @@ pub struct Instance<K: Semiring> {
 impl<K: Semiring> Instance<K> {
     /// Creates an empty instance over a schema.
     pub fn new(schema: Schema) -> Self {
-        Instance { schema, relations: HashMap::new() }
+        Instance {
+            schema,
+            relations: HashMap::new(),
+        }
     }
 
     /// The schema.
@@ -79,10 +82,7 @@ impl<K: Semiring> Instance<K> {
     /// Iterates over the support of a relation: `(tuple, annotation)` pairs
     /// with non-zero annotation.
     pub fn support(&self, rel: RelId) -> impl Iterator<Item = (&Tuple, &K)> + '_ {
-        self.relations
-            .get(&rel)
-            .into_iter()
-            .flat_map(|t| t.iter())
+        self.relations.get(&rel).into_iter().flat_map(|t| t.iter())
     }
 
     /// Total number of tuples in the support of the instance.
@@ -155,7 +155,10 @@ mod tests {
         i.insert(r, vec![1.into(), 2.into()], Natural(3));
         assert_eq!(i.annotation(r, &vec![1.into(), 2.into()]), Natural(3));
         assert_eq!(i.annotation(r, &vec![2.into(), 1.into()]), Natural(0));
-        assert_eq!(i.annotation_named("R", &vec![1.into(), 2.into()]), Natural(3));
+        assert_eq!(
+            i.annotation_named("R", &vec![1.into(), 2.into()]),
+            Natural(3)
+        );
         assert_eq!(i.annotation_named("T", &vec![]), Natural(0));
         assert_eq!(i.support_size(), 1);
     }

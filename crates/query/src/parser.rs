@@ -48,7 +48,9 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err<T>(message: impl Into<String>) -> Result<T, ParseError> {
-    Err(ParseError { message: message.into() })
+    Err(ParseError {
+        message: message.into(),
+    })
 }
 
 /// Parses a single CQ (no inequalities allowed).
@@ -88,7 +90,7 @@ pub fn parse_ucq(schema: &mut Schema, input: &str) -> Result<Ucq, ParseError> {
 
 fn split_rules(input: &str) -> Vec<&str> {
     input
-        .split(|c| c == ';' || c == '\n')
+        .split([';', '\n'])
         .map(str::trim)
         .filter(|s| !s.is_empty())
         .collect()
@@ -125,7 +127,10 @@ fn parse_rule(schema: &mut Schema, rule: &str) -> Result<Ccq, ParseError> {
             let a = intern(check_ident(lhs.trim())?, &mut vars, &mut index);
             let b = intern(check_ident(rhs.trim())?, &mut vars, &mut index);
             if a == b {
-                return err(format!("inequality `{}` relates a variable to itself", literal));
+                return err(format!(
+                    "inequality `{}` relates a variable to itself",
+                    literal
+                ));
             }
             inequalities.push((a, b));
         } else {
@@ -281,7 +286,7 @@ mod tests {
         assert!(parse_ccq(&mut schema, "Q() :- R(x), x != x").is_err()); // reflexive
         assert!(parse_cq(&mut schema, "Q() :- R(x y)").is_err()); // bad ident
         assert!(parse_cq(&mut schema, "Q() :- R(x").is_err()); // missing paren
-        // arity clash with previous use of R/2
+                                                               // arity clash with previous use of R/2
         let mut schema2 = Schema::with_relations([("R", 2)]);
         assert!(parse_cq(&mut schema2, "Q() :- R(x)").is_err());
         // two rules where one was expected

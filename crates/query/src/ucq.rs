@@ -20,7 +20,9 @@ pub struct Ucq {
 impl Ucq {
     /// The empty UCQ (evaluates to `0` on every instance).
     pub fn empty() -> Self {
-        Ucq { disjuncts: Vec::new() }
+        Ucq {
+            disjuncts: Vec::new(),
+        }
     }
 
     /// Builds a UCQ from CQs.  All members must have the same number of free
@@ -40,7 +42,9 @@ impl Ucq {
 
     /// A UCQ with a single member.
     pub fn single(cq: Cq) -> Self {
-        Ucq { disjuncts: vec![cq] }
+        Ucq {
+            disjuncts: vec![cq],
+        }
     }
 
     /// The member CQs.
@@ -109,12 +113,16 @@ pub struct Ducq {
 impl Ducq {
     /// The empty union.
     pub fn empty() -> Self {
-        Ducq { disjuncts: Vec::new() }
+        Ducq {
+            disjuncts: Vec::new(),
+        }
     }
 
     /// Builds a union of CCQs.
     pub fn new(disjuncts: impl IntoIterator<Item = Ccq>) -> Self {
-        Ducq { disjuncts: disjuncts.into_iter().collect() }
+        Ducq {
+            disjuncts: disjuncts.into_iter().collect(),
+        }
     }
 
     /// The member CCQs.
@@ -201,10 +209,7 @@ mod tests {
         let u = a.union(&b);
         assert_eq!(u.len(), 3);
         // duplicates are kept — multisets matter for offset-k semirings (Ex. 5.7)
-        assert_eq!(
-            u.disjuncts().iter().filter(|q| **q == r_query()).count(),
-            2
-        );
+        assert_eq!(u.disjuncts().iter().filter(|q| **q == r_query()).count(), 2);
     }
 
     #[test]
@@ -217,7 +222,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn mismatched_head_arities_rejected() {
-        let q_free = Cq::builder(&schema()).free(&["x"]).atom("R", &["x"]).build();
+        let q_free = Cq::builder(&schema())
+            .free(&["x"])
+            .atom("R", &["x"])
+            .build();
         let _ = Ucq::new([r_query(), q_free]);
     }
 

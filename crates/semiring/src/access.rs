@@ -86,7 +86,10 @@ mod tests {
             Clearance::Secret.add(&Clearance::Confidential),
             Clearance::Confidential
         );
-        assert_eq!(Clearance::Nobody.add(&Clearance::TopSecret), Clearance::TopSecret);
+        assert_eq!(
+            Clearance::Nobody.add(&Clearance::TopSecret),
+            Clearance::TopSecret
+        );
     }
 
     #[test]
@@ -95,7 +98,10 @@ mod tests {
             Clearance::Secret.mul(&Clearance::Confidential),
             Clearance::Secret
         );
-        assert_eq!(Clearance::Public.mul(&Clearance::TopSecret), Clearance::TopSecret);
+        assert_eq!(
+            Clearance::Public.mul(&Clearance::TopSecret),
+            Clearance::TopSecret
+        );
         assert_eq!(Clearance::Nobody.mul(&Clearance::Public), Clearance::Nobody);
     }
 

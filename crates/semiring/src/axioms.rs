@@ -126,9 +126,7 @@ pub fn is_positive<K: Semiring>() -> bool {
 /// ⊗-idempotence: `x ⊗ x =_K x` (the first axiom of `C_hom`, defining
 /// `S_hcov`).
 pub fn is_mul_idempotent<K: Semiring>() -> bool {
-    K::sample_elements()
-        .iter()
-        .all(|x| x.mul(x).order_eq(x))
+    K::sample_elements().iter().all(|x| x.mul(x).order_eq(x))
 }
 
 /// 1-annihilation: `1 ⊕ x =_K 1` (the second axiom of `C_hom`, defining
@@ -144,18 +142,14 @@ pub fn is_one_annihilating<K: Semiring>() -> bool {
 /// Sec. 4.4).
 pub fn is_mul_semi_idempotent<K: Semiring>() -> bool {
     let elems = K::sample_elements();
-    elems.iter().all(|x| {
-        elems
-            .iter()
-            .all(|y| x.mul(y).leq(&x.mul(x).mul(y)))
-    })
+    elems
+        .iter()
+        .all(|x| elems.iter().all(|y| x.mul(y).leq(&x.mul(x).mul(y))))
 }
 
 /// ⊕-idempotence: `x ⊕ x =_K x` (defining `S¹`, Sec. 4.6 / 5).
 pub fn is_add_idempotent<K: Semiring>() -> bool {
-    K::sample_elements()
-        .iter()
-        .all(|x| x.add(x).order_eq(x))
+    K::sample_elements().iter().all(|x| x.add(x).order_eq(x))
 }
 
 /// The `k`-fold sum `x ⊕ ⋯ ⊕ x`.
@@ -175,9 +169,9 @@ pub fn nat_multiple<K: Semiring>(k: u64, x: &K) -> K {
 pub fn smallest_offset<K: Semiring>(bound: u64) -> Option<u64> {
     let elems = K::sample_elements();
     (1..=bound).find(|&k| {
-        elems.iter().all(|x| {
-            nat_multiple(k, x).order_eq(&nat_multiple(k + 1, x))
-        })
+        elems
+            .iter()
+            .all(|x| nat_multiple(k, x).order_eq(&nat_multiple(k + 1, x)))
     })
 }
 

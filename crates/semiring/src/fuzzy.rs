@@ -57,13 +57,7 @@ impl Semiring for Fuzzy {
     }
 
     fn sample_elements() -> Vec<Self> {
-        vec![
-            Fuzzy(0.0),
-            Fuzzy(0.25),
-            Fuzzy(0.5),
-            Fuzzy(0.75),
-            Fuzzy(1.0),
-        ]
+        vec![Fuzzy(0.0), Fuzzy(0.25), Fuzzy(0.5), Fuzzy(0.75), Fuzzy(1.0)]
     }
 }
 
@@ -127,8 +121,14 @@ mod tests {
 
     #[test]
     fn viterbi_ops() {
-        assert_eq!(Viterbi::new(0.5).add(&Viterbi::new(0.25)), Viterbi::new(0.5));
-        assert_eq!(Viterbi::new(0.5).mul(&Viterbi::new(0.5)), Viterbi::new(0.25));
+        assert_eq!(
+            Viterbi::new(0.5).add(&Viterbi::new(0.25)),
+            Viterbi::new(0.5)
+        );
+        assert_eq!(
+            Viterbi::new(0.5).mul(&Viterbi::new(0.5)),
+            Viterbi::new(0.25)
+        );
         assert_eq!(Viterbi::new(0.5).mul(&Viterbi::zero()), Viterbi::zero());
         assert!((Viterbi::new(0.7).value() - 0.7).abs() < 1e-12);
     }

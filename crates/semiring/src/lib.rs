@@ -73,7 +73,13 @@ mod cross_semiring_tests {
         let y = Polynomial::var(Var(1));
         let p = x.plus(&y).times(&x); // (x+y)·x
         let q = x.times(&y).plus(&y); // xy + y
-        let valuation = move |v: Var| if v == Var(0) { val0.clone() } else { val1.clone() };
+        let valuation = move |v: Var| {
+            if v == Var(0) {
+                val0.clone()
+            } else {
+                val1.clone()
+            }
+        };
         let ep = eval_polynomial(&p, &valuation);
         let eq = eval_polynomial(&q, &valuation);
         let esum = eval_polynomial(&p.plus(&q), &valuation);

@@ -16,9 +16,10 @@ use annot_polynomial::Var;
 use std::collections::BTreeSet;
 
 /// An element of `Lin[X]`.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub enum Lineage {
     /// `⊥`: the annotation of absent tuples (semiring zero).
+    #[default]
     Bottom,
     /// A set of contributing base tuples (possibly empty, which is the
     /// semiring one).
@@ -45,12 +46,6 @@ impl Lineage {
     }
 }
 
-impl Default for Lineage {
-    fn default() -> Self {
-        Lineage::Bottom
-    }
-}
-
 impl Semiring for Lineage {
     const NAME: &'static str = "Lin[X]";
 
@@ -65,18 +60,14 @@ impl Semiring for Lineage {
     fn add(&self, other: &Self) -> Self {
         match (self, other) {
             (Lineage::Bottom, x) | (x, Lineage::Bottom) => x.clone(),
-            (Lineage::Set(a), Lineage::Set(b)) => {
-                Lineage::Set(a.union(b).cloned().collect())
-            }
+            (Lineage::Set(a), Lineage::Set(b)) => Lineage::Set(a.union(b).cloned().collect()),
         }
     }
 
     fn mul(&self, other: &Self) -> Self {
         match (self, other) {
             (Lineage::Bottom, _) | (_, Lineage::Bottom) => Lineage::Bottom,
-            (Lineage::Set(a), Lineage::Set(b)) => {
-                Lineage::Set(a.union(b).cloned().collect())
-            }
+            (Lineage::Set(a), Lineage::Set(b)) => Lineage::Set(a.union(b).cloned().collect()),
         }
     }
 

@@ -88,8 +88,7 @@ pub trait Semiring: Clone + PartialEq + Debug {
         Self: 'a,
         I: IntoIterator<Item = &'a Self>,
     {
-        iter.into_iter()
-            .fold(Self::zero(), |acc, x| acc.add(x))
+        iter.into_iter().fold(Self::zero(), |acc, x| acc.add(x))
     }
 
     /// Product of an iterator of elements (`1` for the empty iterator).
@@ -98,8 +97,7 @@ pub trait Semiring: Clone + PartialEq + Debug {
         Self: 'a,
         I: IntoIterator<Item = &'a Self>,
     {
-        iter.into_iter()
-            .fold(Self::one(), |acc, x| acc.mul(x))
+        iter.into_iter().fold(Self::one(), |acc, x| acc.mul(x))
     }
 
     /// Equality in the order sense: `a =_K b ⇔ a ¹ b ∧ b ¹ a`.
@@ -176,10 +174,7 @@ mod tests {
         assert_eq!(eq, Natural(6));
         // morphism property on a composite
         let composite = p.times(&q).plus(&p);
-        assert_eq!(
-            eval_polynomial(&composite, &val),
-            ep.mul(&eq).add(&ep)
-        );
+        assert_eq!(eval_polynomial(&composite, &val), ep.mul(&eq).add(&ep));
     }
 
     #[test]

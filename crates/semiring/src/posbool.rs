@@ -49,11 +49,7 @@ impl PosBool {
 fn minimise(clauses: BTreeSet<Clause>) -> BTreeSet<Clause> {
     clauses
         .iter()
-        .filter(|c| {
-            !clauses
-                .iter()
-                .any(|d| d != *c && d.is_subset(c))
-        })
+        .filter(|c| !clauses.iter().any(|d| d != *c && d.is_subset(c)))
         .cloned()
         .collect()
 }

@@ -58,9 +58,7 @@ impl Semiring for NatPoly {
 
     fn leq(&self, other: &Self) -> bool {
         // Natural order of N[X]: P ¹ Q ⇔ ∃R. P + R = Q ⇔ coefficient-wise ≤.
-        self.0
-            .terms()
-            .all(|(m, c)| c <= other.0.coefficient(m))
+        self.0.terms().all(|(m, c)| c <= other.0.coefficient(m))
     }
 
     fn sample_elements() -> Vec<Self> {
@@ -164,7 +162,10 @@ mod tests {
         let prod = x.mul(&y);
         assert_eq!(sum.polynomial().num_terms(), 2);
         assert_eq!(prod.polynomial().num_terms(), 1);
-        assert_eq!(NatPoly::from_natural(3), NatPoly::new(Polynomial::constant(3)));
+        assert_eq!(
+            NatPoly::from_natural(3),
+            NatPoly::new(Polynomial::constant(3))
+        );
     }
 
     #[test]

@@ -87,9 +87,7 @@ impl Semiring for Trio {
 
     fn leq(&self, other: &Self) -> bool {
         // natural order: multiplicity-wise ≤
-        self.0
-            .iter()
-            .all(|(w, &c)| c <= other.multiplicity(w))
+        self.0.iter().all(|(w, &c)| c <= other.multiplicity(w))
     }
 
     fn sample_elements() -> Vec<Self> {

@@ -60,9 +60,7 @@ impl Semiring for Tropical {
         // +
         match (self, other) {
             (Tropical::Infinity, _) | (_, Tropical::Infinity) => Tropical::Infinity,
-            (Tropical::Finite(a), Tropical::Finite(b)) => {
-                Tropical::Finite(a.saturating_add(*b))
-            }
+            (Tropical::Finite(a), Tropical::Finite(b)) => Tropical::Finite(a.saturating_add(*b)),
         }
     }
 
@@ -133,9 +131,7 @@ impl Semiring for Schedule {
         // +
         match (self, other) {
             (Schedule::NegInfinity, _) | (_, Schedule::NegInfinity) => Schedule::NegInfinity,
-            (Schedule::Finite(a), Schedule::Finite(b)) => {
-                Schedule::Finite(a.saturating_add(*b))
-            }
+            (Schedule::Finite(a), Schedule::Finite(b)) => Schedule::Finite(a.saturating_add(*b)),
         }
     }
 
@@ -177,8 +173,14 @@ mod tests {
             Tropical::Finite(3).mul(&Tropical::Finite(5)),
             Tropical::Finite(8)
         );
-        assert_eq!(Tropical::Finite(3).mul(&Tropical::Infinity), Tropical::Infinity);
-        assert_eq!(Tropical::Finite(3).add(&Tropical::Infinity), Tropical::Finite(3));
+        assert_eq!(
+            Tropical::Finite(3).mul(&Tropical::Infinity),
+            Tropical::Infinity
+        );
+        assert_eq!(
+            Tropical::Finite(3).add(&Tropical::Infinity),
+            Tropical::Finite(3)
+        );
         assert!(Tropical::finite(2).is_finite());
         assert!(!Tropical::Infinity.is_finite());
     }

@@ -146,9 +146,6 @@ mod tests {
         assert!(p
             .witnesses()
             .contains(&[Var(0), Var(1)].into_iter().collect()));
-        assert_eq!(
-            Why::from_witnesses(p.witnesses().iter().cloned()),
-            p
-        );
+        assert_eq!(Why::from_witnesses(p.witnesses().iter().cloned()), p);
     }
 }

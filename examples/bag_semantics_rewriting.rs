@@ -34,7 +34,10 @@ fn main() {
     }
 
     // Cross-check one of the refutations with an explicit counterexample.
-    let config = BruteForceConfig { domain_size: 2, max_support: 4 };
+    let config = BruteForceConfig {
+        domain_size: 2,
+        max_support: 4,
+    };
     if let Some(ce) = find_counterexample_cq::<Natural>(&path2, &edge, &config) {
         println!("\ncounterexample to `path2 ⊆ edge` under bag semantics:");
         println!("{}", ce.instance);

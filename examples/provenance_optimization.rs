@@ -10,10 +10,10 @@
 
 use annot_core::decide::decide_ucq;
 use annot_core::ucq::{bijective, local, surjective};
+use annot_polynomial::Var;
 use annot_query::eval::eval_boolean_ucq;
 use annot_query::{parser, Instance, Schema};
 use annot_semiring::{Bool, BoundedNat, NatPoly, Why};
-use annot_polynomial::Var;
 
 fn main() {
     let mut schema = Schema::new();
@@ -32,9 +32,18 @@ fn main() {
 
     // Is the rewriting Q1 → Q2 sound (Q1 ⊆ Q2) for each annotation domain?
     println!("\nQ1 ⊆ Q2 ?");
-    println!("  set semantics (B):        {:?}", decide_ucq::<Bool>(&q1, &q2));
-    println!("  why-provenance (Why[X]):  {:?}", decide_ucq::<Why>(&q1, &q2));
-    println!("  provenance (N[X]):        {:?}", decide_ucq::<NatPoly>(&q1, &q2));
+    println!(
+        "  set semantics (B):        {:?}",
+        decide_ucq::<Bool>(&q1, &q2)
+    );
+    println!(
+        "  why-provenance (Why[X]):  {:?}",
+        decide_ucq::<Why>(&q1, &q2)
+    );
+    println!(
+        "  provenance (N[X]):        {:?}",
+        decide_ucq::<NatPoly>(&q1, &q2)
+    );
     println!(
         "  criteria: member-wise hom = {}, ↪_∞ = {}, ↠_∞ = {}",
         local::contained_chom(&q1, &q2),

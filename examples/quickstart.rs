@@ -4,10 +4,10 @@
 //! Run with `cargo run --example quickstart`.
 
 use annot_core::decide::{decide_cq, decide_cq_with_poly_order};
+use annot_polynomial::Var;
 use annot_query::eval::eval_cq;
 use annot_query::{parser, Instance, Schema};
 use annot_semiring::{Bool, NatPoly, Natural, Tropical, Why};
-use annot_polynomial::Var;
 
 fn main() {
     // 1. A schema and two conjunctive queries (Example 4.6 of the paper).
@@ -32,22 +32,49 @@ fn main() {
 
     // 3. Evaluation propagates annotations through the query.
     println!("\nEvaluating the Boolean query Q1 over the same data:");
-    println!("  bag semantics (N):        {:?}", eval_cq(&q1, &bags, &vec![]));
-    println!("  tropical cost (T+):       {:?}", eval_cq(&q1, &costs, &vec![]));
-    println!("  provenance (N[X]):        {:?}", eval_cq(&q1, &provenance, &vec![]));
+    println!(
+        "  bag semantics (N):        {:?}",
+        eval_cq(&q1, &bags, &vec![])
+    );
+    println!(
+        "  tropical cost (T+):       {:?}",
+        eval_cq(&q1, &costs, &vec![])
+    );
+    println!(
+        "  provenance (N[X]):        {:?}",
+        eval_cq(&q1, &provenance, &vec![])
+    );
 
     // 4. Containment depends on the annotation semiring (the paper's point).
     println!("\nIs Q1 contained in Q2?");
-    println!("  over B (set semantics):   {:?}", decide_cq::<Bool>(&q1, &q2));
-    println!("  over Why[X]:              {:?}", decide_cq::<Why>(&q1, &q2));
-    println!("  over N[X]:                {:?}", decide_cq::<NatPoly>(&q1, &q2));
+    println!(
+        "  over B (set semantics):   {:?}",
+        decide_cq::<Bool>(&q1, &q2)
+    );
+    println!(
+        "  over Why[X]:              {:?}",
+        decide_cq::<Why>(&q1, &q2)
+    );
+    println!(
+        "  over N[X]:                {:?}",
+        decide_cq::<NatPoly>(&q1, &q2)
+    );
     println!(
         "  over T+ (tropical):       {:?}",
         decide_cq_with_poly_order::<Tropical>(&q1, &q2)
     );
-    println!("  over N (bags):            {:?}", decide_cq::<Natural>(&q1, &q2));
+    println!(
+        "  over N (bags):            {:?}",
+        decide_cq::<Natural>(&q1, &q2)
+    );
 
     println!("\nAnd the reverse direction, Q2 ⊆ Q1?");
-    println!("  over N[X]:                {:?}", decide_cq::<NatPoly>(&q2, &q1));
-    println!("  over N (bags):            {:?}", decide_cq::<Natural>(&q2, &q1));
+    println!(
+        "  over N[X]:                {:?}",
+        decide_cq::<NatPoly>(&q2, &q1)
+    );
+    println!(
+        "  over N (bags):            {:?}",
+        decide_cq::<Natural>(&q2, &q1)
+    );
 }

@@ -24,10 +24,26 @@ fn main() {
 
     // Clearance-annotated triples.
     let mut acl: Instance<Clearance> = Instance::new(schema.clone());
-    acl.insert_named("WorksAt", vec!["alice".into(), "acme".into()], Clearance::Public);
-    acl.insert_named("WorksAt", vec!["bob".into(), "gov".into()], Clearance::Secret);
-    acl.insert_named("LocatedIn", vec!["acme".into(), "paris".into()], Clearance::Public);
-    acl.insert_named("LocatedIn", vec!["gov".into(), "london".into()], Clearance::TopSecret);
+    acl.insert_named(
+        "WorksAt",
+        vec!["alice".into(), "acme".into()],
+        Clearance::Public,
+    );
+    acl.insert_named(
+        "WorksAt",
+        vec!["bob".into(), "gov".into()],
+        Clearance::Secret,
+    );
+    acl.insert_named(
+        "LocatedIn",
+        vec!["acme".into(), "paris".into()],
+        Clearance::Public,
+    );
+    acl.insert_named(
+        "LocatedIn",
+        vec!["gov".into(), "london".into()],
+        Clearance::TopSecret,
+    );
     println!("\nclearance needed to see each answer of Q_direct:");
     for (tuple, clearance) in answers(&q_direct, &acl) {
         println!("  {:?} -> {:?}", tuple, clearance);
@@ -35,10 +51,22 @@ fn main() {
 
     // Fuzzy trust scores for the same triples.
     let mut trust: Instance<Fuzzy> = Instance::new(schema.clone());
-    trust.insert_named("WorksAt", vec!["alice".into(), "acme".into()], Fuzzy::new(0.9));
+    trust.insert_named(
+        "WorksAt",
+        vec!["alice".into(), "acme".into()],
+        Fuzzy::new(0.9),
+    );
     trust.insert_named("WorksAt", vec!["bob".into(), "gov".into()], Fuzzy::new(0.6));
-    trust.insert_named("LocatedIn", vec!["acme".into(), "paris".into()], Fuzzy::new(0.8));
-    trust.insert_named("LocatedIn", vec!["gov".into(), "london".into()], Fuzzy::new(0.95));
+    trust.insert_named(
+        "LocatedIn",
+        vec!["acme".into(), "paris".into()],
+        Fuzzy::new(0.8),
+    );
+    trust.insert_named(
+        "LocatedIn",
+        vec!["gov".into(), "london".into()],
+        Fuzzy::new(0.95),
+    );
     println!("\ntrust in each answer of Q_direct:");
     for (tuple, score) in answers(&q_direct, &trust) {
         println!("  {:?} -> {:?}", tuple, score);
@@ -46,10 +74,26 @@ fn main() {
 
     // Tropical staleness: how out-of-date is the best derivation?
     let mut staleness: Instance<Tropical> = Instance::new(schema.clone());
-    staleness.insert_named("WorksAt", vec!["alice".into(), "acme".into()], Tropical::Finite(3));
-    staleness.insert_named("WorksAt", vec!["bob".into(), "gov".into()], Tropical::Finite(10));
-    staleness.insert_named("LocatedIn", vec!["acme".into(), "paris".into()], Tropical::Finite(1));
-    staleness.insert_named("LocatedIn", vec!["gov".into(), "london".into()], Tropical::Finite(0));
+    staleness.insert_named(
+        "WorksAt",
+        vec!["alice".into(), "acme".into()],
+        Tropical::Finite(3),
+    );
+    staleness.insert_named(
+        "WorksAt",
+        vec!["bob".into(), "gov".into()],
+        Tropical::Finite(10),
+    );
+    staleness.insert_named(
+        "LocatedIn",
+        vec!["acme".into(), "paris".into()],
+        Tropical::Finite(1),
+    );
+    staleness.insert_named(
+        "LocatedIn",
+        vec!["gov".into(), "london".into()],
+        Tropical::Finite(0),
+    );
     println!("\nstaleness of each answer of Q_direct:");
     for (tuple, cost) in answers(&q_direct, &staleness) {
         println!("  {:?} -> {:?}", tuple, cost);

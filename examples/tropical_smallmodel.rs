@@ -24,7 +24,10 @@ fn main() {
 
     // The complete description of Q1 and the canonical-instance polynomials.
     let description = complete_description_cq(&q1);
-    println!("\ncomplete description ⟨Q1⟩ has {} CCQs:", description.len());
+    println!(
+        "\ncomplete description ⟨Q1⟩ has {} CCQs:",
+        description.len()
+    );
     for ccq in description.disjuncts() {
         let canonical = CanonicalInstance::of_ccq(ccq);
         let p1 = eval_boolean_cq(&q1, canonical.instance());

@@ -1,1 +1,31 @@
+//! # annot
+//!
+//! Umbrella crate for the reproduction of *"Classification of Annotation
+//! Semirings over Query Containment"* (Kostylev, Reutter, Salamon;
+//! PODS 2012). It re-exports the six workspace crates so examples, tests
+//! and downstream users need a single dependency:
+//!
+//! * [`polynomial`] — provenance polynomials `N[X]` and polynomial orders;
+//! * [`semiring`] — the annotation semirings of Table 1 and axiom checkers;
+//! * [`query`] — CQs/UCQs, K-instances, evaluation, parser, generators;
+//! * [`hom`] — homomorphism engines (plain/injective/surjective/bijective);
+//! * [`core`] — the classification and the containment deciders.
+//!
+//! ```
+//! use annot::core::decide::decide_cq;
+//! use annot::query::{parser, Schema};
+//! use annot::semiring::Bool;
+//!
+//! let mut schema = Schema::new();
+//! let q1 = parser::parse_cq(&mut schema, "Q() :- R(u, v), R(u, w)").unwrap();
+//! let q2 = parser::parse_cq(&mut schema, "Q() :- R(u, v), R(u, v)").unwrap();
+//! assert_eq!(decide_cq::<Bool>(&q1, &q2).decided(), Some(true));
+//! ```
+
+#![warn(missing_docs)]
+
 pub use annot_core as core;
+pub use annot_hom as hom;
+pub use annot_polynomial as polynomial;
+pub use annot_query as query;
+pub use annot_semiring as semiring;

@@ -1,10 +1,10 @@
 //! Experiment E6 (DESIGN.md): the offset hierarchy and empirical
 //! classification of the shipped semirings.
 
+use annot_core::brute_force::{find_counterexample_ucq, BruteForceConfig};
 use annot_core::classes::{ClassifiedSemiring, CqCriterion, Offset};
 use annot_core::classify::classify;
 use annot_core::ucq::bijective;
-use annot_core::brute_force::{find_counterexample_ucq, BruteForceConfig};
 use annot_query::{parser, Schema, Ucq};
 use annot_semiring::axioms;
 use annot_semiring::{Bool, BoundedNat, Lineage, NatPoly, Natural, Schedule, Tropical, Why};
@@ -26,9 +26,18 @@ fn offset_hierarchy_of_bounded_bags() {
 fn prop_5_19_shcov_semirings_have_offset_at_most_two() {
     // Every ⊗-idempotent semiring has offset ≤ 2 (Prop. 5.19).
     for (mul_idem, offset) in [
-        (axioms::is_mul_idempotent::<Bool>(), axioms::smallest_offset::<Bool>(4)),
-        (axioms::is_mul_idempotent::<Lineage>(), axioms::smallest_offset::<Lineage>(4)),
-        (axioms::is_mul_idempotent::<BoundedNat<2>>(), axioms::smallest_offset::<BoundedNat<2>>(4)),
+        (
+            axioms::is_mul_idempotent::<Bool>(),
+            axioms::smallest_offset::<Bool>(4),
+        ),
+        (
+            axioms::is_mul_idempotent::<Lineage>(),
+            axioms::smallest_offset::<Lineage>(4),
+        ),
+        (
+            axioms::is_mul_idempotent::<BoundedNat<2>>(),
+            axioms::smallest_offset::<BoundedNat<2>>(4),
+        ),
     ] {
         if mul_idem {
             assert!(matches!(offset, Some(k) if k <= 2));
@@ -39,14 +48,23 @@ fn prop_5_19_shcov_semirings_have_offset_at_most_two() {
 #[test]
 fn empirical_and_declared_classifications_are_consistent() {
     assert!(classify::<Bool>().in_c_hom);
-    assert_eq!(classify::<Bool>().certified_cq_criterion, Some(CqCriterion::Homomorphism));
+    assert_eq!(
+        classify::<Bool>().certified_cq_criterion,
+        Some(CqCriterion::Homomorphism)
+    );
     assert!(classify::<Lineage>().in_s_hcov && !classify::<Lineage>().in_s_in);
     assert!(classify::<Tropical>().in_s_in && !classify::<Tropical>().in_s_hcov);
     assert!(classify::<Schedule>().in_s_sur && !classify::<Schedule>().in_s_in);
     assert!(classify::<Why>().in_s_sur);
     assert!(!classify::<NatPoly>().in_s_sur);
-    assert_eq!(Tropical::class_profile().cq_criterion, CqCriterion::SmallModel);
-    assert_eq!(Natural::class_profile().cq_criterion, CqCriterion::OpenProblem);
+    assert_eq!(
+        Tropical::class_profile().cq_criterion,
+        CqCriterion::SmallModel
+    );
+    assert_eq!(
+        Natural::class_profile().cq_criterion,
+        CqCriterion::OpenProblem
+    );
 }
 
 /// The ↪_k criteria form a hierarchy in k: accepting for larger k is harder.
@@ -55,8 +73,16 @@ fn counting_criteria_are_monotone_in_k() {
     let mut schema = Schema::with_relations([("R", 2)]);
     let pairs: Vec<(Ucq, Ucq)> = vec![
         (
-            parser::parse_ucq(&mut schema, "Q() :- R(u, v), R(u, u) ; Q() :- R(u, u), R(u, u) ; Q() :- R(u, u), R(u, u)").unwrap(),
-            parser::parse_ucq(&mut schema, "Q() :- R(u, v), R(w, w) ; Q() :- R(u, u), R(u, u)").unwrap(),
+            parser::parse_ucq(
+                &mut schema,
+                "Q() :- R(u, v), R(u, u) ; Q() :- R(u, u), R(u, u) ; Q() :- R(u, u), R(u, u)",
+            )
+            .unwrap(),
+            parser::parse_ucq(
+                &mut schema,
+                "Q() :- R(u, v), R(w, w) ; Q() :- R(u, u), R(u, u)",
+            )
+            .unwrap(),
         ),
         (
             parser::parse_ucq(&mut schema, "Q() :- R(u, v)").unwrap(),
@@ -99,7 +125,10 @@ fn offset_acceptance_matches_bounded_bag_semantics() {
     // Three copies versus two: fails for N[X] (offset ∞), holds for offset 2.
     assert!(!bijective::counting_infinite(&q1, &q2));
     assert!(bijective::counting_offset(&q1, &q2, 2));
-    let config = BruteForceConfig { domain_size: 2, max_support: 2 };
+    let config = BruteForceConfig {
+        domain_size: 2,
+        max_support: 2,
+    };
     assert!(find_counterexample_ucq::<BoundedNat<2>>(&q1, &q2, &config).is_none());
     assert!(find_counterexample_ucq::<NatPoly>(&q1, &q2, &config).is_some());
     assert!(find_counterexample_ucq::<Natural>(&q1, &q2, &config).is_some());

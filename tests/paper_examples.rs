@@ -2,10 +2,12 @@
 //! DESIGN.md): Example 4.6, Example 5.4, Example 5.7 and Example 5.20,
 //! plus the CQ-admissibility examples of Sec. 4.5 (experiment E4).
 
-use annot_core::decide::{decide_cq, decide_cq_with_poly_order, decide_ucq, decide_ucq_with_poly_order};
+use annot_core::brute_force::{find_counterexample_cq, find_counterexample_ucq, BruteForceConfig};
+use annot_core::decide::{
+    decide_cq, decide_cq_with_poly_order, decide_ucq, decide_ucq_with_poly_order,
+};
 use annot_core::small_model::{cq_contained_small_model, ucq_contained_small_model};
 use annot_core::ucq::{bijective, covering, local, surjective};
-use annot_core::brute_force::{find_counterexample_cq, find_counterexample_ucq, BruteForceConfig};
 use annot_hom::kinds;
 use annot_polynomial::admissible::is_cq_admissible;
 use annot_polynomial::{leq_min_plus, Polynomial, Var};
@@ -39,7 +41,10 @@ fn example_4_6_tropical_containment_without_injective_hom() {
         Some(true)
     );
     // Brute-force semantic check agrees (no counterexample over T⁺) …
-    let config = BruteForceConfig { domain_size: 2, max_support: 4 };
+    let config = BruteForceConfig {
+        domain_size: 2,
+        max_support: 4,
+    };
     assert!(find_counterexample_cq::<Tropical>(&q1, &q2, &config).is_none());
     // … while the same containment FAILS over bag semantics and N[X].
     assert!(find_counterexample_cq::<Natural>(&q1, &q2, &config).is_some());
@@ -98,7 +103,10 @@ fn example_5_4_local_method_fails_for_tropical() {
         Some(true)
     );
     // Brute force over T⁺ agrees.
-    let config = BruteForceConfig { domain_size: 2, max_support: 4 };
+    let config = BruteForceConfig {
+        domain_size: 2,
+        max_support: 4,
+    };
     assert!(find_counterexample_ucq::<Tropical>(&q1, &q2, &config).is_none());
     // Over set semantics the containment also holds (homomorphism from each
     // member of Q2 … to Q11), but over N[X] it fails.
@@ -127,7 +135,10 @@ fn example_5_7_counting_criterion() {
     assert!(bijective::counting_infinite(&q1, &q2));
     assert_eq!(decide_ucq::<NatPoly>(&q1, &q2).decided(), Some(true));
     // Brute-force check over N[X] annotations drawn from the sample space.
-    let config = BruteForceConfig { domain_size: 2, max_support: 3 };
+    let config = BruteForceConfig {
+        domain_size: 2,
+        max_support: 3,
+    };
     assert!(find_counterexample_ucq::<NatPoly>(&q1, &q2, &config).is_none());
     // The ↠_∞ criterion (sufficient for bag semantics) holds as well.
     assert!(surjective::unique_surjective(&q1, &q2));
@@ -154,7 +165,10 @@ fn example_5_7_offsets() {
     assert!(bijective::counting_offset(&q1, &q2, 2));
     // … and indeed the brute-force check over B₂ (saturating bags, offset 2)
     // finds no counterexample, while over N[X] it does.
-    let config = BruteForceConfig { domain_size: 2, max_support: 3 };
+    let config = BruteForceConfig {
+        domain_size: 2,
+        max_support: 3,
+    };
     assert!(find_counterexample_ucq::<BoundedNat<2>>(&q1, &q2, &config).is_none());
     assert!(find_counterexample_ucq::<NatPoly>(&q1, &q2, &config).is_some());
 }
@@ -174,7 +188,10 @@ fn example_5_20_covering_needs_both_members() {
     // … but the union does (Q2 ⇉₁ Q1).
     assert!(covering::covering1(&q1, &q2));
     // The containment indeed holds over Lin[X] (∈ C¹_hcov): no counterexample.
-    let config = BruteForceConfig { domain_size: 2, max_support: 4 };
+    let config = BruteForceConfig {
+        domain_size: 2,
+        max_support: 4,
+    };
     assert!(find_counterexample_ucq::<Lineage>(&q1, &q2, &config).is_none());
     assert_eq!(decide_ucq::<Lineage>(&q1, &q2).decided(), Some(true));
     // Over set semantics it holds too, over N[X] it does not.
@@ -194,7 +211,9 @@ fn section_4_5_admissibility_examples() {
     // Not admissible: 2x, x² + y, x² + xy + y².
     assert!(!is_cq_admissible(&x.plus(&x)));
     assert!(!is_cq_admissible(&x.pow(2).plus(&y)));
-    assert!(!is_cq_admissible(&x.pow(2).plus(&x.times(&y)).plus(&y.pow(2))));
+    assert!(!is_cq_admissible(
+        &x.pow(2).plus(&x.times(&y)).plus(&y.pow(2))
+    ));
     // Every evaluation of a CQ over a canonical instance is admissible.
     let mut schema = Schema::with_relations([("R", 2)]);
     let q1 = parse_cq(&mut schema, "Q() :- R(u, v), R(u, w)");
@@ -210,7 +229,10 @@ fn theorem_5_2_local_homomorphism_is_exact_for_set_semantics() {
     let mut schema = Schema::with_relations([("R", 1), ("S", 1)]);
     let q1 = parse_ucq(&mut schema, "Q() :- R(v), S(v)");
     let q2 = parse_ucq(&mut schema, "Q() :- R(v) ; Q() :- S(v)");
-    let config = BruteForceConfig { domain_size: 2, max_support: 4 };
+    let config = BruteForceConfig {
+        domain_size: 2,
+        max_support: 4,
+    };
     let criterion = local::contained_chom(&q1, &q2);
     let semantic = find_counterexample_ucq::<Bool>(&q1, &q2, &config).is_none();
     assert_eq!(criterion, semantic);
@@ -230,7 +252,10 @@ fn why_provenance_surjective_criterion() {
     let mut schema = Schema::with_relations([("R", 2)]);
     let q1 = parse_cq(&mut schema, "Q() :- R(u, v), R(u, w)");
     let q2 = parse_cq(&mut schema, "Q() :- R(u, v), R(u, v)");
-    let config = BruteForceConfig { domain_size: 2, max_support: 3 };
+    let config = BruteForceConfig {
+        domain_size: 2,
+        max_support: 3,
+    };
     // Q1 ⊆_{Why[X]} Q2 fails: no surjective homomorphism, and brute force
     // finds a counterexample.
     assert!(!kinds::exists_surjective_hom(&q2, &q1));

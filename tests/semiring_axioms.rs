@@ -1,0 +1,140 @@
+//! Empirical-vs-declared classification: `classify()`'s sampling-based
+//! verdicts must agree with each shipped semiring's declared
+//! [`ClassProfile`] on every axiom the paper uses to define the
+//! sufficient-condition classes (⊗-idempotence / `S_hcov`, 1-annihilation /
+//! `S_in`, ⊗-semi-idempotence / `S_sur`, ⊕-idempotence / `S¹`, offsets /
+//! `S^k`), and the derived intersection-class memberships must be
+//! consistent.
+
+use annot_core::classes::{ClassifiedSemiring, Offset};
+use annot_core::classify::classify;
+use annot_semiring::axioms::{check_semiring_laws, is_positive};
+use annot_semiring::{
+    Bool, BoolPoly, BoundedNat, Clearance, Fuzzy, Lineage, NatPoly, Natural, PosBool, Schedule,
+    Semiring, Trio, Tropical, Viterbi, Why,
+};
+
+fn assert_profile_matches_empirical<K: ClassifiedSemiring>() {
+    let declared = K::class_profile();
+    let empirical = classify::<K>();
+    let name = declared.name;
+
+    assert_eq!(
+        empirical.in_s_hcov, declared.in_s_hcov,
+        "{name}: ⊗-idempotence (S_hcov) mismatch"
+    );
+    assert_eq!(
+        empirical.in_s_in, declared.in_s_in,
+        "{name}: 1-annihilation (S_in) mismatch"
+    );
+    assert_eq!(
+        empirical.in_s_sur, declared.in_s_sur,
+        "{name}: ⊗-semi-idempotence (S_sur) mismatch"
+    );
+    assert_eq!(empirical.offset, declared.offset, "{name}: offset mismatch");
+
+    // ⊕-idempotence is exactly offset 1 (class S¹).
+    assert_eq!(
+        empirical.axioms.add_idempotent,
+        declared.offset == Offset::Finite(1),
+        "{name}: ⊕-idempotence inconsistent with the declared offset"
+    );
+
+    // C_hom = S_hcov ∩ S_in (Thm. 3.3), both empirically and as declared.
+    assert_eq!(
+        empirical.in_c_hom,
+        declared.in_c_hom(),
+        "{name}: C_hom membership mismatch"
+    );
+
+    // A certified empirical criterion must match the declared exact one.
+    if let Some(certified) = empirical.certified_cq_criterion {
+        assert_eq!(
+            certified, declared.cq_criterion,
+            "{name}: certified CQ criterion disagrees with the declared one"
+        );
+    }
+    if let Some(certified) = empirical.certified_ucq_criterion {
+        assert_eq!(
+            certified, declared.ucq_criterion,
+            "{name}: certified UCQ criterion disagrees with the declared one"
+        );
+    }
+}
+
+fn assert_is_lawful<K: Semiring>() {
+    if let Err(violations) = check_semiring_laws::<K>() {
+        panic!("{}: semiring laws violated: {:?}", K::NAME, violations);
+    }
+    assert!(is_positive::<K>(), "{}: positivity fails", K::NAME);
+}
+
+macro_rules! per_semiring {
+    ($f:ident) => {
+        $f::<Bool>();
+        $f::<PosBool>();
+        $f::<Fuzzy>();
+        $f::<Viterbi>();
+        $f::<Clearance>();
+        $f::<Lineage>();
+        $f::<Tropical>();
+        $f::<Schedule>();
+        $f::<Why>();
+        $f::<Trio>();
+        $f::<NatPoly>();
+        $f::<BoolPoly>();
+        $f::<Natural>();
+        $f::<BoundedNat<1>>();
+        $f::<BoundedNat<2>>();
+        $f::<BoundedNat<3>>();
+        $f::<BoundedNat<5>>();
+    };
+}
+
+/// Every shipped semiring satisfies the commutative-semiring laws and
+/// positivity on its sample elements (the paper's standing assumptions,
+/// Sec. 2 and Prop. 3.1).
+#[test]
+fn all_shipped_semirings_are_lawful() {
+    per_semiring!(assert_is_lawful);
+}
+
+/// The declared `ClassProfile` of every shipped semiring agrees with the
+/// empirical classification derived purely from the `Semiring` operations.
+#[test]
+fn declared_profiles_match_empirical_classification() {
+    per_semiring!(assert_profile_matches_empirical);
+}
+
+/// Spot checks pinning the expected axiom outcomes per Table 1 row, so a
+/// regression in *both* the declared profile and the axiom checker (which
+/// the agreement test above would miss) still gets caught.
+#[test]
+fn expected_axioms_per_table1_row() {
+    // C_hom row: lattices are ⊗-idempotent and 1-annihilating.
+    assert!(classify::<Bool>().in_c_hom);
+    assert!(classify::<Fuzzy>().in_c_hom);
+    // C_hcov row: lineage is ⊗-idempotent but not 1-annihilating.
+    let lineage = classify::<Lineage>();
+    assert!(lineage.in_s_hcov && !lineage.in_s_in);
+    // S_in row: the tropical semiring is 1-annihilating, not ⊗-idempotent.
+    let tropical = classify::<Tropical>();
+    assert!(tropical.in_s_in && !tropical.in_s_hcov);
+    assert_eq!(tropical.offset, Offset::Finite(1));
+    // C_sur row: why-provenance is ⊗-semi-idempotent only.
+    let why = classify::<Why>();
+    assert!(why.in_s_sur && !why.in_s_hcov && !why.in_s_in);
+    // C_bi row: N[X] satisfies none of the sufficient axioms and has no
+    // finite offset.
+    let nat_poly = classify::<NatPoly>();
+    assert!(!nat_poly.in_s_hcov && !nat_poly.in_s_in && !nat_poly.in_s_sur);
+    assert_eq!(nat_poly.offset, Offset::Infinite);
+    // Open row: bag semantics has no finite offset and is not ⊕-idempotent.
+    let natural = classify::<Natural>();
+    assert_eq!(natural.offset, Offset::Infinite);
+    assert!(!natural.axioms.add_idempotent);
+    // Offset-k family: saturating bags B_k have offset exactly k.
+    assert_eq!(classify::<BoundedNat<2>>().offset, Offset::Finite(2));
+    assert_eq!(classify::<BoundedNat<3>>().offset, Offset::Finite(3));
+    assert_eq!(classify::<BoundedNat<5>>().offset, Offset::Finite(5));
+}

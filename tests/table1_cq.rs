@@ -12,14 +12,20 @@ use annot_core::cq as cq_decide;
 use annot_core::small_model::cq_contained_small_model;
 use annot_query::generator::{GeneratorConfig, QueryGenerator, QueryShape};
 use annot_query::Cq;
-use annot_semiring::{Bool, BoundedNat, Clearance, Fuzzy, Lineage, NatPoly, Semiring, Tropical, Why};
+use annot_semiring::{
+    Bool, BoundedNat, Clearance, Fuzzy, Lineage, NatPoly, Semiring, Tropical, Why,
+};
 
 fn workload(seed_base: u64, pairs: usize) -> Vec<(Cq, Cq)> {
     let mut out = Vec::new();
     for i in 0..pairs {
         let mut generator = QueryGenerator::new(GeneratorConfig {
             num_atoms: 2 + (i % 2),
-            shape: if i % 3 == 0 { QueryShape::Chain } else { QueryShape::Random },
+            shape: if i % 3 == 0 {
+                QueryShape::Chain
+            } else {
+                QueryShape::Random
+            },
             var_pool: 3,
             num_relations: 1,
             seed: seed_base + i as u64,
@@ -84,7 +90,10 @@ fn refutation_soundness<K: Semiring>(
 #[test]
 fn row_chom_set_semantics() {
     let pairs = workload(100, 14);
-    let config = BruteForceConfig { domain_size: 2, max_support: 3 };
+    let config = BruteForceConfig {
+        domain_size: 2,
+        max_support: 3,
+    };
     agreement::<Bool>(&cq_decide::contained_chom, &pairs, &config, "C_hom/B");
     refutation_soundness::<Bool>(&cq_decide::contained_chom, &pairs, &config, "C_hom/B");
     // B₁ (saturating bags with cutoff 1) is isomorphic to B.
@@ -95,7 +104,10 @@ fn row_chom_set_semantics() {
 #[test]
 fn row_chom_lattice_semirings() {
     let pairs = workload(200, 10);
-    let config = BruteForceConfig { domain_size: 2, max_support: 3 };
+    let config = BruteForceConfig {
+        domain_size: 2,
+        max_support: 3,
+    };
     agreement::<Fuzzy>(&cq_decide::contained_chom, &pairs, &config, "C_hom/Fuzzy");
     refutation_soundness::<Fuzzy>(&cq_decide::contained_chom, &pairs, &config, "C_hom/Fuzzy");
     agreement::<Clearance>(&cq_decide::contained_chom, &pairs, &config, "C_hom/Access");
@@ -105,15 +117,31 @@ fn row_chom_lattice_semirings() {
 #[test]
 fn row_chcov_lineage() {
     let pairs = workload(300, 12);
-    let config = BruteForceConfig { domain_size: 2, max_support: 3 };
-    agreement::<Lineage>(&cq_decide::contained_chcov, &pairs, &config, "C_hcov/Lin[X]");
-    refutation_soundness::<Lineage>(&cq_decide::contained_chcov, &pairs, &config, "C_hcov/Lin[X]");
+    let config = BruteForceConfig {
+        domain_size: 2,
+        max_support: 3,
+    };
+    agreement::<Lineage>(
+        &cq_decide::contained_chcov,
+        &pairs,
+        &config,
+        "C_hcov/Lin[X]",
+    );
+    refutation_soundness::<Lineage>(
+        &cq_decide::contained_chcov,
+        &pairs,
+        &config,
+        "C_hcov/Lin[X]",
+    );
 }
 
 #[test]
 fn row_csur_why_provenance() {
     let pairs = workload(400, 12);
-    let config = BruteForceConfig { domain_size: 2, max_support: 3 };
+    let config = BruteForceConfig {
+        domain_size: 2,
+        max_support: 3,
+    };
     agreement::<Why>(&cq_decide::contained_csur, &pairs, &config, "C_sur/Why[X]");
     refutation_soundness::<Why>(&cq_decide::contained_csur, &pairs, &config, "C_sur/Why[X]");
 }
@@ -121,7 +149,10 @@ fn row_csur_why_provenance() {
 #[test]
 fn row_cbi_provenance_polynomials() {
     let pairs = workload(500, 10);
-    let config = BruteForceConfig { domain_size: 2, max_support: 3 };
+    let config = BruteForceConfig {
+        domain_size: 2,
+        max_support: 3,
+    };
     agreement::<NatPoly>(&cq_decide::contained_cbi, &pairs, &config, "C_bi/N[X]");
     refutation_soundness::<NatPoly>(&cq_decide::contained_cbi, &pairs, &config, "C_bi/N[X]");
 }
@@ -129,7 +160,10 @@ fn row_cbi_provenance_polynomials() {
 #[test]
 fn row_small_model_tropical() {
     let pairs = workload(600, 10);
-    let config = BruteForceConfig { domain_size: 2, max_support: 3 };
+    let config = BruteForceConfig {
+        domain_size: 2,
+        max_support: 3,
+    };
     let criterion = |q1: &Cq, q2: &Cq| cq_contained_small_model::<Tropical>(q1, q2);
     agreement::<Tropical>(&criterion, &pairs, &config, "S¹/T⁺ small model");
     refutation_soundness::<Tropical>(&criterion, &pairs, &config, "S¹/T⁺ small model");
@@ -140,7 +174,10 @@ fn bag_semantics_bounds_are_consistent() {
     // For N no exact criterion exists; check that the sufficient/necessary
     // bounds never contradict the semantics.
     let pairs = workload(700, 12);
-    let config = BruteForceConfig { domain_size: 2, max_support: 3 };
+    let config = BruteForceConfig {
+        domain_size: 2,
+        max_support: 3,
+    };
     for (q1, q2) in &pairs {
         match cq_decide::contained_bag_bounds(q1, q2) {
             Some(true) => assert!(

@@ -16,7 +16,11 @@ fn workload(seed_base: u64, pairs: usize) -> Vec<(Ucq, Ucq)> {
     for i in 0..pairs {
         let mut generator = QueryGenerator::new(GeneratorConfig {
             num_atoms: 2,
-            shape: if i % 2 == 0 { QueryShape::Random } else { QueryShape::Chain },
+            shape: if i % 2 == 0 {
+                QueryShape::Random
+            } else {
+                QueryShape::Chain
+            },
             var_pool: 3,
             num_relations: 1,
             seed: seed_base + i as u64,
@@ -29,12 +33,11 @@ fn workload(seed_base: u64, pairs: usize) -> Vec<(Ucq, Ucq)> {
     out
 }
 
-fn check<K: Semiring>(
-    criterion: &dyn Fn(&Ucq, &Ucq) -> bool,
-    pairs: &[(Ucq, Ucq)],
-    name: &str,
-) {
-    let config = BruteForceConfig { domain_size: 2, max_support: 3 };
+fn check<K: Semiring>(criterion: &dyn Fn(&Ucq, &Ucq) -> bool, pairs: &[(Ucq, Ucq)], name: &str) {
+    let config = BruteForceConfig {
+        domain_size: 2,
+        max_support: 3,
+    };
     for (q1, q2) in pairs {
         let predicted = criterion(q1, q2);
         let counterexample = find_counterexample_ucq::<K>(q1, q2, &config);
@@ -51,9 +54,7 @@ fn check<K: Semiring>(
             assert!(
                 !predicted,
                 "[{}] semantics refutes but criterion accepts\nQ1 = {}\nQ2 = {}",
-                name,
-                q1,
-                q2
+                name, q1, q2
             );
         }
     }
@@ -94,7 +95,10 @@ fn row_cinf_sur_unique_surjection_is_sound_for_bags() {
     // ↠_∞ is a sufficient condition for N-containment (Cor. 5.16): whenever
     // it accepts, brute force must not find a bag counterexample.
     let pairs = workload(6000, 6);
-    let config = BruteForceConfig { domain_size: 2, max_support: 3 };
+    let config = BruteForceConfig {
+        domain_size: 2,
+        max_support: 3,
+    };
     for (q1, q2) in &pairs {
         if surjective::unique_surjective(q1, q2) {
             assert!(
@@ -139,7 +143,10 @@ fn local_method_is_sound_for_all_idempotent_semirings() {
     // semirings; with the bijective CQ criterion it is sufficient for any
     // semiring.  Check against Lin[X], Why[X] and N[X].
     let pairs = workload(9000, 6);
-    let config = BruteForceConfig { domain_size: 2, max_support: 3 };
+    let config = BruteForceConfig {
+        domain_size: 2,
+        max_support: 3,
+    };
     for (q1, q2) in &pairs {
         if local::contained_c1bi(q1, q2) {
             assert!(find_counterexample_ucq::<NatPoly>(q1, q2, &config).is_none());
