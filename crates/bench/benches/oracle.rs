@@ -1,0 +1,133 @@
+//! Benchmarks pinning the two containment hot paths overhauled in this
+//! repository: the brute-force semantic oracle (support-bounded instance
+//! enumeration + all-outputs evaluation) and the indexed, forward-checking
+//! homomorphism search.
+//!
+//! The oracle benches time the full counterexample searches the
+//! cross-validation harness runs thousands of times, on both a refutable pair
+//! (bag semantics, stops at the first counterexample) and an irrefutable one
+//! (set semantics, walks the whole support-bounded instance space — the worst
+//! case).  The enumeration bench isolates the instance generator itself.
+
+use annot_core::brute_force::{find_counterexample_cq, for_each_instance, BruteForceConfig};
+use annot_hom::{AtomOrder, HomSearch, SearchOptions};
+use annot_query::parser;
+use annot_query::{Cq, Schema};
+use annot_semiring::{Bool, Natural};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn example_4_6() -> (Schema, Cq, Cq) {
+    let mut schema = Schema::with_relations([("R", 2)]);
+    let q1 = parser::parse_cq(&mut schema, "Q() :- R(u, v), R(u, w)").unwrap();
+    let q2 = parser::parse_cq(&mut schema, "Q() :- R(u, v), R(u, v)").unwrap();
+    (schema, q1, q2)
+}
+
+fn oracle(c: &mut Criterion) {
+    let (schema, q1, q2) = example_4_6();
+    let config = BruteForceConfig {
+        domain_size: 2,
+        max_support: 3,
+    };
+
+    let mut group = c.benchmark_group("oracle/counterexample_search");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    // Refutable over N (the search stops at the first counterexample).
+    group.bench_function("bag/refutable", |b| {
+        b.iter(|| black_box(find_counterexample_cq::<Natural>(&q1, &q2, &config).is_some()))
+    });
+    // Irrefutable over B (full walk of the support-bounded instance space).
+    group.bench_function("set/irrefutable", |b| {
+        b.iter(|| black_box(find_counterexample_cq::<Bool>(&q1, &q2, &config).is_none()))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("oracle/instance_enumeration");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for cap in [1usize, 2, 4] {
+        let config = BruteForceConfig {
+            domain_size: 2,
+            max_support: cap,
+        };
+        group.bench_function(format!("natural/cap{cap}"), |b| {
+            b.iter(|| {
+                let mut count = 0u64;
+                for_each_instance::<Natural>(&schema, &config, &mut |_| {
+                    count += 1;
+                    false
+                });
+                black_box(count)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn search_engine(c: &mut Criterion) {
+    // A dense target with many same-relation occurrences: the regime where
+    // the per-relation index and forward checking pay off.
+    let schema = Schema::with_relations([("R", 2), ("S", 1)]);
+    let target = Cq::builder(&schema)
+        .atom("R", &["a", "b"])
+        .atom("R", &["b", "c"])
+        .atom("R", &["c", "d"])
+        .atom("R", &["d", "e"])
+        .atom("R", &["e", "f"])
+        .atom("S", &["f"])
+        .build();
+    let source = Cq::builder(&schema)
+        .atom("R", &["x", "y"])
+        .atom("R", &["y", "z"])
+        .atom("R", &["z", "w"])
+        .atom("S", &["w"])
+        .build();
+
+    let mut group = c.benchmark_group("oracle/search_ordering");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for (order, name) in [
+        (AtomOrder::Syntactic, "syntactic"),
+        (AtomOrder::MostConstrained, "dynamic-mcn"),
+    ] {
+        group.bench_function(format!("exists/{name}"), |b| {
+            let options = SearchOptions {
+                occurrence_injective: false,
+                order,
+            };
+            b.iter(|| {
+                black_box(
+                    HomSearch::new(&source, &target)
+                        .with_options(options.clone())
+                        .exists(),
+                )
+            })
+        });
+        group.bench_function(format!("enumerate/{name}"), |b| {
+            let options = SearchOptions {
+                occurrence_injective: false,
+                order,
+            };
+            b.iter(|| {
+                let mut count = 0usize;
+                HomSearch::new(&source, &target)
+                    .with_options(options.clone())
+                    .for_each(&mut |_| count += 1);
+                black_box(count)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, oracle, search_engine);
+criterion_main!(benches);

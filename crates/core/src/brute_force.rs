@@ -13,8 +13,28 @@
 //! of `⟨Q₁⟩`, so with a domain of size `≥ |vars(Q₁)|` and a sample containing
 //! the relevant elements the search is a genuine decision procedure for the
 //! finite semirings used in the test-suite.
+//!
+//! # Enumeration contract
+//!
+//! [`for_each_instance`] enumerates **exactly** the K-instances over the
+//! domain `{0, …, domain_size−1}` whose annotations are non-zero sample
+//! elements and whose support has at most `max_support` tuples — each
+//! instance once, materialised incrementally (one insert/remove per tuple
+//! slot, never a rebuild).  With `n` possible tuples and `s` non-zero sample
+//! elements that is
+//!
+//! ```text
+//! Σ_{k=0}^{min(n, max_support)}  C(n, k) · s^k
+//! ```
+//!
+//! instances.  The support cap prunes the enumeration *tree during descent*:
+//! once `max_support` slots are non-zero, the remaining slots are forced to
+//! zero without ever branching on them.  (An earlier implementation assigned
+//! an annotation to every slot and discarded oversized instances only after
+//! full materialisation, so the cap provided no pruning at all — the
+//! regression test below pins the closed-form count.)
 
-use annot_query::eval::{eval_cq, eval_ucq};
+use annot_query::eval::{eval_cq, eval_ucq_all_outputs};
 use annot_query::{Cq, DbValue, Instance, Schema, Tuple, Ucq};
 use annot_semiring::Semiring;
 
@@ -32,23 +52,60 @@ pub struct CounterExample<K: Semiring> {
 }
 
 /// Configuration of the brute-force search.
+///
+/// `max_support` bounds the number of annotated (non-zero) tuples per
+/// candidate instance, and is enforced *during* enumeration — branches that
+/// would exceed it are never descended into, and oversized instances are
+/// never materialised.  `Default` derives a bounded cap from the default
+/// domain size (see [`BruteForceConfig::with_domain_size`]); it is
+/// deliberately **not** unbounded, since an unbounded default makes the
+/// search cost explode with the tuple space while a cap of `domain_size²`
+/// already contains every canonical counterexample the paper's small-model
+/// property needs at these domain sizes.
 #[derive(Clone, Debug)]
 pub struct BruteForceConfig {
     /// Domain size of the candidate instances.
     pub domain_size: usize,
-    /// Upper bound on the number of annotated tuples per instance (the
-    /// enumeration assigns an annotation — possibly `0` — to every possible
-    /// tuple, so this is a cap used to keep the search tractable: instances
-    /// with more non-zero tuples are skipped).
+    /// Upper bound on the number of annotated tuples per instance.
     pub max_support: usize,
+}
+
+impl BruteForceConfig {
+    /// A config whose support cap is derived from the domain size:
+    /// `max_support = domain_size²`, the size of a full binary relation over
+    /// the domain (the canonical instances of the 2-ary workloads in this
+    /// repository never need more).
+    pub fn with_domain_size(domain_size: usize) -> Self {
+        BruteForceConfig {
+            domain_size,
+            max_support: domain_size.saturating_mul(domain_size),
+        }
+    }
+
+    /// A config whose support cap is derived from the schema: the number of
+    /// distinct tuples of the widest relation over the domain, capped at
+    /// `domain_size²`.  This is the tightest cap that still lets a single
+    /// relation be fully populated when arities are ≤ 2.
+    pub fn for_schema(schema: &Schema, domain_size: usize) -> Self {
+        let max_arity = schema
+            .rel_ids()
+            .map(|rel| schema.arity(rel))
+            .max()
+            .unwrap_or(1);
+        let widest = domain_size.saturating_pow(max_arity as u32);
+        BruteForceConfig {
+            domain_size,
+            max_support: widest.min(domain_size.saturating_mul(domain_size)),
+        }
+    }
 }
 
 impl Default for BruteForceConfig {
     fn default() -> Self {
-        BruteForceConfig {
-            domain_size: 2,
-            max_support: usize::MAX,
-        }
+        // Domain of size 2 and support ≤ 4: every instance over a full binary
+        // relation is reachable, and the enumeration stays small for every
+        // sample-element count.
+        BruteForceConfig::with_domain_size(2)
     }
 }
 
@@ -64,6 +121,11 @@ pub fn find_counterexample_cq<K: Semiring>(
 }
 
 /// UCQ version of [`find_counterexample_cq`].
+///
+/// Per enumerated instance, each disjunct's assignment enumeration runs once
+/// ([`eval_ucq_all_outputs`]) and yields the full output-tuple ↦ annotation
+/// map, instead of re-running the join for each of the `|domain|^arity`
+/// candidate output tuples.
 pub fn find_counterexample_ucq<K: Semiring>(
     q1: &Ucq,
     q2: &Ucq,
@@ -73,49 +135,31 @@ pub fn find_counterexample_ucq<K: Semiring>(
         Some(q) => q.schema().clone(),
         None => return None,
     };
-    let arity = q1
-        .disjuncts()
-        .first()
-        .or_else(|| q2.disjuncts().first())
-        .map(|q| q.free_vars().len())
-        .unwrap_or(0);
-    let domain: Vec<DbValue> = (0..config.domain_size as i64).map(DbValue::Int).collect();
-    // All possible tuples per relation.
-    let all_tuples: Vec<(annot_query::RelId, Tuple)> = schema
-        .rel_ids()
-        .flat_map(|rel| {
-            tuples_over(&domain, schema.arity(rel))
-                .into_iter()
-                .map(move |t| (rel, t))
-        })
-        .collect();
-    let samples: Vec<K> = K::sample_elements();
     let mut found: Option<CounterExample<K>> = None;
-    let mut current: Vec<usize> = vec![0; all_tuples.len()];
-    enumerate_annotations(
-        &schema,
-        &all_tuples,
-        &samples,
-        &mut current,
-        0,
-        config,
-        &mut |instance| {
-            for t in tuples_over(&domain, arity) {
-                let lhs = eval_ucq(q1, instance, &t);
-                let rhs = eval_ucq(q2, instance, &t);
-                if !lhs.leq(&rhs) {
-                    found = Some(CounterExample {
-                        instance: instance.clone(),
-                        tuple: t,
-                        lhs,
-                        rhs,
-                    });
-                    return true;
-                }
+    for_each_instance(&schema, config, &mut |instance: &Instance<K>| {
+        let lhs = eval_ucq_all_outputs(q1, instance);
+        // Positivity (required of every `Semiring` implementation) makes `0`
+        // the least element, so a violation needs `Q₁ᴵ(t) ≠ 0`: when the lhs
+        // support is empty, `Q₂` need not be evaluated at all, and tuples
+        // outside the lhs support can never witness a violation.
+        if lhs.is_empty() {
+            return false;
+        }
+        let rhs = eval_ucq_all_outputs(q2, instance);
+        for (t, l) in &lhs {
+            let r = rhs.get(t).cloned().unwrap_or_else(K::zero);
+            if !l.leq(&r) {
+                found = Some(CounterExample {
+                    instance: instance.clone(),
+                    tuple: t.clone(),
+                    lhs: l.clone(),
+                    rhs: r,
+                });
+                return true;
             }
-            false
-        },
-    );
+        }
+        false
+    });
     found
 }
 
@@ -128,6 +172,61 @@ pub fn no_counterexample_cq<K: Semiring>(q1: &Cq, q2: &Cq, config: &BruteForceCo
 /// and for replaying counterexamples).
 pub fn holds_on_instance<K: Semiring>(q1: &Cq, q2: &Cq, instance: &Instance<K>, t: &Tuple) -> bool {
     eval_cq(q1, instance, t).leq(&eval_cq(q2, instance, t))
+}
+
+/// Enumerates every K-instance over the schema and the domain
+/// `{0, …, domain_size−1}` with support ≤ `config.max_support` and non-zero
+/// annotations drawn from `K::sample_elements()`, calling `visit` on each;
+/// stops early (returning `true`) as soon as `visit` returns `true`.
+///
+/// The instance is built incrementally — the enumeration inserts and removes
+/// one tuple per tree edge rather than reconstructing the instance per leaf —
+/// and the support cap prunes during descent (see the module docs for the
+/// exact instance count).
+pub fn for_each_instance<K: Semiring>(
+    schema: &Schema,
+    config: &BruteForceConfig,
+    visit: &mut dyn FnMut(&Instance<K>) -> bool,
+) -> bool {
+    let domain: Vec<DbValue> = (0..config.domain_size as i64).map(DbValue::Int).collect();
+    let all_tuples: Vec<(annot_query::RelId, Tuple)> = schema
+        .rel_ids()
+        .flat_map(|rel| {
+            tuples_over(&domain, schema.arity(rel))
+                .into_iter()
+                .map(move |t| (rel, t))
+        })
+        .collect();
+    // Zero annotations never enter a support; enumerating them would only
+    // duplicate the "slot absent" branch.
+    let samples: Vec<K> = K::sample_elements()
+        .into_iter()
+        .filter(|s| !s.is_zero())
+        .collect();
+    let mut instance = Instance::new(schema.clone());
+    enumerate_supports(
+        &all_tuples,
+        &samples,
+        &mut instance,
+        0,
+        config.max_support,
+        visit,
+    )
+}
+
+/// The closed-form number of instances [`for_each_instance`] visits for `n`
+/// tuple slots, `s` non-zero samples and support cap `cap`:
+/// `Σ_{k=0}^{min(n, cap)} C(n, k) · s^k`.
+pub fn bounded_instance_count(n: usize, s: usize, cap: usize) -> u128 {
+    let mut total: u128 = 0;
+    for k in 0..=cap.min(n) {
+        let mut binom: u128 = 1;
+        for i in 0..k {
+            binom = binom * (n - i) as u128 / (i + 1) as u128;
+        }
+        total += binom * (s as u128).pow(k as u32);
+    }
+    total
 }
 
 fn tuples_over(domain: &[DbValue], arity: usize) -> Vec<Tuple> {
@@ -146,42 +245,50 @@ fn tuples_over(domain: &[DbValue], arity: usize) -> Vec<Tuple> {
     result
 }
 
-#[allow(clippy::too_many_arguments)]
-fn enumerate_annotations<K: Semiring>(
-    schema: &Schema,
+/// Support-bounded enumeration: at each tuple slot, either leave the slot
+/// out of the support, or — while the remaining support budget is positive —
+/// annotate it with each non-zero sample.  Once the budget reaches zero the
+/// remaining slots are forced to zero, so oversized assignments are never
+/// descended into (let alone materialised).
+fn enumerate_supports<K: Semiring>(
     all_tuples: &[(annot_query::RelId, Tuple)],
     samples: &[K],
-    current: &mut Vec<usize>,
+    instance: &mut Instance<K>,
     index: usize,
-    config: &BruteForceConfig,
+    remaining_support: usize,
     visit: &mut dyn FnMut(&Instance<K>) -> bool,
 ) -> bool {
     if index == all_tuples.len() {
-        let support = current.iter().filter(|&&c| c > 0).count();
-        if support > config.max_support {
-            return false;
-        }
-        let mut instance = Instance::new(schema.clone());
-        for (slot, &(rel, ref tuple)) in all_tuples.iter().enumerate() {
-            if current[slot] > 0 {
-                instance.insert(rel, tuple.clone(), samples[current[slot] - 1].clone());
+        return visit(instance);
+    }
+    let (rel, ref tuple) = all_tuples[index];
+    // Branch 1: the slot stays out of the support.
+    if enumerate_supports(
+        all_tuples,
+        samples,
+        instance,
+        index + 1,
+        remaining_support,
+        visit,
+    ) {
+        return true;
+    }
+    // Branch 2: annotate the slot — only while the budget allows it.
+    if remaining_support > 0 {
+        for sample in samples {
+            instance.insert(rel, tuple.clone(), sample.clone());
+            if enumerate_supports(
+                all_tuples,
+                samples,
+                instance,
+                index + 1,
+                remaining_support - 1,
+                visit,
+            ) {
+                return true;
             }
         }
-        return visit(&instance);
-    }
-    for choice in 0..=samples.len() {
-        current[index] = choice;
-        if enumerate_annotations(
-            schema,
-            all_tuples,
-            samples,
-            current,
-            index + 1,
-            config,
-            visit,
-        ) {
-            return true;
-        }
+        instance.insert(rel, tuple.clone(), K::zero());
     }
     false
 }
@@ -241,13 +348,83 @@ mod tests {
 
     #[test]
     fn empty_queries_are_least() {
+        // Audited for the bounded default: the counterexample to
+        // `Q ⊆ ∅` is a single supported tuple, well within the default
+        // `max_support = 4` (the old default was unbounded).
         let mut s = schema();
         let q = parser::parse_ucq(&mut s, "Q() :- R(u, v)").unwrap();
         let config = BruteForceConfig::default();
+        assert_eq!(config.max_support, 4);
         assert!(find_counterexample_ucq::<Natural>(&Ucq::empty(), &q, &config).is_none());
         assert!(find_counterexample_ucq::<Natural>(&q, &Ucq::empty(), &config).is_some());
         assert!(
             find_counterexample_ucq::<Natural>(&Ucq::empty(), &Ucq::empty(), &config).is_none()
         );
+    }
+
+    #[test]
+    fn default_config_is_bounded_and_schema_derived_caps_fit() {
+        assert_eq!(BruteForceConfig::default().domain_size, 2);
+        assert_eq!(BruteForceConfig::default().max_support, 4);
+        assert_eq!(BruteForceConfig::with_domain_size(3).max_support, 9);
+        // Binary widest relation: 3² tuples, capped at domain² = 9.
+        let s = Schema::with_relations([("R", 2), ("S", 1)]);
+        assert_eq!(BruteForceConfig::for_schema(&s, 3).max_support, 9);
+        // Unary-only schema over domain 3: only 3 distinct tuples exist.
+        let unary = Schema::with_relations([("S", 1)]);
+        assert_eq!(BruteForceConfig::for_schema(&unary, 3).max_support, 3);
+    }
+
+    /// The headline regression test: the enumeration visits exactly the
+    /// closed-form support-bounded count `Σ_{k≤cap} C(n,k)·s^k` of instances
+    /// — not `(s+1)^n` with oversized leaves filtered afterwards.
+    #[test]
+    fn support_cap_prunes_the_enumeration_tree() {
+        let s = schema();
+        let nonzero_samples = Natural::sample_elements()
+            .into_iter()
+            .filter(|k| !k.is_zero())
+            .count();
+        let n = 4; // 2² tuples of the binary relation over a 2-value domain
+        for cap in 0..=5usize {
+            let config = BruteForceConfig {
+                domain_size: 2,
+                max_support: cap,
+            };
+            let mut visited: u128 = 0;
+            let mut max_seen_support = 0usize;
+            for_each_instance::<Natural>(&s, &config, &mut |instance| {
+                visited += 1;
+                max_seen_support = max_seen_support.max(instance.support_size());
+                false
+            });
+            assert_eq!(
+                visited,
+                bounded_instance_count(n, nonzero_samples, cap),
+                "cap {cap}: wrong instance count"
+            );
+            assert!(max_seen_support <= cap.min(n));
+            // Strictly fewer visits than the unpruned (s+1)^n whenever the
+            // cap actually bites.
+            if cap < n {
+                let unpruned = ((nonzero_samples + 1) as u128).pow(n as u32);
+                assert!(visited < unpruned, "cap {cap} did not prune");
+            }
+        }
+    }
+
+    /// Early termination propagates through the incremental enumeration.
+    #[test]
+    fn enumeration_stops_on_first_accepted_instance() {
+        let s = schema();
+        let config = BruteForceConfig::default();
+        let mut visited = 0usize;
+        let stopped = for_each_instance::<Bool>(&s, &config, &mut |instance| {
+            visited += 1;
+            instance.support_size() == 1
+        });
+        assert!(stopped);
+        // The empty instance is visited first, then the first singleton.
+        assert_eq!(visited, 2);
     }
 }

@@ -278,12 +278,13 @@ impl ClassifiedSemiring for Viterbi {
             in_n_in: false,
             in_n_sur: false,
             offset: Offset::Finite(1),
-            // Isomorphic to T⁺ (via x ↦ −ln x), so the same procedure applies
-            // in principle; we do not ship a polynomial-order decider for it.
-            cq_criterion: CqCriterion::OpenProblem,
-            ucq_criterion: UcqCriterion::OpenProblem,
-            cq_complexity: Complexity::OpenOrUndecidable,
-            ucq_complexity: Complexity::OpenOrUndecidable,
+            // Isomorphic to T⁺ via x ↦ −ln x, which carries the polynomial
+            // order across ([`crate::poly_order`] ships the decider), so the
+            // small-model procedure of Thm. 4.17 applies verbatim.
+            cq_criterion: CqCriterion::SmallModel,
+            ucq_criterion: UcqCriterion::SmallModel,
+            cq_complexity: Complexity::PSpace,
+            ucq_complexity: Complexity::PSpace,
         }
     }
 }

@@ -18,6 +18,7 @@
 use annot_polynomial::{leq_max_plus, leq_min_plus, Polynomial, Var};
 use annot_semiring::{
     eval_polynomial, BoolPoly, BoundedNat, Clearance, NatPoly, Schedule, Semiring, Tropical,
+    Viterbi,
 };
 
 /// A semiring for which the universally-quantified polynomial order
@@ -37,6 +38,21 @@ impl PolynomialOrder for Tropical {
 impl PolynomialOrder for Schedule {
     fn poly_leq(p1: &Polynomial, p2: &Polynomial) -> bool {
         leq_max_plus(p1, p2)
+    }
+}
+
+impl PolynomialOrder for Viterbi {
+    /// The Viterbi semiring `⟨[0,1], max, ×⟩` is isomorphic to the tropical
+    /// semiring over the non-negative reals via `x ↦ −ln x` (sums become
+    /// mins, products become sums, and the order is carried over:
+    /// `x ≤_V y ⟺ −ln x ≤_{T⁺} −ln y`).  A valuation of the variables in
+    /// `[0,1]` therefore corresponds exactly to a valuation in `[0,∞]`, so
+    /// `P₁ ¹_V P₂` iff `P₁ ¹_{T⁺} P₂` — and the min-plus LP decides the
+    /// latter (its Fourier–Motzkin systems are scale-invariant, so
+    /// feasibility over the non-negative rationals, reals and naturals
+    /// coincide).
+    fn poly_leq(p1: &Polynomial, p2: &Polynomial) -> bool {
+        leq_min_plus(p1, p2)
     }
 }
 
@@ -138,6 +154,30 @@ mod tests {
         assert!(Tropical::poly_leq(&rhs, &lhs));
         assert!(!Schedule::poly_leq(&x(), &x().times(&y())));
         assert!(Schedule::poly_leq(&x(), &x().plus(&y())));
+    }
+
+    #[test]
+    fn viterbi_order_matches_tropical_through_the_isomorphism() {
+        // x ↦ −ln x carries ¹_V to ¹_{T⁺} exactly, so the two deciders
+        // agree on every comparison.
+        let pairs = [
+            (x().plus(&y()).pow(2), x().pow(2).plus(&y().pow(2))),
+            (x(), x().times(&y())),
+            (x().times(&y()), x()),
+            (x(), x().plus(&y())),
+            (x().pow(2), x()),
+        ];
+        for (p, q) in &pairs {
+            assert_eq!(Viterbi::poly_leq(p, q), Tropical::poly_leq(p, q));
+            assert_eq!(Viterbi::poly_leq(q, p), Tropical::poly_leq(q, p));
+        }
+        // Spot-check against direct enumeration over the Viterbi samples:
+        // the universal order implies the sampled order.
+        for (p, q) in &pairs {
+            if Viterbi::poly_leq(p, q) {
+                assert!(poly_leq_by_enumeration(&Viterbi::sample_elements(), p, q));
+            }
+        }
     }
 
     #[test]

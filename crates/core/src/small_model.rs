@@ -20,24 +20,52 @@
 
 use crate::poly_order::PolynomialOrder;
 use annot_query::complete::{complete_description_cq, complete_description_ucq};
-use annot_query::eval::{eval_cq, eval_ucq};
-use annot_query::{CanonicalInstance, Ccq, Cq, Tuple, Ucq};
+use annot_query::eval::{eval_cq_all_outputs, eval_ucq_all_outputs};
+use annot_query::{CanonicalInstance, Cq, Tuple, Ucq};
+use annot_semiring::{NatPoly, Semiring};
+use std::collections::BTreeMap;
 
 /// Decides `Q₁ ⊆_K Q₂` for an ⊕-idempotent semiring `K` with a decidable
 /// polynomial order, by Thm. 4.17.
 ///
 /// The caller is responsible for `K` being ⊕-idempotent (class `S¹`) — the
 /// generic dispatcher checks this via the class profile.
+///
+/// Per canonical instance, both queries are evaluated for *all* output
+/// tuples in a single assignment-enumeration pass (instead of re-running the
+/// join per candidate tuple); tuples outside both supports compare as
+/// `0 ¹_K 0`, which holds in every semiring.
 pub fn cq_contained_small_model<K: PolynomialOrder>(q1: &Cq, q2: &Cq) -> bool {
     let description = complete_description_cq(q1);
     for ccq in description.disjuncts() {
         let canonical = CanonicalInstance::of_ccq(ccq);
-        for t in output_tuples(ccq, q1.free_vars().len()) {
-            let p1 = eval_cq(q1, canonical.instance(), &t);
-            let p2 = eval_cq(q2, canonical.instance(), &t);
-            if !K::poly_leq(p1.polynomial(), p2.polynomial()) {
-                return false;
-            }
+        let m1 = eval_cq_all_outputs(q1, canonical.instance());
+        let m2 = eval_cq_all_outputs(q2, canonical.instance());
+        if !supports_ordered::<K>(&m1, &m2) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Compares the two all-outputs maps under `¹_K` on the union of their
+/// supports.  Missing entries are the zero polynomial; tuples outside both
+/// supports compare as `0 ¹_K 0`, which holds reflexively, so only tuples
+/// in either support can witness a violation.
+fn supports_ordered<K: PolynomialOrder>(
+    m1: &BTreeMap<Tuple, NatPoly>,
+    m2: &BTreeMap<Tuple, NatPoly>,
+) -> bool {
+    let zero = NatPoly::zero();
+    for (t, p1) in m1 {
+        let p2 = m2.get(t).unwrap_or(&zero);
+        if !K::poly_leq(p1.polynomial(), p2.polynomial()) {
+            return false;
+        }
+    }
+    for (t, p2) in m2 {
+        if !m1.contains_key(t) && !K::poly_leq(zero.polynomial(), p2.polynomial()) {
+            return false;
         }
     }
     true
@@ -53,51 +81,16 @@ pub fn ucq_contained_small_model<K: PolynomialOrder>(q1: &Ucq, q2: &Ucq) -> bool
     if q1.is_empty() {
         return true;
     }
-    let arity = q1.disjuncts()[0].free_vars().len();
     let description = complete_description_ucq(q1);
     for ccq in description.disjuncts() {
         let canonical = CanonicalInstance::of_ccq(ccq);
-        for t in output_tuples(ccq, arity) {
-            let p1 = eval_ucq(q1, canonical.instance(), &t);
-            let p2 = eval_ucq(q2, canonical.instance(), &t);
-            if !K::poly_leq(p1.polynomial(), p2.polynomial()) {
-                return false;
-            }
+        let m1 = eval_ucq_all_outputs(q1, canonical.instance());
+        let m2 = eval_ucq_all_outputs(q2, canonical.instance());
+        if !supports_ordered::<K>(&m1, &m2) {
+            return false;
         }
     }
     true
-}
-
-/// All candidate output tuples over the domain of `⟦ccq⟧` (the variables of
-/// the CCQ), of the given arity.
-fn output_tuples(ccq: &Ccq, arity: usize) -> Vec<Tuple> {
-    let domain: Vec<_> = ccq
-        .cq()
-        .all_vars()
-        .into_iter()
-        .map(CanonicalInstance::value_of)
-        .collect();
-    let mut result = Vec::new();
-    let mut current = Vec::with_capacity(arity);
-    enumerate(&domain, arity, &mut current, &mut result);
-    result
-}
-
-fn enumerate(
-    domain: &[annot_query::DbValue],
-    arity: usize,
-    current: &mut Tuple,
-    out: &mut Vec<Tuple>,
-) {
-    if current.len() == arity {
-        out.push(current.clone());
-        return;
-    }
-    for v in domain {
-        current.push(v.clone());
-        enumerate(domain, arity, current, out);
-        current.pop();
-    }
 }
 
 #[cfg(test)]

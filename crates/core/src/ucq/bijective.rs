@@ -39,19 +39,21 @@ fn counting_with_cap(q1: &Ucq, q2: &Ucq, cap: Option<u64>) -> bool {
 
 /// The same criterion applied to already-computed complete descriptions.
 pub fn counting_on_descriptions(d1: &Ducq, d2: &Ducq, cap: Option<u64>) -> bool {
-    // Group the members of d1 into isomorphism classes (quadratic, fine at
-    // the Bell-number sizes complete descriptions have in practice).
-    let mut representatives: Vec<&Ccq> = Vec::new();
+    // Group the members of d1 into isomorphism classes, counting class sizes
+    // in the same pass (quadratic, fine at the Bell-number sizes complete
+    // descriptions have in practice; the isomorphism searches refute cheap
+    // mismatches through the engine's per-relation count prechecks).
+    let mut classes: Vec<(&Ccq, u64)> = Vec::new();
     'outer: for member in d1.disjuncts() {
-        for repr in &representatives {
+        for (repr, count) in &mut classes {
             if iso::are_isomorphic(repr, member) {
+                *count += 1;
                 continue 'outer;
             }
         }
-        representatives.push(member);
+        classes.push((member, 1));
     }
-    for repr in representatives {
-        let count1 = iso::count_isomorphic(d1, repr) as u64;
+    for (repr, count1) in classes {
         let count2 = iso::count_isomorphic(d2, repr) as u64;
         let needed = match cap {
             Some(k) => count1.min(k),

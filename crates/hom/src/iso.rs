@@ -29,6 +29,13 @@ pub fn are_isomorphic(a: &Ccq, b: &Ccq) -> bool {
 
 /// Finds an isomorphism from `a` to `b`, if one exists.
 pub fn find_isomorphism(a: &Ccq, b: &Ccq) -> Option<VarMap> {
+    // An isomorphism matches the atom multisets exactly, so the per-relation
+    // occurrence counts must agree — a cheap refutation before the search.
+    if a.cq().num_atoms() != b.cq().num_atoms()
+        || !crate::kinds::relation_counts_dominated(a.cq(), b.cq())
+    {
+        return None;
+    }
     let mut found = None;
     HomSearch::new_ccq(a, b)
         .with_options(SearchOptions {

@@ -13,8 +13,29 @@
 //! inequalities.
 
 use crate::search::{HomSearch, SearchOptions};
-use annot_query::{Atom, Ccq, Cq};
+use annot_query::{Atom, Ccq, Cq, RelId};
 use std::collections::BTreeMap;
+
+/// Per-relation atom-occurrence counts of a query, used as a cheap necessary
+/// condition before launching the NP-complete searches: every homomorphism
+/// maps an `R`-atom to an `R`-atom, so occurrence-injective (sub-multiset)
+/// images need `count_{q2}(R) ≤ count_{q1}(R)` per relation, and surjective
+/// (covering) images need the reverse.
+fn relation_counts(q: &Cq) -> BTreeMap<RelId, usize> {
+    let mut counts = BTreeMap::new();
+    for atom in q.atoms() {
+        *counts.entry(atom.relation).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// `counts(q2, R) ≤ counts(q1, R)` for every relation `R` occurring in `q2`.
+pub(crate) fn relation_counts_dominated(q2: &Cq, q1: &Cq) -> bool {
+    let c1 = relation_counts(q1);
+    relation_counts(q2)
+        .iter()
+        .all(|(rel, n2)| c1.get(rel).is_some_and(|n1| n2 <= n1))
+}
 
 /// `Q₂ → Q₁`: is there a homomorphism (containment mapping) from `q2` to
 /// `q1`?  (Chandra–Merlin; Sec. 3.3.)
@@ -31,22 +52,24 @@ pub fn exists_hom_ccq(q2: &Ccq, q1: &Ccq) -> bool {
 /// `q2` to `q1`?  The multiset of image atoms is a sub-multiset of `q1`'s
 /// atoms (Sec. 4.2).
 pub fn exists_injective_hom(q2: &Cq, q1: &Cq) -> bool {
-    HomSearch::new(q2, q1)
-        .with_options(SearchOptions {
-            occurrence_injective: true,
-            ..Default::default()
-        })
-        .exists()
+    relation_counts_dominated(q2, q1)
+        && HomSearch::new(q2, q1)
+            .with_options(SearchOptions {
+                occurrence_injective: true,
+                ..Default::default()
+            })
+            .exists()
 }
 
 /// `Q₂ ↪ Q₁` for CCQs, preserving inequalities.
 pub fn exists_injective_hom_ccq(q2: &Ccq, q1: &Ccq) -> bool {
-    HomSearch::new_ccq(q2, q1)
-        .with_options(SearchOptions {
-            occurrence_injective: true,
-            ..Default::default()
-        })
-        .exists()
+    relation_counts_dominated(q2.cq(), q1.cq())
+        && HomSearch::new_ccq(q2, q1)
+            .with_options(SearchOptions {
+                occurrence_injective: true,
+                ..Default::default()
+            })
+            .exists()
 }
 
 /// `Q₂ ⤖ Q₁`: is there a bijective (exact) homomorphism from `q2` to `q1`?
@@ -72,7 +95,9 @@ pub fn exists_surjective_hom_ccq(q2: &Ccq, q1: &Ccq) -> bool {
 }
 
 fn surjective_search(q2: &Cq, q1: &Cq, src: Option<&Ccq>, tgt: Option<&Ccq>) -> bool {
-    if q2.num_atoms() < q1.num_atoms() {
+    // Covering every atom occurrence of q1 needs, per relation, at least as
+    // many atoms in q2 (images stay within the relation).
+    if !relation_counts_dominated(q1, q2) {
         return false;
     }
     let search = match (src, tgt) {

@@ -7,12 +7,21 @@
 //! target query `Q₁` consistently with a variable mapping, subject to side
 //! conditions (occurrence-injectivity, pinned atoms, inequality preservation,
 //! an acceptance predicate on the completed mapping).  This module implements
-//! that search once, with a configurable atom ordering; the public
-//! per-criterion functions live in [`crate::kinds`] and [`crate::iso`].
+//! that search once; the public per-criterion functions live in
+//! [`crate::kinds`] and [`crate::iso`].
 //!
 //! Deciding existence of these homomorphisms is NP-complete in general
-//! (Chandra–Merlin); the search is exponential in the worst case but the
-//! most-constrained-first ordering keeps the practical cases fast.
+//! (Chandra–Merlin); the search is exponential in the worst case.  Two
+//! engine-level optimisations keep the practical cases fast:
+//!
+//! * a **per-relation target-atom index** built once per search, so candidate
+//!   target occurrences are looked up by relation instead of scanning every
+//!   target atom at every node;
+//! * **dynamic most-constrained-next selection with forward checking**: at
+//!   each node the engine picks the not-yet-mapped source atom with the
+//!   fewest *currently admissible* target occurrences (admissibility checks
+//!   the already-bound argument positions, occurrence usage and the pin), so
+//!   dead branches are detected before descending into them.
 
 use crate::mapping::VarMap;
 use annot_query::{Ccq, Cq, QVar};
@@ -22,8 +31,9 @@ use annot_query::{Ccq, Cq, QVar};
 pub enum AtomOrder {
     /// Process source atoms in syntactic order.
     Syntactic,
-    /// Process the atom with the fewest compatible target occurrences first
-    /// (recomputed statically, not dynamically) — the default.
+    /// Dynamically pick, at every node, the unmapped source atom with the
+    /// fewest admissible target occurrences under the current partial
+    /// mapping (forward checking) — the default.
     MostConstrained,
 }
 
@@ -45,6 +55,35 @@ impl Default for SearchOptions {
             occurrence_injective: false,
             order: AtomOrder::MostConstrained,
         }
+    }
+}
+
+/// Target atom occurrences grouped by relation, so the search enumerates only
+/// same-relation candidates instead of scanning the whole atom list.
+struct TargetIndex {
+    by_relation: Vec<Vec<usize>>,
+}
+
+impl TargetIndex {
+    fn new(target: &Cq) -> Self {
+        let buckets = target
+            .atoms()
+            .iter()
+            .map(|a| a.relation.0 as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut by_relation = vec![Vec::new(); buckets];
+        for (i, atom) in target.atoms().iter().enumerate() {
+            by_relation[atom.relation.0 as usize].push(i);
+        }
+        TargetIndex { by_relation }
+    }
+
+    fn candidates(&self, rel: annot_query::RelId) -> &[usize] {
+        self.by_relation
+            .get(rel.0 as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 }
 
@@ -115,10 +154,10 @@ impl<'a> HomSearch<'a> {
             }
         }
 
-        // Order the source atoms.
-        let order = self.atom_order();
+        let index = TargetIndex::new(self.target);
+        let mut assigned = vec![false; self.source.num_atoms()];
         let mut used = vec![false; self.target.num_atoms()];
-        self.recurse(&order, 0, &mut map, &mut used, accept)
+        self.recurse(&index, 0, &mut assigned, &mut map, &mut used, accept)
     }
 
     /// Convenience: does any accepted mapping exist (with trivial acceptance)?
@@ -145,38 +184,98 @@ impl<'a> HomSearch<'a> {
         });
     }
 
-    fn atom_order(&self) -> Vec<usize> {
-        let mut order: Vec<usize> = (0..self.source.num_atoms()).collect();
-        if self.options.order == AtomOrder::MostConstrained {
-            let mut candidate_counts: Vec<usize> = Vec::with_capacity(order.len());
-            for atom in self.source.atoms() {
-                let count = self
-                    .target
-                    .atoms()
-                    .iter()
-                    .filter(|t| t.relation == atom.relation)
-                    .count();
-                candidate_counts.push(count);
+    /// Whether mapping the source atom `source_index` onto the target
+    /// occurrence `target_index` is admissible under the current partial
+    /// state: the occurrence is free (when occurrence-injective), the pin is
+    /// respected, and every already-bound argument position agrees (forward
+    /// checking).  Unbound positions are checked later during unification
+    /// (they may still conflict through repeated variables).
+    fn admissible(
+        &self,
+        source_index: usize,
+        target_index: usize,
+        map: &VarMap,
+        used: &[bool],
+    ) -> bool {
+        if self.options.occurrence_injective && used[target_index] {
+            return false;
+        }
+        if let Some((pinned_source, pinned_target)) = self.pin {
+            if source_index == pinned_source && target_index != pinned_target {
+                return false;
             }
-            order.sort_by_key(|&i| candidate_counts[i]);
         }
-        // The pinned atom (if any) goes first so the pin prunes immediately.
+        let atom = &self.source.atoms()[source_index];
+        let target_atom = &self.target.atoms()[target_index];
+        atom.args
+            .iter()
+            .zip(&target_atom.args)
+            .all(|(&sv, &tv)| match map.get(sv) {
+                None => true,
+                Some(bound) => bound == tv,
+            })
+    }
+
+    /// Picks the next source atom to map.  The pinned atom (if any) always
+    /// goes first so the pin prunes immediately; after that, syntactic order
+    /// or dynamic most-constrained-next selection.
+    fn select_next(
+        &self,
+        index: &TargetIndex,
+        assigned: &[bool],
+        map: &VarMap,
+        used: &[bool],
+    ) -> usize {
         if let Some((pinned, _)) = self.pin {
-            order.retain(|&i| i != pinned);
-            order.insert(0, pinned);
+            if !assigned[pinned] {
+                return pinned;
+            }
         }
-        order
+        match self.options.order {
+            AtomOrder::Syntactic => assigned
+                .iter()
+                .position(|&done| !done)
+                .expect("select_next called with all atoms assigned"),
+            AtomOrder::MostConstrained => {
+                let mut best = usize::MAX;
+                let mut best_count = usize::MAX;
+                for (i, &done) in assigned.iter().enumerate() {
+                    if done {
+                        continue;
+                    }
+                    let atom = &self.source.atoms()[i];
+                    let mut count = 0;
+                    for &t in index.candidates(atom.relation) {
+                        if self.admissible(i, t, map, used) {
+                            count += 1;
+                            if count >= best_count {
+                                break;
+                            }
+                        }
+                    }
+                    if count < best_count {
+                        best_count = count;
+                        best = i;
+                        if best_count == 0 {
+                            break;
+                        }
+                    }
+                }
+                best
+            }
+        }
     }
 
     fn recurse(
         &self,
-        order: &[usize],
+        index: &TargetIndex,
         depth: usize,
+        assigned: &mut Vec<bool>,
         map: &mut VarMap,
         used: &mut Vec<bool>,
         accept: &mut dyn FnMut(&VarMap) -> bool,
     ) -> bool {
-        if depth == order.len() {
+        if depth == self.source.num_atoms() {
             if !map.is_total() {
                 // Cannot happen for safe queries, but guard anyway.
                 return false;
@@ -186,21 +285,16 @@ impl<'a> HomSearch<'a> {
             }
             return accept(map);
         }
-        let source_index = order[depth];
+        let source_index = self.select_next(index, assigned, map, used);
         let atom = &self.source.atoms()[source_index];
-        for (target_index, target_atom) in self.target.atoms().iter().enumerate() {
-            if target_atom.relation != atom.relation {
+        assigned[source_index] = true;
+        for &target_index in index.candidates(atom.relation) {
+            if !self.admissible(source_index, target_index, map, used) {
                 continue;
             }
-            if self.options.occurrence_injective && used[target_index] {
-                continue;
-            }
-            if let Some((pinned_source, pinned_target)) = self.pin {
-                if source_index == pinned_source && target_index != pinned_target {
-                    continue;
-                }
-            }
-            // Try to unify the argument lists.
+            let target_atom = &self.target.atoms()[target_index];
+            // Unify the argument lists (forward checking already validated
+            // the bound positions; repeated variables can still conflict).
             let mut touched: Vec<QVar> = Vec::new();
             let mut ok = true;
             for (&sv, &tv) in atom.args.iter().zip(&target_atom.args) {
@@ -214,7 +308,7 @@ impl<'a> HomSearch<'a> {
             }
             if ok {
                 used[target_index] = true;
-                if self.recurse(order, depth + 1, map, used, accept) {
+                if self.recurse(index, depth + 1, assigned, map, used, accept) {
                     return true;
                 }
                 used[target_index] = false;
@@ -223,6 +317,7 @@ impl<'a> HomSearch<'a> {
                 map.unbind(v);
             }
         }
+        assigned[source_index] = false;
         false
     }
 
@@ -384,6 +479,34 @@ mod tests {
             };
             assert!(HomSearch::new(&q2, &q1).with_options(options).exists());
         }
+    }
+
+    #[test]
+    fn dynamic_ordering_enumerates_the_same_homomorphism_count() {
+        // The ordering heuristic must never change the *set* of complete
+        // mappings, only the discovery order: counts agree across orders.
+        let q1 = Cq::builder(&schema())
+            .atom("R", &["x", "y"])
+            .atom("R", &["y", "z"])
+            .atom("R", &["x", "z"])
+            .build();
+        let q2 = Cq::builder(&schema())
+            .atom("R", &["a", "b"])
+            .atom("R", &["b", "c"])
+            .build();
+        let mut counts = Vec::new();
+        for order in [AtomOrder::Syntactic, AtomOrder::MostConstrained] {
+            let options = SearchOptions {
+                occurrence_injective: false,
+                order,
+            };
+            let mut count = 0usize;
+            HomSearch::new(&q2, &q1)
+                .with_options(options)
+                .for_each(&mut |_| count += 1);
+            counts.push(count);
+        }
+        assert_eq!(counts[0], counts[1]);
     }
 
     #[test]

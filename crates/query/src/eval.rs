@@ -23,6 +23,7 @@ use crate::instance::Instance;
 use crate::schema::{DbValue, Tuple};
 use crate::ucq::{Ducq, Ucq};
 use annot_semiring::Semiring;
+use std::collections::BTreeMap;
 
 /// Evaluates a CQ on an instance for an output tuple `t`.
 ///
@@ -65,37 +66,85 @@ pub fn eval_boolean_ucq<K: Semiring>(query: &Ucq, instance: &Instance<K>) -> K {
 }
 
 /// All output tuples with a non-zero annotation, together with their
-/// annotations.  The candidate outputs are tuples over the instance's active
-/// domain (constants outside the active domain can never satisfy a safe CQ).
+/// annotations (in lexicographic tuple order).  Computed in a single
+/// assignment-enumeration pass via [`eval_cq_all_outputs`].
 pub fn answers<K: Semiring>(query: &Cq, instance: &Instance<K>) -> Vec<(Tuple, K)> {
-    let arity = query.free_vars().len();
-    let domain: Vec<DbValue> = instance.active_domain().into_iter().collect();
-    let mut results = Vec::new();
-    let mut current: Tuple = Vec::with_capacity(arity);
-    enumerate_tuples(&domain, arity, &mut current, &mut |t| {
-        let value = eval_cq(query, instance, t);
-        if !value.is_zero() {
-            results.push((t.clone(), value));
-        }
-    });
-    results
+    eval_cq_all_outputs(query, instance).into_iter().collect()
 }
 
-fn enumerate_tuples(
-    domain: &[DbValue],
-    arity: usize,
-    current: &mut Tuple,
-    callback: &mut dyn FnMut(&Tuple),
-) {
-    if current.len() == arity {
-        callback(current);
-        return;
+/// Evaluates a CQ on an instance for *every* output tuple at once: one
+/// backtracking join with the free variables left unbound, reading the output
+/// tuple off each satisfying assignment.  Returns the map `t ↦ Qᴵ(t)`
+/// restricted to its support (absent tuples evaluate to `0`).
+///
+/// This is the bulk counterpart of [`eval_cq`]: where a caller would loop
+/// over `|adom|^arity` candidate tuples and re-run the join for each, this
+/// pays for the join exactly once.
+pub fn eval_cq_all_outputs<K: Semiring>(query: &Cq, instance: &Instance<K>) -> BTreeMap<Tuple, K> {
+    all_outputs_with_inequalities(query, None, instance)
+}
+
+/// The all-outputs evaluation of a CCQ (CQ with inequalities).
+pub fn eval_ccq_all_outputs<K: Semiring>(
+    query: &Ccq,
+    instance: &Instance<K>,
+) -> BTreeMap<Tuple, K> {
+    all_outputs_with_inequalities(query.cq(), Some(query), instance)
+}
+
+/// The all-outputs evaluation of a UCQ: the per-disjunct maps are computed
+/// independently (each disjunct's assignment enumeration runs once) and
+/// summed pointwise.
+pub fn eval_ucq_all_outputs<K: Semiring>(
+    query: &Ucq,
+    instance: &Instance<K>,
+) -> BTreeMap<Tuple, K> {
+    let mut total: BTreeMap<Tuple, K> = BTreeMap::new();
+    for cq in query.disjuncts() {
+        for (tuple, value) in eval_cq_all_outputs(cq, instance) {
+            add_into(&mut total, tuple, &value);
+        }
     }
-    for v in domain {
-        current.push(v.clone());
-        enumerate_tuples(domain, arity, current, callback);
-        current.pop();
-    }
+    total
+}
+
+/// Adds `value` to the entry for `tuple` (absent entries hold `0`).
+fn add_into<K: Semiring>(map: &mut BTreeMap<Tuple, K>, tuple: Tuple, value: &K) {
+    let entry = map.entry(tuple).or_insert_with(K::zero);
+    *entry = entry.add(value);
+}
+
+fn all_outputs_with_inequalities<K: Semiring>(
+    query: &Cq,
+    inequalities: Option<&Ccq>,
+    instance: &Instance<K>,
+) -> BTreeMap<Tuple, K> {
+    let mut assignment: Vec<Option<DbValue>> = vec![None; query.num_vars()];
+    let mut map: BTreeMap<Tuple, K> = BTreeMap::new();
+    eval_rec(
+        query,
+        inequalities,
+        instance,
+        0,
+        &mut assignment,
+        &K::one(),
+        &mut |assignment, product| {
+            let tuple: Tuple = query
+                .free_vars()
+                .iter()
+                .map(|v| {
+                    assignment[v.0 as usize]
+                        .clone()
+                        .expect("safe query: every free variable occurs in an atom")
+                })
+                .collect();
+            add_into(&mut map, tuple, product);
+        },
+    );
+    // Positive semirings cannot sum non-zeros to zero, but keep the support
+    // contract (`t ∈ map ⇔ Qᴵ(t) ≠ 0`) robust for exotic semirings.
+    map.retain(|_, value| !value.is_zero());
+    map
 }
 
 /// Core evaluation: backtracking join over the atoms of the query.
@@ -131,11 +180,17 @@ fn eval_with_inequalities<K: Semiring>(
         0,
         &mut assignment,
         &K::one(),
-        &mut total,
+        &mut |_, product| {
+            total = total.add(product);
+        },
     );
     total
 }
 
+/// The backtracking join shared by the per-tuple and all-outputs
+/// evaluations: enumerates every satisfying assignment (restricted by the
+/// inequalities, with `0`-product branches pruned) and hands the completed
+/// assignment plus its annotation product to `on_leaf`.
 fn eval_rec<K: Semiring>(
     query: &Cq,
     inequalities: Option<&Ccq>,
@@ -143,7 +198,7 @@ fn eval_rec<K: Semiring>(
     atom_index: usize,
     assignment: &mut Vec<Option<DbValue>>,
     partial_product: &K,
-    total: &mut K,
+    on_leaf: &mut dyn FnMut(&[Option<DbValue>], &K),
 ) {
     if partial_product.is_zero() {
         return;
@@ -159,20 +214,16 @@ fn eval_rec<K: Semiring>(
                 return;
             }
         }
-        *total = total.add(partial_product);
+        on_leaf(assignment, partial_product);
         return;
     }
     let atom = &query.atoms()[atom_index];
     // Iterate over the supported tuples of the atom's relation and try to
     // unify them with the current partial assignment.
-    let candidates: Vec<(Tuple, K)> = instance
-        .support(atom.relation)
-        .map(|(tup, k)| (tup.clone(), k.clone()))
-        .collect();
-    for (tuple, annotation) in candidates {
+    for (tuple, annotation) in instance.support(atom.relation) {
         let mut touched: Vec<QVar> = Vec::new();
         let mut consistent = true;
-        for (var, value) in atom.args.iter().zip(&tuple) {
+        for (var, value) in atom.args.iter().zip(tuple) {
             match &assignment[var.0 as usize] {
                 None => {
                     assignment[var.0 as usize] = Some(value.clone());
@@ -187,7 +238,7 @@ fn eval_rec<K: Semiring>(
             }
         }
         if consistent {
-            let product = partial_product.mul(&annotation);
+            let product = partial_product.mul(annotation);
             eval_rec(
                 query,
                 inequalities,
@@ -195,7 +246,7 @@ fn eval_rec<K: Semiring>(
                 atom_index + 1,
                 assignment,
                 &product,
-                total,
+                on_leaf,
             );
         }
         for var in touched {

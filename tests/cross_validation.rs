@@ -10,7 +10,7 @@
 //!    the tropical order.
 //!
 //! 2. **The oracle harness**: for one representative semiring per class of
-//!    Table 1 (`B`, `Lin[X]`, `T⁺`, `Why[X]`, `N[X]`, `N`), generate ≥100
+//!    Table 1 (`B`, `Lin[X]`, `T⁺`, `Viterbi`, `Why[X]`, `N[X]`, `N`), generate ≥100
 //!    random CQ pairs and UCQ pairs via [`annot_query::generator`] and check
 //!    the class-dispatching deciders of [`annot_core::decide`] against the
 //!    exhaustive semantic search of [`annot_core::brute_force`] over small
@@ -32,7 +32,9 @@ use annot_query::complete::complete_description_cq;
 use annot_query::eval::{eval_boolean_cq, eval_cq, eval_ducq};
 use annot_query::generator::{GeneratorConfig, QueryGenerator, QueryShape};
 use annot_query::{CanonicalInstance, Cq, Instance, Ucq};
-use annot_semiring::{eval_polynomial, Bool, Lineage, NatPoly, Natural, Semiring, Tropical, Why};
+use annot_semiring::{
+    eval_polynomial, Bool, Lineage, NatPoly, Natural, Semiring, Tropical, Viterbi, Why,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -282,6 +284,13 @@ fn oracle_cq_tropical() {
 }
 
 #[test]
+fn oracle_cq_viterbi() {
+    // Viterbi is decided through its −ln isomorphism to T⁺ (the small-model
+    // procedure with the min-plus polynomial order).
+    oracle_cq_poly_order::<Viterbi>();
+}
+
+#[test]
 fn oracle_cq_why() {
     oracle_cq::<Why>(true);
 }
@@ -312,6 +321,11 @@ fn oracle_ucq_lineage() {
 #[test]
 fn oracle_ucq_tropical() {
     oracle_ucq_poly_order::<Tropical>();
+}
+
+#[test]
+fn oracle_ucq_viterbi() {
+    oracle_ucq_poly_order::<Viterbi>();
 }
 
 #[test]

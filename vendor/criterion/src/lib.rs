@@ -9,16 +9,34 @@
 //! reports mean ± stddev ns/iter per benchmark. Swap the path dependency
 //! back to real criterion for statistically rigorous measurements and HTML
 //! reports; the bench sources compile unchanged against either.
+//!
+//! Two environment variables extend the shim for CI use:
+//!
+//! * `BENCH_QUICK=1` — quick mode: clamps every group's sample size, warm-up
+//!   and measurement time so a full `cargo bench` sweep finishes in seconds
+//!   (for smoke-testing the benches and producing coarse trend numbers).
+//! * `BENCH_ESTIMATES=<path>` — appends one JSON object per benchmark
+//!   (`{"group":…,"bench":…,"mean_ns":…,"stddev_ns":…,"samples":…}`, one per
+//!   line) to the given file, so CI can archive the estimates as a
+//!   `BENCH_*.json` baseline without parsing stdout.
 
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Quick-mode clamps applied to every group when `BENCH_QUICK` is set.
+const QUICK_MAX_SAMPLES: usize = 3;
+const QUICK_MAX_WARM_UP: Duration = Duration::from_millis(20);
+const QUICK_MAX_MEASUREMENT: Duration = Duration::from_millis(60);
 
 /// Entry point mirroring `criterion::Criterion`.
 pub struct Criterion {
     default_sample_size: usize,
     default_warm_up: Duration,
     default_measurement: Duration,
+    quick: bool,
+    estimates_path: Option<String>,
 }
 
 impl Default for Criterion {
@@ -27,6 +45,12 @@ impl Default for Criterion {
             default_sample_size: 10,
             default_warm_up: Duration::from_millis(300),
             default_measurement: Duration::from_millis(1000),
+            quick: std::env::var("BENCH_QUICK")
+                .map(|v| !v.is_empty() && v != "0")
+                .unwrap_or(false),
+            estimates_path: std::env::var("BENCH_ESTIMATES")
+                .ok()
+                .filter(|p| !p.is_empty()),
         }
     }
 }
@@ -40,39 +64,106 @@ impl Criterion {
     /// Opens a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
         println!("\ngroup: {}", name.as_ref());
+        let (sample_size, warm_up, measurement) = clamp_quick(
+            self.quick,
+            self.default_sample_size,
+            self.default_warm_up,
+            self.default_measurement,
+        );
         BenchmarkGroup {
+            name: name.as_ref().to_string(),
+            quick: self.quick,
+            estimates_path: self.estimates_path.clone(),
             _parent: self,
-            sample_size: self.default_sample_size,
-            warm_up: self.default_warm_up,
-            measurement: self.default_measurement,
+            sample_size,
+            warm_up,
+            measurement,
         }
     }
+}
+
+/// Applies the quick-mode clamps to a group's timing configuration.
+fn clamp_quick(
+    quick: bool,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+) -> (usize, Duration, Duration) {
+    if quick {
+        (
+            sample_size.min(QUICK_MAX_SAMPLES),
+            warm_up.min(QUICK_MAX_WARM_UP),
+            measurement.min(QUICK_MAX_MEASUREMENT),
+        )
+    } else {
+        (sample_size, warm_up, measurement)
+    }
+}
+
+/// Formats one estimate as a single-line JSON object.  Names are produced by
+/// the benches themselves (ASCII, no quotes), but escape the JSON-special
+/// characters anyway so the output is always valid.
+fn format_estimate(group: &str, bench: &str, mean: f64, sd: f64, samples: usize) -> String {
+    fn escape(s: &str) -> String {
+        s.chars()
+            .flat_map(|c| match c {
+                '"' => "\\\"".chars().collect::<Vec<_>>(),
+                '\\' => "\\\\".chars().collect(),
+                '\n' => "\\n".chars().collect(),
+                c => vec![c],
+            })
+            .collect()
+    }
+    format!(
+        "{{\"group\":\"{}\",\"bench\":\"{}\",\"mean_ns\":{:.1},\"stddev_ns\":{:.1},\"samples\":{}}}",
+        escape(group),
+        escape(bench),
+        mean,
+        sd,
+        samples
+    )
 }
 
 /// A group of related benchmarks sharing timing configuration.
 pub struct BenchmarkGroup<'a> {
     _parent: &'a Criterion,
+    name: String,
+    quick: bool,
+    estimates_path: Option<String>,
     sample_size: usize,
     warm_up: Duration,
     measurement: Duration,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets the number of timed samples per benchmark.
+    /// Sets the number of timed samples per benchmark (clamped in quick mode).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = n.max(1);
+        if self.quick {
+            self.sample_size = self.sample_size.min(QUICK_MAX_SAMPLES);
+        }
         self
     }
 
-    /// Sets how long to run the routine untimed before sampling.
+    /// Sets how long to run the routine untimed before sampling (clamped in
+    /// quick mode).
     pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
-        self.warm_up = d;
+        self.warm_up = if self.quick {
+            d.min(QUICK_MAX_WARM_UP)
+        } else {
+            d
+        };
         self
     }
 
-    /// Sets the total time budget for the timed samples.
+    /// Sets the total time budget for the timed samples (clamped in quick
+    /// mode).
     pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
-        self.measurement = d;
+        self.measurement = if self.quick {
+            d.min(QUICK_MAX_MEASUREMENT)
+        } else {
+            d
+        };
         self
     }
 
@@ -97,6 +188,16 @@ impl BenchmarkGroup<'_> {
         );
         let (mean, sd) = mean_stddev(&bencher.samples_ns);
         println!("  {:<40} {:>12.1} ns/iter (± {:.1})", id.as_ref(), mean, sd);
+        if let Some(path) = &self.estimates_path {
+            let line = format_estimate(&self.name, id.as_ref(), mean, sd, self.sample_size);
+            if let Ok(mut file) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                let _ = writeln!(file, "{}", line);
+            }
+        }
         self
     }
 
@@ -196,5 +297,30 @@ mod tests {
         let mut criterion = Criterion::default();
         let mut group = criterion.benchmark_group("shim-selftest-bad");
         group.bench_function("noop", |_b| {});
+    }
+
+    #[test]
+    fn quick_mode_clamps_timing_configuration() {
+        let (samples, warm_up, measurement) =
+            clamp_quick(true, 100, Duration::from_secs(3), Duration::from_secs(5));
+        assert_eq!(samples, QUICK_MAX_SAMPLES);
+        assert_eq!(warm_up, QUICK_MAX_WARM_UP);
+        assert_eq!(measurement, QUICK_MAX_MEASUREMENT);
+        // Without quick mode the configuration passes through unchanged.
+        let (samples, warm_up, measurement) =
+            clamp_quick(false, 100, Duration::from_secs(3), Duration::from_secs(5));
+        assert_eq!(samples, 100);
+        assert_eq!(warm_up, Duration::from_secs(3));
+        assert_eq!(measurement, Duration::from_secs(5));
+    }
+
+    #[test]
+    fn estimates_are_valid_single_line_json() {
+        let line = format_estimate("group/a", "bench \"b\"", 12.34, 0.5, 7);
+        assert!(!line.contains('\n'));
+        assert_eq!(
+            line,
+            "{\"group\":\"group/a\",\"bench\":\"bench \\\"b\\\"\",\"mean_ns\":12.3,\"stddev_ns\":0.5,\"samples\":7}"
+        );
     }
 }
