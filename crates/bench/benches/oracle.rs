@@ -30,6 +30,7 @@ fn oracle(c: &mut Criterion) {
     let config = BruteForceConfig {
         domain_size: 2,
         max_support: 3,
+        ..Default::default()
     };
 
     let mut group = c.benchmark_group("oracle/counterexample_search");
@@ -56,6 +57,7 @@ fn oracle(c: &mut Criterion) {
         let config = BruteForceConfig {
             domain_size: 2,
             max_support: cap,
+            ..Default::default()
         };
         group.bench_function(format!("natural/cap{cap}"), |b| {
             b.iter(|| {

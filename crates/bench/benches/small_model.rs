@@ -67,6 +67,7 @@ fn small_model(c: &mut Criterion) {
         let config = BruteForceConfig {
             domain_size: 2,
             max_support: 4,
+            ..Default::default()
         };
         b.iter(|| {
             black_box(

@@ -1,0 +1,417 @@
+//! The CI bench-regression gate.
+//!
+//! Compares a fresh `BENCH_ESTIMATES` run (see `vendor/criterion`) against a
+//! committed baseline snapshot and fails — exit code 1 — when any *gated*
+//! benchmark regressed beyond the threshold.  By default the gate covers the
+//! two hot-path bench groups the repository's perf trajectory is pinned on
+//! (`oracle/*` and `hom_scaling/*`); everything else is reported but never
+//! fatal.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p annot-bench --bin bench_gate -- <baseline.json> <current.json> \
+//!     [--threshold 0.25] [--min-mean-ns 1000] [--all-groups]
+//! ```
+//!
+//! Both files are the JSON-lines format the vendored criterion shim appends
+//! under `BENCH_ESTIMATES=<path>`:
+//!
+//! ```text
+//! {"group":"oracle/counterexample_search","bench":"bag/refutable",
+//!  "mean_ns":6127.2,"stddev_ns":253.5,"samples":3}
+//! ```
+//!
+//! A bench regresses when its current mean exceeds
+//! `(1 + threshold) · baseline mean + 2·(baseline σ + current σ)`: the
+//! relative threshold catches real slowdowns, the stddev slack keeps the
+//! 3-sample quick-mode estimates from tripping the gate on noise, and
+//! benches with a baseline mean below `--min-mean-ns` (sub-µs timings whose
+//! quick-mode jitter dwarfs any signal) are skipped.  Benches present on
+//! only one side are reported but never fatal (new benches must be allowed
+//! to land; retired ones to leave).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::process::ExitCode;
+
+/// One benchmark estimate parsed from a `BENCH_ESTIMATES` line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Estimate {
+    pub group: String,
+    pub bench: String,
+    pub mean_ns: f64,
+    pub stddev_ns: f64,
+}
+
+/// Gate parameters (see the module docs for the comparison rule).
+#[derive(Clone, Debug)]
+pub struct GateConfig {
+    /// Maximum tolerated relative slowdown (0.25 = +25 %).
+    pub threshold: f64,
+    /// Benches with a baseline mean below this are too jittery to gate.
+    pub min_mean_ns: f64,
+    /// Group prefixes the gate is fatal for; empty gates every group.
+    pub gated_prefixes: Vec<String>,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            threshold: 0.25,
+            min_mean_ns: 1000.0,
+            gated_prefixes: vec!["oracle/".into(), "hom_scaling/".into()],
+        }
+    }
+}
+
+/// The verdict for one benchmark present in both snapshots.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Verdict {
+    /// Within the tolerated envelope (includes improvements).
+    Ok,
+    /// Slower than the envelope allows but not in a gated group.
+    UngatedRegression,
+    /// Slower than the envelope allows in a gated group: fails the job.
+    GatedRegression,
+    /// Baseline mean below the jitter floor; not compared.
+    Skipped,
+}
+
+/// One row of the comparison report.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    pub name: String,
+    pub baseline_ns: f64,
+    pub current_ns: f64,
+    pub verdict: Verdict,
+}
+
+impl Comparison {
+    fn ratio(&self) -> f64 {
+        if self.baseline_ns > 0.0 {
+            self.current_ns / self.baseline_ns
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self.verdict {
+            Verdict::Ok => "ok      ",
+            Verdict::UngatedRegression => "slower  ",
+            Verdict::GatedRegression => "REGRESSED",
+            Verdict::Skipped => "skipped ",
+        };
+        write!(
+            f,
+            "{tag} {:<60} {:>12.1} -> {:>12.1} ns  ({:+.1} %)",
+            self.name,
+            self.baseline_ns,
+            self.current_ns,
+            (self.ratio() - 1.0) * 100.0
+        )
+    }
+}
+
+/// Parses one `BENCH_ESTIMATES` JSON line.  The format is machine-written
+/// with a fixed key set (see the vendored criterion shim), so a small
+/// field-extracting parser is enough — no JSON dependency is available in
+/// this offline workspace.
+pub fn parse_line(line: &str) -> Option<Estimate> {
+    let group = extract_string(line, "group")?;
+    let bench = extract_string(line, "bench")?;
+    let mean_ns = extract_number(line, "mean_ns")?;
+    let stddev_ns = extract_number(line, "stddev_ns").unwrap_or(0.0);
+    Some(Estimate {
+        group,
+        bench,
+        mean_ns,
+        stddev_ns,
+    })
+}
+
+/// Extracts `"key":"value"` (the shim never escapes quotes in names; a name
+/// containing one would simply fail to parse and the line be ignored).
+fn extract_string(line: &str, key: &str) -> Option<String> {
+    let pattern = format!("\"{key}\":\"");
+    let start = line.find(&pattern)? + pattern.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Extracts `"key":<number>`.
+fn extract_number(line: &str, key: &str) -> Option<f64> {
+    let pattern = format!("\"{key}\":");
+    let start = line.find(&pattern)? + pattern.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses a whole `BENCH_ESTIMATES` file into `name ↦ estimate` (last write
+/// wins, matching the append-only file the shim produces across re-runs).
+pub fn parse_estimates(content: &str) -> BTreeMap<String, Estimate> {
+    let mut map = BTreeMap::new();
+    for line in content.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(e) = parse_line(line) {
+            map.insert(format!("{}/{}", e.group, e.bench), e);
+        }
+    }
+    map
+}
+
+/// Whether a benchmark (by its `group/bench` name) is gated.
+fn is_gated(config: &GateConfig, name: &str) -> bool {
+    config.gated_prefixes.is_empty() || config.gated_prefixes.iter().any(|p| name.starts_with(p))
+}
+
+/// Compares two parsed snapshots under the gate rule; rows come back in
+/// name order.
+pub fn compare(
+    baseline: &BTreeMap<String, Estimate>,
+    current: &BTreeMap<String, Estimate>,
+    config: &GateConfig,
+) -> Vec<Comparison> {
+    let mut rows = Vec::new();
+    for (name, base) in baseline {
+        let Some(cur) = current.get(name) else {
+            continue;
+        };
+        let verdict = if base.mean_ns < config.min_mean_ns {
+            Verdict::Skipped
+        } else {
+            let envelope =
+                (1.0 + config.threshold) * base.mean_ns + 2.0 * (base.stddev_ns + cur.stddev_ns);
+            if cur.mean_ns <= envelope {
+                Verdict::Ok
+            } else if is_gated(config, name) {
+                Verdict::GatedRegression
+            } else {
+                Verdict::UngatedRegression
+            }
+        };
+        rows.push(Comparison {
+            name: name.clone(),
+            baseline_ns: base.mean_ns,
+            current_ns: cur.mean_ns,
+            verdict,
+        });
+    }
+    rows
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_gate <baseline.json> <current.json> \
+         [--threshold 0.25] [--min-mean-ns 1000] [--all-groups]"
+    );
+    std::process::exit(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files = Vec::new();
+    let mut config = GateConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                i += 1;
+                config.threshold = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    usage();
+                });
+            }
+            "--min-mean-ns" => {
+                i += 1;
+                config.min_mean_ns =
+                    args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        usage();
+                    });
+            }
+            "--all-groups" => config.gated_prefixes.clear(),
+            flag if flag.starts_with("--") => usage(),
+            file => files.push(file.to_string()),
+        }
+        i += 1;
+    }
+    if files.len() != 2 {
+        usage();
+    }
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench_gate: cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = parse_estimates(&read(&files[0]));
+    let current = parse_estimates(&read(&files[1]));
+    if baseline.is_empty() || current.is_empty() {
+        eprintln!(
+            "bench_gate: no estimates parsed (baseline: {}, current: {})",
+            baseline.len(),
+            current.len()
+        );
+        return ExitCode::from(2);
+    }
+
+    let rows = compare(&baseline, &current, &config);
+    let mut gated_failures = 0usize;
+    let mut skipped = 0usize;
+    for row in &rows {
+        match row.verdict {
+            Verdict::Skipped => skipped += 1,
+            Verdict::Ok => {}
+            _ => println!("{row}"),
+        }
+        if row.verdict == Verdict::GatedRegression {
+            gated_failures += 1;
+        }
+    }
+    let only_base = baseline
+        .keys()
+        .filter(|k| !current.contains_key(*k))
+        .count();
+    let only_cur = current
+        .keys()
+        .filter(|k| !baseline.contains_key(*k))
+        .count();
+    println!(
+        "bench_gate: {} compared ({} below the jitter floor), {} gated regression(s), \
+         {} baseline-only, {} new (threshold +{:.0} %, floor {} ns)",
+        rows.len(),
+        skipped,
+        gated_failures,
+        only_base,
+        only_cur,
+        config.threshold * 100.0,
+        config.min_mean_ns
+    );
+    if gated_failures > 0 {
+        eprintln!("bench_gate: FAIL — gated benches regressed beyond the threshold");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(group: &str, bench: &str, mean: f64, stddev: f64) -> String {
+        format!(
+            "{{\"group\":\"{group}\",\"bench\":\"{bench}\",\"mean_ns\":{mean},\
+             \"stddev_ns\":{stddev},\"samples\":3}}"
+        )
+    }
+
+    fn snapshot(entries: &[(&str, &str, f64, f64)]) -> BTreeMap<String, Estimate> {
+        let content: Vec<String> = entries
+            .iter()
+            .map(|(g, b, m, s)| line(g, b, *m, *s))
+            .collect();
+        parse_estimates(&content.join("\n"))
+    }
+
+    #[test]
+    fn parses_the_shim_format() {
+        let e = parse_line(&line("oracle/search", "bag/refutable", 6127.2, 253.5)).unwrap();
+        assert_eq!(e.group, "oracle/search");
+        assert_eq!(e.bench, "bag/refutable");
+        assert_eq!(e.mean_ns, 6127.2);
+        assert_eq!(e.stddev_ns, 253.5);
+        // Junk lines are ignored, blank lines skipped, last write wins.
+        let content = format!(
+            "not json\n\n{}\n{}",
+            line("g", "b", 1.0, 0.0),
+            line("g", "b", 2.0, 0.0)
+        );
+        let map = parse_estimates(&content);
+        assert_eq!(map.len(), 1);
+        assert_eq!(map["g/b"].mean_ns, 2.0);
+    }
+
+    #[test]
+    fn passes_on_the_committed_baseline_itself() {
+        // Self-comparison (the degenerate "no change" run) never regresses.
+        let base = snapshot(&[
+            ("oracle/search", "a", 6000.0, 100.0),
+            ("hom_scaling/exists_hom", "b", 2000.0, 50.0),
+            ("table1_cq/C_hom", "c", 1800.0, 10.0),
+        ]);
+        let rows = compare(&base, &base, &GateConfig::default());
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.verdict == Verdict::Ok));
+    }
+
+    #[test]
+    fn fails_on_a_synthetic_gated_regression() {
+        // +100 % on an oracle bench: far outside the +25 % + noise envelope.
+        let base = snapshot(&[("oracle/search", "a", 6000.0, 100.0)]);
+        let cur = snapshot(&[("oracle/search", "a", 12000.0, 100.0)]);
+        let rows = compare(&base, &cur, &GateConfig::default());
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].verdict, Verdict::GatedRegression);
+    }
+
+    #[test]
+    fn regressions_outside_gated_groups_do_not_fail() {
+        let base = snapshot(&[("table1_cq/C_hom", "c", 6000.0, 100.0)]);
+        let cur = snapshot(&[("table1_cq/C_hom", "c", 12000.0, 100.0)]);
+        let rows = compare(&base, &cur, &GateConfig::default());
+        assert_eq!(rows[0].verdict, Verdict::UngatedRegression);
+        // ... unless the gate is widened to every group.
+        let all = GateConfig {
+            gated_prefixes: vec![],
+            ..GateConfig::default()
+        };
+        assert_eq!(
+            compare(&base, &cur, &all)[0].verdict,
+            Verdict::GatedRegression
+        );
+    }
+
+    #[test]
+    fn noise_envelope_and_jitter_floor_absorb_small_wobble() {
+        // +25 % exactly plus within-2σ wobble: not a regression.
+        let base = snapshot(&[("oracle/search", "a", 1000.0, 100.0)]);
+        let cur = snapshot(&[("oracle/search", "a", 1400.0, 100.0)]);
+        assert_eq!(
+            compare(&base, &cur, &GateConfig::default())[0].verdict,
+            Verdict::Ok
+        );
+        // Sub-floor benches are skipped outright, however bad the ratio.
+        let base = snapshot(&[("oracle/search", "tiny", 100.0, 5.0)]);
+        let cur = snapshot(&[("oracle/search", "tiny", 10000.0, 5.0)]);
+        assert_eq!(
+            compare(&base, &cur, &GateConfig::default())[0].verdict,
+            Verdict::Skipped
+        );
+    }
+
+    #[test]
+    fn benches_on_one_side_only_are_not_compared() {
+        let base = snapshot(&[("oracle/search", "retired", 6000.0, 100.0)]);
+        let cur = snapshot(&[("oracle/search", "landed", 6000.0, 100.0)]);
+        assert!(compare(&base, &cur, &GateConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn improvements_pass() {
+        let base = snapshot(&[("oracle/search", "a", 6000.0, 100.0)]);
+        let cur = snapshot(&[("oracle/search", "a", 2000.0, 50.0)]);
+        assert_eq!(
+            compare(&base, &cur, &GateConfig::default())[0].verdict,
+            Verdict::Ok
+        );
+    }
+}

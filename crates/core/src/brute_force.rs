@@ -14,29 +14,65 @@
 //! the relevant elements the search is a genuine decision procedure for the
 //! finite semirings used in the test-suite.
 //!
+//! # The support-prefix tree, factorized through `N[X]` (Prop. 3.2)
+//!
+//! The searched instances are organised in two layers.
+//!
+//! The *tree* ranges over **supports only**: each node is a support prefix —
+//! a set of tuple slots whose indices increase along the path — and a child
+//! extends its parent by one later slot.  Instead of branching further over
+//! the `s` sample annotations of each slot, the slot pushed at depth `i` is
+//! annotated with the provenance *variable* `xᵢ`, and both queries'
+//! all-outputs maps over `N[X]` are maintained by an incremental
+//! [`EvalState`](annot_query::eval::EvalState) (`push_fact` on descent,
+//! `pop_fact` on backtrack).  A node therefore pays for the delta joins of
+//! its newest fact **once**, not once per concrete annotation assignment —
+//! the enumeration's `s^k` factor never touches the join machinery.
+//!
+//! The *instances* of a node — all `s^k` ways of annotating its `k` slots
+//! with non-zero sample elements — are recovered through the universal
+//! property of `N[X]` (Prop. 3.2): evaluating a query over the
+//! variable-annotated instance and then applying the evaluation morphism
+//! `xᵢ ↦ aᵢ` equals evaluating it over the concretely-annotated instance.
+//! The containment check at a node thus substitutes sample values into the
+//! (tiny, often unchanged) output *polynomials*, and only for the variables
+//! that actually occur in them: output tuples whose polynomials the newest
+//! fact did not change were already checked at the parent, and assignments
+//! differing only on variables absent from both polynomials cannot change
+//! the verdict.
+//!
+//! The top-level branches of the tree (choice of the first annotated slot)
+//! are independent, so [`try_find_counterexample_ucq`] distributes them
+//! across a small scoped thread pool when [`BruteForceConfig::threads`] asks
+//! for one.
+//!
+//! [`find_counterexample_ucq_naive`] retains the previous per-instance
+//! one-shot evaluation as the reference implementation for differential
+//! testing.
+//!
 //! # Enumeration contract
 //!
-//! [`for_each_instance`] enumerates **exactly** the K-instances over the
-//! domain `{0, …, domain_size−1}` whose annotations are non-zero sample
-//! elements and whose support has at most `max_support` tuples — each
-//! instance once, materialised incrementally (one insert/remove per tuple
-//! slot, never a rebuild).  With `n` possible tuples and `s` non-zero sample
-//! elements that is
+//! Both the prefix-tree search and [`for_each_instance`] enumerate
+//! **exactly** the K-instances over the domain `{0, …, domain_size−1}` whose
+//! annotations are non-zero sample elements and whose support has at most
+//! `max_support` tuples — each instance once.  With `n` possible tuples and
+//! `s` non-zero sample elements that is
 //!
 //! ```text
 //! Σ_{k=0}^{min(n, max_support)}  C(n, k) · s^k
 //! ```
 //!
-//! instances.  The support cap prunes the enumeration *tree during descent*:
-//! once `max_support` slots are non-zero, the remaining slots are forced to
-//! zero without ever branching on them.  (An earlier implementation assigned
-//! an annotation to every slot and discarded oversized instances only after
-//! full materialisation, so the cap provided no pruning at all — the
-//! regression test below pins the closed-form count.)
+//! instances ([`bounded_instance_count`]; the regression tests below pin the
+//! closed form for both enumerators).  The support cap prunes the tree
+//! *during descent*: a node at depth `max_support` has no children.
 
-use annot_query::eval::{eval_cq, eval_ucq_all_outputs};
-use annot_query::{Cq, DbValue, Instance, Schema, Tuple, Ucq};
-use annot_semiring::Semiring;
+use annot_polynomial::{Polynomial, Var};
+use annot_query::eval::{eval_cq, eval_ucq_all_outputs, EvalState};
+use annot_query::{Cq, DbValue, Instance, RelId, Schema, Tuple, Ucq};
+use annot_semiring::{NatPoly, Semiring};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// A semantic counterexample to `Q₁ ⊆_K Q₂`.
 #[derive(Clone, Debug)]
@@ -68,6 +104,20 @@ pub struct BruteForceConfig {
     pub domain_size: usize,
     /// Upper bound on the number of annotated tuples per instance.
     pub max_support: usize,
+    /// Number of worker threads the counterexample search distributes its
+    /// top-level branches over.  `1` (the default) searches sequentially on
+    /// the calling thread; `0` uses [`std::thread::available_parallelism`].
+    /// Only worth raising for searches big enough to amortise thread
+    /// startup — the cross-validation harness parallelises across *cases*
+    /// instead and keeps this at `1`.
+    pub threads: usize,
+    /// Optional hard cap on the number of instances a single search may
+    /// visit.  `None` (the default) is unbounded; with `Some(n)`, a search
+    /// whose enumeration exceeds `n` instances aborts with
+    /// [`BruteForceError::InstanceBudgetExceeded`] instead of running until
+    /// an external timeout kills the process.  Use this in CI so adversarial
+    /// schemas fail loudly.
+    pub max_instances: Option<u64>,
 }
 
 impl BruteForceConfig {
@@ -79,6 +129,8 @@ impl BruteForceConfig {
         BruteForceConfig {
             domain_size,
             max_support: domain_size.saturating_mul(domain_size),
+            threads: 1,
+            max_instances: None,
         }
     }
 
@@ -94,8 +146,32 @@ impl BruteForceConfig {
             .unwrap_or(1);
         let widest = domain_size.saturating_pow(max_arity as u32);
         BruteForceConfig {
-            domain_size,
             max_support: widest.min(domain_size.saturating_mul(domain_size)),
+            ..BruteForceConfig::with_domain_size(domain_size)
+        }
+    }
+
+    /// Returns the config with the worker-thread count replaced.
+    pub fn with_threads(self, threads: usize) -> Self {
+        BruteForceConfig { threads, ..self }
+    }
+
+    /// Returns the config with the instance budget replaced.
+    pub fn with_max_instances(self, max_instances: Option<u64>) -> Self {
+        BruteForceConfig {
+            max_instances,
+            ..self
+        }
+    }
+
+    /// The effective worker count (`0` resolved to the available
+    /// parallelism).
+    fn effective_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
         }
     }
 }
@@ -109,9 +185,58 @@ impl Default for BruteForceConfig {
     }
 }
 
+/// Why a brute-force search could not run to completion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BruteForceError {
+    /// The enumeration visited more instances than
+    /// [`BruteForceConfig::max_instances`] allows.  The search is
+    /// inconclusive: neither a counterexample nor its absence was
+    /// established.
+    InstanceBudgetExceeded {
+        /// The configured budget that was exhausted.
+        max_instances: u64,
+    },
+}
+
+impl fmt::Display for BruteForceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BruteForceError::InstanceBudgetExceeded { max_instances } => write!(
+                f,
+                "brute-force search exceeded its instance budget \
+                 (max_instances = {max_instances}); raise the budget or \
+                 shrink domain_size/max_support"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BruteForceError {}
+
+/// Counters describing a completed (or aborted) search.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Instances visited before the search returned (on a full walk this is
+    /// exactly [`bounded_instance_count`]; smaller when a counterexample
+    /// stopped the search early).
+    pub instances_visited: u64,
+}
+
+/// The result of a completed brute-force search.
+#[derive(Clone, Debug)]
+pub struct SearchOutcome<K: Semiring> {
+    /// The first counterexample found, if any.
+    pub counterexample: Option<CounterExample<K>>,
+    /// Enumeration counters.
+    pub stats: SearchStats,
+}
+
 /// Searches for a counterexample to `Q₁ ⊆_K Q₂` among the K-instances over a
 /// domain of `config.domain_size` values whose annotations are drawn from
 /// `K::sample_elements()`.
+///
+/// Panics if the search exceeds `config.max_instances`; use
+/// [`try_find_counterexample_cq`] to handle the budget as an error.
 pub fn find_counterexample_cq<K: Semiring>(
     q1: &Cq,
     q2: &Cq,
@@ -121,12 +246,745 @@ pub fn find_counterexample_cq<K: Semiring>(
 }
 
 /// UCQ version of [`find_counterexample_cq`].
-///
-/// Per enumerated instance, each disjunct's assignment enumeration runs once
-/// ([`eval_ucq_all_outputs`]) and yields the full output-tuple ↦ annotation
-/// map, instead of re-running the join for each of the `|domain|^arity`
-/// candidate output tuples.
 pub fn find_counterexample_ucq<K: Semiring>(
+    q1: &Ucq,
+    q2: &Ucq,
+    config: &BruteForceConfig,
+) -> Option<CounterExample<K>> {
+    match try_find_counterexample_ucq(q1, q2, config) {
+        Ok(outcome) => outcome.counterexample,
+        Err(err) => panic!("{err}"),
+    }
+}
+
+/// Fallible CQ search: [`find_counterexample_cq`] returning the instance
+/// budget overrun as an error instead of panicking.
+pub fn try_find_counterexample_cq<K: Semiring>(
+    q1: &Cq,
+    q2: &Cq,
+    config: &BruteForceConfig,
+) -> Result<SearchOutcome<K>, BruteForceError> {
+    try_find_counterexample_ucq(&Ucq::single(q1.clone()), &Ucq::single(q2.clone()), config)
+}
+
+/// The prefix-memoized, optionally parallel counterexample search (see the
+/// module docs for the tree structure and sharing argument).
+///
+/// Returns the first counterexample found together with enumeration
+/// counters, or [`BruteForceError::InstanceBudgetExceeded`] when
+/// `config.max_instances` ran out before the search settled.  With
+/// `config.threads > 1` the *existence* of a counterexample is deterministic
+/// but which one is reported may vary between runs.
+pub fn try_find_counterexample_ucq<K: Semiring>(
+    q1: &Ucq,
+    q2: &Ucq,
+    config: &BruteForceConfig,
+) -> Result<SearchOutcome<K>, BruteForceError> {
+    let schema = match q1.disjuncts().first().or_else(|| q2.disjuncts().first()) {
+        Some(q) => q.schema().clone(),
+        None => {
+            return Ok(SearchOutcome {
+                counterexample: None,
+                stats: SearchStats::default(),
+            })
+        }
+    };
+    let slots = slots_over(&schema, config.domain_size);
+    // Zero annotations never enter a support; enumerating them would only
+    // duplicate the "slot absent" branch.
+    let samples: Vec<K> = K::sample_elements()
+        .into_iter()
+        .filter(|s| !s.is_zero())
+        .collect();
+    let ctx = SearchContext {
+        q1,
+        q2,
+        schema: &schema,
+        slots: &slots,
+        samples: &samples,
+        cap: config.max_support,
+        max_instances: config.max_instances,
+        visited: AtomicU64::new(0),
+        stop: AtomicBool::new(false),
+        budget_exceeded: AtomicBool::new(false),
+        found: Mutex::new(None),
+    };
+
+    // Factorization through `N[X]` pays when the sample assignments it
+    // amortises are plural *and* the annotation domain's operations are
+    // expensive — heap-carrying domains (provenance sets, polynomials, …)
+    // are exactly the ones `needs_drop` detects.  Scalar domains (`B`, `N`,
+    // `T⁺`, …) amortise too on full walks, but lose on the small
+    // early-refuted searches that dominate interactive use: their cheap
+    // native operations beat polynomial arithmetic before the sharing can
+    // pay for itself, so they keep the direct walk.
+    let factorized = std::mem::needs_drop::<K>() && samples.len() >= 2;
+
+    // The root of the prefix tree: the empty instance (shared by both
+    // strategies — with no facts the all-outputs maps are the constants of
+    // the atomless disjuncts either way).
+    if ctx.count_instances(1) {
+        let mut worker = Worker::new(&ctx);
+        if let Some(violation) = worker.check_all_outputs() {
+            let counterexample = worker.materialise(violation);
+            ctx.record(counterexample);
+        }
+    }
+
+    // With no non-zero samples the root is the only instance; with a zero
+    // support cap the tree has no other nodes.  The factorized walk has one
+    // top-level job per choice of first annotated slot; the direct walk one
+    // per (slot, sample) pair.
+    let jobs = if ctx.cap == 0 || samples.is_empty() {
+        0
+    } else if factorized {
+        slots.len()
+    } else {
+        slots.len() * samples.len()
+    };
+    if jobs > 0 && !ctx.stopped() {
+        let threads = config.effective_threads().clamp(1, jobs);
+        if factorized {
+            drive_jobs(&ctx, threads, jobs, Worker::new);
+        } else {
+            drive_jobs(&ctx, threads, jobs, DirectWorker::new);
+        }
+    }
+
+    let visited = ctx.visited.load(Ordering::Relaxed);
+    let counterexample = ctx
+        .found
+        .into_inner()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    if counterexample.is_none() && ctx.budget_exceeded.load(Ordering::Relaxed) {
+        return Err(BruteForceError::InstanceBudgetExceeded {
+            max_instances: config.max_instances.unwrap_or(0),
+        });
+    }
+    Ok(SearchOutcome {
+        counterexample,
+        stats: SearchStats {
+            // Concurrent workers may overshoot the budget check by a few
+            // fetch_adds; never report more than the configured cap.
+            instances_visited: match config.max_instances {
+                Some(max) => visited.min(max),
+                None => visited,
+            },
+        },
+    })
+}
+
+/// Runs `jobs` top-level subtree jobs over `threads` workers (each worker
+/// owns its evaluation states; jobs are claimed from a shared counter).
+/// With one thread everything runs on the caller's stack — the
+/// cross-validation harness parallelises across *cases* and keeps it there.
+fn drive_jobs<'s, K, W>(
+    ctx: &'s SearchContext<'s, K>,
+    threads: usize,
+    jobs: usize,
+    new_worker: impl Fn(&'s SearchContext<'s, K>) -> W + Copy + Send + Sync,
+) where
+    K: Semiring,
+    W: PrefixWalk<K>,
+{
+    if threads == 1 {
+        let mut worker = new_worker(ctx);
+        for job in 0..jobs {
+            if ctx.stopped() {
+                break;
+            }
+            worker.run_job(job);
+        }
+    } else {
+        let next_job = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut worker = new_worker(ctx);
+                    loop {
+                        if ctx.stopped() {
+                            break;
+                        }
+                        let job = next_job.fetch_add(1, Ordering::Relaxed);
+                        if job >= jobs {
+                            break;
+                        }
+                        worker.run_job(job);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// The depth-first control flow shared by both prefix-walk strategies:
+/// count a node's instances against the budget, push its newest fact, check
+/// and record, recurse over later slots, pop.  Strategies plug in how a
+/// tree edge branches ([`branches_per_slot`](PrefixWalk::branches_per_slot):
+/// `1` for the factorized walk, `|samples|` for the direct one), how many
+/// concrete instances a node covers, and how a node is checked — the
+/// budget/stop/record discipline lives here exactly once.
+trait PrefixWalk<K: Semiring> {
+    fn ctx(&self) -> &SearchContext<'_, K>;
+    /// Branch choices per slot when extending a prefix.
+    fn branches_per_slot(&self) -> usize;
+    /// Concrete instances a node at `depth` covers (counted on visit).
+    fn instances_at(&self, depth: usize) -> u64;
+    /// Current prefix length.
+    fn depth(&self) -> usize;
+    /// Extends the prefix by `slot` (with the strategy's `branch` choice).
+    fn push(&mut self, slot: usize, branch: usize);
+    /// Undoes the most recent [`push`](PrefixWalk::push).
+    fn pop(&mut self);
+    /// Checks the current node; a found violation is recorded into the
+    /// context and reported as `true`.
+    fn check_and_record(&mut self) -> bool;
+
+    /// Runs one top-level job: the subtree rooted at the single-slot prefix
+    /// `slot(job / branches) ↦ branch(job % branches)`.
+    fn run_job(&mut self, job: usize) {
+        let branches = self.branches_per_slot();
+        let (slot, branch) = (job / branches, job % branches);
+        if !self.ctx().count_instances(self.instances_at(1)) {
+            return;
+        }
+        self.push(slot, branch);
+        if !self.check_and_record() {
+            let budget = self.ctx().cap - 1;
+            self.descend(slot + 1, budget);
+        }
+        self.pop();
+    }
+
+    /// Extends the current (already counted and checked) prefix by every
+    /// annotated slot ≥ `next_slot`, depth-first.
+    fn descend(&mut self, next_slot: usize, budget: usize) {
+        if budget == 0 {
+            return;
+        }
+        for slot in next_slot..self.ctx().slots.len() {
+            for branch in 0..self.branches_per_slot() {
+                let child_instances = self.instances_at(self.depth() + 1);
+                if self.ctx().stopped() || !self.ctx().count_instances(child_instances) {
+                    return;
+                }
+                self.push(slot, branch);
+                if self.check_and_record() {
+                    self.pop();
+                    return;
+                }
+                self.descend(slot + 1, budget - 1);
+                self.pop();
+            }
+        }
+    }
+}
+
+/// Search state shared by all workers of one counterexample search.
+struct SearchContext<'s, K: Semiring> {
+    q1: &'s Ucq,
+    q2: &'s Ucq,
+    schema: &'s Schema,
+    /// Every tuple slot of the schema over the domain, in enumeration order.
+    slots: &'s [(RelId, Tuple)],
+    /// The non-zero sample annotations.
+    samples: &'s [K],
+    /// Support cap (maximum depth of the prefix tree).
+    cap: usize,
+    max_instances: Option<u64>,
+    visited: AtomicU64,
+    stop: AtomicBool,
+    budget_exceeded: AtomicBool,
+    found: Mutex<Option<CounterExample<K>>>,
+}
+
+impl<K: Semiring> SearchContext<'_, K> {
+    /// Counts the `n` instances of one visited tree node (a node of depth
+    /// `k` covers the `sᵏ` sample assignments of its support) against the
+    /// budget; `false` means the budget is exhausted and the search must
+    /// abort.
+    fn count_instances(&self, n: u64) -> bool {
+        let visited = self
+            .visited
+            .fetch_add(n, Ordering::Relaxed)
+            .saturating_add(n);
+        if let Some(max) = self.max_instances {
+            if visited > max {
+                self.budget_exceeded.store(true, Ordering::Relaxed);
+                self.stop.store(true, Ordering::Relaxed);
+                return false;
+            }
+        }
+        true
+    }
+
+    fn stopped(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    /// Records a counterexample (keeping the first one reported) and stops
+    /// every worker.
+    fn record(&self, counterexample: CounterExample<K>) {
+        let mut slot = self
+            .found
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if slot.is_none() {
+            *slot = Some(counterexample);
+        }
+        self.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+/// A containment violation at the current prefix: the witnessing output
+/// tuple, both annotations, and the sample assignment (one index per stack
+/// position; positions whose variable occurs in neither polynomial are
+/// unconstrained and default to the first sample).
+struct Violation<K> {
+    tuple: Tuple,
+    lhs: K,
+    rhs: K,
+    choice: Vec<usize>,
+}
+
+/// One worker: the incremental `N[X]` evaluation states of both queries plus
+/// the stack of pushed slots (position `i` of the stack is annotated with
+/// the provenance variable `xᵢ`).
+struct Worker<'s, K: Semiring> {
+    ctx: &'s SearchContext<'s, K>,
+    lhs: EvalState<'s, NatPoly>,
+    rhs: EvalState<'s, NatPoly>,
+    stack: Vec<usize>,
+    /// Cache of `K::from_natural(c)` for monomial coefficients `c`.
+    naturals: Vec<K>,
+}
+
+impl<'s, K: Semiring> Worker<'s, K> {
+    fn new(ctx: &'s SearchContext<'s, K>) -> Self {
+        Worker {
+            ctx,
+            lhs: EvalState::for_ucq(ctx.q1),
+            rhs: EvalState::for_ucq(ctx.q2),
+            stack: Vec::new(),
+            naturals: vec![K::zero(), K::one()],
+        }
+    }
+
+    /// Pushes a slot into the lhs state only, annotated with the variable of
+    /// its stack position; the rhs state is synced lazily (see
+    /// [`Worker::check_after_push`]).  Positivity makes tuples outside the
+    /// lhs support unable to witness a violation, and the lhs support only
+    /// grows along a tree path, so prefixes whose lhs output is empty — the
+    /// common case — never pay for a rhs evaluation at all.
+    fn push(&mut self, slot: usize) {
+        let (rel, tuple) = &self.ctx.slots[slot];
+        let var = NatPoly::var(Var(self.stack.len() as u32));
+        self.lhs.push_fact(*rel, tuple.clone(), var);
+        self.stack.push(slot);
+    }
+
+    fn pop(&mut self) {
+        self.lhs.pop_fact();
+        self.stack.pop();
+        // The rhs lags behind the prefix, never ahead of it.
+        while self.rhs.depth() > self.stack.len() {
+            self.rhs.pop_fact();
+        }
+    }
+
+    /// Brings the rhs state up to the current prefix, returning how many
+    /// facts it was behind.
+    fn sync_rhs(&mut self) -> usize {
+        let depth = self.stack.len();
+        let lag = depth - self.rhs.depth();
+        for i in depth - lag..depth {
+            let (rel, tuple) = &self.ctx.slots[self.stack[i]];
+            self.rhs
+                .push_fact(*rel, tuple.clone(), NatPoly::var(Var(i as u32)));
+        }
+        lag
+    }
+
+    /// Checks `Q₁ᴵ(t) ¹ Q₂ᴵ(t)` for one output tuple across every sample
+    /// assignment of the current support, through the evaluation morphism.
+    /// Positivity (required of every `Semiring` implementation) makes `0`
+    /// the least element, so a violation needs `Q₁ᴵ(t) ≠ 0`: tuples outside
+    /// the lhs support can never witness one.
+    fn check_tuple(&mut self, tuple: &Tuple) -> Option<Violation<K>> {
+        let p1 = self.lhs.outputs().get(tuple)?.polynomial();
+        let zero = Polynomial::zero();
+        let p2 = self
+            .rhs
+            .outputs()
+            .get(tuple)
+            .map(|p| p.polynomial())
+            .unwrap_or(&zero);
+        // If `P₁ ¹ P₂` in the natural order of `N[X]` (coefficient-wise),
+        // then `P₂ = P₁ + R` and every evaluation morphism `h` gives
+        // `h(P₁) ¹ h(P₁) ⊕ h(R) = h(P₂)` by positivity — no sample
+        // assignment can violate, and the whole substitution loop is
+        // skipped.  This settles most nodes of a search whose containment
+        // actually holds (the full-walk worst case) for free.
+        if p1.terms().all(|(m, c)| c <= p2.coefficient(m)) {
+            return None;
+        }
+        // Only assignments of the variables occurring in either polynomial
+        // can influence the verdict; everything else stays at sample 0.
+        let mut vars: Vec<usize> = p1
+            .variables()
+            .into_iter()
+            .chain(p2.variables())
+            .map(|v| v.0 as usize)
+            .collect();
+        vars.sort_unstable();
+        vars.dedup();
+        let samples = self.ctx.samples;
+        let mut choice = vec![0usize; self.stack.len()];
+        loop {
+            let lhs = eval_poly(p1, samples, &choice, &mut self.naturals);
+            // `0 ¹ a` for every `a` (positivity), so a zero lhs cannot
+            // violate and the rhs evaluation is skipped.
+            if !lhs.is_zero() {
+                let rhs = eval_poly(p2, samples, &choice, &mut self.naturals);
+                if !lhs.leq(&rhs) {
+                    return Some(Violation {
+                        tuple: tuple.clone(),
+                        lhs,
+                        rhs,
+                        choice,
+                    });
+                }
+            }
+            // Odometer over the occurring variables only.
+            let mut i = 0;
+            loop {
+                match vars.get(i) {
+                    None => return None,
+                    Some(&pos) => {
+                        choice[pos] += 1;
+                        if choice[pos] < samples.len() {
+                            break;
+                        }
+                        choice[pos] = 0;
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The containment check after a push.
+    ///
+    /// An empty lhs output means no tuple can violate for any sample
+    /// assignment (positivity), so the rhs is not even synced.  Otherwise
+    /// the rhs catches up to the prefix: when it was only the newest fact
+    /// behind — meaning the parent prefix ran this very check — only output
+    /// tuples whose polynomial that fact changed (on either side) can newly
+    /// violate; after a longer catch-up the whole lhs support is checked.
+    fn check_after_push(&mut self) -> Option<Violation<K>> {
+        if self.lhs.outputs().is_empty() {
+            return None;
+        }
+        if self.sync_rhs() > 1 {
+            return self.check_all_outputs();
+        }
+        let mut changed: Vec<Tuple> = self
+            .lhs
+            .last_changed()
+            .chain(self.rhs.last_changed())
+            .cloned()
+            .collect();
+        changed.sort_unstable();
+        changed.dedup();
+        for tuple in &changed {
+            if let Some(v) = self.check_tuple(tuple) {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// The full containment check, used at the tree root (where no "changed
+    /// since the parent" delta exists) and after a multi-fact rhs catch-up.
+    fn check_all_outputs(&mut self) -> Option<Violation<K>> {
+        let tuples: Vec<Tuple> = self.lhs.outputs().keys().cloned().collect();
+        for tuple in &tuples {
+            if let Some(v) = self.check_tuple(tuple) {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Rebuilds the witnessing instance of a violation at the current prefix
+    /// (concrete annotations read off the violating sample assignment).
+    fn materialise(&self, violation: Violation<K>) -> CounterExample<K> {
+        let mut instance = Instance::new(self.ctx.schema.clone());
+        for (position, &slot) in self.stack.iter().enumerate() {
+            let (rel, tuple) = &self.ctx.slots[slot];
+            let sample = violation.choice.get(position).copied().unwrap_or(0);
+            instance.add_annotation(*rel, tuple.clone(), self.ctx.samples[sample].clone());
+        }
+        CounterExample {
+            instance,
+            tuple: violation.tuple,
+            lhs: violation.lhs,
+            rhs: violation.rhs,
+        }
+    }
+}
+
+impl<K: Semiring> PrefixWalk<K> for Worker<'_, K> {
+    fn ctx(&self) -> &SearchContext<'_, K> {
+        self.ctx
+    }
+
+    /// The factorized tree branches over supports only: the one "branch" of
+    /// a slot is its provenance variable.
+    fn branches_per_slot(&self) -> usize {
+        1
+    }
+
+    /// A support of size `depth` covers the `s^depth` sample assignments.
+    fn instances_at(&self, depth: usize) -> u64 {
+        (self.ctx.samples.len() as u64).saturating_pow(depth as u32)
+    }
+
+    fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    fn push(&mut self, slot: usize, _branch: usize) {
+        Worker::push(self, slot);
+    }
+
+    fn pop(&mut self) {
+        Worker::pop(self);
+    }
+
+    fn check_and_record(&mut self) -> bool {
+        match self.check_after_push() {
+            Some(violation) => {
+                let counterexample = self.materialise(violation);
+                self.ctx.record(counterexample);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// The direct worker: the incremental evaluation states of both queries over
+/// `K` itself, with the tree branching over `(slot, sample)` pairs.  Used
+/// when factorization would not pay (see [`try_find_counterexample_ucq`]):
+/// for scalar annotation domains the delta joins are cheaper in `K` than in
+/// `N[X]`, and with a single non-zero sample there is nothing to amortise.
+struct DirectWorker<'s, K: Semiring> {
+    ctx: &'s SearchContext<'s, K>,
+    lhs: EvalState<'s, K>,
+    rhs: EvalState<'s, K>,
+    stack: Vec<(usize, usize)>,
+}
+
+impl<'s, K: Semiring> DirectWorker<'s, K> {
+    fn new(ctx: &'s SearchContext<'s, K>) -> Self {
+        DirectWorker {
+            ctx,
+            lhs: EvalState::for_ucq(ctx.q1),
+            rhs: EvalState::for_ucq(ctx.q2),
+            stack: Vec::new(),
+        }
+    }
+
+    /// Pushes a concretely-annotated fact into the lhs state only; the rhs
+    /// state is synced lazily exactly like the factorized worker's.
+    fn push(&mut self, slot: usize, sample: usize) {
+        let (rel, tuple) = &self.ctx.slots[slot];
+        self.lhs
+            .push_fact(*rel, tuple.clone(), self.ctx.samples[sample].clone());
+        self.stack.push((slot, sample));
+    }
+
+    fn pop(&mut self) {
+        self.lhs.pop_fact();
+        self.stack.pop();
+        while self.rhs.depth() > self.stack.len() {
+            self.rhs.pop_fact();
+        }
+    }
+
+    fn sync_rhs(&mut self) -> usize {
+        let depth = self.stack.len();
+        let lag = depth - self.rhs.depth();
+        for i in depth - lag..depth {
+            let (slot, sample) = self.stack[i];
+            let (rel, tuple) = &self.ctx.slots[slot];
+            self.rhs
+                .push_fact(*rel, tuple.clone(), self.ctx.samples[sample].clone());
+        }
+        lag
+    }
+
+    /// Checks `Q₁ᴵ(t) ¹ Q₂ᴵ(t)` for one output tuple on the current
+    /// (concrete) instance.
+    fn check_tuple(&self, tuple: &Tuple) -> Option<(Tuple, K, K)> {
+        let lhs = self.lhs.outputs().get(tuple)?;
+        let rhs = self
+            .rhs
+            .outputs()
+            .get(tuple)
+            .cloned()
+            .unwrap_or_else(K::zero);
+        if lhs.leq(&rhs) {
+            None
+        } else {
+            Some((tuple.clone(), lhs.clone(), rhs))
+        }
+    }
+
+    /// The containment check after a push: same lazy-rhs / changed-delta
+    /// structure as the factorized worker, minus the sample loop.
+    fn check_after_push(&mut self) -> Option<(Tuple, K, K)> {
+        if self.lhs.outputs().is_empty() {
+            return None;
+        }
+        if self.sync_rhs() > 1 {
+            for tuple in self.lhs.outputs().keys() {
+                if let Some(v) = self.check_tuple(tuple) {
+                    return Some(v);
+                }
+            }
+            return None;
+        }
+        for tuple in self.lhs.last_changed() {
+            if let Some(v) = self.check_tuple(tuple) {
+                return Some(v);
+            }
+        }
+        for tuple in self.rhs.last_changed() {
+            // A tuple changed on both sides was just checked via the lhs.
+            if self.lhs.last_changed().any(|t| t == tuple) {
+                continue;
+            }
+            if let Some(v) = self.check_tuple(tuple) {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Rebuilds the instance of the current prefix and records a violation.
+    fn record(&self, (tuple, lhs, rhs): (Tuple, K, K)) {
+        let mut instance = Instance::new(self.ctx.schema.clone());
+        for &(slot, sample) in &self.stack {
+            let (rel, t) = &self.ctx.slots[slot];
+            instance.add_annotation(*rel, t.clone(), self.ctx.samples[sample].clone());
+        }
+        self.ctx.record(CounterExample {
+            instance,
+            tuple,
+            lhs,
+            rhs,
+        });
+    }
+}
+
+impl<K: Semiring> PrefixWalk<K> for DirectWorker<'_, K> {
+    fn ctx(&self) -> &SearchContext<'_, K> {
+        self.ctx
+    }
+
+    /// The direct tree branches over every (slot, sample) pair.
+    fn branches_per_slot(&self) -> usize {
+        self.ctx.samples.len()
+    }
+
+    /// Every node *is* one concrete instance.
+    fn instances_at(&self, _depth: usize) -> u64 {
+        1
+    }
+
+    fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    fn push(&mut self, slot: usize, branch: usize) {
+        DirectWorker::push(self, slot, branch);
+    }
+
+    fn pop(&mut self) {
+        DirectWorker::pop(self);
+    }
+
+    fn check_and_record(&mut self) -> bool {
+        match self.check_after_push() {
+            Some(violation) => {
+                self.record(violation);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// The evaluation morphism of Prop. 3.2, specialised to the worker's needs:
+/// evaluates an `N[X]` output polynomial in `K` under the sample assignment
+/// `xᵢ ↦ samples[choice[i]]`, with monomial coefficients interpreted through
+/// the (cached) canonical map `N → K`.
+fn eval_poly<K: Semiring>(
+    p: &Polynomial,
+    samples: &[K],
+    choice: &[usize],
+    naturals: &mut Vec<K>,
+) -> K {
+    let mut total = K::zero();
+    for (monomial, coefficient) in p.terms() {
+        let mut term = from_natural_cached(naturals, coefficient);
+        for &(var, exponent) in monomial.factors() {
+            let value = &samples[choice[var.0 as usize]];
+            for _ in 0..exponent {
+                term = term.mul(value);
+            }
+        }
+        total = total.add(&term);
+    }
+    total
+}
+
+/// `K::from_natural(c)` memoized in a dense cache (coefficients repeat
+/// heavily across the checked polynomials; the cache is capped so a
+/// pathological coefficient cannot balloon it).
+fn from_natural_cached<K: Semiring>(cache: &mut Vec<K>, c: u64) -> K {
+    if c >= 1024 {
+        return K::from_natural(c);
+    }
+    while cache.len() <= c as usize {
+        let one = K::one();
+        let next = cache.last().expect("cache seeded with 0 and 1").add(&one);
+        cache.push(next);
+    }
+    cache[c as usize].clone()
+}
+
+/// Convenience wrapper: `true` when no counterexample is found.
+pub fn no_counterexample_cq<K: Semiring>(q1: &Cq, q2: &Cq, config: &BruteForceConfig) -> bool {
+    find_counterexample_cq::<K>(q1, q2, config).is_none()
+}
+
+/// Evaluates containment on a *single* given instance (useful for spot checks
+/// and for replaying counterexamples).
+pub fn holds_on_instance<K: Semiring>(q1: &Cq, q2: &Cq, instance: &Instance<K>, t: &Tuple) -> bool {
+    eval_cq(q1, instance, t).leq(&eval_cq(q2, instance, t))
+}
+
+/// The previous oracle: materialise each instance via [`for_each_instance`]
+/// and evaluate both queries from scratch with the one-shot
+/// [`eval_ucq_all_outputs`].
+///
+/// Retained as the reference implementation the differential test-suite
+/// checks the prefix-memoized search against; it ignores
+/// [`BruteForceConfig::threads`] and [`BruteForceConfig::max_instances`].
+pub fn find_counterexample_ucq_naive<K: Semiring>(
     q1: &Ucq,
     q2: &Ucq,
     config: &BruteForceConfig,
@@ -138,10 +996,7 @@ pub fn find_counterexample_ucq<K: Semiring>(
     let mut found: Option<CounterExample<K>> = None;
     for_each_instance(&schema, config, &mut |instance: &Instance<K>| {
         let lhs = eval_ucq_all_outputs(q1, instance);
-        // Positivity (required of every `Semiring` implementation) makes `0`
-        // the least element, so a violation needs `Q₁ᴵ(t) ≠ 0`: when the lhs
-        // support is empty, `Q₂` need not be evaluated at all, and tuples
-        // outside the lhs support can never witness a violation.
+        // When the lhs support is empty `Q₂` need not be evaluated at all.
         if lhs.is_empty() {
             return false;
         }
@@ -163,17 +1018,6 @@ pub fn find_counterexample_ucq<K: Semiring>(
     found
 }
 
-/// Convenience wrapper: `true` when no counterexample is found.
-pub fn no_counterexample_cq<K: Semiring>(q1: &Cq, q2: &Cq, config: &BruteForceConfig) -> bool {
-    find_counterexample_cq::<K>(q1, q2, config).is_none()
-}
-
-/// Evaluates containment on a *single* given instance (useful for spot checks
-/// and for replaying counterexamples).
-pub fn holds_on_instance<K: Semiring>(q1: &Cq, q2: &Cq, instance: &Instance<K>, t: &Tuple) -> bool {
-    eval_cq(q1, instance, t).leq(&eval_cq(q2, instance, t))
-}
-
 /// Enumerates every K-instance over the schema and the domain
 /// `{0, …, domain_size−1}` with support ≤ `config.max_support` and non-zero
 /// annotations drawn from `K::sample_elements()`, calling `visit` on each;
@@ -182,23 +1026,15 @@ pub fn holds_on_instance<K: Semiring>(q1: &Cq, q2: &Cq, instance: &Instance<K>, 
 /// The instance is built incrementally — the enumeration inserts and removes
 /// one tuple per tree edge rather than reconstructing the instance per leaf —
 /// and the support cap prunes during descent (see the module docs for the
-/// exact instance count).
+/// exact instance count).  This enumerator materialises real [`Instance`]s
+/// and is the naive baseline; the memoized counterexample search walks the
+/// same instance set without materialising them.
 pub fn for_each_instance<K: Semiring>(
     schema: &Schema,
     config: &BruteForceConfig,
     visit: &mut dyn FnMut(&Instance<K>) -> bool,
 ) -> bool {
-    let domain: Vec<DbValue> = (0..config.domain_size as i64).map(DbValue::Int).collect();
-    let all_tuples: Vec<(annot_query::RelId, Tuple)> = schema
-        .rel_ids()
-        .flat_map(|rel| {
-            tuples_over(&domain, schema.arity(rel))
-                .into_iter()
-                .map(move |t| (rel, t))
-        })
-        .collect();
-    // Zero annotations never enter a support; enumerating them would only
-    // duplicate the "slot absent" branch.
+    let all_tuples = slots_over(schema, config.domain_size);
     let samples: Vec<K> = K::sample_elements()
         .into_iter()
         .filter(|s| !s.is_zero())
@@ -214,8 +1050,8 @@ pub fn for_each_instance<K: Semiring>(
     )
 }
 
-/// The closed-form number of instances [`for_each_instance`] visits for `n`
-/// tuple slots, `s` non-zero samples and support cap `cap`:
+/// The closed-form number of instances the enumerators visit for `n` tuple
+/// slots, `s` non-zero samples and support cap `cap`:
 /// `Σ_{k=0}^{min(n, cap)} C(n, k) · s^k`.
 pub fn bounded_instance_count(n: usize, s: usize, cap: usize) -> u128 {
     let mut total: u128 = 0;
@@ -227,6 +1063,20 @@ pub fn bounded_instance_count(n: usize, s: usize, cap: usize) -> u128 {
         total += binom * (s as u128).pow(k as u32);
     }
     total
+}
+
+/// Every tuple slot of the schema over the domain `{0, …, domain_size−1}`,
+/// in relation-then-lexicographic order (the slot order of the prefix tree).
+fn slots_over(schema: &Schema, domain_size: usize) -> Vec<(RelId, Tuple)> {
+    let domain: Vec<DbValue> = (0..domain_size as i64).map(DbValue::Int).collect();
+    schema
+        .rel_ids()
+        .flat_map(|rel| {
+            tuples_over(&domain, schema.arity(rel))
+                .into_iter()
+                .map(move |t| (rel, t))
+        })
+        .collect()
 }
 
 fn tuples_over(domain: &[DbValue], arity: usize) -> Vec<Tuple> {
@@ -251,7 +1101,7 @@ fn tuples_over(domain: &[DbValue], arity: usize) -> Vec<Tuple> {
 /// remaining slots are forced to zero, so oversized assignments are never
 /// descended into (let alone materialised).
 fn enumerate_supports<K: Semiring>(
-    all_tuples: &[(annot_query::RelId, Tuple)],
+    all_tuples: &[(RelId, Tuple)],
     samples: &[K],
     instance: &mut Instance<K>,
     index: usize,
@@ -314,12 +1164,19 @@ mod tests {
         let config = BruteForceConfig {
             domain_size: 2,
             max_support: 4,
+            ..Default::default()
         };
         let counterexample = find_counterexample_cq::<Natural>(&q1, &q2, &config);
         assert!(counterexample.is_some());
         let ce = counterexample.unwrap();
         assert!(!ce.lhs.leq(&ce.rhs));
         assert!(!holds_on_instance(&q1, &q2, &ce.instance, &ce.tuple));
+        // The reported annotations match a from-scratch evaluation of the
+        // reported instance (the memoized state and the witness agree).
+        let lhs = eval_cq(&q1, &ce.instance, &ce.tuple);
+        let rhs = eval_cq(&q2, &ce.instance, &ce.tuple);
+        assert_eq!(ce.lhs, lhs);
+        assert_eq!(ce.rhs, rhs);
         // The same pair over T⁺ has no counterexample (Ex. 4.6: containment
         // holds over the tropical semiring).
         assert!(no_counterexample_cq::<Tropical>(&q1, &q2, &config));
@@ -336,13 +1193,12 @@ mod tests {
         let config = BruteForceConfig {
             domain_size: 2,
             max_support: 3,
+            ..Default::default()
         };
         // Under set semantics the path is contained in the edge.
         assert!(no_counterexample_cq::<Bool>(&q1, &q2, &config));
-        // Under bag semantics it is not (the edge count can be smaller than
-        // the path count? actually the path count is at most edge², and the
-        // counterexample requires path > edge, e.g. a 2-cycle squared): the
-        // brute force finds one.
+        // Under bag semantics it is not (the counterexample requires
+        // path > edge, e.g. a 2-cycle squared): the brute force finds one.
         assert!(find_counterexample_cq::<Natural>(&q1, &q2, &config).is_some());
     }
 
@@ -366,6 +1222,8 @@ mod tests {
     fn default_config_is_bounded_and_schema_derived_caps_fit() {
         assert_eq!(BruteForceConfig::default().domain_size, 2);
         assert_eq!(BruteForceConfig::default().max_support, 4);
+        assert_eq!(BruteForceConfig::default().threads, 1);
+        assert_eq!(BruteForceConfig::default().max_instances, None);
         assert_eq!(BruteForceConfig::with_domain_size(3).max_support, 9);
         // Binary widest relation: 3² tuples, capped at domain² = 9.
         let s = Schema::with_relations([("R", 2), ("S", 1)]);
@@ -390,6 +1248,7 @@ mod tests {
             let config = BruteForceConfig {
                 domain_size: 2,
                 max_support: cap,
+                ..Default::default()
             };
             let mut visited: u128 = 0;
             let mut max_seen_support = 0usize;
@@ -413,6 +1272,36 @@ mod tests {
         }
     }
 
+    /// The prefix-tree search walks the same support-bounded instance set:
+    /// on a pair with no counterexample (`Q ⊆ Q` always holds) a full walk
+    /// visits exactly the closed-form count, sequentially and in parallel.
+    #[test]
+    fn prefix_tree_walks_the_closed_form_instance_count() {
+        let mut s = schema();
+        let q = parser::parse_ucq(&mut s, "Q() :- R(u, v), R(v, w)").unwrap();
+        let nonzero_samples = Natural::sample_elements()
+            .into_iter()
+            .filter(|k| !k.is_zero())
+            .count();
+        for cap in 0..=5usize {
+            let expected = bounded_instance_count(4, nonzero_samples, cap) as u64;
+            for threads in [1usize, 4] {
+                let config = BruteForceConfig {
+                    domain_size: 2,
+                    max_support: cap,
+                    threads,
+                    ..Default::default()
+                };
+                let outcome = try_find_counterexample_ucq::<Natural>(&q, &q, &config).unwrap();
+                assert!(outcome.counterexample.is_none(), "Q ⊆ Q must hold");
+                assert_eq!(
+                    outcome.stats.instances_visited, expected,
+                    "cap {cap}, threads {threads}: wrong instance count"
+                );
+            }
+        }
+    }
+
     /// Early termination propagates through the incremental enumeration.
     #[test]
     fn enumeration_stops_on_first_accepted_instance() {
@@ -426,5 +1315,101 @@ mod tests {
         assert!(stopped);
         // The empty instance is visited first, then the first singleton.
         assert_eq!(visited, 2);
+    }
+
+    /// The memoized search stops early once a counterexample is found: the
+    /// visited count stays below the full walk.
+    #[test]
+    fn memoized_search_stops_early_on_refutation() {
+        let mut s = schema();
+        let q1 = parser::parse_ucq(&mut s, "Q() :- R(u, v)").unwrap();
+        let config = BruteForceConfig::default();
+        let outcome = try_find_counterexample_ucq::<Natural>(&q1, &Ucq::empty(), &config).unwrap();
+        assert!(outcome.counterexample.is_some());
+        let nonzero = Natural::sample_elements()
+            .into_iter()
+            .filter(|k| !k.is_zero())
+            .count();
+        assert!(outcome.stats.instances_visited < bounded_instance_count(4, nonzero, 4) as u64);
+    }
+
+    /// The memoized search and the retained naive oracle agree on the
+    /// module's worked examples, in both directions.
+    #[test]
+    fn memoized_and_naive_oracles_agree() {
+        let mut s = schema();
+        let q1 = parser::parse_ucq(&mut s, "Q() :- R(u, v), R(u, w)").unwrap();
+        let q2 = parser::parse_ucq(&mut s, "Q() :- R(u, v), R(u, v)").unwrap();
+        let config = BruteForceConfig::default();
+        for (a, b) in [(&q1, &q2), (&q2, &q1)] {
+            assert_eq!(
+                find_counterexample_ucq::<Natural>(a, b, &config).is_some(),
+                find_counterexample_ucq_naive::<Natural>(a, b, &config).is_some()
+            );
+            assert_eq!(
+                find_counterexample_ucq::<Bool>(a, b, &config).is_some(),
+                find_counterexample_ucq_naive::<Bool>(a, b, &config).is_some()
+            );
+        }
+    }
+
+    /// `max_instances` turns an over-budget search into a clear error.
+    #[test]
+    fn instance_budget_fails_with_a_clear_error() {
+        let mut s = schema();
+        let q1 = parser::parse_ucq(&mut s, "Q() :- R(u, v), R(v, w)").unwrap();
+        let config = BruteForceConfig::default().with_max_instances(Some(10));
+        let err = try_find_counterexample_ucq::<Natural>(&q1, &q1, &config).unwrap_err();
+        assert_eq!(
+            err,
+            BruteForceError::InstanceBudgetExceeded { max_instances: 10 }
+        );
+        assert!(err.to_string().contains("max_instances = 10"));
+        // A budget large enough for the full walk does not trip.
+        let nonzero = Natural::sample_elements()
+            .into_iter()
+            .filter(|k| !k.is_zero())
+            .count() as u64;
+        let full = bounded_instance_count(4, nonzero as usize, 4) as u64;
+        let config = BruteForceConfig::default().with_max_instances(Some(full));
+        assert!(try_find_counterexample_ucq::<Natural>(&q1, &q1, &config).is_ok());
+        // A search that refutes within the budget succeeds even though the
+        // full walk would not fit.
+        let config = BruteForceConfig::default().with_max_instances(Some(10));
+        let outcome = try_find_counterexample_ucq::<Natural>(&q1, &Ucq::empty(), &config).unwrap();
+        assert!(outcome.counterexample.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded its instance budget")]
+    fn panicking_wrapper_reports_the_budget_clearly() {
+        let mut s = schema();
+        let q1 = parser::parse_cq(&mut s, "Q() :- R(u, v), R(v, w)").unwrap();
+        let config = BruteForceConfig::default().with_max_instances(Some(3));
+        let _ = find_counterexample_cq::<Natural>(&q1, &q1, &config);
+    }
+
+    /// The parallel search agrees with the sequential one on existence.
+    #[test]
+    fn parallel_search_agrees_with_sequential() {
+        let mut s = schema();
+        let q1 = parser::parse_ucq(&mut s, "Q() :- R(u, v), R(u, w)").unwrap();
+        let q2 = parser::parse_ucq(&mut s, "Q() :- R(u, v), R(u, v)").unwrap();
+        for (a, b) in [(&q1, &q2), (&q2, &q1), (&q1, &q1)] {
+            let sequential = find_counterexample_ucq::<Natural>(
+                a,
+                b,
+                &BruteForceConfig::default().with_threads(1),
+            );
+            let parallel = find_counterexample_ucq::<Natural>(
+                a,
+                b,
+                &BruteForceConfig::default().with_threads(4),
+            );
+            assert_eq!(sequential.is_some(), parallel.is_some());
+            if let Some(ce) = parallel {
+                assert!(!ce.lhs.leq(&ce.rhs));
+            }
+        }
     }
 }

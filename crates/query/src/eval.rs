@@ -16,14 +16,24 @@
 //! For CCQs the sum is restricted to mappings respecting the inequalities;
 //! for UCQs the evaluations of the members are summed (the empty UCQ
 //! evaluates to `0`).
+//!
+//! # One-shot vs incremental evaluation
+//!
+//! The `eval_*` functions above are *one-shot*: they recompute the full sum
+//! from the instance each time.  When a caller evaluates the same query over
+//! a **sequence** of instances that differ by one fact at a time — the shape
+//! of the brute-force oracle's support enumeration — use [`EvalState`]
+//! instead: it maintains the all-outputs map incrementally under
+//! [`EvalState::push_fact`] / [`EvalState::pop_fact`], paying only for the
+//! *delta* of satisfying assignments that involve the new fact.
 
 use crate::ccq::Ccq;
 use crate::cq::{Cq, QVar};
 use crate::instance::Instance;
-use crate::schema::{DbValue, Tuple};
+use crate::schema::{DbValue, RelId, Tuple};
 use crate::ucq::{Ducq, Ucq};
 use annot_semiring::Semiring;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Evaluates a CQ on an instance for an output tuple `t`.
 ///
@@ -102,6 +112,21 @@ pub fn eval_ucq_all_outputs<K: Semiring>(
     let mut total: BTreeMap<Tuple, K> = BTreeMap::new();
     for cq in query.disjuncts() {
         for (tuple, value) in eval_cq_all_outputs(cq, instance) {
+            add_into(&mut total, tuple, &value);
+        }
+    }
+    total
+}
+
+/// The all-outputs evaluation of a union of CCQs: per-disjunct maps summed
+/// pointwise (the `Ducq` counterpart of [`eval_ucq_all_outputs`]).
+pub fn eval_ducq_all_outputs<K: Semiring>(
+    query: &Ducq,
+    instance: &Instance<K>,
+) -> BTreeMap<Tuple, K> {
+    let mut total: BTreeMap<Tuple, K> = BTreeMap::new();
+    for ccq in query.disjuncts() {
+        for (tuple, value) in eval_ccq_all_outputs(ccq, instance) {
             add_into(&mut total, tuple, &value);
         }
     }
@@ -205,14 +230,8 @@ fn eval_rec<K: Semiring>(
     }
     if atom_index == query.num_atoms() {
         // All variables are bound (safety).  Check the inequalities.
-        if let Some(ccq) = inequalities {
-            let ok = ccq
-                .inequalities()
-                .iter()
-                .all(|&(a, b)| assignment[a.0 as usize] != assignment[b.0 as usize]);
-            if !ok {
-                return;
-            }
+        if !inequalities_hold(inequalities, assignment) {
+            return;
         }
         on_leaf(assignment, partial_product);
         return;
@@ -222,22 +241,7 @@ fn eval_rec<K: Semiring>(
     // unify them with the current partial assignment.
     for (tuple, annotation) in instance.support(atom.relation) {
         let mut touched: Vec<QVar> = Vec::new();
-        let mut consistent = true;
-        for (var, value) in atom.args.iter().zip(tuple) {
-            match &assignment[var.0 as usize] {
-                None => {
-                    assignment[var.0 as usize] = Some(value.clone());
-                    touched.push(*var);
-                }
-                Some(existing) => {
-                    if existing != value {
-                        consistent = false;
-                        break;
-                    }
-                }
-            }
-        }
-        if consistent {
+        if unify_atom(&atom.args, tuple, assignment, &mut touched) {
             let product = partial_product.mul(annotation);
             eval_rec(
                 query,
@@ -251,6 +255,395 @@ fn eval_rec<K: Semiring>(
         }
         for var in touched {
             assignment[var.0 as usize] = None;
+        }
+    }
+}
+
+/// Attempts to extend `assignment` so that the atom arguments `args` map onto
+/// `tuple`, recording newly-bound variables in `touched`.  Returns `false` on
+/// a clash; the caller must unbind `touched` either way (bindings made before
+/// the clash was detected are recorded).
+fn unify_atom(
+    args: &[QVar],
+    tuple: &Tuple,
+    assignment: &mut [Option<DbValue>],
+    touched: &mut Vec<QVar>,
+) -> bool {
+    for (var, value) in args.iter().zip(tuple) {
+        match &assignment[var.0 as usize] {
+            None => {
+                assignment[var.0 as usize] = Some(value.clone());
+                touched.push(*var);
+            }
+            Some(existing) => {
+                if existing != value {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Whether a complete assignment satisfies the inequalities of a CCQ (`true`
+/// when there are none).
+fn inequalities_hold(inequalities: Option<&Ccq>, assignment: &[Option<DbValue>]) -> bool {
+    inequalities.map_or(true, |ccq| {
+        ccq.inequalities()
+            .iter()
+            .all(|&(a, b)| assignment[a.0 as usize] != assignment[b.0 as usize])
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Incremental evaluation
+// ---------------------------------------------------------------------------
+
+/// One query disjunct tracked by an [`EvalState`]: a CQ plus (optionally) the
+/// inequalities restricting its valuations.
+struct TrackedDisjunct<'q> {
+    query: &'q Cq,
+    inequalities: Option<&'q Ccq>,
+}
+
+/// The undo record of one [`EvalState::push_fact`]: the relation whose fact
+/// list grew, and the previous value of every output-map entry the push
+/// changed (`None` = the entry did not exist).  The change set is almost
+/// always tiny, so a linear-scan `Vec` (one allocation, contiguous) beats a
+/// tree map on the push/pop hot path.
+struct UndoFrame<K> {
+    rel: RelId,
+    /// Whether a fact was actually appended (`false` for `0` annotations).
+    pushed: bool,
+    /// First-seen previous value per changed tuple (each tuple recorded
+    /// once, so restoring in any order is sound).
+    changed: Vec<(Tuple, Option<K>)>,
+}
+
+/// Incremental all-outputs evaluation of a union of (C)CQs over a *stack* of
+/// facts.
+///
+/// Where [`eval_ucq_all_outputs`] recomputes the full map `t ↦ Qᴵ(t)` from
+/// scratch per instance, an `EvalState` maintains that map under
+/// [`push_fact`](EvalState::push_fact) / [`pop_fact`](EvalState::pop_fact):
+/// pushing a fact runs, per disjunct, only the *delta* joins — the satisfying
+/// assignments that map at least one atom to the new fact — and popping
+/// restores the previous map from an undo log.  Over an enumeration of
+/// instances organised as a prefix tree of supports (the brute-force
+/// oracle), evaluation cost becomes proportional to the delta from the
+/// parent prefix instead of the whole instance.
+///
+/// The fact stack is a K-relation under construction: pushing a fact for a
+/// tuple that is already present behaves like
+/// [`Instance::add_annotation`] — the two annotations *add* (a K-relation
+/// maps each tuple to the sum of its derivations).  Pushing a `0` annotation
+/// is a no-op frame (zero never contributes to any product).
+///
+/// The outputs map upholds the support contract of the one-shot evaluators:
+/// `t ∈ outputs ⇔ Qᴵ(t) ≠ 0`.
+///
+/// ```
+/// use annot_query::eval::{eval_cq_all_outputs, EvalState};
+/// use annot_query::{Cq, Instance, Schema};
+/// use annot_semiring::Natural;
+///
+/// let schema = Schema::with_relations([("R", 2)]);
+/// let rel = schema.relation("R").unwrap();
+/// let q = Cq::builder(&schema)
+///     .atom("R", &["x", "y"])
+///     .atom("R", &["y", "z"])
+///     .build();
+///
+/// let mut state: EvalState<Natural> = EvalState::for_cq(&q);
+/// state.push_fact(rel, vec![1.into(), 2.into()], Natural(2));
+/// state.push_fact(rel, vec![2.into(), 3.into()], Natural(3));
+///
+/// let mut instance: Instance<Natural> = Instance::new(schema.clone());
+/// instance.insert(rel, vec![1.into(), 2.into()], Natural(2));
+/// instance.insert(rel, vec![2.into(), 3.into()], Natural(3));
+/// assert_eq!(state.outputs(), &eval_cq_all_outputs(&q, &instance));
+///
+/// state.pop_fact();
+/// state.pop_fact();
+/// assert!(state.outputs().is_empty());
+/// ```
+pub struct EvalState<'q, K: Semiring> {
+    disjuncts: Vec<TrackedDisjunct<'q>>,
+    /// The current fact stack, indexed per relation (push order per relation).
+    facts: HashMap<RelId, Vec<(Tuple, K)>>,
+    /// The maintained map `t ↦ Qᴵ(t)`, restricted to its support.
+    outputs: BTreeMap<Tuple, K>,
+    /// One frame per push, in push order.
+    frames: Vec<UndoFrame<K>>,
+}
+
+impl<'q, K: Semiring> EvalState<'q, K> {
+    fn new(disjuncts: Vec<TrackedDisjunct<'q>>) -> Self {
+        let mut outputs = BTreeMap::new();
+        // Atomless disjuncts have one satisfying assignment (the empty one)
+        // on every instance, including the empty one this state starts from;
+        // all other disjuncts evaluate to 0 with no facts.  Safety makes an
+        // atomless disjunct variable-free, so its output tuple is ().
+        for d in &disjuncts {
+            if d.query.num_atoms() == 0 {
+                add_into(&mut outputs, Vec::new(), &K::one());
+            }
+        }
+        outputs.retain(|_, value| !value.is_zero());
+        EvalState {
+            disjuncts,
+            facts: HashMap::new(),
+            outputs,
+            frames: Vec::new(),
+        }
+    }
+
+    /// A state evaluating a single CQ.
+    pub fn for_cq(query: &'q Cq) -> Self {
+        EvalState::new(vec![TrackedDisjunct {
+            query,
+            inequalities: None,
+        }])
+    }
+
+    /// A state evaluating a single CCQ (CQ with inequalities).
+    pub fn for_ccq(query: &'q Ccq) -> Self {
+        EvalState::new(vec![TrackedDisjunct {
+            query: query.cq(),
+            inequalities: Some(query),
+        }])
+    }
+
+    /// A state evaluating a UCQ (outputs are summed over the disjuncts).
+    pub fn for_ucq(query: &'q Ucq) -> Self {
+        EvalState::new(
+            query
+                .disjuncts()
+                .iter()
+                .map(|cq| TrackedDisjunct {
+                    query: cq,
+                    inequalities: None,
+                })
+                .collect(),
+        )
+    }
+
+    /// A state evaluating a union of CCQs.
+    pub fn for_ducq(query: &'q Ducq) -> Self {
+        EvalState::new(
+            query
+                .disjuncts()
+                .iter()
+                .map(|ccq| TrackedDisjunct {
+                    query: ccq.cq(),
+                    inequalities: Some(ccq),
+                })
+                .collect(),
+        )
+    }
+
+    /// The maintained all-outputs map of the current fact stack, restricted
+    /// to its support (absent tuples evaluate to `0`).
+    pub fn outputs(&self) -> &BTreeMap<Tuple, K> {
+        &self.outputs
+    }
+
+    /// Number of pushed facts.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// The output tuples whose value changed in the most recent push (empty
+    /// before the first push and after the matching pop).  The brute-force
+    /// oracle checks containment violations on exactly these tuples: values
+    /// untouched by the newest fact were already checked at the parent
+    /// prefix.
+    pub fn last_changed(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.frames
+            .last()
+            .into_iter()
+            .flat_map(|frame| frame.changed.iter().map(|(tuple, _)| tuple))
+    }
+
+    /// Pushes a fact: adds `annotation` to the K-relation entry of `tuple`
+    /// and updates the outputs map by running only the delta joins (the
+    /// satisfying assignments using the new fact at least once).
+    ///
+    /// The tuple length must match the relation's arity in the queries'
+    /// schema (the enumeration callers guarantee this by construction; a
+    /// wrong-arity designated atom is skipped rather than joined).
+    pub fn push_fact(&mut self, rel: RelId, tuple: Tuple, annotation: K) {
+        let mut frame = UndoFrame {
+            rel,
+            pushed: !annotation.is_zero(),
+            changed: Vec::new(),
+        };
+        if frame.pushed {
+            let outputs = &mut self.outputs;
+            let changed = &mut frame.changed;
+            for d in &self.disjuncts {
+                delta_join(
+                    d.query,
+                    d.inequalities,
+                    &self.facts,
+                    (rel, &tuple, &annotation),
+                    &mut |output, product| {
+                        // One map lookup; the previous annotation is deep-
+                        // cloned only for a first-touch undo record, never
+                        // per satisfying assignment (annotations can be
+                        // whole polynomials or witness sets).
+                        let previous = outputs.get(&output);
+                        let value = match previous {
+                            Some(v) => v.add(product),
+                            None => product.clone(),
+                        };
+                        if !changed.iter().any(|(t, _)| t == &output) {
+                            changed.push((output.clone(), previous.cloned()));
+                        }
+                        if value.is_zero() {
+                            outputs.remove(&output);
+                        } else {
+                            outputs.insert(output, value);
+                        }
+                    },
+                );
+            }
+            self.facts.entry(rel).or_default().push((tuple, annotation));
+        }
+        self.frames.push(frame);
+    }
+
+    /// Undoes the most recent [`push_fact`](EvalState::push_fact): removes
+    /// the fact and restores every output entry the push changed.
+    ///
+    /// Panics if there is nothing to pop.
+    pub fn pop_fact(&mut self) {
+        let frame = self.frames.pop().expect("pop_fact with no pushed fact");
+        for (tuple, previous) in frame.changed {
+            match previous {
+                Some(value) => {
+                    self.outputs.insert(tuple, value);
+                }
+                None => {
+                    self.outputs.remove(&tuple);
+                }
+            }
+        }
+        if frame.pushed {
+            self.facts
+                .get_mut(&frame.rel)
+                .expect("undo frame for a relation with no facts")
+                .pop();
+        }
+    }
+}
+
+/// Enumerates the satisfying assignments of `query` that use the new fact
+/// for at least one atom, over the instance `facts ∪ {new fact}`, calling
+/// `on_leaf(output_tuple, product)` per assignment.
+///
+/// Each such assignment is produced exactly once: it is counted at its
+/// *first* atom mapped to the new fact (`designated`) — atoms before the
+/// designated one range over the old facts only, the designated atom is
+/// pinned to the new fact, and atoms after it range over old facts plus the
+/// new one.
+fn delta_join<K: Semiring>(
+    query: &Cq,
+    inequalities: Option<&Ccq>,
+    facts: &HashMap<RelId, Vec<(Tuple, K)>>,
+    new_fact: (RelId, &Tuple, &K),
+    on_leaf: &mut dyn FnMut(Tuple, &K),
+) {
+    let (new_rel, new_tuple, _) = new_fact;
+    let mut assignment: Vec<Option<DbValue>> = vec![None; query.num_vars()];
+    for designated in 0..query.num_atoms() {
+        let atom = &query.atoms()[designated];
+        if atom.relation != new_rel || atom.args.len() != new_tuple.len() {
+            continue;
+        }
+        let join = DeltaJoin {
+            query,
+            inequalities,
+            facts,
+            new_fact,
+            designated,
+        };
+        join.rec(0, &mut assignment, &K::one(), &mut |assignment, product| {
+            let output: Tuple = query
+                .free_vars()
+                .iter()
+                .map(|v| {
+                    assignment[v.0 as usize]
+                        .clone()
+                        .expect("safe query: every free variable occurs in an atom")
+                })
+                .collect();
+            on_leaf(output, product);
+        });
+    }
+}
+
+/// One delta join of [`delta_join`], fixed to a designated atom.
+struct DeltaJoin<'a, K: Semiring> {
+    query: &'a Cq,
+    inequalities: Option<&'a Ccq>,
+    facts: &'a HashMap<RelId, Vec<(Tuple, K)>>,
+    new_fact: (RelId, &'a Tuple, &'a K),
+    designated: usize,
+}
+
+impl<K: Semiring> DeltaJoin<'_, K> {
+    fn rec(
+        &self,
+        atom_index: usize,
+        assignment: &mut Vec<Option<DbValue>>,
+        partial_product: &K,
+        on_leaf: &mut dyn FnMut(&[Option<DbValue>], &K),
+    ) {
+        if partial_product.is_zero() {
+            return;
+        }
+        if atom_index == self.query.num_atoms() {
+            if inequalities_hold(self.inequalities, assignment) {
+                on_leaf(assignment, partial_product);
+            }
+            return;
+        }
+        let atom = &self.query.atoms()[atom_index];
+        let (new_rel, new_tuple, new_ann) = self.new_fact;
+        let old_facts: &[(Tuple, K)] = self
+            .facts
+            .get(&atom.relation)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[]);
+        // Candidate facts for this atom, by position relative to the
+        // designated atom (see `delta_join`).
+        let candidates = if atom_index == self.designated {
+            &[] as &[(Tuple, K)]
+        } else {
+            old_facts
+        };
+        for (tuple, annotation) in candidates {
+            let mut touched: Vec<QVar> = Vec::new();
+            if unify_atom(&atom.args, tuple, assignment, &mut touched) {
+                let product = partial_product.mul(annotation);
+                self.rec(atom_index + 1, assignment, &product, on_leaf);
+            }
+            for var in touched {
+                assignment[var.0 as usize] = None;
+            }
+        }
+        // The new fact itself: mandatory at the designated atom, an extra
+        // candidate after it, and excluded before it.
+        if atom_index >= self.designated && atom.relation == new_rel {
+            let mut touched: Vec<QVar> = Vec::new();
+            if unify_atom(&atom.args, new_tuple, assignment, &mut touched) {
+                let product = partial_product.mul(new_ann);
+                self.rec(atom_index + 1, assignment, &product, on_leaf);
+            }
+            for var in touched {
+                assignment[var.0 as usize] = None;
+            }
         }
     }
 }
@@ -405,5 +798,176 @@ mod tests {
             .build();
         let i: Instance<Bool> = Instance::new(schema());
         let _ = eval_cq(&q, &i, &vec![]);
+    }
+
+    // -- incremental evaluation ---------------------------------------------
+
+    /// Replays `facts` as pushes and checks the state against the one-shot
+    /// evaluation after every push, then again after every pop.
+    fn check_state_matches_oneshot<K: Semiring>(
+        mut state: EvalState<'_, K>,
+        oneshot: &dyn Fn(&Instance<K>) -> BTreeMap<Tuple, K>,
+        facts: &[(&str, Tuple, K)],
+    ) {
+        let mut instances: Vec<Instance<K>> = vec![Instance::new(schema())];
+        for (rel, tuple, k) in facts {
+            let mut next = instances.last().unwrap().clone();
+            next.add_annotation(
+                next.schema().relation(rel).unwrap(),
+                tuple.clone(),
+                k.clone(),
+            );
+            instances.push(next);
+        }
+        assert_eq!(state.outputs(), &oneshot(&instances[0]));
+        for (depth, (rel, tuple, k)) in facts.iter().enumerate() {
+            let id = schema().relation(rel).unwrap();
+            state.push_fact(id, tuple.clone(), k.clone());
+            assert_eq!(state.depth(), depth + 1);
+            assert_eq!(
+                state.outputs(),
+                &oneshot(&instances[depth + 1]),
+                "after push {depth}"
+            );
+        }
+        for depth in (0..facts.len()).rev() {
+            state.pop_fact();
+            assert_eq!(state.outputs(), &oneshot(&instances[depth]), "after pop");
+        }
+    }
+
+    #[test]
+    fn eval_state_matches_oneshot_cq() {
+        let q = Cq::builder(&schema())
+            .free(&["x"])
+            .atom("R", &["x", "y"])
+            .atom("R", &["y", "z"])
+            .build();
+        let state: EvalState<'_, Natural> = EvalState::for_cq(&q);
+        check_state_matches_oneshot(
+            state,
+            &|i| eval_cq_all_outputs(&q, i),
+            &[
+                ("R", vec!["a".into(), "b".into()], Natural(2)),
+                ("R", vec!["b".into(), "c".into()], Natural(3)),
+                ("R", vec!["b".into(), "b".into()], Natural(1)),
+                ("S", vec!["c".into()], Natural(5)),
+            ],
+        );
+    }
+
+    #[test]
+    fn eval_state_matches_oneshot_ccq() {
+        let q = Cq::builder(&schema())
+            .atom("R", &["x", "y"])
+            .atom("R", &["z", "w"])
+            .inequality("x", "z")
+            .build_ccq();
+        let state: EvalState<'_, Natural> = EvalState::for_ccq(&q);
+        check_state_matches_oneshot(
+            state,
+            &|i| eval_ccq_all_outputs(&q, i),
+            &[
+                ("R", vec!["a".into(), "b".into()], Natural(2)),
+                ("R", vec!["b".into(), "c".into()], Natural(3)),
+                ("R", vec!["a".into(), "c".into()], Natural(4)),
+            ],
+        );
+    }
+
+    #[test]
+    fn eval_state_matches_oneshot_ucq() {
+        let q1 = Cq::builder(&schema()).atom("S", &["v"]).build();
+        let q2 = Cq::builder(&schema())
+            .atom("R", &["x", "y"])
+            .atom("S", &["y"])
+            .build();
+        let ucq = Ucq::new([q1, q2]);
+        let state: EvalState<'_, Natural> = EvalState::for_ucq(&ucq);
+        check_state_matches_oneshot(
+            state,
+            &|i| eval_ucq_all_outputs(&ucq, i),
+            &[
+                ("S", vec!["b".into()], Natural(2)),
+                ("R", vec!["a".into(), "b".into()], Natural(3)),
+                ("S", vec!["a".into()], Natural(1)),
+            ],
+        );
+    }
+
+    #[test]
+    fn eval_state_handles_atomless_and_empty_unions() {
+        // The empty UCQ evaluates to 0 everywhere.
+        let empty = Ucq::empty();
+        let state: EvalState<'_, Natural> = EvalState::for_ucq(&empty);
+        assert!(state.outputs().is_empty());
+
+        // An atomless CQ evaluates to 1 on every instance, facts or not.
+        let atomless = Cq::new(schema(), vec![], vec![], vec![]);
+        let mut state: EvalState<'_, Natural> = EvalState::for_cq(&atomless);
+        assert_eq!(state.outputs().get(&Vec::new()), Some(&Natural(1)));
+        let r = schema().relation("R").unwrap();
+        state.push_fact(r, vec![1.into(), 2.into()], Natural(7));
+        assert_eq!(state.outputs().get(&Vec::new()), Some(&Natural(1)));
+        state.pop_fact();
+        assert_eq!(state.outputs().get(&Vec::new()), Some(&Natural(1)));
+    }
+
+    #[test]
+    fn eval_state_duplicate_tuple_pushes_add_annotations() {
+        // Pushing a tuple twice behaves like `add_annotation`: the state and
+        // an instance holding the summed annotation agree.
+        let q = Cq::builder(&schema())
+            .atom("S", &["v"])
+            .atom("S", &["v"])
+            .build();
+        let s = schema().relation("S").unwrap();
+        let mut state: EvalState<'_, Natural> = EvalState::for_cq(&q);
+        state.push_fact(s, vec!["c".into()], Natural(2));
+        state.push_fact(s, vec!["c".into()], Natural(3));
+        let mut i: Instance<Natural> = Instance::new(schema());
+        i.insert(s, vec!["c".into()], Natural(5));
+        assert_eq!(state.outputs(), &eval_cq_all_outputs(&q, &i));
+        state.pop_fact();
+        i.insert(s, vec!["c".into()], Natural(2));
+        assert_eq!(state.outputs(), &eval_cq_all_outputs(&q, &i));
+    }
+
+    #[test]
+    fn eval_state_zero_push_is_a_noop_frame() {
+        let q = Cq::builder(&schema()).atom("S", &["v"]).build();
+        let s = schema().relation("S").unwrap();
+        let mut state: EvalState<'_, Natural> = EvalState::for_cq(&q);
+        state.push_fact(s, vec!["c".into()], Natural(0));
+        assert!(state.outputs().is_empty());
+        assert_eq!(state.depth(), 1);
+        state.pop_fact();
+        assert_eq!(state.depth(), 0);
+    }
+
+    #[test]
+    fn eval_state_last_changed_reports_touched_outputs() {
+        let q = Cq::builder(&schema())
+            .free(&["x"])
+            .atom("R", &["x", "y"])
+            .build();
+        let r = schema().relation("R").unwrap();
+        let mut state: EvalState<'_, Natural> = EvalState::for_cq(&q);
+        assert_eq!(state.last_changed().count(), 0);
+        state.push_fact(r, vec!["a".into(), "b".into()], Natural(2));
+        let changed: Vec<&Tuple> = state.last_changed().collect();
+        assert_eq!(changed, vec![&vec![DbValue::str("a")]]);
+        // A fact for an unrelated output leaves ("a") out of the new delta.
+        state.push_fact(r, vec!["b".into(), "c".into()], Natural(3));
+        let changed: Vec<&Tuple> = state.last_changed().collect();
+        assert_eq!(changed, vec![&vec![DbValue::str("b")]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pop_fact with no pushed fact")]
+    fn eval_state_pop_on_empty_panics() {
+        let q = Cq::builder(&schema()).atom("S", &["v"]).build();
+        let mut state: EvalState<'_, Bool> = EvalState::for_cq(&q);
+        state.pop_fact();
     }
 }

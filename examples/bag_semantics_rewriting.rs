@@ -37,6 +37,7 @@ fn main() {
     let config = BruteForceConfig {
         domain_size: 2,
         max_support: 4,
+        ..Default::default()
     };
     if let Some(ce) = find_counterexample_cq::<Natural>(&path2, &edge, &config) {
         println!("\ncounterexample to `path2 ⊆ edge` under bag semantics:");

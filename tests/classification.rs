@@ -128,6 +128,7 @@ fn offset_acceptance_matches_bounded_bag_semantics() {
     let config = BruteForceConfig {
         domain_size: 2,
         max_support: 2,
+        ..Default::default()
     };
     assert!(find_counterexample_ucq::<BoundedNat<2>>(&q1, &q2, &config).is_none());
     assert!(find_counterexample_ucq::<NatPoly>(&q1, &q2, &config).is_some());

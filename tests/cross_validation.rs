@@ -37,6 +37,85 @@ use annot_semiring::{
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+// ---------------------------------------------------------------------------
+// Parallel case driver
+// ---------------------------------------------------------------------------
+
+/// Reads a numeric harness knob from the environment (`0`/unset = default).
+fn env_knob(name: &str, default: usize) -> usize {
+    match std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        None | Some(0) => default,
+        Some(n) => n,
+    }
+}
+
+/// Worker threads for the oracle harness (`ANNOT_XV_THREADS`, default: the
+/// available parallelism).  The per-semiring `#[test]`s already parallelise
+/// at the libtest level, so the default stays modest on big machines.
+fn xv_threads() -> usize {
+    env_knob(
+        "ANNOT_XV_THREADS",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(4),
+    )
+}
+
+/// Cases handed to a worker per claim (`ANNOT_XV_BATCH`, default 8): big
+/// enough to amortise the claim, small enough to balance skewed case costs.
+fn xv_batch() -> usize {
+    env_knob("ANNOT_XV_BATCH", 8)
+}
+
+/// Drives `total` independent oracle cases (identified by their index) in
+/// parallel batches over a scoped thread pool.  A panicking case (a failed
+/// assertion) propagates out of the scope and fails the test with its
+/// original message.
+fn run_cases(total: usize, check: impl Fn(u64) + Sync) {
+    let threads = xv_threads();
+    let batch = xv_batch().max(1);
+    if threads <= 1 || total <= batch {
+        for case in 0..total {
+            check(case as u64);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let workers = threads.min(total.div_ceil(batch));
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let start = next.fetch_add(batch, Ordering::Relaxed);
+                    if start >= total {
+                        break;
+                    }
+                    for case in start..(start + batch).min(total) {
+                        check(case as u64);
+                    }
+                })
+            })
+            .collect();
+        // Re-raise the first worker panic with its original payload (a bare
+        // scope exit would replace the assertion message with the generic
+        // "a scoped thread panicked").
+        let mut panic = None;
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                panic.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = panic {
+            std::panic::resume_unwind(payload);
+        }
+    });
+}
 
 // ---------------------------------------------------------------------------
 // Random polynomials (seeded replacement for the old proptest strategies)
@@ -214,58 +293,62 @@ fn oracle_cq<K: ClassifiedSemiring>(exact: bool) {
     let config = BruteForceConfig {
         domain_size: 2,
         max_support: 3,
+        ..Default::default()
     };
     let name = K::class_profile().name;
-    for seed in 0..CQ_CASES_PER_SEMIRING as u64 {
+    run_cases(CQ_CASES_PER_SEMIRING, |seed| {
         let (q1, q2) = cq_pair(3000 + seed);
         let answer = decide_cq::<K>(&q1, &q2);
         let refuted = find_counterexample_cq::<K>(&q1, &q2, &config).is_some();
         check_against_oracle(name, &format!("{} vs {}", q1, q2), &answer, refuted, exact);
-    }
+    });
 }
 
 fn oracle_cq_poly_order<K: ClassifiedSemiring + PolynomialOrder>() {
     let config = BruteForceConfig {
         domain_size: 2,
         max_support: 3,
+        ..Default::default()
     };
     let name = K::class_profile().name;
-    for seed in 0..CQ_CASES_PER_SEMIRING as u64 {
+    run_cases(CQ_CASES_PER_SEMIRING, |seed| {
         let (q1, q2) = cq_pair(3000 + seed);
         let answer = decide_cq_with_poly_order::<K>(&q1, &q2);
         let refuted = find_counterexample_cq::<K>(&q1, &q2, &config).is_some();
         check_against_oracle(name, &format!("{} vs {}", q1, q2), &answer, refuted, true);
-    }
+    });
 }
 
 fn oracle_ucq<K: ClassifiedSemiring>(exact: bool) {
     let config = BruteForceConfig {
         domain_size: 2,
         max_support: 3,
+        ..Default::default()
     };
     let name = K::class_profile().name;
-    for seed in 0..UCQ_CASES_PER_SEMIRING as u64 {
+    run_cases(UCQ_CASES_PER_SEMIRING, |seed| {
         let (u1, u2) = ucq_pair(5000 + seed);
         let answer = decide_ucq::<K>(&u1, &u2);
         let refuted = find_counterexample_ucq::<K>(&u1, &u2, &config).is_some();
         let case = format!("{} vs {} (seed {})", u1, u2, 5000 + seed);
         check_against_oracle(name, &case, &answer, refuted, exact);
-    }
+    });
 }
 
 fn oracle_ucq_poly_order<K: ClassifiedSemiring + PolynomialOrder>() {
     let config = BruteForceConfig {
         domain_size: 2,
         max_support: 3,
+        ..Default::default()
     };
     let name = K::class_profile().name;
-    for seed in 0..UCQ_CASES_PER_SEMIRING as u64 {
+    run_cases(UCQ_CASES_PER_SEMIRING, |seed| {
         let (u1, u2) = ucq_pair(5000 + seed);
         let answer = decide_ucq_with_poly_order::<K>(&u1, &u2);
         let refuted = find_counterexample_ucq::<K>(&u1, &u2, &config).is_some();
         let case = format!("{} vs {} (seed {})", u1, u2, 5000 + seed);
         check_against_oracle(name, &case, &answer, refuted, true);
-    }
+    });
 }
 
 #[test]
@@ -352,6 +435,7 @@ fn oracle_cq_bool_is_two_sided() {
     let config = BruteForceConfig {
         domain_size: 3,
         max_support: 4,
+        ..Default::default()
     };
     let mut disagreements_settled = 0usize;
     for seed in 0..60u64 {
@@ -413,6 +497,7 @@ fn universal_bounds_on_random_queries() {
     let config = BruteForceConfig {
         domain_size: 2,
         max_support: 3,
+        ..Default::default()
     };
     for seed in 100..130u64 {
         let (q1, q2) = cq_pair(seed);

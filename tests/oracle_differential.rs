@@ -1,0 +1,327 @@
+//! Differential validation of the prefix-memoized oracle (PR 3).
+//!
+//! The brute-force oracle now has three evaluation strategies that must be
+//! observationally identical:
+//!
+//! * the **naive** path ([`find_counterexample_ucq_naive`]): materialise
+//!   every support-bounded instance, evaluate both queries from scratch;
+//! * the **direct** prefix-memoized walk (incremental [`EvalState`] over
+//!   `K`), used for scalar annotation domains;
+//! * the **factorized** walk (incremental [`EvalState`] over `N[X]` plus the
+//!   Prop. 3.2 evaluation morphism), used for heap-carrying domains with ≥ 2
+//!   non-zero samples.
+//!
+//! This suite pins their agreement over randomized CQ/CCQ/UCQ workloads for
+//! the representative semirings of both dispatch classes, the annotation
+//! maps the incremental states maintain against the one-shot evaluators
+//! under randomized push/pop walks, and the `Σ_{k≤cap} C(n,k)·sᵏ`
+//! instance-count invariant of the new enumerator on full walks.
+
+use annot_core::brute_force::{
+    bounded_instance_count, find_counterexample_ucq, find_counterexample_ucq_naive,
+    try_find_counterexample_ucq, BruteForceConfig,
+};
+use annot_query::eval::{
+    eval_ccq_all_outputs, eval_cq, eval_ducq_all_outputs, eval_ucq_all_outputs, EvalState,
+};
+use annot_query::generator::{GeneratorConfig, QueryGenerator, QueryShape};
+use annot_query::{Ccq, Cq, Ducq, Instance, QVar, Schema, Tuple, Ucq};
+use annot_semiring::{Bool, Lineage, NatPoly, Natural, Semiring, Tropical, Why};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn generator(seed: u64) -> QueryGenerator {
+    QueryGenerator::new(GeneratorConfig {
+        num_atoms: 2,
+        shape: QueryShape::Random,
+        var_pool: 3,
+        num_relations: 1,
+        seed,
+        ..Default::default()
+    })
+}
+
+/// Memoized and naive oracles must agree on the *existence* of a
+/// counterexample, and every reported counterexample must replay under the
+/// one-shot evaluators (`lhs = Q₁ᴵ(t)`, `rhs = Q₂ᴵ(t)`, `lhs ≰ rhs`).
+fn check_agreement<K: Semiring>(u1: &Ucq, u2: &Ucq, config: &BruteForceConfig, case: u64) {
+    let memoized = find_counterexample_ucq::<K>(u1, u2, config);
+    let naive = find_counterexample_ucq_naive::<K>(u1, u2, config);
+    assert_eq!(
+        memoized.is_some(),
+        naive.is_some(),
+        "{}: memoized and naive oracles disagree on case {case}: {} vs {}",
+        K::NAME,
+        u1,
+        u2
+    );
+    for ce in [memoized, naive].into_iter().flatten() {
+        let lhs = eval_ucq(u1, &ce.instance, &ce.tuple);
+        let rhs = eval_ucq(u2, &ce.instance, &ce.tuple);
+        assert_eq!(ce.lhs, lhs, "{}: reported lhs is not Q₁ᴵ(t)", K::NAME);
+        assert_eq!(ce.rhs, rhs, "{}: reported rhs is not Q₂ᴵ(t)", K::NAME);
+        assert!(!lhs.leq(&rhs), "{}: reported violation replays", K::NAME);
+    }
+}
+
+fn eval_ucq<K: Semiring>(u: &Ucq, instance: &Instance<K>, t: &Tuple) -> K {
+    u.disjuncts()
+        .iter()
+        .fold(K::zero(), |acc, cq| acc.add(&eval_cq(cq, instance, t)))
+}
+
+fn differential_cq_cases<K: Semiring>() {
+    let config = BruteForceConfig {
+        domain_size: 2,
+        max_support: 3,
+        ..Default::default()
+    };
+    for seed in 0..40u64 {
+        let mut g = generator(9000 + seed);
+        let (q1, q2) = (g.cq(), g.cq());
+        check_agreement::<K>(&Ucq::single(q1), &Ucq::single(q2), &config, seed);
+    }
+}
+
+fn differential_ucq_cases<K: Semiring>() {
+    let config = BruteForceConfig {
+        domain_size: 2,
+        max_support: 3,
+        ..Default::default()
+    };
+    for seed in 0..15u64 {
+        let mut g = generator(9500 + seed);
+        let (u1, u2) = (g.ucq(2), g.ucq(2));
+        check_agreement::<K>(&u1, &u2, &config, seed);
+    }
+}
+
+// One representative per dispatch class and order shape: `B` (single-sample
+// direct), `N`/`T⁺` (scalar direct, plural samples), `Lin[X]`/`Why[X]`/`N[X]`
+// (heap-carrying factorized).
+
+#[test]
+fn differential_cq_bool() {
+    differential_cq_cases::<Bool>();
+}
+
+#[test]
+fn differential_cq_natural() {
+    differential_cq_cases::<Natural>();
+}
+
+#[test]
+fn differential_cq_tropical() {
+    differential_cq_cases::<Tropical>();
+}
+
+#[test]
+fn differential_cq_lineage() {
+    differential_cq_cases::<Lineage>();
+}
+
+#[test]
+fn differential_cq_why() {
+    differential_cq_cases::<Why>();
+}
+
+#[test]
+fn differential_cq_nat_poly() {
+    differential_cq_cases::<NatPoly>();
+}
+
+#[test]
+fn differential_ucq_natural() {
+    differential_ucq_cases::<Natural>();
+}
+
+#[test]
+fn differential_ucq_why() {
+    differential_ucq_cases::<Why>();
+}
+
+#[test]
+fn differential_ucq_nat_poly() {
+    differential_ucq_cases::<NatPoly>();
+}
+
+// ---------------------------------------------------------------------------
+// Annotation maps: EvalState vs the one-shot evaluators under random walks
+// ---------------------------------------------------------------------------
+
+/// Drives an [`EvalState`] through a random push/pop walk and checks the
+/// maintained annotation map against `oneshot` of the equivalent instance
+/// after every step.
+fn random_walk_matches_oneshot<K: Semiring>(
+    schema: &Schema,
+    state: &mut EvalState<'_, K>,
+    oneshot: &dyn Fn(&Instance<K>) -> std::collections::BTreeMap<Tuple, K>,
+    rng: &mut StdRng,
+) {
+    let samples: Vec<K> = K::sample_elements();
+    let rels: Vec<_> = schema.rel_ids().collect();
+    // The shadow stack of concrete facts mirrored into a rebuilt instance.
+    let mut stack: Vec<(annot_query::RelId, Tuple, K)> = Vec::new();
+    for _ in 0..60 {
+        let push = stack.is_empty() || rng.gen_range(0..10u32) < 6;
+        if push {
+            let rel = rels[rng.gen_range(0..rels.len())];
+            let tuple: Tuple = (0..schema.arity(rel))
+                .map(|_| annot_query::DbValue::Int(rng.gen_range(0..2i64)))
+                .collect();
+            let k = samples[rng.gen_range(0..samples.len())].clone();
+            state.push_fact(rel, tuple.clone(), k.clone());
+            stack.push((rel, tuple, k));
+        } else {
+            state.pop_fact();
+            stack.pop();
+        }
+        let mut instance: Instance<K> = Instance::new(schema.clone());
+        for (rel, tuple, k) in &stack {
+            instance.add_annotation(*rel, tuple.clone(), k.clone());
+        }
+        assert_eq!(
+            state.outputs(),
+            &oneshot(&instance),
+            "{}: annotation map diverged at depth {}",
+            K::NAME,
+            stack.len()
+        );
+    }
+}
+
+fn walk_schema() -> Schema {
+    Schema::with_relations([("R", 2), ("S", 1)])
+}
+
+fn walk_cq(schema: &Schema) -> Cq {
+    Cq::builder(schema)
+        .free(&["x"])
+        .atom("R", &["x", "y"])
+        .atom("S", &["y"])
+        .build()
+}
+
+#[test]
+fn eval_state_cq_maps_match_under_random_walks() {
+    let schema = walk_schema();
+    let q = walk_cq(&schema);
+    let mut rng = StdRng::seed_from_u64(0xD1);
+    let mut state: EvalState<'_, Natural> = EvalState::for_cq(&q);
+    random_walk_matches_oneshot(
+        &schema,
+        &mut state,
+        &|i| annot_query::eval::eval_cq_all_outputs(&q, i),
+        &mut rng,
+    );
+}
+
+#[test]
+fn eval_state_ccq_maps_match_under_random_walks() {
+    let schema = walk_schema();
+    let base = Cq::builder(&schema)
+        .atom("R", &["x", "y"])
+        .atom("R", &["z", "w"])
+        .build();
+    let ccq = Ccq::new(base, [(QVar(0), QVar(2))]);
+    let mut rng = StdRng::seed_from_u64(0xD2);
+    let mut state: EvalState<'_, Natural> = EvalState::for_ccq(&ccq);
+    random_walk_matches_oneshot(
+        &schema,
+        &mut state,
+        &|i| eval_ccq_all_outputs(&ccq, i),
+        &mut rng,
+    );
+}
+
+#[test]
+fn eval_state_ucq_maps_match_under_random_walks_nat_poly() {
+    // N[X] exercises the factorized dispatch class end to end: polynomial
+    // annotations flowing through the incremental joins.
+    let schema = walk_schema();
+    let q1 = Cq::builder(&schema).atom("S", &["v"]).build();
+    let q2 = Cq::builder(&schema)
+        .atom("R", &["x", "y"])
+        .atom("S", &["y"])
+        .build();
+    let ucq = Ucq::new([q1, q2]);
+    let mut rng = StdRng::seed_from_u64(0xD3);
+    let mut state: EvalState<'_, NatPoly> = EvalState::for_ucq(&ucq);
+    random_walk_matches_oneshot(
+        &schema,
+        &mut state,
+        &|i| eval_ucq_all_outputs(&ucq, i),
+        &mut rng,
+    );
+}
+
+#[test]
+fn eval_state_ducq_maps_match_under_random_walks() {
+    let schema = walk_schema();
+    let base = Cq::builder(&schema)
+        .atom("R", &["x", "y"])
+        .atom("R", &["z", "w"])
+        .build();
+    let ccq1 = Ccq::new(base, [(QVar(0), QVar(2))]);
+    let ccq2 = Ccq::from_cq(Cq::builder(&schema).atom("S", &["v"]).build());
+    let ducq = Ducq::new([ccq1, ccq2]);
+    let mut rng = StdRng::seed_from_u64(0xD4);
+    let mut state: EvalState<'_, Why> = EvalState::for_ducq(&ducq);
+    random_walk_matches_oneshot(
+        &schema,
+        &mut state,
+        &|i| eval_ducq_all_outputs(&ducq, i),
+        &mut rng,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// The enumeration invariant under both prefix-walk strategies
+// ---------------------------------------------------------------------------
+
+/// An irrefutable search (`Q ⊆ Q` always holds) must walk exactly
+/// `Σ_{k≤cap} C(n,k)·sᵏ` instances — for the factorized walk (which visits
+/// `Σ C(n,k)` tree nodes and *accounts* `sᵏ` instances per node) just as for
+/// the direct walk, sequentially and in parallel.
+fn full_walk_counts<K: Semiring>() {
+    let mut schema = Schema::with_relations([("R", 2)]);
+    let q = annot_query::parser::parse_ucq(&mut schema, "Q() :- R(u, v), R(v, w)").unwrap();
+    let nonzero = K::sample_elements()
+        .into_iter()
+        .filter(|k| !k.is_zero())
+        .count();
+    for cap in 0..=4usize {
+        let expected = bounded_instance_count(4, nonzero, cap) as u64;
+        for threads in [1usize, 2] {
+            let config = BruteForceConfig {
+                domain_size: 2,
+                max_support: cap,
+                threads,
+                ..Default::default()
+            };
+            let outcome = try_find_counterexample_ucq::<K>(&q, &q, &config).unwrap();
+            assert!(outcome.counterexample.is_none(), "Q ⊆ Q must hold");
+            assert_eq!(
+                outcome.stats.instances_visited,
+                expected,
+                "{}: cap {cap}, threads {threads}: wrong instance count",
+                K::NAME
+            );
+        }
+    }
+}
+
+#[test]
+fn full_walk_counts_direct_natural() {
+    full_walk_counts::<Natural>();
+}
+
+#[test]
+fn full_walk_counts_factorized_why() {
+    full_walk_counts::<Why>();
+}
+
+#[test]
+fn full_walk_counts_factorized_nat_poly() {
+    full_walk_counts::<NatPoly>();
+}

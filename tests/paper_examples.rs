@@ -44,6 +44,7 @@ fn example_4_6_tropical_containment_without_injective_hom() {
     let config = BruteForceConfig {
         domain_size: 2,
         max_support: 4,
+        ..Default::default()
     };
     assert!(find_counterexample_cq::<Tropical>(&q1, &q2, &config).is_none());
     // … while the same containment FAILS over bag semantics and N[X].
@@ -106,6 +107,7 @@ fn example_5_4_local_method_fails_for_tropical() {
     let config = BruteForceConfig {
         domain_size: 2,
         max_support: 4,
+        ..Default::default()
     };
     assert!(find_counterexample_ucq::<Tropical>(&q1, &q2, &config).is_none());
     // Over set semantics the containment also holds (homomorphism from each
@@ -138,6 +140,7 @@ fn example_5_7_counting_criterion() {
     let config = BruteForceConfig {
         domain_size: 2,
         max_support: 3,
+        ..Default::default()
     };
     assert!(find_counterexample_ucq::<NatPoly>(&q1, &q2, &config).is_none());
     // The ↠_∞ criterion (sufficient for bag semantics) holds as well.
@@ -168,6 +171,7 @@ fn example_5_7_offsets() {
     let config = BruteForceConfig {
         domain_size: 2,
         max_support: 3,
+        ..Default::default()
     };
     assert!(find_counterexample_ucq::<BoundedNat<2>>(&q1, &q2, &config).is_none());
     assert!(find_counterexample_ucq::<NatPoly>(&q1, &q2, &config).is_some());
@@ -191,6 +195,7 @@ fn example_5_20_covering_needs_both_members() {
     let config = BruteForceConfig {
         domain_size: 2,
         max_support: 4,
+        ..Default::default()
     };
     assert!(find_counterexample_ucq::<Lineage>(&q1, &q2, &config).is_none());
     assert_eq!(decide_ucq::<Lineage>(&q1, &q2).decided(), Some(true));
@@ -232,6 +237,7 @@ fn theorem_5_2_local_homomorphism_is_exact_for_set_semantics() {
     let config = BruteForceConfig {
         domain_size: 2,
         max_support: 4,
+        ..Default::default()
     };
     let criterion = local::contained_chom(&q1, &q2);
     let semantic = find_counterexample_ucq::<Bool>(&q1, &q2, &config).is_none();
@@ -255,6 +261,7 @@ fn why_provenance_surjective_criterion() {
     let config = BruteForceConfig {
         domain_size: 2,
         max_support: 3,
+        ..Default::default()
     };
     // Q1 ⊆_{Why[X]} Q2 fails: no surjective homomorphism, and brute force
     // finds a counterexample.

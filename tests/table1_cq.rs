@@ -93,6 +93,7 @@ fn row_chom_set_semantics() {
     let config = BruteForceConfig {
         domain_size: 2,
         max_support: 3,
+        ..Default::default()
     };
     agreement::<Bool>(&cq_decide::contained_chom, &pairs, &config, "C_hom/B");
     refutation_soundness::<Bool>(&cq_decide::contained_chom, &pairs, &config, "C_hom/B");
@@ -107,6 +108,7 @@ fn row_chom_lattice_semirings() {
     let config = BruteForceConfig {
         domain_size: 2,
         max_support: 3,
+        ..Default::default()
     };
     agreement::<Fuzzy>(&cq_decide::contained_chom, &pairs, &config, "C_hom/Fuzzy");
     refutation_soundness::<Fuzzy>(&cq_decide::contained_chom, &pairs, &config, "C_hom/Fuzzy");
@@ -120,6 +122,7 @@ fn row_chcov_lineage() {
     let config = BruteForceConfig {
         domain_size: 2,
         max_support: 3,
+        ..Default::default()
     };
     agreement::<Lineage>(
         &cq_decide::contained_chcov,
@@ -141,6 +144,7 @@ fn row_csur_why_provenance() {
     let config = BruteForceConfig {
         domain_size: 2,
         max_support: 3,
+        ..Default::default()
     };
     agreement::<Why>(&cq_decide::contained_csur, &pairs, &config, "C_sur/Why[X]");
     refutation_soundness::<Why>(&cq_decide::contained_csur, &pairs, &config, "C_sur/Why[X]");
@@ -152,6 +156,7 @@ fn row_cbi_provenance_polynomials() {
     let config = BruteForceConfig {
         domain_size: 2,
         max_support: 3,
+        ..Default::default()
     };
     agreement::<NatPoly>(&cq_decide::contained_cbi, &pairs, &config, "C_bi/N[X]");
     refutation_soundness::<NatPoly>(&cq_decide::contained_cbi, &pairs, &config, "C_bi/N[X]");
@@ -163,6 +168,7 @@ fn row_small_model_tropical() {
     let config = BruteForceConfig {
         domain_size: 2,
         max_support: 3,
+        ..Default::default()
     };
     let criterion = |q1: &Cq, q2: &Cq| cq_contained_small_model::<Tropical>(q1, q2);
     agreement::<Tropical>(&criterion, &pairs, &config, "S¹/T⁺ small model");
@@ -177,6 +183,7 @@ fn bag_semantics_bounds_are_consistent() {
     let config = BruteForceConfig {
         domain_size: 2,
         max_support: 3,
+        ..Default::default()
     };
     for (q1, q2) in &pairs {
         match cq_decide::contained_bag_bounds(q1, q2) {

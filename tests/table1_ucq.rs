@@ -37,6 +37,7 @@ fn check<K: Semiring>(criterion: &dyn Fn(&Ucq, &Ucq) -> bool, pairs: &[(Ucq, Ucq
     let config = BruteForceConfig {
         domain_size: 2,
         max_support: 3,
+        ..Default::default()
     };
     for (q1, q2) in pairs {
         let predicted = criterion(q1, q2);
@@ -98,6 +99,7 @@ fn row_cinf_sur_unique_surjection_is_sound_for_bags() {
     let config = BruteForceConfig {
         domain_size: 2,
         max_support: 3,
+        ..Default::default()
     };
     for (q1, q2) in &pairs {
         if surjective::unique_surjective(q1, q2) {
@@ -146,6 +148,7 @@ fn local_method_is_sound_for_all_idempotent_semirings() {
     let config = BruteForceConfig {
         domain_size: 2,
         max_support: 3,
+        ..Default::default()
     };
     for (q1, q2) in &pairs {
         if local::contained_c1bi(q1, q2) {
