@@ -11,8 +11,18 @@
 //!
 //! ```text
 //! cargo run -p annot-bench --bin bench_gate -- <baseline.json> <current.json> \
-//!     [--threshold 0.25] [--min-mean-ns 1000] [--all-groups]
+//!     [--threshold 0.25] [--min-mean-ns 1000] [--all-groups] \
+//!     [--propose-baseline <path>]
 //! ```
+//!
+//! With `--propose-baseline`, a run in which some gated bench *improved*
+//! beyond the noise envelope (mirror-image of the regression rule) writes
+//! a proposed baseline to `<path>`: the element-wise minimum of the
+//! committed baseline and the current run (see [`propose_baseline`]), in
+//! the baseline format.  CI archives it as a workflow artifact, so
+//! refreshing the committed baseline after a perf win is a file copy
+//! instead of a manual capture — and never loosens the envelope for
+//! benches that merely drifted slower inside the tolerance.
 //!
 //! Both files are the JSON-lines format the vendored criterion shim appends
 //! under `BENCH_ESTIMATES=<path>`:
@@ -42,6 +52,7 @@ pub struct Estimate {
     pub bench: String,
     pub mean_ns: f64,
     pub stddev_ns: f64,
+    pub samples: u64,
 }
 
 /// Gate parameters (see the module docs for the comparison rule).
@@ -125,11 +136,13 @@ pub fn parse_line(line: &str) -> Option<Estimate> {
     let bench = extract_string(line, "bench")?;
     let mean_ns = extract_number(line, "mean_ns")?;
     let stddev_ns = extract_number(line, "stddev_ns").unwrap_or(0.0);
+    let samples = extract_number(line, "samples").unwrap_or(0.0) as u64;
     Some(Estimate {
         group,
         bench,
         mean_ns,
         stddev_ns,
+        samples,
     })
 }
 
@@ -174,6 +187,73 @@ fn is_gated(config: &GateConfig, name: &str) -> bool {
     config.gated_prefixes.is_empty() || config.gated_prefixes.iter().any(|p| name.starts_with(p))
 }
 
+/// The gated benches whose current mean improved beyond the noise envelope:
+/// `current + 2·(σ_base + σ_cur) < (1 − threshold) · baseline`, with the
+/// same jitter floor as the regression rule.  A non-empty result is the
+/// trigger for proposing a refreshed baseline.
+pub fn significant_improvements(
+    baseline: &BTreeMap<String, Estimate>,
+    current: &BTreeMap<String, Estimate>,
+    config: &GateConfig,
+) -> Vec<String> {
+    let mut improved = Vec::new();
+    for (name, base) in baseline {
+        let Some(cur) = current.get(name) else {
+            continue;
+        };
+        if base.mean_ns < config.min_mean_ns || !is_gated(config, name) {
+            continue;
+        }
+        let envelope = (1.0 - config.threshold) * base.mean_ns;
+        if cur.mean_ns + 2.0 * (base.stddev_ns + cur.stddev_ns) < envelope {
+            improved.push(name.clone());
+        }
+    }
+    improved
+}
+
+/// The proposed refreshed baseline: element-wise minimum of the committed
+/// baseline and the current run.  Improved benches adopt their new (lower)
+/// means; benches that merely drifted slower *within* the tolerated envelope
+/// keep their committed reference, so repeated refreshes cannot ratchet the
+/// envelope upward.  Current-only benches (newly landed) enter as measured;
+/// baseline-only benches (retired) are kept for the trajectory.
+pub fn propose_baseline(
+    baseline: &BTreeMap<String, Estimate>,
+    current: &BTreeMap<String, Estimate>,
+) -> BTreeMap<String, Estimate> {
+    let mut proposed = baseline.clone();
+    for (name, cur) in current {
+        match proposed.get(name) {
+            Some(base) if base.mean_ns <= cur.mean_ns => {}
+            _ => {
+                proposed.insert(name.clone(), cur.clone());
+            }
+        }
+    }
+    proposed
+}
+
+/// Serialises a snapshot back into the `BENCH_ESTIMATES` JSON-lines format
+/// (the committed-baseline format), in name order.  Names containing `"`
+/// or `\` are skipped: the field-extracting parser (like the shim that
+/// writes the format) does not support escapes, so rendering them would
+/// break the parse round-trip.
+pub fn render_estimates(estimates: &BTreeMap<String, Estimate>) -> String {
+    let unescapable = |s: &str| s.contains('"') || s.contains('\\');
+    let mut out = String::new();
+    for e in estimates.values() {
+        if unescapable(&e.group) || unescapable(&e.bench) {
+            continue;
+        }
+        out.push_str(&format!(
+            "{{\"group\":\"{}\",\"bench\":\"{}\",\"mean_ns\":{},\"stddev_ns\":{},\"samples\":{}}}\n",
+            e.group, e.bench, e.mean_ns, e.stddev_ns, e.samples
+        ));
+    }
+    out
+}
+
 /// Compares two parsed snapshots under the gate rule; rows come back in
 /// name order.
 pub fn compare(
@@ -212,7 +292,8 @@ pub fn compare(
 fn usage() -> ! {
     eprintln!(
         "usage: bench_gate <baseline.json> <current.json> \
-         [--threshold 0.25] [--min-mean-ns 1000] [--all-groups]"
+         [--threshold 0.25] [--min-mean-ns 1000] [--all-groups] \
+         [--propose-baseline <path>]"
     );
     std::process::exit(2)
 }
@@ -221,6 +302,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut files = Vec::new();
     let mut config = GateConfig::default();
+    let mut propose_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -238,6 +320,12 @@ fn main() -> ExitCode {
                     });
             }
             "--all-groups" => config.gated_prefixes.clear(),
+            "--propose-baseline" => {
+                i += 1;
+                propose_path = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    usage();
+                }));
+            }
             flag if flag.starts_with("--") => usage(),
             file => files.push(file.to_string()),
         }
@@ -297,10 +385,29 @@ fn main() -> ExitCode {
     );
     if gated_failures > 0 {
         eprintln!("bench_gate: FAIL — gated benches regressed beyond the threshold");
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
+        return ExitCode::FAILURE;
     }
+    if let Some(path) = propose_path {
+        let improved = significant_improvements(&baseline, &current, &config);
+        if improved.is_empty() {
+            println!("bench_gate: no significant gated improvement — no baseline proposed");
+        } else {
+            for name in &improved {
+                println!("bench_gate: significant improvement in {name}");
+            }
+            let proposed = propose_baseline(&baseline, &current);
+            if let Err(e) = std::fs::write(&path, render_estimates(&proposed)) {
+                eprintln!("bench_gate: cannot write proposed baseline {path}: {e}");
+                return ExitCode::from(2);
+            }
+            println!(
+                "bench_gate: proposed refreshed baseline written to {path} \
+                 ({} gated bench(es) improved significantly)",
+                improved.len()
+            );
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 #[cfg(test)]
@@ -329,6 +436,7 @@ mod tests {
         assert_eq!(e.bench, "bag/refutable");
         assert_eq!(e.mean_ns, 6127.2);
         assert_eq!(e.stddev_ns, 253.5);
+        assert_eq!(e.samples, 3);
         // Junk lines are ignored, blank lines skipped, last write wins.
         let content = format!(
             "not json\n\n{}\n{}",
@@ -413,5 +521,68 @@ mod tests {
             compare(&base, &cur, &GateConfig::default())[0].verdict,
             Verdict::Ok
         );
+    }
+
+    #[test]
+    fn significant_improvements_are_detected() {
+        // −50 % on a gated bench: far beyond the −25 % − 2σ envelope.
+        let base = snapshot(&[
+            ("oracle/search", "a", 6000.0, 100.0),
+            ("table1_cq/C_hom", "b", 6000.0, 100.0),
+        ]);
+        let cur = snapshot(&[
+            ("oracle/search", "a", 3000.0, 50.0),
+            ("table1_cq/C_hom", "b", 3000.0, 50.0),
+        ]);
+        // Only the gated group proposes; the ungated one is ignored.
+        assert_eq!(
+            significant_improvements(&base, &cur, &GateConfig::default()),
+            vec!["oracle/search/a".to_string()]
+        );
+    }
+
+    #[test]
+    fn wobble_and_subfloor_do_not_propose() {
+        // −10 %: inside the envelope, no proposal.
+        let base = snapshot(&[("oracle/search", "a", 6000.0, 100.0)]);
+        let cur = snapshot(&[("oracle/search", "a", 5400.0, 100.0)]);
+        assert!(significant_improvements(&base, &cur, &GateConfig::default()).is_empty());
+        // −90 % on a sub-floor bench: still no proposal (too jittery).
+        let base = snapshot(&[("oracle/search", "tiny", 500.0, 5.0)]);
+        let cur = snapshot(&[("oracle/search", "tiny", 50.0, 5.0)]);
+        assert!(significant_improvements(&base, &cur, &GateConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn proposed_baseline_takes_the_elementwise_min() {
+        let base = snapshot(&[
+            ("oracle/search", "improved", 6000.0, 100.0),
+            ("oracle/search", "drifted", 2000.0, 50.0),
+            ("oracle/search", "retired", 3000.0, 50.0),
+        ]);
+        let cur = snapshot(&[
+            ("oracle/search", "improved", 3000.0, 50.0),
+            ("oracle/search", "drifted", 2300.0, 50.0), // slower but in-envelope
+            ("oracle/search", "landed", 1500.0, 50.0),
+        ]);
+        let proposed = propose_baseline(&base, &cur);
+        // Improved benches adopt the new mean; drifted ones keep the
+        // committed reference (no upward ratchet); retired stay; new land.
+        assert_eq!(proposed["oracle/search/improved"].mean_ns, 3000.0);
+        assert_eq!(proposed["oracle/search/drifted"].mean_ns, 2000.0);
+        assert_eq!(proposed["oracle/search/retired"].mean_ns, 3000.0);
+        assert_eq!(proposed["oracle/search/landed"].mean_ns, 1500.0);
+        assert_eq!(proposed.len(), 4);
+    }
+
+    #[test]
+    fn rendered_estimates_round_trip() {
+        let snap = snapshot(&[
+            ("oracle/search", "a", 6000.5, 100.25),
+            ("hom_scaling/exists_hom", "b", 2000.0, 50.0),
+        ]);
+        let rendered = render_estimates(&snap);
+        assert_eq!(parse_estimates(&rendered), snap);
+        assert_eq!(rendered.lines().count(), 2);
     }
 }

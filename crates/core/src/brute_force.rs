@@ -68,7 +68,7 @@
 
 use annot_polynomial::{Polynomial, Var};
 use annot_query::eval::{eval_cq, eval_ucq_all_outputs, EvalState};
-use annot_query::{Cq, DbValue, Instance, RelId, Schema, Tuple, Ucq};
+use annot_query::{Cq, DbValue, IdTuple, Instance, RelId, Schema, Tuple, Ucq, ValueId};
 use annot_semiring::{NatPoly, Semiring};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -485,8 +485,10 @@ struct SearchContext<'s, K: Semiring> {
     q1: &'s Ucq,
     q2: &'s Ucq,
     schema: &'s Schema,
-    /// Every tuple slot of the schema over the domain, in enumeration order.
-    slots: &'s [(RelId, Tuple)],
+    /// Every tuple slot of the schema over the domain, in enumeration order,
+    /// pre-interned into the schema's domain once — the walk never touches a
+    /// `DbValue` again.
+    slots: &'s [(RelId, IdTuple)],
     /// The non-zero sample annotations.
     samples: &'s [K],
     /// Support cap (maximum depth of the prefix tree).
@@ -537,11 +539,11 @@ impl<K: Semiring> SearchContext<'_, K> {
 }
 
 /// A containment violation at the current prefix: the witnessing output
-/// tuple, both annotations, and the sample assignment (one index per stack
+/// row, both annotations, and the sample assignment (one index per stack
 /// position; positions whose variable occurs in neither polynomial are
 /// unconstrained and default to the first sample).
 struct Violation<K> {
-    tuple: Tuple,
+    row: IdTuple,
     lhs: K,
     rhs: K,
     choice: Vec<usize>,
@@ -561,10 +563,14 @@ struct Worker<'s, K: Semiring> {
 
 impl<'s, K: Semiring> Worker<'s, K> {
     fn new(ctx: &'s SearchContext<'s, K>) -> Self {
+        // Both states adopt the search's own domain: the pushed rows are
+        // interned there, and q2 may have been built over an independent
+        // (structurally equal) schema whose interner never saw them.
+        let domain = ctx.schema.domain();
         Worker {
             ctx,
-            lhs: EvalState::for_ucq(ctx.q1),
-            rhs: EvalState::for_ucq(ctx.q2),
+            lhs: EvalState::for_ucq(ctx.q1).with_domain(domain.clone()),
+            rhs: EvalState::for_ucq(ctx.q2).with_domain(domain.clone()),
             stack: Vec::new(),
             naturals: vec![K::zero(), K::one()],
         }
@@ -577,9 +583,9 @@ impl<'s, K: Semiring> Worker<'s, K> {
     /// grows along a tree path, so prefixes whose lhs output is empty — the
     /// common case — never pay for a rhs evaluation at all.
     fn push(&mut self, slot: usize) {
-        let (rel, tuple) = &self.ctx.slots[slot];
+        let (rel, row) = &self.ctx.slots[slot];
         let var = NatPoly::var(Var(self.stack.len() as u32));
-        self.lhs.push_fact(*rel, tuple.clone(), var);
+        self.lhs.push_fact_row(*rel, row, var);
         self.stack.push(slot);
     }
 
@@ -598,9 +604,9 @@ impl<'s, K: Semiring> Worker<'s, K> {
         let depth = self.stack.len();
         let lag = depth - self.rhs.depth();
         for i in depth - lag..depth {
-            let (rel, tuple) = &self.ctx.slots[self.stack[i]];
+            let (rel, row) = &self.ctx.slots[self.stack[i]];
             self.rhs
-                .push_fact(*rel, tuple.clone(), NatPoly::var(Var(i as u32)));
+                .push_fact_row(*rel, row, NatPoly::var(Var(i as u32)));
         }
         lag
     }
@@ -610,13 +616,13 @@ impl<'s, K: Semiring> Worker<'s, K> {
     /// Positivity (required of every `Semiring` implementation) makes `0`
     /// the least element, so a violation needs `Q₁ᴵ(t) ≠ 0`: tuples outside
     /// the lhs support can never witness one.
-    fn check_tuple(&mut self, tuple: &Tuple) -> Option<Violation<K>> {
-        let p1 = self.lhs.outputs().get(tuple)?.polynomial();
+    fn check_tuple(&mut self, row: &IdTuple) -> Option<Violation<K>> {
+        let p1 = self.lhs.outputs_rows().get(row)?.polynomial();
         let zero = Polynomial::zero();
         let p2 = self
             .rhs
-            .outputs()
-            .get(tuple)
+            .outputs_rows()
+            .get(row)
             .map(|p| p.polynomial())
             .unwrap_or(&zero);
         // If `P₁ ¹ P₂` in the natural order of `N[X]` (coefficient-wise),
@@ -648,7 +654,7 @@ impl<'s, K: Semiring> Worker<'s, K> {
                 let rhs = eval_poly(p2, samples, &choice, &mut self.naturals);
                 if !lhs.leq(&rhs) {
                     return Some(Violation {
-                        tuple: tuple.clone(),
+                        row: row.clone(),
                         lhs,
                         rhs,
                         choice,
@@ -682,22 +688,22 @@ impl<'s, K: Semiring> Worker<'s, K> {
     /// tuples whose polynomial that fact changed (on either side) can newly
     /// violate; after a longer catch-up the whole lhs support is checked.
     fn check_after_push(&mut self) -> Option<Violation<K>> {
-        if self.lhs.outputs().is_empty() {
+        if self.lhs.outputs_rows().is_empty() {
             return None;
         }
         if self.sync_rhs() > 1 {
             return self.check_all_outputs();
         }
-        let mut changed: Vec<Tuple> = self
+        let mut changed: Vec<IdTuple> = self
             .lhs
-            .last_changed()
-            .chain(self.rhs.last_changed())
+            .last_changed_rows()
+            .chain(self.rhs.last_changed_rows())
             .cloned()
             .collect();
         changed.sort_unstable();
         changed.dedup();
-        for tuple in &changed {
-            if let Some(v) = self.check_tuple(tuple) {
+        for row in &changed {
+            if let Some(v) = self.check_tuple(row) {
                 return Some(v);
             }
         }
@@ -707,9 +713,9 @@ impl<'s, K: Semiring> Worker<'s, K> {
     /// The full containment check, used at the tree root (where no "changed
     /// since the parent" delta exists) and after a multi-fact rhs catch-up.
     fn check_all_outputs(&mut self) -> Option<Violation<K>> {
-        let tuples: Vec<Tuple> = self.lhs.outputs().keys().cloned().collect();
-        for tuple in &tuples {
-            if let Some(v) = self.check_tuple(tuple) {
+        let rows: Vec<IdTuple> = self.lhs.outputs_rows().keys().cloned().collect();
+        for row in &rows {
+            if let Some(v) = self.check_tuple(row) {
                 return Some(v);
             }
         }
@@ -717,17 +723,19 @@ impl<'s, K: Semiring> Worker<'s, K> {
     }
 
     /// Rebuilds the witnessing instance of a violation at the current prefix
-    /// (concrete annotations read off the violating sample assignment).
+    /// (concrete annotations read off the violating sample assignment), and
+    /// resolves the witnessing row into a `DbValue` tuple — the only point
+    /// of the factorized search that touches the resolver.
     fn materialise(&self, violation: Violation<K>) -> CounterExample<K> {
         let mut instance = Instance::new(self.ctx.schema.clone());
         for (position, &slot) in self.stack.iter().enumerate() {
-            let (rel, tuple) = &self.ctx.slots[slot];
+            let (rel, row) = &self.ctx.slots[slot];
             let sample = violation.choice.get(position).copied().unwrap_or(0);
-            instance.add_annotation(*rel, tuple.clone(), self.ctx.samples[sample].clone());
+            instance.add_annotation_row(*rel, row, self.ctx.samples[sample].clone());
         }
         CounterExample {
             instance,
-            tuple: violation.tuple,
+            tuple: self.ctx.schema.domain().resolve_tuple(&violation.row),
             lhs: violation.lhs,
             rhs: violation.rhs,
         }
@@ -788,10 +796,12 @@ struct DirectWorker<'s, K: Semiring> {
 
 impl<'s, K: Semiring> DirectWorker<'s, K> {
     fn new(ctx: &'s SearchContext<'s, K>) -> Self {
+        // Same domain adoption as the factorized worker's (see above).
+        let domain = ctx.schema.domain();
         DirectWorker {
             ctx,
-            lhs: EvalState::for_ucq(ctx.q1),
-            rhs: EvalState::for_ucq(ctx.q2),
+            lhs: EvalState::for_ucq(ctx.q1).with_domain(domain.clone()),
+            rhs: EvalState::for_ucq(ctx.q2).with_domain(domain.clone()),
             stack: Vec::new(),
         }
     }
@@ -799,9 +809,9 @@ impl<'s, K: Semiring> DirectWorker<'s, K> {
     /// Pushes a concretely-annotated fact into the lhs state only; the rhs
     /// state is synced lazily exactly like the factorized worker's.
     fn push(&mut self, slot: usize, sample: usize) {
-        let (rel, tuple) = &self.ctx.slots[slot];
+        let (rel, row) = &self.ctx.slots[slot];
         self.lhs
-            .push_fact(*rel, tuple.clone(), self.ctx.samples[sample].clone());
+            .push_fact_row(*rel, row, self.ctx.samples[sample].clone());
         self.stack.push((slot, sample));
     }
 
@@ -818,55 +828,55 @@ impl<'s, K: Semiring> DirectWorker<'s, K> {
         let lag = depth - self.rhs.depth();
         for i in depth - lag..depth {
             let (slot, sample) = self.stack[i];
-            let (rel, tuple) = &self.ctx.slots[slot];
+            let (rel, row) = &self.ctx.slots[slot];
             self.rhs
-                .push_fact(*rel, tuple.clone(), self.ctx.samples[sample].clone());
+                .push_fact_row(*rel, row, self.ctx.samples[sample].clone());
         }
         lag
     }
 
-    /// Checks `Q₁ᴵ(t) ¹ Q₂ᴵ(t)` for one output tuple on the current
+    /// Checks `Q₁ᴵ(t) ¹ Q₂ᴵ(t)` for one output row on the current
     /// (concrete) instance.
-    fn check_tuple(&self, tuple: &Tuple) -> Option<(Tuple, K, K)> {
-        let lhs = self.lhs.outputs().get(tuple)?;
+    fn check_tuple(&self, row: &IdTuple) -> Option<(IdTuple, K, K)> {
+        let lhs = self.lhs.outputs_rows().get(row)?;
         let rhs = self
             .rhs
-            .outputs()
-            .get(tuple)
+            .outputs_rows()
+            .get(row)
             .cloned()
             .unwrap_or_else(K::zero);
         if lhs.leq(&rhs) {
             None
         } else {
-            Some((tuple.clone(), lhs.clone(), rhs))
+            Some((row.clone(), lhs.clone(), rhs))
         }
     }
 
     /// The containment check after a push: same lazy-rhs / changed-delta
     /// structure as the factorized worker, minus the sample loop.
-    fn check_after_push(&mut self) -> Option<(Tuple, K, K)> {
-        if self.lhs.outputs().is_empty() {
+    fn check_after_push(&mut self) -> Option<(IdTuple, K, K)> {
+        if self.lhs.outputs_rows().is_empty() {
             return None;
         }
         if self.sync_rhs() > 1 {
-            for tuple in self.lhs.outputs().keys() {
-                if let Some(v) = self.check_tuple(tuple) {
+            for row in self.lhs.outputs_rows().keys() {
+                if let Some(v) = self.check_tuple(row) {
                     return Some(v);
                 }
             }
             return None;
         }
-        for tuple in self.lhs.last_changed() {
-            if let Some(v) = self.check_tuple(tuple) {
+        for row in self.lhs.last_changed_rows() {
+            if let Some(v) = self.check_tuple(row) {
                 return Some(v);
             }
         }
-        for tuple in self.rhs.last_changed() {
-            // A tuple changed on both sides was just checked via the lhs.
-            if self.lhs.last_changed().any(|t| t == tuple) {
+        for row in self.rhs.last_changed_rows() {
+            // A row changed on both sides was just checked via the lhs.
+            if self.lhs.last_changed_rows().any(|t| t == row) {
                 continue;
             }
-            if let Some(v) = self.check_tuple(tuple) {
+            if let Some(v) = self.check_tuple(row) {
                 return Some(v);
             }
         }
@@ -874,15 +884,15 @@ impl<'s, K: Semiring> DirectWorker<'s, K> {
     }
 
     /// Rebuilds the instance of the current prefix and records a violation.
-    fn record(&self, (tuple, lhs, rhs): (Tuple, K, K)) {
+    fn record(&self, (row, lhs, rhs): (IdTuple, K, K)) {
         let mut instance = Instance::new(self.ctx.schema.clone());
         for &(slot, sample) in &self.stack {
-            let (rel, t) = &self.ctx.slots[slot];
-            instance.add_annotation(*rel, t.clone(), self.ctx.samples[sample].clone());
+            let (rel, r) = &self.ctx.slots[slot];
+            instance.add_annotation_row(*rel, r, self.ctx.samples[sample].clone());
         }
         self.ctx.record(CounterExample {
             instance,
-            tuple,
+            tuple: self.ctx.schema.domain().resolve_tuple(&row),
             lhs,
             rhs,
         });
@@ -1067,8 +1077,14 @@ pub fn bounded_instance_count(n: usize, s: usize, cap: usize) -> u128 {
 
 /// Every tuple slot of the schema over the domain `{0, …, domain_size−1}`,
 /// in relation-then-lexicographic order (the slot order of the prefix tree).
-fn slots_over(schema: &Schema, domain_size: usize) -> Vec<(RelId, Tuple)> {
-    let domain: Vec<DbValue> = (0..domain_size as i64).map(DbValue::Int).collect();
+/// The domain values are interned into the schema's [`Domain`] once, here —
+/// every later push, probe and comparison is on `u32` ids.
+///
+/// [`Domain`]: annot_query::Domain
+fn slots_over(schema: &Schema, domain_size: usize) -> Vec<(RelId, IdTuple)> {
+    let domain: Vec<ValueId> = (0..domain_size as i64)
+        .map(|v| schema.intern_value(&DbValue::Int(v)))
+        .collect();
     schema
         .rel_ids()
         .flat_map(|rel| {
@@ -1079,14 +1095,14 @@ fn slots_over(schema: &Schema, domain_size: usize) -> Vec<(RelId, Tuple)> {
         .collect()
 }
 
-fn tuples_over(domain: &[DbValue], arity: usize) -> Vec<Tuple> {
+fn tuples_over(domain: &[ValueId], arity: usize) -> Vec<IdTuple> {
     let mut result = vec![Vec::new()];
     for _ in 0..arity {
         let mut next = Vec::with_capacity(result.len() * domain.len());
         for partial in &result {
-            for v in domain {
+            for &v in domain {
                 let mut t = partial.clone();
-                t.push(v.clone());
+                t.push(v);
                 next.push(t);
             }
         }
@@ -1101,7 +1117,7 @@ fn tuples_over(domain: &[DbValue], arity: usize) -> Vec<Tuple> {
 /// remaining slots are forced to zero, so oversized assignments are never
 /// descended into (let alone materialised).
 fn enumerate_supports<K: Semiring>(
-    all_tuples: &[(RelId, Tuple)],
+    all_tuples: &[(RelId, IdTuple)],
     samples: &[K],
     instance: &mut Instance<K>,
     index: usize,
@@ -1111,7 +1127,7 @@ fn enumerate_supports<K: Semiring>(
     if index == all_tuples.len() {
         return visit(instance);
     }
-    let (rel, ref tuple) = all_tuples[index];
+    let (rel, ref row) = all_tuples[index];
     // Branch 1: the slot stays out of the support.
     if enumerate_supports(
         all_tuples,
@@ -1126,7 +1142,7 @@ fn enumerate_supports<K: Semiring>(
     // Branch 2: annotate the slot — only while the budget allows it.
     if remaining_support > 0 {
         for sample in samples {
-            instance.insert(rel, tuple.clone(), sample.clone());
+            instance.insert_row(rel, row, sample.clone());
             if enumerate_supports(
                 all_tuples,
                 samples,
@@ -1138,7 +1154,9 @@ fn enumerate_supports<K: Semiring>(
                 return true;
             }
         }
-        instance.insert(rel, tuple.clone(), K::zero());
+        // Tombstones the row in place (the flat storage revives it on the
+        // next sample without rehashing).
+        instance.insert_row(rel, row, K::zero());
     }
     false
 }
@@ -1387,6 +1405,23 @@ mod tests {
         let q1 = parser::parse_cq(&mut s, "Q() :- R(u, v), R(v, w)").unwrap();
         let config = BruteForceConfig::default().with_max_instances(Some(3));
         let _ = find_counterexample_cq::<Natural>(&q1, &q1, &config);
+    }
+
+    /// Queries built over *independent* (structurally equal, non-domain-
+    /// sharing) schemas are valid oracle input: the workers adopt the
+    /// search's own domain, so the walk neither panics (debug id-range
+    /// asserts) nor mixes interners.
+    #[test]
+    fn independent_schemas_are_valid_oracle_input() {
+        let mut s1 = schema();
+        let mut s2 = schema();
+        let q1 = parser::parse_ucq(&mut s1, "Q() :- R(u, v), R(u, w)").unwrap();
+        let q2 = parser::parse_ucq(&mut s2, "Q() :- R(u, v), R(u, v)").unwrap();
+        let config = BruteForceConfig::default();
+        // N refutes Q1 ⊆ Q2 (Ex. 4.6), B holds in both directions.
+        assert!(find_counterexample_ucq::<Natural>(&q1, &q2, &config).is_some());
+        assert!(find_counterexample_ucq::<Bool>(&q1, &q2, &config).is_none());
+        assert!(find_counterexample_ucq::<Bool>(&q2, &q1, &config).is_none());
     }
 
     /// The parallel search agrees with the sequential one on existence.

@@ -20,8 +20,8 @@
 
 use crate::poly_order::PolynomialOrder;
 use annot_query::complete::{complete_description_cq, complete_description_ucq};
-use annot_query::eval::{eval_cq_all_outputs, eval_ucq_all_outputs};
-use annot_query::{CanonicalInstance, Cq, Tuple, Ucq};
+use annot_query::eval::{eval_cq_all_outputs_rows, eval_ucq_all_outputs_rows};
+use annot_query::{CanonicalInstance, Cq, IdTuple, Ucq};
 use annot_semiring::{NatPoly, Semiring};
 use std::collections::BTreeMap;
 
@@ -39,8 +39,8 @@ pub fn cq_contained_small_model<K: PolynomialOrder>(q1: &Cq, q2: &Cq) -> bool {
     let description = complete_description_cq(q1);
     for ccq in description.disjuncts() {
         let canonical = CanonicalInstance::of_ccq(ccq);
-        let m1 = eval_cq_all_outputs(q1, canonical.instance());
-        let m2 = eval_cq_all_outputs(q2, canonical.instance());
+        let m1 = eval_cq_all_outputs_rows(q1, canonical.instance());
+        let m2 = eval_cq_all_outputs_rows(q2, canonical.instance());
         if !supports_ordered::<K>(&m1, &m2) {
             return false;
         }
@@ -51,10 +51,12 @@ pub fn cq_contained_small_model<K: PolynomialOrder>(q1: &Cq, q2: &Cq) -> bool {
 /// Compares the two all-outputs maps under `¹_K` on the union of their
 /// supports.  Missing entries are the zero polynomial; tuples outside both
 /// supports compare as `0 ¹_K 0`, which holds reflexively, so only tuples
-/// in either support can witness a violation.
+/// in either support can witness a violation.  Both maps are evaluated over
+/// the *same* canonical instance, so their interned row keys are directly
+/// comparable.
 fn supports_ordered<K: PolynomialOrder>(
-    m1: &BTreeMap<Tuple, NatPoly>,
-    m2: &BTreeMap<Tuple, NatPoly>,
+    m1: &BTreeMap<IdTuple, NatPoly>,
+    m2: &BTreeMap<IdTuple, NatPoly>,
 ) -> bool {
     let zero = NatPoly::zero();
     for (t, p1) in m1 {
@@ -84,8 +86,8 @@ pub fn ucq_contained_small_model<K: PolynomialOrder>(q1: &Ucq, q2: &Ucq) -> bool
     let description = complete_description_ucq(q1);
     for ccq in description.disjuncts() {
         let canonical = CanonicalInstance::of_ccq(ccq);
-        let m1 = eval_ucq_all_outputs(q1, canonical.instance());
-        let m2 = eval_ucq_all_outputs(q2, canonical.instance());
+        let m1 = eval_ucq_all_outputs_rows(q1, canonical.instance());
+        let m2 = eval_ucq_all_outputs_rows(q2, canonical.instance());
         if !supports_ordered::<K>(&m1, &m2) {
             return false;
         }

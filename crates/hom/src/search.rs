@@ -157,7 +157,19 @@ impl<'a> HomSearch<'a> {
         let index = TargetIndex::new(self.target);
         let mut assigned = vec![false; self.source.num_atoms()];
         let mut used = vec![false; self.target.num_atoms()];
-        self.recurse(&index, 0, &mut assigned, &mut map, &mut used, accept)
+        // One shared binding stack for the whole search: candidates record
+        // their fresh bindings above a mark and truncate back on backtrack,
+        // instead of allocating a scratch vector per candidate.
+        let mut touched: Vec<QVar> = Vec::new();
+        self.recurse(
+            &index,
+            0,
+            &mut assigned,
+            &mut map,
+            &mut used,
+            &mut touched,
+            accept,
+        )
     }
 
     /// Convenience: does any accepted mapping exist (with trivial acceptance)?
@@ -266,6 +278,7 @@ impl<'a> HomSearch<'a> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn recurse(
         &self,
         index: &TargetIndex,
@@ -273,6 +286,7 @@ impl<'a> HomSearch<'a> {
         assigned: &mut Vec<bool>,
         map: &mut VarMap,
         used: &mut Vec<bool>,
+        touched: &mut Vec<QVar>,
         accept: &mut dyn FnMut(&VarMap) -> bool,
     ) -> bool {
         if depth == self.source.num_atoms() {
@@ -295,7 +309,8 @@ impl<'a> HomSearch<'a> {
             let target_atom = &self.target.atoms()[target_index];
             // Unify the argument lists (forward checking already validated
             // the bound positions; repeated variables can still conflict).
-            let mut touched: Vec<QVar> = Vec::new();
+            // Fresh bindings go on the shared stack above `mark`.
+            let mark = touched.len();
             let mut ok = true;
             for (&sv, &tv) in atom.args.iter().zip(&target_atom.args) {
                 if map.get(sv).is_none() {
@@ -308,12 +323,12 @@ impl<'a> HomSearch<'a> {
             }
             if ok {
                 used[target_index] = true;
-                if self.recurse(index, depth + 1, assigned, map, used, accept) {
+                if self.recurse(index, depth + 1, assigned, map, used, touched, accept) {
                     return true;
                 }
                 used[target_index] = false;
             }
-            for v in touched {
+            for v in touched.drain(mark..) {
                 map.unbind(v);
             }
         }

@@ -17,6 +17,16 @@
 //! for UCQs the evaluations of the members are summed (the empty UCQ
 //! evaluates to `0`).
 //!
+//! # Interned vs resolved results
+//!
+//! All joins run over interned [`ValueId`] rows: variables bind `u32` ids
+//! and the unification loop never touches a [`DbValue`].  Each evaluator
+//! therefore comes in two flavours: a `*_rows` variant returning maps keyed
+//! by [`IdTuple`] (ids of the instance's [`Domain`] — the hot-path form the
+//! brute-force oracle and the small-model procedure consume), and the
+//! original [`Tuple`]-keyed form, a thin resolving wrapper kept as the
+//! public boundary.
+//!
 //! # One-shot vs incremental evaluation
 //!
 //! The `eval_*` functions above are *one-shot*: they recompute the full sum
@@ -30,7 +40,7 @@
 use crate::ccq::Ccq;
 use crate::cq::{Cq, QVar};
 use crate::instance::Instance;
-use crate::schema::{DbValue, RelId, Tuple};
+use crate::schema::{Domain, IdTuple, RelId, Tuple, ValueId};
 use crate::ucq::{Ducq, Ucq};
 use annot_semiring::Semiring;
 use std::collections::{BTreeMap, HashMap};
@@ -82,60 +92,121 @@ pub fn answers<K: Semiring>(query: &Cq, instance: &Instance<K>) -> Vec<(Tuple, K
     eval_cq_all_outputs(query, instance).into_iter().collect()
 }
 
+/// Resolves an interned all-outputs map back to [`DbValue`] tuples.
+///
+/// [`DbValue`]: crate::schema::DbValue
+pub fn resolve_outputs<K: Semiring>(
+    domain: &Domain,
+    outputs: &BTreeMap<IdTuple, K>,
+) -> BTreeMap<Tuple, K> {
+    outputs
+        .iter()
+        .map(|(row, k)| (domain.resolve_tuple(row), k.clone()))
+        .collect()
+}
+
 /// Evaluates a CQ on an instance for *every* output tuple at once: one
 /// backtracking join with the free variables left unbound, reading the output
 /// tuple off each satisfying assignment.  Returns the map `t ↦ Qᴵ(t)`
-/// restricted to its support (absent tuples evaluate to `0`).
+/// restricted to its support (absent tuples evaluate to `0`), keyed by
+/// interned rows of the instance's domain.
 ///
 /// This is the bulk counterpart of [`eval_cq`]: where a caller would loop
 /// over `|adom|^arity` candidate tuples and re-run the join for each, this
 /// pays for the join exactly once.
-pub fn eval_cq_all_outputs<K: Semiring>(query: &Cq, instance: &Instance<K>) -> BTreeMap<Tuple, K> {
+pub fn eval_cq_all_outputs_rows<K: Semiring>(
+    query: &Cq,
+    instance: &Instance<K>,
+) -> BTreeMap<IdTuple, K> {
     all_outputs_with_inequalities(query, None, instance)
 }
 
-/// The all-outputs evaluation of a CCQ (CQ with inequalities).
+/// The [`Tuple`]-keyed form of [`eval_cq_all_outputs_rows`].
+pub fn eval_cq_all_outputs<K: Semiring>(query: &Cq, instance: &Instance<K>) -> BTreeMap<Tuple, K> {
+    resolve_outputs(
+        instance.domain(),
+        &eval_cq_all_outputs_rows(query, instance),
+    )
+}
+
+/// The all-outputs evaluation of a CCQ (CQ with inequalities), keyed by
+/// interned rows.
+pub fn eval_ccq_all_outputs_rows<K: Semiring>(
+    query: &Ccq,
+    instance: &Instance<K>,
+) -> BTreeMap<IdTuple, K> {
+    all_outputs_with_inequalities(query.cq(), Some(query), instance)
+}
+
+/// The [`Tuple`]-keyed form of [`eval_ccq_all_outputs_rows`].
 pub fn eval_ccq_all_outputs<K: Semiring>(
     query: &Ccq,
     instance: &Instance<K>,
 ) -> BTreeMap<Tuple, K> {
-    all_outputs_with_inequalities(query.cq(), Some(query), instance)
+    resolve_outputs(
+        instance.domain(),
+        &eval_ccq_all_outputs_rows(query, instance),
+    )
 }
 
 /// The all-outputs evaluation of a UCQ: the per-disjunct maps are computed
 /// independently (each disjunct's assignment enumeration runs once) and
-/// summed pointwise.
+/// summed pointwise.  Keyed by interned rows.
+pub fn eval_ucq_all_outputs_rows<K: Semiring>(
+    query: &Ucq,
+    instance: &Instance<K>,
+) -> BTreeMap<IdTuple, K> {
+    let mut total: BTreeMap<IdTuple, K> = BTreeMap::new();
+    for cq in query.disjuncts() {
+        for (row, value) in eval_cq_all_outputs_rows(cq, instance) {
+            add_into(&mut total, row, &value);
+        }
+    }
+    total.retain(|_, value| !value.is_zero());
+    total
+}
+
+/// The [`Tuple`]-keyed form of [`eval_ucq_all_outputs_rows`].
 pub fn eval_ucq_all_outputs<K: Semiring>(
     query: &Ucq,
     instance: &Instance<K>,
 ) -> BTreeMap<Tuple, K> {
-    let mut total: BTreeMap<Tuple, K> = BTreeMap::new();
-    for cq in query.disjuncts() {
-        for (tuple, value) in eval_cq_all_outputs(cq, instance) {
-            add_into(&mut total, tuple, &value);
-        }
-    }
-    total
+    resolve_outputs(
+        instance.domain(),
+        &eval_ucq_all_outputs_rows(query, instance),
+    )
 }
 
 /// The all-outputs evaluation of a union of CCQs: per-disjunct maps summed
-/// pointwise (the `Ducq` counterpart of [`eval_ucq_all_outputs`]).
+/// pointwise (the `Ducq` counterpart of [`eval_ucq_all_outputs_rows`]).
+pub fn eval_ducq_all_outputs_rows<K: Semiring>(
+    query: &Ducq,
+    instance: &Instance<K>,
+) -> BTreeMap<IdTuple, K> {
+    let mut total: BTreeMap<IdTuple, K> = BTreeMap::new();
+    for ccq in query.disjuncts() {
+        for (row, value) in eval_ccq_all_outputs_rows(ccq, instance) {
+            add_into(&mut total, row, &value);
+        }
+    }
+    total.retain(|_, value| !value.is_zero());
+    total
+}
+
+/// The [`Tuple`]-keyed form of [`eval_ducq_all_outputs_rows`].
 pub fn eval_ducq_all_outputs<K: Semiring>(
     query: &Ducq,
     instance: &Instance<K>,
 ) -> BTreeMap<Tuple, K> {
-    let mut total: BTreeMap<Tuple, K> = BTreeMap::new();
-    for ccq in query.disjuncts() {
-        for (tuple, value) in eval_ccq_all_outputs(ccq, instance) {
-            add_into(&mut total, tuple, &value);
-        }
-    }
-    total
+    resolve_outputs(
+        instance.domain(),
+        &eval_ducq_all_outputs_rows(query, instance),
+    )
 }
 
-/// Adds `value` to the entry for `tuple` (absent entries hold `0`).
-fn add_into<K: Semiring>(map: &mut BTreeMap<Tuple, K>, tuple: Tuple, value: &K) {
-    let entry = map.entry(tuple).or_insert_with(K::zero);
+/// Adds `value` to the entry for `row` (absent entries hold `0`).
+fn add_into<K: Semiring>(map: &mut BTreeMap<IdTuple, K>, row: IdTuple, value: &K) {
+    let entry = map.entry(row).or_insert_with(K::zero);
     *entry = entry.add(value);
 }
 
@@ -143,27 +214,28 @@ fn all_outputs_with_inequalities<K: Semiring>(
     query: &Cq,
     inequalities: Option<&Ccq>,
     instance: &Instance<K>,
-) -> BTreeMap<Tuple, K> {
-    let mut assignment: Vec<Option<DbValue>> = vec![None; query.num_vars()];
-    let mut map: BTreeMap<Tuple, K> = BTreeMap::new();
+) -> BTreeMap<IdTuple, K> {
+    let mut assignment: Vec<Option<ValueId>> = vec![None; query.num_vars()];
+    let mut touched: Vec<QVar> = Vec::new();
+    let mut map: BTreeMap<IdTuple, K> = BTreeMap::new();
     eval_rec(
         query,
         inequalities,
         instance,
         0,
         &mut assignment,
+        &mut touched,
         &K::one(),
         &mut |assignment, product| {
-            let tuple: Tuple = query
+            let row: IdTuple = query
                 .free_vars()
                 .iter()
                 .map(|v| {
                     assignment[v.0 as usize]
-                        .clone()
                         .expect("safe query: every free variable occurs in an atom")
                 })
                 .collect();
-            add_into(&mut map, tuple, product);
+            add_into(&mut map, row, product);
         },
     );
     // Positive semirings cannot sum non-zeros to zero, but keep the support
@@ -184,26 +256,35 @@ fn eval_with_inequalities<K: Semiring>(
         query.free_vars().len(),
         "output tuple arity does not match the query head"
     );
+    // A value the instance's domain has never interned cannot appear in any
+    // supported tuple, and safety puts every free variable in an atom — so
+    // such a `t` evaluates to `0` without running the join.
+    let ids = match instance.domain().lookup_tuple(t) {
+        Some(ids) => ids,
+        None => return K::zero(),
+    };
     // Initial partial assignment: free variables bound to `t`.
-    let mut assignment: Vec<Option<DbValue>> = vec![None; query.num_vars()];
-    for (v, value) in query.free_vars().iter().zip(t) {
-        match &assignment[v.0 as usize] {
-            None => assignment[v.0 as usize] = Some(value.clone()),
+    let mut assignment: Vec<Option<ValueId>> = vec![None; query.num_vars()];
+    for (v, value) in query.free_vars().iter().zip(&ids) {
+        match assignment[v.0 as usize] {
+            None => assignment[v.0 as usize] = Some(*value),
             Some(existing) => {
                 // A repeated free variable must receive equal values.
-                if existing != value {
+                if existing != *value {
                     return K::zero();
                 }
             }
         }
     }
     let mut total = K::zero();
+    let mut touched: Vec<QVar> = Vec::new();
     eval_rec(
         query,
         inequalities,
         instance,
         0,
         &mut assignment,
+        &mut touched,
         &K::one(),
         &mut |_, product| {
             total = total.add(product);
@@ -216,14 +297,20 @@ fn eval_with_inequalities<K: Semiring>(
 /// evaluations: enumerates every satisfying assignment (restricted by the
 /// inequalities, with `0`-product branches pruned) and hands the completed
 /// assignment plus its annotation product to `on_leaf`.
+///
+/// `touched` is the shared binding stack of the whole join: each candidate
+/// row records its fresh bindings above a mark and truncates back on
+/// backtrack (no per-candidate allocation).
+#[allow(clippy::too_many_arguments)]
 fn eval_rec<K: Semiring>(
     query: &Cq,
     inequalities: Option<&Ccq>,
     instance: &Instance<K>,
     atom_index: usize,
-    assignment: &mut Vec<Option<DbValue>>,
+    assignment: &mut Vec<Option<ValueId>>,
+    touched: &mut Vec<QVar>,
     partial_product: &K,
-    on_leaf: &mut dyn FnMut(&[Option<DbValue>], &K),
+    on_leaf: &mut dyn FnMut(&[Option<ValueId>], &K),
 ) {
     if partial_product.is_zero() {
         return;
@@ -237,11 +324,11 @@ fn eval_rec<K: Semiring>(
         return;
     }
     let atom = &query.atoms()[atom_index];
-    // Iterate over the supported tuples of the atom's relation and try to
+    // Iterate over the supported rows of the atom's relation and try to
     // unify them with the current partial assignment.
-    for (tuple, annotation) in instance.support(atom.relation) {
-        let mut touched: Vec<QVar> = Vec::new();
-        if unify_atom(&atom.args, tuple, assignment, &mut touched) {
+    for (row, annotation) in instance.support_rows(atom.relation) {
+        let mark = touched.len();
+        if unify_atom(&atom.args, row, assignment, touched) {
             let product = partial_product.mul(annotation);
             eval_rec(
                 query,
@@ -249,30 +336,31 @@ fn eval_rec<K: Semiring>(
                 instance,
                 atom_index + 1,
                 assignment,
+                touched,
                 &product,
                 on_leaf,
             );
         }
-        for var in touched {
+        for var in touched.drain(mark..) {
             assignment[var.0 as usize] = None;
         }
     }
 }
 
 /// Attempts to extend `assignment` so that the atom arguments `args` map onto
-/// `tuple`, recording newly-bound variables in `touched`.  Returns `false` on
+/// `row`, recording newly-bound variables in `touched`.  Returns `false` on
 /// a clash; the caller must unbind `touched` either way (bindings made before
 /// the clash was detected are recorded).
 fn unify_atom(
     args: &[QVar],
-    tuple: &Tuple,
-    assignment: &mut [Option<DbValue>],
+    row: &[ValueId],
+    assignment: &mut [Option<ValueId>],
     touched: &mut Vec<QVar>,
 ) -> bool {
-    for (var, value) in args.iter().zip(tuple) {
-        match &assignment[var.0 as usize] {
+    for (var, &value) in args.iter().zip(row) {
+        match assignment[var.0 as usize] {
             None => {
-                assignment[var.0 as usize] = Some(value.clone());
+                assignment[var.0 as usize] = Some(value);
                 touched.push(*var);
             }
             Some(existing) => {
@@ -287,7 +375,7 @@ fn unify_atom(
 
 /// Whether a complete assignment satisfies the inequalities of a CCQ (`true`
 /// when there are none).
-fn inequalities_hold(inequalities: Option<&Ccq>, assignment: &[Option<DbValue>]) -> bool {
+fn inequalities_hold(inequalities: Option<&Ccq>, assignment: &[Option<ValueId>]) -> bool {
     inequalities.map_or(true, |ccq| {
         ccq.inequalities()
             .iter()
@@ -315,9 +403,9 @@ struct UndoFrame<K> {
     rel: RelId,
     /// Whether a fact was actually appended (`false` for `0` annotations).
     pushed: bool,
-    /// First-seen previous value per changed tuple (each tuple recorded
-    /// once, so restoring in any order is sound).
-    changed: Vec<(Tuple, Option<K>)>,
+    /// First-seen previous value per changed row (each row recorded once,
+    /// so restoring in any order is sound).
+    changed: Vec<(IdTuple, Option<K>)>,
 }
 
 /// Incremental all-outputs evaluation of a union of (C)CQs over a *stack* of
@@ -332,6 +420,14 @@ struct UndoFrame<K> {
 /// instances organised as a prefix tree of supports (the brute-force
 /// oracle), evaluation cost becomes proportional to the delta from the
 /// parent prefix instead of the whole instance.
+///
+/// Facts are interned rows: [`push_fact`](EvalState::push_fact) interns a
+/// [`Tuple`] through the state's domain (the domain of the first disjunct's
+/// schema), while [`push_fact_row`](EvalState::push_fact_row) accepts
+/// pre-interned rows and is the zero-allocation hot path the brute-force
+/// oracle drives.  The maintained map is interned too
+/// ([`outputs_rows`](EvalState::outputs_rows)); [`outputs`](EvalState::outputs)
+/// resolves it for boundary consumers.
 ///
 /// The fact stack is a K-relation under construction: pushing a fact for a
 /// tuple that is already present behaves like
@@ -361,7 +457,7 @@ struct UndoFrame<K> {
 /// let mut instance: Instance<Natural> = Instance::new(schema.clone());
 /// instance.insert(rel, vec![1.into(), 2.into()], Natural(2));
 /// instance.insert(rel, vec![2.into(), 3.into()], Natural(3));
-/// assert_eq!(state.outputs(), &eval_cq_all_outputs(&q, &instance));
+/// assert_eq!(state.outputs(), eval_cq_all_outputs(&q, &instance));
 ///
 /// state.pop_fact();
 /// state.pop_fact();
@@ -369,16 +465,23 @@ struct UndoFrame<K> {
 /// ```
 pub struct EvalState<'q, K: Semiring> {
     disjuncts: Vec<TrackedDisjunct<'q>>,
+    /// The interner tuples pushed through the `DbValue` API go through, and
+    /// the resolver for [`EvalState::outputs`].
+    domain: Domain,
     /// The current fact stack, indexed per relation (push order per relation).
-    facts: HashMap<RelId, Vec<(Tuple, K)>>,
+    facts: HashMap<RelId, Vec<(IdTuple, K)>>,
     /// The maintained map `t ↦ Qᴵ(t)`, restricted to its support.
-    outputs: BTreeMap<Tuple, K>,
+    outputs: BTreeMap<IdTuple, K>,
     /// One frame per push, in push order.
     frames: Vec<UndoFrame<K>>,
 }
 
 impl<'q, K: Semiring> EvalState<'q, K> {
     fn new(disjuncts: Vec<TrackedDisjunct<'q>>) -> Self {
+        let domain = disjuncts
+            .first()
+            .map(|d| d.query.schema().domain().clone())
+            .unwrap_or_default();
         let mut outputs = BTreeMap::new();
         // Atomless disjuncts have one satisfying assignment (the empty one)
         // on every instance, including the empty one this state starts from;
@@ -392,6 +495,7 @@ impl<'q, K: Semiring> EvalState<'q, K> {
         outputs.retain(|_, value| !value.is_zero());
         EvalState {
             disjuncts,
+            domain,
             facts: HashMap::new(),
             outputs,
             frames: Vec::new(),
@@ -442,10 +546,41 @@ impl<'q, K: Semiring> EvalState<'q, K> {
         )
     }
 
-    /// The maintained all-outputs map of the current fact stack, restricted
-    /// to its support (absent tuples evaluate to `0`).
-    pub fn outputs(&self) -> &BTreeMap<Tuple, K> {
+    /// The interner the state's rows live in (the domain of the first
+    /// disjunct's schema; a private one for empty unions).
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// Replaces the state's interner.  Use when driving several states with
+    /// pre-interned rows from one shared domain (the brute-force oracle
+    /// pushes its own schema's ids into both queries' states, which may
+    /// have been built over independent but structurally equal schemas).
+    /// Only meaningful before the first push (debug builds assert this):
+    /// rows already pushed were interned in the old domain and would alias
+    /// under the new one.
+    pub fn with_domain(mut self, domain: Domain) -> Self {
+        debug_assert!(
+            self.frames.is_empty(),
+            "with_domain after push_fact would re-interpret already-interned rows"
+        );
+        self.domain = domain;
+        self
+    }
+
+    /// The maintained all-outputs map of the current fact stack, keyed by
+    /// interned rows and restricted to its support (absent rows evaluate to
+    /// `0`).  This is the hot-path accessor; it returns the map by
+    /// reference, unresolved.
+    pub fn outputs_rows(&self) -> &BTreeMap<IdTuple, K> {
         &self.outputs
+    }
+
+    /// The maintained all-outputs map, resolved to [`Tuple`] keys.  This
+    /// materialises the map on every call — boundary/diagnostic use only;
+    /// hot paths consume [`EvalState::outputs_rows`].
+    pub fn outputs(&self) -> BTreeMap<Tuple, K> {
+        resolve_outputs(&self.domain, &self.outputs)
     }
 
     /// Number of pushed facts.
@@ -453,26 +588,63 @@ impl<'q, K: Semiring> EvalState<'q, K> {
         self.frames.len()
     }
 
-    /// The output tuples whose value changed in the most recent push (empty
+    /// The output rows whose value changed in the most recent push (empty
     /// before the first push and after the matching pop).  The brute-force
-    /// oracle checks containment violations on exactly these tuples: values
+    /// oracle checks containment violations on exactly these rows: values
     /// untouched by the newest fact were already checked at the parent
     /// prefix.
-    pub fn last_changed(&self) -> impl Iterator<Item = &Tuple> + '_ {
+    pub fn last_changed_rows(&self) -> impl Iterator<Item = &IdTuple> + '_ {
         self.frames
             .last()
             .into_iter()
-            .flat_map(|frame| frame.changed.iter().map(|(tuple, _)| tuple))
+            .flat_map(|frame| frame.changed.iter().map(|(row, _)| row))
     }
 
-    /// Pushes a fact: adds `annotation` to the K-relation entry of `tuple`
+    /// The resolved form of [`EvalState::last_changed_rows`].
+    pub fn last_changed(&self) -> impl Iterator<Item = Tuple> + '_ {
+        self.last_changed_rows()
+            .map(|row| self.domain.resolve_tuple(row))
+    }
+
+    /// Pushes a fact given as a [`Tuple`]: interns it through the state's
+    /// domain and delegates to [`EvalState::push_fact_row`].  A `0`
+    /// annotation is a no-op frame and does not intern (zero pushes must
+    /// not grow the shared domain).
+    pub fn push_fact(&mut self, rel: RelId, tuple: Tuple, annotation: K) {
+        if annotation.is_zero() {
+            self.frames.push(UndoFrame {
+                rel,
+                pushed: false,
+                changed: Vec::new(),
+            });
+            return;
+        }
+        let row = self.domain.intern_tuple(&tuple);
+        self.push_fact_row(rel, &row, annotation);
+    }
+
+    /// Pushes a fact: adds `annotation` to the K-relation entry of `row`
     /// and updates the outputs map by running only the delta joins (the
     /// satisfying assignments using the new fact at least once).
     ///
-    /// The tuple length must match the relation's arity in the queries'
+    /// The row length must match the relation's arity in the queries'
     /// schema (the enumeration callers guarantee this by construction; a
-    /// wrong-arity designated atom is skipped rather than joined).
-    pub fn push_fact(&mut self, rel: RelId, tuple: Tuple, annotation: K) {
+    /// wrong-arity designated atom is skipped rather than joined).  The ids
+    /// must come from [`EvalState::domain`] — ids minted by an unrelated
+    /// interner alias arbitrary values when the outputs are resolved; debug
+    /// builds assert each id is in range.
+    pub fn push_fact_row(&mut self, rel: RelId, row: &[ValueId], annotation: K) {
+        // A disjunct-less state (empty union) never joins or resolves its
+        // facts, so foreign ids are harmless there — the brute-force oracle
+        // legitimately pushes its own schema's ids into `Ucq::empty()`
+        // states.
+        debug_assert!(
+            self.disjuncts.is_empty() || {
+                let len = self.domain.len();
+                row.iter().all(|id| (id.0 as usize) < len)
+            },
+            "row contains ValueIds outside this state's domain"
+        );
         let mut frame = UndoFrame {
             rel,
             pushed: !annotation.is_zero(),
@@ -486,7 +658,7 @@ impl<'q, K: Semiring> EvalState<'q, K> {
                     d.query,
                     d.inequalities,
                     &self.facts,
-                    (rel, &tuple, &annotation),
+                    (rel, row, &annotation),
                     &mut |output, product| {
                         // One map lookup; the previous annotation is deep-
                         // cloned only for a first-touch undo record, never
@@ -508,7 +680,10 @@ impl<'q, K: Semiring> EvalState<'q, K> {
                     },
                 );
             }
-            self.facts.entry(rel).or_default().push((tuple, annotation));
+            self.facts
+                .entry(rel)
+                .or_default()
+                .push((row.to_vec(), annotation));
         }
         self.frames.push(frame);
     }
@@ -519,13 +694,13 @@ impl<'q, K: Semiring> EvalState<'q, K> {
     /// Panics if there is nothing to pop.
     pub fn pop_fact(&mut self) {
         let frame = self.frames.pop().expect("pop_fact with no pushed fact");
-        for (tuple, previous) in frame.changed {
+        for (row, previous) in frame.changed {
             match previous {
                 Some(value) => {
-                    self.outputs.insert(tuple, value);
+                    self.outputs.insert(row, value);
                 }
                 None => {
-                    self.outputs.remove(&tuple);
+                    self.outputs.remove(&row);
                 }
             }
         }
@@ -540,7 +715,7 @@ impl<'q, K: Semiring> EvalState<'q, K> {
 
 /// Enumerates the satisfying assignments of `query` that use the new fact
 /// for at least one atom, over the instance `facts ∪ {new fact}`, calling
-/// `on_leaf(output_tuple, product)` per assignment.
+/// `on_leaf(output_row, product)` per assignment.
 ///
 /// Each such assignment is produced exactly once: it is counted at its
 /// *first* atom mapped to the new fact (`designated`) — atoms before the
@@ -550,15 +725,16 @@ impl<'q, K: Semiring> EvalState<'q, K> {
 fn delta_join<K: Semiring>(
     query: &Cq,
     inequalities: Option<&Ccq>,
-    facts: &HashMap<RelId, Vec<(Tuple, K)>>,
-    new_fact: (RelId, &Tuple, &K),
-    on_leaf: &mut dyn FnMut(Tuple, &K),
+    facts: &HashMap<RelId, Vec<(IdTuple, K)>>,
+    new_fact: (RelId, &[ValueId], &K),
+    on_leaf: &mut dyn FnMut(IdTuple, &K),
 ) {
-    let (new_rel, new_tuple, _) = new_fact;
-    let mut assignment: Vec<Option<DbValue>> = vec![None; query.num_vars()];
+    let (new_rel, new_row, _) = new_fact;
+    let mut assignment: Vec<Option<ValueId>> = vec![None; query.num_vars()];
+    let mut touched: Vec<QVar> = Vec::new();
     for designated in 0..query.num_atoms() {
         let atom = &query.atoms()[designated];
-        if atom.relation != new_rel || atom.args.len() != new_tuple.len() {
+        if atom.relation != new_rel || atom.args.len() != new_row.len() {
             continue;
         }
         let join = DeltaJoin {
@@ -568,18 +744,23 @@ fn delta_join<K: Semiring>(
             new_fact,
             designated,
         };
-        join.rec(0, &mut assignment, &K::one(), &mut |assignment, product| {
-            let output: Tuple = query
-                .free_vars()
-                .iter()
-                .map(|v| {
-                    assignment[v.0 as usize]
-                        .clone()
-                        .expect("safe query: every free variable occurs in an atom")
-                })
-                .collect();
-            on_leaf(output, product);
-        });
+        join.rec(
+            0,
+            &mut assignment,
+            &mut touched,
+            &K::one(),
+            &mut |assignment, product| {
+                let output: IdTuple = query
+                    .free_vars()
+                    .iter()
+                    .map(|v| {
+                        assignment[v.0 as usize]
+                            .expect("safe query: every free variable occurs in an atom")
+                    })
+                    .collect();
+                on_leaf(output, product);
+            },
+        );
     }
 }
 
@@ -587,8 +768,8 @@ fn delta_join<K: Semiring>(
 struct DeltaJoin<'a, K: Semiring> {
     query: &'a Cq,
     inequalities: Option<&'a Ccq>,
-    facts: &'a HashMap<RelId, Vec<(Tuple, K)>>,
-    new_fact: (RelId, &'a Tuple, &'a K),
+    facts: &'a HashMap<RelId, Vec<(IdTuple, K)>>,
+    new_fact: (RelId, &'a [ValueId], &'a K),
     designated: usize,
 }
 
@@ -596,9 +777,10 @@ impl<K: Semiring> DeltaJoin<'_, K> {
     fn rec(
         &self,
         atom_index: usize,
-        assignment: &mut Vec<Option<DbValue>>,
+        assignment: &mut Vec<Option<ValueId>>,
+        touched: &mut Vec<QVar>,
         partial_product: &K,
-        on_leaf: &mut dyn FnMut(&[Option<DbValue>], &K),
+        on_leaf: &mut dyn FnMut(&[Option<ValueId>], &K),
     ) {
         if partial_product.is_zero() {
             return;
@@ -610,8 +792,8 @@ impl<K: Semiring> DeltaJoin<'_, K> {
             return;
         }
         let atom = &self.query.atoms()[atom_index];
-        let (new_rel, new_tuple, new_ann) = self.new_fact;
-        let old_facts: &[(Tuple, K)] = self
+        let (new_rel, new_row, new_ann) = self.new_fact;
+        let old_facts: &[(IdTuple, K)] = self
             .facts
             .get(&atom.relation)
             .map(|v| v.as_slice())
@@ -619,29 +801,29 @@ impl<K: Semiring> DeltaJoin<'_, K> {
         // Candidate facts for this atom, by position relative to the
         // designated atom (see `delta_join`).
         let candidates = if atom_index == self.designated {
-            &[] as &[(Tuple, K)]
+            &[] as &[(IdTuple, K)]
         } else {
             old_facts
         };
-        for (tuple, annotation) in candidates {
-            let mut touched: Vec<QVar> = Vec::new();
-            if unify_atom(&atom.args, tuple, assignment, &mut touched) {
+        for (row, annotation) in candidates {
+            let mark = touched.len();
+            if unify_atom(&atom.args, row, assignment, touched) {
                 let product = partial_product.mul(annotation);
-                self.rec(atom_index + 1, assignment, &product, on_leaf);
+                self.rec(atom_index + 1, assignment, touched, &product, on_leaf);
             }
-            for var in touched {
+            for var in touched.drain(mark..) {
                 assignment[var.0 as usize] = None;
             }
         }
         // The new fact itself: mandatory at the designated atom, an extra
         // candidate after it, and excluded before it.
         if atom_index >= self.designated && atom.relation == new_rel {
-            let mut touched: Vec<QVar> = Vec::new();
-            if unify_atom(&atom.args, new_tuple, assignment, &mut touched) {
+            let mark = touched.len();
+            if unify_atom(&atom.args, new_row, assignment, touched) {
                 let product = partial_product.mul(new_ann);
-                self.rec(atom_index + 1, assignment, &product, on_leaf);
+                self.rec(atom_index + 1, assignment, touched, &product, on_leaf);
             }
-            for var in touched {
+            for var in touched.drain(mark..) {
                 assignment[var.0 as usize] = None;
             }
         }
@@ -651,7 +833,7 @@ impl<K: Semiring> DeltaJoin<'_, K> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::schema::Schema;
+    use crate::schema::{DbValue, Schema};
     use annot_polynomial::{Polynomial, Var};
     use annot_semiring::{Bool, NatPoly, Natural, Semiring, Tropical};
 
@@ -690,6 +872,11 @@ mod tests {
         assert_eq!(eval_cq(&q, &i, &vec!["a".into()]), Natural(2));
         assert_eq!(eval_cq(&q, &i, &vec!["b".into()]), Natural(3));
         assert_eq!(eval_cq(&q, &i, &vec!["c".into()]), Natural(0));
+        // A value the instance has never seen evaluates to 0 without
+        // interning it into the domain.
+        let before = i.domain().len();
+        assert_eq!(eval_cq(&q, &i, &vec!["unseen".into()]), Natural(0));
+        assert_eq!(i.domain().len(), before);
         let ans = answers(&q, &i);
         assert_eq!(ans.len(), 2);
     }
@@ -790,6 +977,24 @@ mod tests {
     }
 
     #[test]
+    fn rows_and_resolved_outputs_agree() {
+        let q = Cq::builder(&schema())
+            .free(&["x"])
+            .atom("R", &["x", "y"])
+            .build();
+        let i = path_instance();
+        let rows = eval_cq_all_outputs_rows(&q, &i);
+        let resolved = eval_cq_all_outputs(&q, &i);
+        assert_eq!(rows.len(), resolved.len());
+        assert_eq!(resolve_outputs(i.domain(), &rows), resolved);
+        for (row, k) in &rows {
+            let tuple = i.domain().resolve_tuple(row);
+            assert_eq!(resolved.get(&tuple), Some(k));
+            assert_eq!(&eval_cq(&q, &i, &tuple), k);
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "arity does not match")]
     fn output_arity_is_checked() {
         let q = Cq::builder(&schema())
@@ -819,20 +1024,20 @@ mod tests {
             );
             instances.push(next);
         }
-        assert_eq!(state.outputs(), &oneshot(&instances[0]));
+        assert_eq!(state.outputs(), oneshot(&instances[0]));
         for (depth, (rel, tuple, k)) in facts.iter().enumerate() {
             let id = schema().relation(rel).unwrap();
             state.push_fact(id, tuple.clone(), k.clone());
             assert_eq!(state.depth(), depth + 1);
             assert_eq!(
                 state.outputs(),
-                &oneshot(&instances[depth + 1]),
+                oneshot(&instances[depth + 1]),
                 "after push {depth}"
             );
         }
         for depth in (0..facts.len()).rev() {
             state.pop_fact();
-            assert_eq!(state.outputs(), &oneshot(&instances[depth]), "after pop");
+            assert_eq!(state.outputs(), oneshot(&instances[depth]), "after pop");
         }
     }
 
@@ -927,10 +1132,10 @@ mod tests {
         state.push_fact(s, vec!["c".into()], Natural(3));
         let mut i: Instance<Natural> = Instance::new(schema());
         i.insert(s, vec!["c".into()], Natural(5));
-        assert_eq!(state.outputs(), &eval_cq_all_outputs(&q, &i));
+        assert_eq!(state.outputs(), eval_cq_all_outputs(&q, &i));
         state.pop_fact();
         i.insert(s, vec!["c".into()], Natural(2));
-        assert_eq!(state.outputs(), &eval_cq_all_outputs(&q, &i));
+        assert_eq!(state.outputs(), eval_cq_all_outputs(&q, &i));
     }
 
     #[test]
@@ -938,9 +1143,12 @@ mod tests {
         let q = Cq::builder(&schema()).atom("S", &["v"]).build();
         let s = schema().relation("S").unwrap();
         let mut state: EvalState<'_, Natural> = EvalState::for_cq(&q);
+        let before = state.domain().len();
         state.push_fact(s, vec!["c".into()], Natural(0));
         assert!(state.outputs().is_empty());
         assert_eq!(state.depth(), 1);
+        // A zero push does not intern its tuple.
+        assert_eq!(state.domain().len(), before);
         state.pop_fact();
         assert_eq!(state.depth(), 0);
     }
@@ -955,12 +1163,33 @@ mod tests {
         let mut state: EvalState<'_, Natural> = EvalState::for_cq(&q);
         assert_eq!(state.last_changed().count(), 0);
         state.push_fact(r, vec!["a".into(), "b".into()], Natural(2));
-        let changed: Vec<&Tuple> = state.last_changed().collect();
-        assert_eq!(changed, vec![&vec![DbValue::str("a")]]);
+        let changed: Vec<Tuple> = state.last_changed().collect();
+        assert_eq!(changed, vec![vec![DbValue::str("a")]]);
         // A fact for an unrelated output leaves ("a") out of the new delta.
         state.push_fact(r, vec!["b".into(), "c".into()], Natural(3));
-        let changed: Vec<&Tuple> = state.last_changed().collect();
-        assert_eq!(changed, vec![&vec![DbValue::str("b")]]);
+        let changed: Vec<Tuple> = state.last_changed().collect();
+        assert_eq!(changed, vec![vec![DbValue::str("b")]]);
+        // The interned view reports the same rows.
+        assert_eq!(state.last_changed_rows().count(), 1);
+    }
+
+    #[test]
+    fn eval_state_row_pushes_match_tuple_pushes() {
+        let q = Cq::builder(&schema())
+            .atom("R", &["x", "y"])
+            .atom("R", &["y", "z"])
+            .build();
+        let r = schema().relation("R").unwrap();
+        let mut by_tuple: EvalState<'_, Natural> = EvalState::for_cq(&q);
+        by_tuple.push_fact(r, vec!["a".into(), "b".into()], Natural(2));
+        by_tuple.push_fact(r, vec!["b".into(), "a".into()], Natural(3));
+        let mut by_row: EvalState<'_, Natural> = EvalState::for_cq(&q);
+        let a = by_row.domain().intern(&"a".into());
+        let b = by_row.domain().intern(&"b".into());
+        by_row.push_fact_row(r, &[a, b], Natural(2));
+        by_row.push_fact_row(r, &[b, a], Natural(3));
+        assert_eq!(by_tuple.outputs(), by_row.outputs());
+        assert!(!by_row.outputs().is_empty());
     }
 
     #[test]

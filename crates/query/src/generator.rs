@@ -9,7 +9,7 @@
 
 use crate::cq::{Atom, Cq, QVar};
 use crate::instance::Instance;
-use crate::schema::{DbValue, Schema};
+use crate::schema::{DbValue, Schema, ValueId};
 use crate::ucq::Ucq;
 use annot_semiring::Semiring;
 use rand::rngs::StdRng;
@@ -158,21 +158,27 @@ impl QueryGenerator {
     /// Generates a random K-instance over the generator's schema with the
     /// given domain size and tuple count; annotations are drawn from the
     /// semiring's sample elements (excluding `0`).
+    ///
+    /// Domain values are interned **once** up front and rows are built from
+    /// the reused [`ValueId`]s — no per-row `DbValue` construction.
     pub fn instance<K: Semiring>(&mut self, domain_size: usize, tuples: usize) -> Instance<K> {
         let samples: Vec<K> = K::sample_elements()
             .into_iter()
             .filter(|k| !k.is_zero())
             .collect();
+        let ids: Vec<ValueId> = (0..domain_size.max(1) as i64)
+            .map(|v| self.schema.intern_value(&DbValue::Int(v)))
+            .collect();
         let mut inst = Instance::new(self.schema.clone());
         let rels: Vec<_> = self.schema.rel_ids().collect();
+        let mut row: Vec<ValueId> = Vec::new();
         for _ in 0..tuples {
             let rel = rels[self.rng.gen_range(0..rels.len())];
             let arity = self.schema.arity(rel);
-            let tuple: Vec<DbValue> = (0..arity)
-                .map(|_| DbValue::Int(self.rng.gen_range(0..domain_size.max(1) as i64)))
-                .collect();
+            row.clear();
+            row.extend((0..arity).map(|_| ids[self.rng.gen_range(0..ids.len())]));
             let ann = samples[self.rng.gen_range(0..samples.len())].clone();
-            inst.insert(rel, tuple, ann);
+            inst.insert_row(rel, &row, ann);
         }
         inst
     }

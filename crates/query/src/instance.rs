@@ -3,26 +3,192 @@
 //! For a semiring `K` and schema `S`, a K-instance assigns to every relation
 //! symbol a K-relation — a function from tuples to `K` with finite support
 //! (Sec. 2 of the paper).  Tuples not stored explicitly are annotated `0`.
+//!
+//! # Storage layout
+//!
+//! Relations are stored columnar-flat: each relation owns a tuple arena
+//! `rows: Vec<ValueId>` chunked by arity (row `h` occupies
+//! `rows[h·arity .. (h+1)·arity]`), a parallel annotation slot vector
+//! `annots: Vec<K>`, and an open-addressed [`RowIndex`] hashing row contents
+//! to row handles.  Hot paths (the backtracking joins in
+//! [`crate::eval`]) iterate the arena contiguously and compare `u32`
+//! [`ValueId`]s; the heap-carrying [`DbValue`] representation is
+//! materialised only at the public API boundary.
+//!
+//! Setting an annotation to `0` tombstones the row (the slot keeps its arena
+//! position and index entry but leaves the support); re-inserting the same
+//! tuple revives it in place, so the insert-zero/insert-sample pattern of
+//! the brute-force enumerators never rehashes.
 
-use crate::schema::{DbValue, RelId, Schema, Tuple};
+use crate::schema::{DbValue, Domain, RelId, Schema, Tuple, ValueId};
 use annot_semiring::Semiring;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
+const EMPTY_BUCKET: u32 = u32::MAX;
+
+/// FNV-1a over the `u32` ids of a row.
+fn hash_row(row: &[ValueId]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in row {
+        h ^= v.0 as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// An open-addressed (linear probing, power-of-two capacity) hash index from
+/// row contents to row handles.  Rows are never removed from the arena
+/// (tombstoning keeps them addressable), so the index needs no deletion
+/// support and every arena row is indexed exactly once.
+#[derive(Clone, Debug, Default)]
+struct RowIndex {
+    buckets: Vec<u32>,
+    len: usize,
+}
+
+impl RowIndex {
+    /// The handle of the row equal to `needle`, if present.
+    fn find(&self, arena: &[ValueId], arity: usize, needle: &[ValueId]) -> Option<u32> {
+        if self.buckets.is_empty() {
+            return None;
+        }
+        let mask = self.buckets.len() - 1;
+        let mut i = hash_row(needle) as usize & mask;
+        loop {
+            match self.buckets[i] {
+                EMPTY_BUCKET => return None,
+                h => {
+                    let start = h as usize * arity;
+                    if &arena[start..start + arity] == needle {
+                        return Some(h);
+                    }
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Indexes a freshly appended row (the caller guarantees no equal row is
+    /// already present).
+    fn insert_new(&mut self, arena: &[ValueId], arity: usize, handle: u32) {
+        if (self.len + 1) * 2 > self.buckets.len() {
+            self.grow(arena, arity);
+        }
+        let mask = self.buckets.len() - 1;
+        let start = handle as usize * arity;
+        let mut i = hash_row(&arena[start..start + arity]) as usize & mask;
+        while self.buckets[i] != EMPTY_BUCKET {
+            i = (i + 1) & mask;
+        }
+        self.buckets[i] = handle;
+        self.len += 1;
+    }
+
+    /// Rebuilds the bucket array at double capacity.  Handles are dense
+    /// (`0..len`), so the rebuild walks the arena directly.
+    fn grow(&mut self, arena: &[ValueId], arity: usize) {
+        let capacity = (self.buckets.len() * 2).max(8);
+        self.buckets = vec![EMPTY_BUCKET; capacity];
+        let mask = capacity - 1;
+        for handle in 0..self.len as u32 {
+            let start = handle as usize * arity;
+            let mut i = hash_row(&arena[start..start + arity]) as usize & mask;
+            while self.buckets[i] != EMPTY_BUCKET {
+                i = (i + 1) & mask;
+            }
+            self.buckets[i] = handle;
+        }
+    }
+}
+
+/// One relation's flat storage: tuple arena + annotation slots + row index.
+#[derive(Clone, Debug)]
+struct RelTable<K> {
+    arity: usize,
+    rows: Vec<ValueId>,
+    annots: Vec<K>,
+    index: RowIndex,
+}
+
+impl<K: Semiring> RelTable<K> {
+    fn new(arity: usize) -> Self {
+        RelTable {
+            arity,
+            rows: Vec::new(),
+            annots: Vec::new(),
+            index: RowIndex::default(),
+        }
+    }
+
+    fn num_rows(&self) -> usize {
+        self.annots.len()
+    }
+
+    fn row(&self, handle: u32) -> &[ValueId] {
+        let start = handle as usize * self.arity;
+        &self.rows[start..start + self.arity]
+    }
+
+    /// Sets the annotation of `row`, appending an arena row on first sight.
+    fn set(&mut self, row: &[ValueId], annotation: K) {
+        debug_assert_eq!(row.len(), self.arity);
+        match self.index.find(&self.rows, self.arity, row) {
+            Some(h) => self.annots[h as usize] = annotation,
+            None => {
+                if annotation.is_zero() {
+                    // A zero annotation for an unknown tuple is a no-op: the
+                    // tuple is already outside the support.
+                    return;
+                }
+                let h = self.num_rows() as u32;
+                self.rows.extend_from_slice(row);
+                self.annots.push(annotation);
+                self.index.insert_new(&self.rows, self.arity, h);
+            }
+        }
+    }
+
+    fn get(&self, row: &[ValueId]) -> Option<&K> {
+        self.index
+            .find(&self.rows, self.arity, row)
+            .map(|h| &self.annots[h as usize])
+            .filter(|k| !k.is_zero())
+    }
+
+    /// Live `(row, annotation)` pairs, in arena order.
+    fn iter_live(&self) -> impl Iterator<Item = (&[ValueId], &K)> + '_ {
+        self.annots
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| !k.is_zero())
+            .map(move |(h, k)| (self.row(h as u32), k))
+    }
+
+    fn live_count(&self) -> usize {
+        self.annots.iter().filter(|k| !k.is_zero()).count()
+    }
+}
+
 /// An annotated database instance over a semiring `K`.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// Equality compares the supports value-wise (per relation, as maps from
+/// resolved tuples to annotations), so it is independent of insertion order
+/// and of whether two instances share one interner [`Domain`].
+#[derive(Clone, Debug)]
 pub struct Instance<K: Semiring> {
     schema: Schema,
-    relations: HashMap<RelId, HashMap<Tuple, K>>,
+    relations: Vec<RelTable<K>>,
 }
 
 impl<K: Semiring> Instance<K> {
     /// Creates an empty instance over a schema.
     pub fn new(schema: Schema) -> Self {
-        Instance {
-            schema,
-            relations: HashMap::new(),
-        }
+        let relations = schema
+            .rel_ids()
+            .map(|rel| RelTable::new(schema.arity(rel)))
+            .collect();
+        Instance { schema, relations }
     }
 
     /// The schema.
@@ -30,8 +196,18 @@ impl<K: Semiring> Instance<K> {
         &self.schema
     }
 
+    /// The value interner of the instance (shared with its schema and every
+    /// clone of that schema).
+    pub fn domain(&self) -> &Domain {
+        self.schema.domain()
+    }
+
     /// Sets the annotation of a tuple.  Setting `0` removes the tuple from
     /// the support.  Panics if the tuple length does not match the arity.
+    ///
+    /// Only support-adding writes intern: a `0` for a tuple with unknown
+    /// values is a pure no-op (lookup, not intern), so removals cannot grow
+    /// the shared domain.
     pub fn insert(&mut self, rel: RelId, tuple: Tuple, annotation: K) {
         assert_eq!(
             tuple.len(),
@@ -39,12 +215,40 @@ impl<K: Semiring> Instance<K> {
             "tuple arity mismatch for {}",
             self.schema.name(rel)
         );
-        let table = self.relations.entry(rel).or_default();
         if annotation.is_zero() {
-            table.remove(&tuple);
-        } else {
-            table.insert(tuple, annotation);
+            if let Some(row) = self.schema.domain().lookup_tuple(&tuple) {
+                self.relations[rel.0 as usize].set(&row, annotation);
+            }
+            return;
         }
+        let row = self.schema.domain().intern_tuple(&tuple);
+        self.relations[rel.0 as usize].set(&row, annotation);
+    }
+
+    /// Sets the annotation of an already-interned row — the allocation-free
+    /// counterpart of [`Instance::insert`] for callers that intern once and
+    /// reuse their [`ValueId`]s.  Panics if the row length does not match
+    /// the arity.
+    ///
+    /// The ids must come from **this instance's** [`Domain`] (the schema it
+    /// was built over, or a clone sharing the interner).  Ids from an
+    /// unrelated interner alias arbitrary values; debug builds assert each
+    /// id is in range.
+    pub fn insert_row(&mut self, rel: RelId, row: &[ValueId], annotation: K) {
+        assert_eq!(
+            row.len(),
+            self.schema.arity(rel),
+            "row arity mismatch for {}",
+            self.schema.name(rel)
+        );
+        debug_assert!(
+            {
+                let len = self.schema.domain().len();
+                row.iter().all(|id| (id.0 as usize) < len)
+            },
+            "row contains ValueIds outside this instance's domain"
+        );
+        self.relations[rel.0 as usize].set(row, annotation);
     }
 
     /// Convenience: insert by relation name.
@@ -62,11 +266,27 @@ impl<K: Semiring> Instance<K> {
         self.insert(rel, tuple, current.add(&annotation));
     }
 
-    /// The annotation of a tuple (`0` if absent).
+    /// Adds `annotation` to the current annotation of an interned row.
+    pub fn add_annotation_row(&mut self, rel: RelId, row: &[ValueId], annotation: K) {
+        let current = self.annotation_row(rel, row);
+        self.insert_row(rel, row, current.add(&annotation));
+    }
+
+    /// The annotation of a tuple (`0` if absent).  Probing never interns:
+    /// a tuple containing a value the instance's domain has not seen cannot
+    /// be in the support.
     pub fn annotation(&self, rel: RelId, tuple: &Tuple) -> K {
+        match self.schema.domain().lookup_tuple(tuple) {
+            Some(row) => self.annotation_row(rel, &row),
+            None => K::zero(),
+        }
+    }
+
+    /// The annotation of an interned row (`0` if absent).
+    pub fn annotation_row(&self, rel: RelId, row: &[ValueId]) -> K {
         self.relations
-            .get(&rel)
-            .and_then(|t| t.get(tuple))
+            .get(rel.0 as usize)
+            .and_then(|t| t.get(row))
             .cloned()
             .unwrap_or_else(K::zero)
     }
@@ -79,52 +299,95 @@ impl<K: Semiring> Instance<K> {
         }
     }
 
-    /// Iterates over the support of a relation: `(tuple, annotation)` pairs
-    /// with non-zero annotation.
-    pub fn support(&self, rel: RelId) -> impl Iterator<Item = (&Tuple, &K)> + '_ {
-        self.relations.get(&rel).into_iter().flat_map(|t| t.iter())
+    /// Iterates over the support of a relation as resolved `(tuple,
+    /// annotation)` pairs.  This materialises each tuple; hot paths should
+    /// use [`Instance::support_rows`] instead.
+    pub fn support(&self, rel: RelId) -> impl Iterator<Item = (Tuple, &K)> + '_ {
+        let domain = self.schema.domain();
+        self.relations
+            .get(rel.0 as usize)
+            .into_iter()
+            .flat_map(|t| t.iter_live())
+            .map(move |(row, k)| (domain.resolve_tuple(row), k))
+    }
+
+    /// Iterates over the support of a relation as interned `(row,
+    /// annotation)` pairs straight out of the flat arena — the hot-path
+    /// counterpart of [`Instance::support`].
+    pub fn support_rows(&self, rel: RelId) -> impl Iterator<Item = (&[ValueId], &K)> + '_ {
+        self.relations
+            .get(rel.0 as usize)
+            .into_iter()
+            .flat_map(|t| t.iter_live())
     }
 
     /// Total number of tuples in the support of the instance.
     pub fn support_size(&self) -> usize {
-        self.relations.values().map(|t| t.len()).sum()
+        self.relations.iter().map(|t| t.live_count()).sum()
     }
 
     /// The active domain: every value appearing in some supported tuple.
     pub fn active_domain(&self) -> BTreeSet<DbValue> {
-        let mut dom = BTreeSet::new();
-        for table in self.relations.values() {
-            for tuple in table.keys() {
-                dom.extend(tuple.iter().cloned());
+        let mut ids: BTreeSet<ValueId> = BTreeSet::new();
+        for table in &self.relations {
+            for (row, _) in table.iter_live() {
+                ids.extend(row.iter().copied());
             }
         }
-        dom
+        let domain = self.schema.domain();
+        ids.into_iter().map(|id| domain.resolve(id)).collect()
     }
 
     /// Applies a function to every annotation, producing an instance over
     /// another semiring.  When `f` is a semiring morphism this is the functor
     /// on K-instances used throughout the paper (e.g. specialising an
-    /// `N[X]`-instance by a valuation of its variables).
+    /// `N[X]`-instance by a valuation of its variables).  The arenas and row
+    /// indices are reused as-is — only the annotation slots are mapped.
     pub fn map_annotations<L: Semiring>(&self, f: &dyn Fn(&K) -> L) -> Instance<L> {
-        let mut out = Instance::new(self.schema.clone());
-        for (&rel, table) in &self.relations {
-            for (tuple, k) in table {
-                out.insert(rel, tuple.clone(), f(k));
-            }
+        let relations = self
+            .relations
+            .iter()
+            .map(|t| RelTable {
+                arity: t.arity,
+                rows: t.rows.clone(),
+                // `f` sees only the support (zero slots stay zero), matching
+                // the functor's action on K-relations.
+                annots: t
+                    .annots
+                    .iter()
+                    .map(|k| if k.is_zero() { L::zero() } else { f(k) })
+                    .collect(),
+                index: t.index.clone(),
+            })
+            .collect();
+        Instance {
+            schema: self.schema.clone(),
+            relations,
         }
-        out
+    }
+
+    /// The support of one relation as a resolved map (used by equality and
+    /// display; insertion-order independent).
+    fn support_map(&self, rel: RelId) -> BTreeMap<Tuple, &K> {
+        self.support(rel).collect()
+    }
+}
+
+impl<K: Semiring> PartialEq for Instance<K> {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema
+            && self
+                .schema
+                .rel_ids()
+                .all(|rel| self.support_map(rel) == other.support_map(rel))
     }
 }
 
 impl<K: Semiring> fmt::Display for Instance<K> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut rels: Vec<&RelId> = self.relations.keys().collect();
-        rels.sort();
-        for rel in rels {
-            let mut tuples: Vec<(&Tuple, &K)> = self.relations[rel].iter().collect();
-            tuples.sort_by(|a, b| a.0.cmp(b.0));
-            for (tuple, k) in tuples {
-                write!(f, "{}(", self.schema.name(*rel))?;
+        for rel in self.schema.rel_ids() {
+            for (tuple, k) in self.support_map(rel) {
+                write!(f, "{}(", self.schema.name(rel))?;
                 for (i, v) in tuple.iter().enumerate() {
                     if i > 0 {
                         write!(f, ", ")?;
@@ -172,6 +435,10 @@ mod tests {
         i.insert(r, vec![1.into(), 2.into()], Natural(0));
         assert_eq!(i.support_size(), 0);
         assert_eq!(i.support(r).count(), 0);
+        // Reviving the tombstoned row reuses its arena slot.
+        i.insert(r, vec![1.into(), 2.into()], Natural(5));
+        assert_eq!(i.annotation(r, &vec![1.into(), 2.into()]), Natural(5));
+        assert_eq!(i.support_size(), 1);
     }
 
     #[test]
@@ -221,5 +488,86 @@ mod tests {
         i.insert_named("S", vec![1.into()], Natural(2));
         let shown = format!("{}", i);
         assert!(shown.contains("S(1)"));
+    }
+
+    #[test]
+    fn interned_row_api_round_trips() {
+        let s = schema();
+        let r = s.relation("R").unwrap();
+        let a = s.intern_value(&"a".into());
+        let b = s.intern_value(&"b".into());
+        let mut i: Instance<Natural> = Instance::new(s);
+        i.insert_row(r, &[a, b], Natural(2));
+        i.add_annotation_row(r, &[a, b], Natural(3));
+        assert_eq!(i.annotation_row(r, &[a, b]), Natural(5));
+        assert_eq!(i.annotation(r, &vec!["a".into(), "b".into()]), Natural(5));
+        assert_eq!(i.annotation_row(r, &[b, a]), Natural(0));
+        let rows: Vec<(Vec<ValueId>, Natural)> = i
+            .support_rows(r)
+            .map(|(row, k)| (row.to_vec(), *k))
+            .collect();
+        assert_eq!(rows, vec![(vec![a, b], Natural(5))]);
+    }
+
+    #[test]
+    fn equality_is_insertion_order_independent() {
+        let s = schema();
+        let mut left: Instance<Natural> = Instance::new(s.clone());
+        left.insert_named("R", vec![1.into(), 2.into()], Natural(1));
+        left.insert_named("R", vec![2.into(), 1.into()], Natural(2));
+        let mut right: Instance<Natural> = Instance::new(s);
+        right.insert_named("R", vec![2.into(), 1.into()], Natural(2));
+        right.insert_named("R", vec![1.into(), 2.into()], Natural(1));
+        assert_eq!(left, right);
+        right.insert_named("S", vec![1.into()], Natural(1));
+        assert_ne!(left, right);
+    }
+
+    #[test]
+    fn equality_across_independent_domains() {
+        // Two instances over independently built (non-sharing) schemas
+        // compare value-wise even though their ValueIds differ.
+        let mut a: Instance<Bool> = Instance::new(schema());
+        a.insert_named("S", vec!["x".into()], Bool(true));
+        a.insert_named("R", vec!["y".into(), "x".into()], Bool(true));
+        let mut b: Instance<Bool> = Instance::new(schema());
+        b.insert_named("R", vec!["y".into(), "x".into()], Bool(true));
+        b.insert_named("S", vec!["x".into()], Bool(true));
+        assert!(!a.domain().shares_with(b.domain()));
+        assert_eq!(a, b);
+        b.insert_named("S", vec!["x".into()], Bool(false));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zero_insert_of_unseen_tuple_does_not_grow_the_domain() {
+        let s = schema();
+        let r = s.relation("R").unwrap();
+        let mut i: Instance<Natural> = Instance::new(s);
+        i.insert(r, vec!["seen".into(), "seen".into()], Natural(1));
+        let before = i.domain().len();
+        // Removing a tuple with never-interned values is a pure no-op.
+        i.insert(r, vec!["never".into(), "never".into()], Natural(0));
+        assert_eq!(i.domain().len(), before);
+        assert_eq!(i.support_size(), 1);
+    }
+
+    #[test]
+    fn row_index_survives_growth() {
+        // Enough distinct rows to force several index rebuilds.
+        let s = schema();
+        let r = s.relation("R").unwrap();
+        let mut i: Instance<Natural> = Instance::new(s);
+        for x in 0..50i64 {
+            i.insert(r, vec![x.into(), (x + 1).into()], Natural(x as u64 + 1));
+        }
+        assert_eq!(i.support_size(), 50);
+        for x in 0..50i64 {
+            assert_eq!(
+                i.annotation(r, &vec![x.into(), (x + 1).into()]),
+                Natural(x as u64 + 1)
+            );
+        }
+        assert_eq!(i.annotation(r, &vec![50.into(), 0.into()]), Natural(0));
     }
 }

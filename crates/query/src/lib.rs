@@ -7,7 +7,9 @@
 //!
 //! Provided here:
 //!
-//! * [`Schema`], [`DbValue`], [`Tuple`] — schemas and database values;
+//! * [`Schema`], [`DbValue`], [`Tuple`] — schemas and database values, plus
+//!   the shared [`Domain`] interner mapping values to dense [`ValueId`]s
+//!   (the representation every hot path joins on);
 //! * [`Cq`], [`Ucq`], [`Ccq`], [`Ducq`] — conjunctive queries, unions, CQs
 //!   with inequalities, and unions of those (Sec. 2, 4.6);
 //! * [`Instance`] — K-instances over any [`annot_semiring::Semiring`];
@@ -52,7 +54,7 @@ pub use canonical::CanonicalInstance;
 pub use ccq::Ccq;
 pub use cq::{Atom, Cq, CqBuilder, QVar};
 pub use instance::Instance;
-pub use schema::{DbValue, RelId, Schema, Tuple};
+pub use schema::{DbValue, Domain, IdTuple, RelId, Schema, SchemaError, Tuple, ValueId};
 pub use ucq::{Ducq, Ucq};
 
 #[cfg(test)]

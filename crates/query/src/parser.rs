@@ -27,7 +27,7 @@
 
 use crate::ccq::Ccq;
 use crate::cq::{Atom, Cq, QVar};
-use crate::schema::Schema;
+use crate::schema::{Schema, SchemaError};
 use crate::ucq::Ucq;
 use std::collections::HashMap;
 use std::fmt;
@@ -135,20 +135,22 @@ fn parse_rule(schema: &mut Schema, rule: &str) -> Result<Ccq, ParseError> {
             inequalities.push((a, b));
         } else {
             let (name, args) = parse_predicate(literal)?;
-            let rel = match schema.relation(&name) {
-                Some(r) => {
-                    if schema.arity(r) != args.len() {
-                        return err(format!(
-                            "relation {} used with arity {} but declared with {}",
-                            name,
-                            args.len(),
-                            schema.arity(r)
-                        ));
-                    }
-                    r
-                }
-                None => schema.add_relation(&name, args.len()),
-            };
+            // Arity conflicts surface as a `SchemaError` from the fallible
+            // declaration API, mapped onto a parse error (never a panic)
+            // with use-site wording: inside a query body the conflicting
+            // arity is a *use*, not a re-declaration.
+            let rel = schema.try_add_relation(&name, args.len()).map_err(
+                |SchemaError::ArityConflict {
+                     name,
+                     existing,
+                     requested,
+                 }| ParseError {
+                    message: format!(
+                        "relation {name} used with arity {requested} \
+                         but declared with {existing}"
+                    ),
+                },
+            )?;
             let arg_vars: Vec<QVar> = args
                 .iter()
                 .map(|a| intern(a, &mut vars, &mut index))
@@ -288,7 +290,8 @@ mod tests {
         assert!(parse_cq(&mut schema, "Q() :- R(x").is_err()); // missing paren
                                                                // arity clash with previous use of R/2
         let mut schema2 = Schema::with_relations([("R", 2)]);
-        assert!(parse_cq(&mut schema2, "Q() :- R(x)").is_err());
+        let arity_err = parse_cq(&mut schema2, "Q() :- R(x)").unwrap_err();
+        assert!(arity_err.message.contains("arity"));
         // two rules where one was expected
         assert!(parse_cq(&mut schema, "Q() :- R(x,y) ; Q() :- R(y,x)").is_err());
         let e = parse_cq(&mut schema, "nope").unwrap_err();

@@ -51,11 +51,15 @@ fn main() {
         surjective::unique_surjective(&q1, &q2),
     );
 
-    // Observe the provenance of both queries on a concrete instance.
+    // Observe the provenance of both queries on a concrete instance.  The
+    // two constants are interned once; the three rows reuse the ids.
+    let r = schema.relation("R").unwrap();
+    let a = schema.intern_value(&"a".into());
+    let b = schema.intern_value(&"b".into());
     let mut instance: Instance<NatPoly> = Instance::new(schema.clone());
-    instance.insert_named("R", vec!["a".into(), "a".into()], NatPoly::var(Var(0)));
-    instance.insert_named("R", vec!["a".into(), "b".into()], NatPoly::var(Var(1)));
-    instance.insert_named("R", vec!["b".into(), "b".into()], NatPoly::var(Var(2)));
+    instance.insert_row(r, &[a, a], NatPoly::var(Var(0)));
+    instance.insert_row(r, &[a, b], NatPoly::var(Var(1)));
+    instance.insert_row(r, &[b, b], NatPoly::var(Var(2)));
     println!("\non the instance\n{}", instance);
     println!("  Q1 provenance: {:?}", eval_boolean_ucq(&q1, &instance));
     println!("  Q2 provenance: {:?}", eval_boolean_ucq(&q2, &instance));

@@ -11,7 +11,7 @@
 
 use annot_core::decide::{decide_cq, decide_cq_with_poly_order};
 use annot_query::eval::answers;
-use annot_query::{parser, Instance, Schema};
+use annot_query::{parser, Instance, Schema, ValueId};
 use annot_semiring::{Clearance, Fuzzy, Tropical};
 
 fn main() {
@@ -22,51 +22,43 @@ fn main() {
     println!("Q_direct = {}", q_direct);
     println!("Q_loose  = {}", q_loose);
 
+    // The constants are shared by all three annotated stores below: intern
+    // each one once into the schema's domain and reuse the `ValueId`s, so
+    // no insertion re-allocates (or re-hashes) a string.
+    let [alice, bob, acme, gov, paris, london] = ["alice", "bob", "acme", "gov", "paris", "london"]
+        .map(|name| schema.intern_value(&name.into()));
+    let works_at = schema.relation("WorksAt").unwrap();
+    let located_in = schema.relation("LocatedIn").unwrap();
+    let works_at_rows: [[ValueId; 2]; 2] = [[alice, acme], [bob, gov]];
+    let located_in_rows: [[ValueId; 2]; 2] = [[acme, paris], [gov, london]];
+
     // Clearance-annotated triples.
     let mut acl: Instance<Clearance> = Instance::new(schema.clone());
-    acl.insert_named(
-        "WorksAt",
-        vec!["alice".into(), "acme".into()],
-        Clearance::Public,
-    );
-    acl.insert_named(
-        "WorksAt",
-        vec!["bob".into(), "gov".into()],
-        Clearance::Secret,
-    );
-    acl.insert_named(
-        "LocatedIn",
-        vec!["acme".into(), "paris".into()],
-        Clearance::Public,
-    );
-    acl.insert_named(
-        "LocatedIn",
-        vec!["gov".into(), "london".into()],
-        Clearance::TopSecret,
-    );
+    for (row, clearance) in works_at_rows
+        .iter()
+        .zip([Clearance::Public, Clearance::Secret])
+    {
+        acl.insert_row(works_at, row, clearance);
+    }
+    for (row, clearance) in located_in_rows
+        .iter()
+        .zip([Clearance::Public, Clearance::TopSecret])
+    {
+        acl.insert_row(located_in, row, clearance);
+    }
     println!("\nclearance needed to see each answer of Q_direct:");
     for (tuple, clearance) in answers(&q_direct, &acl) {
         println!("  {:?} -> {:?}", tuple, clearance);
     }
 
-    // Fuzzy trust scores for the same triples.
+    // Fuzzy trust scores for the same triples (same interned rows).
     let mut trust: Instance<Fuzzy> = Instance::new(schema.clone());
-    trust.insert_named(
-        "WorksAt",
-        vec!["alice".into(), "acme".into()],
-        Fuzzy::new(0.9),
-    );
-    trust.insert_named("WorksAt", vec!["bob".into(), "gov".into()], Fuzzy::new(0.6));
-    trust.insert_named(
-        "LocatedIn",
-        vec!["acme".into(), "paris".into()],
-        Fuzzy::new(0.8),
-    );
-    trust.insert_named(
-        "LocatedIn",
-        vec!["gov".into(), "london".into()],
-        Fuzzy::new(0.95),
-    );
+    for (row, score) in works_at_rows.iter().zip([0.9, 0.6]) {
+        trust.insert_row(works_at, row, Fuzzy::new(score));
+    }
+    for (row, score) in located_in_rows.iter().zip([0.8, 0.95]) {
+        trust.insert_row(located_in, row, Fuzzy::new(score));
+    }
     println!("\ntrust in each answer of Q_direct:");
     for (tuple, score) in answers(&q_direct, &trust) {
         println!("  {:?} -> {:?}", tuple, score);
@@ -74,26 +66,12 @@ fn main() {
 
     // Tropical staleness: how out-of-date is the best derivation?
     let mut staleness: Instance<Tropical> = Instance::new(schema.clone());
-    staleness.insert_named(
-        "WorksAt",
-        vec!["alice".into(), "acme".into()],
-        Tropical::Finite(3),
-    );
-    staleness.insert_named(
-        "WorksAt",
-        vec!["bob".into(), "gov".into()],
-        Tropical::Finite(10),
-    );
-    staleness.insert_named(
-        "LocatedIn",
-        vec!["acme".into(), "paris".into()],
-        Tropical::Finite(1),
-    );
-    staleness.insert_named(
-        "LocatedIn",
-        vec!["gov".into(), "london".into()],
-        Tropical::Finite(0),
-    );
+    for (row, cost) in works_at_rows.iter().zip([3, 10]) {
+        staleness.insert_row(works_at, row, Tropical::Finite(cost));
+    }
+    for (row, cost) in located_in_rows.iter().zip([1, 0]) {
+        staleness.insert_row(located_in, row, Tropical::Finite(cost));
+    }
     println!("\nstaleness of each answer of Q_direct:");
     for (tuple, cost) in answers(&q_direct, &staleness) {
         println!("  {:?} -> {:?}", tuple, cost);

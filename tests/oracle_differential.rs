@@ -182,7 +182,7 @@ fn random_walk_matches_oneshot<K: Semiring>(
         }
         assert_eq!(
             state.outputs(),
-            &oneshot(&instance),
+            oneshot(&instance),
             "{}: annotation map diverged at depth {}",
             K::NAME,
             stack.len()
