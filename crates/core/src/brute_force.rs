@@ -66,13 +66,52 @@
 //! closed form for both enumerators).  The support cap prunes the tree
 //! *during descent*: a node at depth `max_support` has no children.
 
-use annot_polynomial::{Polynomial, Var};
-use annot_query::eval::{eval_cq, eval_ucq_all_outputs, EvalState};
-use annot_query::{Cq, DbValue, IdTuple, Instance, RelId, Schema, Tuple, Ucq, ValueId};
+use annot_polynomial::{Monomial, Polynomial, Var};
+use annot_query::eval::{eval_cq, eval_ducq_all_outputs, eval_ucq_all_outputs, EvalState};
+use annot_query::{Cq, DbValue, Ducq, IdTuple, Instance, RelId, Schema, Tuple, Ucq, ValueId};
 use annot_semiring::{NatPoly, Semiring};
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// A borrowed union query the brute-force oracle can search over: a plain
+/// [`Ucq`] or a [`Ducq`] (union of CCQs, whose disjuncts carry disequality
+/// constraints).  The two share every piece of the search machinery — the
+/// incremental [`EvalState`] has constructors for both, and the one-shot
+/// all-outputs evaluators differ only in which family they dispatch to.
+#[derive(Clone, Copy)]
+enum UnionQuery<'q> {
+    Ucq(&'q Ucq),
+    Ducq(&'q Ducq),
+}
+
+impl<'q> UnionQuery<'q> {
+    /// The schema of the first disjunct, if any.
+    fn first_schema(self) -> Option<&'q Schema> {
+        match self {
+            UnionQuery::Ucq(u) => u.disjuncts().first().map(|q| q.schema()),
+            UnionQuery::Ducq(d) => d.disjuncts().first().map(|c| c.cq().schema()),
+        }
+    }
+
+    /// An incremental evaluation state for the query.
+    fn eval_state<K: Semiring>(self) -> EvalState<'q, K> {
+        match self {
+            UnionQuery::Ucq(u) => EvalState::for_ucq(u),
+            UnionQuery::Ducq(d) => EvalState::for_ducq(d),
+        }
+    }
+
+    /// The one-shot all-outputs map over an instance (the naive oracle's
+    /// evaluation path).
+    fn all_outputs<K: Semiring>(self, instance: &Instance<K>) -> BTreeMap<Tuple, K> {
+        match self {
+            UnionQuery::Ucq(u) => eval_ucq_all_outputs(u, instance),
+            UnionQuery::Ducq(d) => eval_ducq_all_outputs(d, instance),
+        }
+    }
+}
 
 /// A semantic counterexample to `Q₁ ⊆_K Q₂`.
 #[derive(Clone, Debug)]
@@ -280,8 +319,43 @@ pub fn try_find_counterexample_ucq<K: Semiring>(
     q2: &Ucq,
     config: &BruteForceConfig,
 ) -> Result<SearchOutcome<K>, BruteForceError> {
-    let schema = match q1.disjuncts().first().or_else(|| q2.disjuncts().first()) {
-        Some(q) => q.schema().clone(),
+    try_find_counterexample_union(UnionQuery::Ucq(q1), UnionQuery::Ucq(q2), config)
+}
+
+/// The union-of-CCQs counterpart of [`try_find_counterexample_ucq`]: the
+/// same prefix-memoized search with the disjuncts' disequality constraints
+/// enforced by the incremental evaluation states.
+pub fn try_find_counterexample_ducq<K: Semiring>(
+    q1: &Ducq,
+    q2: &Ducq,
+    config: &BruteForceConfig,
+) -> Result<SearchOutcome<K>, BruteForceError> {
+    try_find_counterexample_union(UnionQuery::Ducq(q1), UnionQuery::Ducq(q2), config)
+}
+
+/// The union-of-CCQs counterpart of [`find_counterexample_ucq`].
+///
+/// Panics if the search exceeds `config.max_instances`; use
+/// [`try_find_counterexample_ducq`] to handle the budget as an error.
+pub fn find_counterexample_ducq<K: Semiring>(
+    q1: &Ducq,
+    q2: &Ducq,
+    config: &BruteForceConfig,
+) -> Option<CounterExample<K>> {
+    match try_find_counterexample_ducq(q1, q2, config) {
+        Ok(outcome) => outcome.counterexample,
+        Err(err) => panic!("{err}"),
+    }
+}
+
+/// The query-shape-agnostic core of the prefix-memoized search.
+fn try_find_counterexample_union<K: Semiring>(
+    q1: UnionQuery<'_>,
+    q2: UnionQuery<'_>,
+    config: &BruteForceConfig,
+) -> Result<SearchOutcome<K>, BruteForceError> {
+    let schema = match q1.first_schema().or_else(|| q2.first_schema()) {
+        Some(schema) => schema.clone(),
         None => {
             return Ok(SearchOutcome {
                 counterexample: None,
@@ -482,8 +556,8 @@ trait PrefixWalk<K: Semiring> {
 
 /// Search state shared by all workers of one counterexample search.
 struct SearchContext<'s, K: Semiring> {
-    q1: &'s Ucq,
-    q2: &'s Ucq,
+    q1: UnionQuery<'s>,
+    q2: UnionQuery<'s>,
     schema: &'s Schema,
     /// Every tuple slot of the schema over the domain, in enumeration order,
     /// pre-interned into the schema's domain once — the walk never touches a
@@ -549,6 +623,53 @@ struct Violation<K> {
     choice: Vec<usize>,
 }
 
+/// The per-prefix-node cache of the sibling-sharing walk: for each checked
+/// output row and side, the evaluations of the *parent* prefix's output
+/// polynomial under sample assignments, keyed by the assignment restricted
+/// to the variables that polynomial actually uses (the restricted
+/// evaluation morphism).
+///
+/// Every sibling node extending the same parent shares the parent's output
+/// polynomials exactly — a push only *adds* monomials containing the newest
+/// slot's variable, so the unchanged part of a child polynomial is the
+/// parent polynomial verbatim.  The cache therefore lives with the parent:
+/// the first sibling to substitute a given restricted assignment pays for
+/// the evaluation, every later sibling (and every later odometer lap of the
+/// same sibling) replays it with a hash lookup, and only the monomials
+/// containing the newly branched slot's variable are ever re-evaluated.
+struct NodeCache<K> {
+    rows: HashMap<IdTuple, RowMemo<K>>,
+}
+
+impl<K> NodeCache<K> {
+    fn new() -> Self {
+        NodeCache {
+            rows: HashMap::new(),
+        }
+    }
+}
+
+/// The cached partial evaluations of one output row at one prefix node,
+/// per side of the containment check.
+struct RowMemo<K> {
+    lhs: HashMap<Vec<usize>, K>,
+    rhs: HashMap<Vec<usize>, K>,
+}
+
+impl<K> Default for RowMemo<K> {
+    fn default() -> Self {
+        RowMemo {
+            lhs: HashMap::new(),
+            rhs: HashMap::new(),
+        }
+    }
+}
+
+/// Per-row-and-side memo entries beyond this are evaluated directly instead
+/// of cached — a safety valve so adversarial sample/support combinations
+/// cannot balloon a worker's memory.
+const MAX_MEMO_ENTRIES: usize = 1 << 14;
+
 /// One worker: the incremental `N[X]` evaluation states of both queries plus
 /// the stack of pushed slots (position `i` of the stack is annotated with
 /// the provenance variable `xᵢ`).
@@ -559,6 +680,10 @@ struct Worker<'s, K: Semiring> {
     stack: Vec<usize>,
     /// Cache of `K::from_natural(c)` for monomial coefficients `c`.
     naturals: Vec<K>,
+    /// `caches[d]` is the [`NodeCache`] of the current depth-`d` prefix,
+    /// shared by all its depth-`d+1` children (the siblings); pushed and
+    /// popped in lockstep with `stack`, plus the root cache at index 0.
+    caches: Vec<NodeCache<K>>,
 }
 
 impl<'s, K: Semiring> Worker<'s, K> {
@@ -569,10 +694,11 @@ impl<'s, K: Semiring> Worker<'s, K> {
         let domain = ctx.schema.domain();
         Worker {
             ctx,
-            lhs: EvalState::for_ucq(ctx.q1).with_domain(domain.clone()),
-            rhs: EvalState::for_ucq(ctx.q2).with_domain(domain.clone()),
+            lhs: ctx.q1.eval_state().with_domain(domain.clone()),
+            rhs: ctx.q2.eval_state().with_domain(domain.clone()),
             stack: Vec::new(),
             naturals: vec![K::zero(), K::one()],
+            caches: vec![NodeCache::new()],
         }
     }
 
@@ -587,11 +713,13 @@ impl<'s, K: Semiring> Worker<'s, K> {
         let var = NatPoly::var(Var(self.stack.len() as u32));
         self.lhs.push_fact_row(*rel, row, var);
         self.stack.push(slot);
+        self.caches.push(NodeCache::new());
     }
 
     fn pop(&mut self) {
         self.lhs.pop_fact();
         self.stack.pop();
+        self.caches.pop();
         // The rhs lags behind the prefix, never ahead of it.
         while self.rhs.depth() > self.stack.len() {
             self.rhs.pop_fact();
@@ -616,11 +744,29 @@ impl<'s, K: Semiring> Worker<'s, K> {
     /// Positivity (required of every `Semiring` implementation) makes `0`
     /// the least element, so a violation needs `Q₁ᴵ(t) ≠ 0`: tuples outside
     /// the lhs support can never witness one.
+    ///
+    /// The substitution loop shares work across sibling nodes: both
+    /// polynomials are split at the newest stack variable `x_{k−1}` into the
+    /// *base* part (monomials without it — exactly the parent prefix's
+    /// polynomial, identical for every sibling) and the *delta* part
+    /// (monomials the newest fact introduced).  The odometer runs the
+    /// delta-only variables innermost and re-evaluates only the delta
+    /// monomials there; base evaluations are memoized in the parent's
+    /// [`NodeCache`] under the assignment restricted to the base variables,
+    /// so siblings (and later laps of the same node) replay them as hash
+    /// lookups.
     fn check_tuple(&mut self, row: &IdTuple) -> Option<Violation<K>> {
-        let p1 = self.lhs.outputs_rows().get(row)?.polynomial();
+        let Worker {
+            ctx,
+            lhs,
+            rhs,
+            stack,
+            naturals,
+            caches,
+        } = self;
+        let p1 = lhs.outputs_rows().get(row)?.polynomial();
         let zero = Polynomial::zero();
-        let p2 = self
-            .rhs
+        let p2 = rhs
             .outputs_rows()
             .get(row)
             .map(|p| p.polynomial())
@@ -634,47 +780,116 @@ impl<'s, K: Semiring> Worker<'s, K> {
         if p1.terms().all(|(m, c)| c <= p2.coefficient(m)) {
             return None;
         }
+        let samples = ctx.samples;
+        let depth = stack.len();
+        // The newest stack variable; `None` at the root, whose polynomials
+        // are variable-free constants (no split, no cache).
+        let new_var = depth.checked_sub(1).map(|d| Var(d as u32));
+        let in_delta = |m: &Monomial| match new_var {
+            Some(v) => m.exponent(v) > 0,
+            None => true,
+        };
+        // Partition both polynomials' terms once: the inner laps below then
+        // walk only the (usually tiny) delta lists, never re-filtering the
+        // base monomials.
+        let (delta1, base1_terms): (Vec<Term<'_>>, Vec<Term<'_>>) =
+            p1.terms().partition(|(m, _)| in_delta(m));
+        let (delta2, base2_terms): (Vec<Term<'_>>, Vec<Term<'_>>) =
+            p2.terms().partition(|(m, _)| in_delta(m));
         // Only assignments of the variables occurring in either polynomial
         // can influence the verdict; everything else stays at sample 0.
-        let mut vars: Vec<usize> = p1
-            .variables()
-            .into_iter()
-            .chain(p2.variables())
-            .map(|v| v.0 as usize)
-            .collect();
-        vars.sort_unstable();
-        vars.dedup();
-        let samples = self.ctx.samples;
-        let mut choice = vec![0usize; self.stack.len()];
-        loop {
-            let lhs = eval_poly(p1, samples, &choice, &mut self.naturals);
-            // `0 ¹ a` for every `a` (positivity), so a zero lhs cannot
-            // violate and the rhs evaluation is skipped.
-            if !lhs.is_zero() {
-                let rhs = eval_poly(p2, samples, &choice, &mut self.naturals);
-                if !lhs.leq(&rhs) {
-                    return Some(Violation {
-                        row: row.clone(),
-                        lhs,
-                        rhs,
-                        choice,
-                    });
-                }
-            }
-            // Odometer over the occurring variables only.
-            let mut i = 0;
-            loop {
-                match vars.get(i) {
-                    None => return None,
-                    Some(&pos) => {
-                        choice[pos] += 1;
-                        if choice[pos] < samples.len() {
-                            break;
-                        }
-                        choice[pos] = 0;
-                        i += 1;
+        // `base_vars` are those used by the unchanged (parent) parts,
+        // `delta_vars` those used *only* by monomials the newest fact
+        // introduced.
+        let mut base_vars: Vec<usize> = Vec::new();
+        let mut all_vars: Vec<usize> = Vec::new();
+        for (terms, base) in [
+            (&delta1, false),
+            (&base1_terms, true),
+            (&delta2, false),
+            (&base2_terms, true),
+        ] {
+            for (m, _) in terms {
+                for &(var, _) in m.factors() {
+                    all_vars.push(var.0 as usize);
+                    if base {
+                        base_vars.push(var.0 as usize);
                     }
                 }
+            }
+        }
+        base_vars.sort_unstable();
+        base_vars.dedup();
+        all_vars.sort_unstable();
+        all_vars.dedup();
+        let delta_vars: Vec<usize> = all_vars
+            .iter()
+            .copied()
+            .filter(|v| base_vars.binary_search(v).is_err())
+            .collect();
+        // The parent's memo for this row (the root check has no parent).
+        // The entry key is cloned only when the row is first seen at this
+        // node; every later sibling check hits `get_mut`.
+        let mut memo = new_var.map(|_| {
+            let rows = &mut caches[depth - 1].rows;
+            if !rows.contains_key(row) {
+                rows.insert(row.clone(), RowMemo::default());
+            }
+            rows.get_mut(row).expect("row memo just ensured")
+        });
+        let mut choice = vec![0usize; depth];
+        loop {
+            // Outer lap: one assignment of the base variables.  Both base
+            // evaluations are constant across the inner delta laps; the lhs
+            // one is resolved here (memoized), the rhs one lazily below.
+            let base_key: Vec<usize> = base_vars.iter().map(|&v| choice[v]).collect();
+            let base1 = memoized_base(
+                memo.as_mut().map(|m| &mut m.lhs),
+                &base_key,
+                &base1_terms,
+                samples,
+                &choice,
+                naturals,
+            );
+            let mut base2: Option<K> = None;
+            loop {
+                // Inner lap: only the delta monomials — those containing
+                // the newly branched slot's variable — are re-evaluated.
+                let lhs_val = base1.add(&eval_terms(&delta1, samples, &choice, naturals));
+                // `0 ¹ a` for every `a` (positivity), so a zero lhs cannot
+                // violate and the rhs evaluation is skipped.
+                if !lhs_val.is_zero() {
+                    let b2 = match &base2 {
+                        Some(b) => b.clone(),
+                        None => {
+                            let value = memoized_base(
+                                memo.as_mut().map(|m| &mut m.rhs),
+                                &base_key,
+                                &base2_terms,
+                                samples,
+                                &choice,
+                                naturals,
+                            );
+                            base2 = Some(value.clone());
+                            value
+                        }
+                    };
+                    let rhs_val = b2.add(&eval_terms(&delta2, samples, &choice, naturals));
+                    if !lhs_val.leq(&rhs_val) {
+                        return Some(Violation {
+                            row: row.clone(),
+                            lhs: lhs_val,
+                            rhs: rhs_val,
+                            choice,
+                        });
+                    }
+                }
+                if !advance_odometer(&mut choice, &delta_vars, samples.len()) {
+                    break;
+                }
+            }
+            if !advance_odometer(&mut choice, &base_vars, samples.len()) {
+                return None;
             }
         }
     }
@@ -800,8 +1015,8 @@ impl<'s, K: Semiring> DirectWorker<'s, K> {
         let domain = ctx.schema.domain();
         DirectWorker {
             ctx,
-            lhs: EvalState::for_ucq(ctx.q1).with_domain(domain.clone()),
-            rhs: EvalState::for_ucq(ctx.q2).with_domain(domain.clone()),
+            lhs: ctx.q1.eval_state().with_domain(domain.clone()),
+            rhs: ctx.q2.eval_state().with_domain(domain.clone()),
             stack: Vec::new(),
         }
     }
@@ -937,18 +1152,25 @@ impl<K: Semiring> PrefixWalk<K> for DirectWorker<'_, K> {
     }
 }
 
+/// One borrowed `(monomial, coefficient)` term of an output polynomial, as
+/// partitioned by the sibling-sharing check.
+type Term<'a> = (&'a Monomial, u64);
+
 /// The evaluation morphism of Prop. 3.2, specialised to the worker's needs:
-/// evaluates an `N[X]` output polynomial in `K` under the sample assignment
-/// `xᵢ ↦ samples[choice[i]]`, with monomial coefficients interpreted through
-/// the (cached) canonical map `N → K`.
-fn eval_poly<K: Semiring>(
-    p: &Polynomial,
+/// evaluates a list of `N[X]` terms in `K` under the sample assignment
+/// `xᵢ ↦ samples[choice[i]]`, with coefficients interpreted through the
+/// (cached) canonical map `N → K`.  The sibling-sharing walk partitions
+/// each output polynomial into parent (base) and newest-variable (delta)
+/// term lists once and evaluates them separately — the morphism property
+/// makes the sum of the two parts equal the full evaluation.
+fn eval_terms<K: Semiring>(
+    terms: &[Term<'_>],
     samples: &[K],
     choice: &[usize],
     naturals: &mut Vec<K>,
 ) -> K {
     let mut total = K::zero();
-    for (monomial, coefficient) in p.terms() {
+    for &(monomial, coefficient) in terms {
         let mut term = from_natural_cached(naturals, coefficient);
         for &(var, exponent) in monomial.factors() {
             let value = &samples[choice[var.0 as usize]];
@@ -959,6 +1181,46 @@ fn eval_poly<K: Semiring>(
         total = total.add(&term);
     }
     total
+}
+
+/// The memoize-or-evaluate step shared by both sides of the containment
+/// check: returns the evaluation of `terms` (a base-part term list) under
+/// `choice`, replaying it from `memo` keyed by the base-restricted
+/// assignment `key` when a parent cache is available.
+fn memoized_base<K: Semiring>(
+    memo: Option<&mut HashMap<Vec<usize>, K>>,
+    key: &[usize],
+    terms: &[Term<'_>],
+    samples: &[K],
+    choice: &[usize],
+    naturals: &mut Vec<K>,
+) -> K {
+    let Some(memo) = memo else {
+        return eval_terms(terms, samples, choice, naturals);
+    };
+    if let Some(cached) = memo.get(key) {
+        return cached.clone();
+    }
+    let value = eval_terms(terms, samples, choice, naturals);
+    if memo.len() < MAX_MEMO_ENTRIES {
+        memo.insert(key.to_vec(), value.clone());
+    }
+    value
+}
+
+/// Advances `choice` one step through the assignments of the positions in
+/// `vars` (least-significant first), wrapping each position at `s`.
+/// Returns `false` — with every listed position reset to `0` — once all
+/// assignments have been visited.
+fn advance_odometer(choice: &mut [usize], vars: &[usize], s: usize) -> bool {
+    for &pos in vars {
+        choice[pos] += 1;
+        if choice[pos] < s {
+            return true;
+        }
+        choice[pos] = 0;
+    }
+    false
 }
 
 /// `K::from_natural(c)` memoized in a dense cache (coefficients repeat
@@ -999,18 +1261,37 @@ pub fn find_counterexample_ucq_naive<K: Semiring>(
     q2: &Ucq,
     config: &BruteForceConfig,
 ) -> Option<CounterExample<K>> {
-    let schema = match q1.disjuncts().first().or_else(|| q2.disjuncts().first()) {
-        Some(q) => q.schema().clone(),
+    find_counterexample_union_naive(UnionQuery::Ucq(q1), UnionQuery::Ucq(q2), config)
+}
+
+/// The union-of-CCQs counterpart of [`find_counterexample_ucq_naive`]: the
+/// per-instance one-shot reference oracle over
+/// [`eval_ducq_all_outputs`], retained for the differential suite.
+pub fn find_counterexample_ducq_naive<K: Semiring>(
+    q1: &Ducq,
+    q2: &Ducq,
+    config: &BruteForceConfig,
+) -> Option<CounterExample<K>> {
+    find_counterexample_union_naive(UnionQuery::Ducq(q1), UnionQuery::Ducq(q2), config)
+}
+
+fn find_counterexample_union_naive<K: Semiring>(
+    q1: UnionQuery<'_>,
+    q2: UnionQuery<'_>,
+    config: &BruteForceConfig,
+) -> Option<CounterExample<K>> {
+    let schema = match q1.first_schema().or_else(|| q2.first_schema()) {
+        Some(schema) => schema.clone(),
         None => return None,
     };
     let mut found: Option<CounterExample<K>> = None;
     for_each_instance(&schema, config, &mut |instance: &Instance<K>| {
-        let lhs = eval_ucq_all_outputs(q1, instance);
+        let lhs = q1.all_outputs(instance);
         // When the lhs support is empty `Q₂` need not be evaluated at all.
         if lhs.is_empty() {
             return false;
         }
-        let rhs = eval_ucq_all_outputs(q2, instance);
+        let rhs = q2.all_outputs(instance);
         for (t, l) in &lhs {
             let r = rhs.get(t).cloned().unwrap_or_else(K::zero);
             if !l.leq(&r) {

@@ -40,10 +40,11 @@
 use crate::ccq::Ccq;
 use crate::cq::{Cq, QVar};
 use crate::instance::Instance;
+use crate::rowtable::RowArena;
 use crate::schema::{Domain, IdTuple, RelId, Tuple, ValueId};
 use crate::ucq::{Ducq, Ucq};
 use annot_semiring::Semiring;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Evaluates a CQ on an instance for an output tuple `t`.
 ///
@@ -394,18 +395,102 @@ struct TrackedDisjunct<'q> {
     inequalities: Option<&'q Ccq>,
 }
 
-/// The undo record of one [`EvalState::push_fact`]: the relation whose fact
-/// list grew, and the previous value of every output-map entry the push
-/// changed (`None` = the entry did not exist).  The change set is almost
-/// always tiny, so a linear-scan `Vec` (one allocation, contiguous) beats a
-/// tree map on the push/pop hot path.
+/// The undo record of one [`EvalState::push_fact`]: a `(RelId, u32 len)`
+/// frame — the relation whose fact table the push touched and that table's
+/// fact count *before* the push — plus the previous value of every
+/// output-map entry the push changed (`None` = the entry did not exist).
+/// The change set is almost always tiny, so a linear-scan `Vec` (one
+/// allocation, contiguous) beats a tree map on the push/pop hot path.
+///
+/// # Invariant
+///
+/// A frame undoes at most the single fact its push appended: when the frame
+/// is popped, the relation's fact count must be `prev_len` (a
+/// zero-annotation no-op push) or `prev_len + 1` (a pushed fact).  Anything
+/// else means pushes and pops were interleaved inconsistently — impossible
+/// through the public API, which always pops the newest frame.  Debug
+/// builds assert the invariant; release builds truncate to `prev_len`
+/// regardless (a no-op when the count is already smaller).
 struct UndoFrame<K> {
     rel: RelId,
-    /// Whether a fact was actually appended (`false` for `0` annotations).
-    pushed: bool,
+    /// The relation's fact count before this push.
+    prev_len: u32,
     /// First-seen previous value per changed row (each row recorded once,
     /// so restoring in any order is sound).
     changed: Vec<(IdTuple, Option<K>)>,
+}
+
+/// One relation's fact stack: an arity-chunked [`RowArena`] plus parallel
+/// annotation slots, pushed in fact order and popped by truncation.
+/// Duplicate rows are kept as separate entries (a K-relation under
+/// construction sums its derivations; the delta joins realise the sum by
+/// distributivity).
+#[derive(Clone, Debug)]
+struct FactTable<K> {
+    rows: RowArena,
+    annots: Vec<K>,
+}
+
+impl<K> Default for FactTable<K> {
+    fn default() -> Self {
+        FactTable {
+            rows: RowArena::default(),
+            annots: Vec::new(),
+        }
+    }
+}
+
+/// Dense, [`RelId`]-indexed fact storage: `tables[rel.0 as usize]` is the
+/// fact stack of relation `rel`, mirroring [`Instance`]'s flat per-relation
+/// tables.  Delta joins index by `rel.0` instead of hashing a map key.
+#[derive(Clone, Debug)]
+struct FactStore<K> {
+    tables: Vec<FactTable<K>>,
+}
+
+impl<K> Default for FactStore<K> {
+    fn default() -> Self {
+        FactStore { tables: Vec::new() }
+    }
+}
+
+impl<K: Semiring> FactStore<K> {
+    /// Number of facts currently pushed for `rel`.
+    fn len_of(&self, rel: RelId) -> usize {
+        self.tables
+            .get(rel.0 as usize)
+            .map_or(0, |t| t.annots.len())
+    }
+
+    /// The fact stack of `rel` (empty for relations never pushed).
+    fn table(&self, rel: RelId) -> Option<&FactTable<K>> {
+        self.tables
+            .get(rel.0 as usize)
+            .filter(|t| !t.annots.is_empty())
+    }
+
+    /// Appends a fact.  The relation's arity is fixed by its first pushed
+    /// row (the callers guarantee consistent arities per relation).
+    fn push(&mut self, rel: RelId, row: &[ValueId], annotation: K) {
+        let index = rel.0 as usize;
+        if self.tables.len() <= index {
+            self.tables.resize_with(index + 1, FactTable::default);
+        }
+        let table = &mut self.tables[index];
+        if table.annots.is_empty() && table.rows.arity() != row.len() {
+            table.rows = RowArena::new(row.len());
+        }
+        table.rows.push_row(row);
+        table.annots.push(annotation);
+    }
+
+    /// Shrinks the fact stack of `rel` to its first `len` facts.
+    fn truncate(&mut self, rel: RelId, len: usize) {
+        if let Some(table) = self.tables.get_mut(rel.0 as usize) {
+            table.rows.truncate(len);
+            table.annots.truncate(len);
+        }
+    }
 }
 
 /// Incremental all-outputs evaluation of a union of (C)CQs over a *stack* of
@@ -468,8 +553,9 @@ pub struct EvalState<'q, K: Semiring> {
     /// The interner tuples pushed through the `DbValue` API go through, and
     /// the resolver for [`EvalState::outputs`].
     domain: Domain,
-    /// The current fact stack, indexed per relation (push order per relation).
-    facts: HashMap<RelId, Vec<(IdTuple, K)>>,
+    /// The current fact stack, stored densely per relation (push order per
+    /// relation): `facts.tables[rel.0]` mirrors [`Instance`]'s flat tables.
+    facts: FactStore<K>,
     /// The maintained map `t ↦ Qᴵ(t)`, restricted to its support.
     outputs: BTreeMap<IdTuple, K>,
     /// One frame per push, in push order.
@@ -496,7 +582,7 @@ impl<'q, K: Semiring> EvalState<'q, K> {
         EvalState {
             disjuncts,
             domain,
-            facts: HashMap::new(),
+            facts: FactStore::default(),
             outputs,
             frames: Vec::new(),
         }
@@ -614,7 +700,7 @@ impl<'q, K: Semiring> EvalState<'q, K> {
         if annotation.is_zero() {
             self.frames.push(UndoFrame {
                 rel,
-                pushed: false,
+                prev_len: self.facts.len_of(rel) as u32,
                 changed: Vec::new(),
             });
             return;
@@ -647,10 +733,10 @@ impl<'q, K: Semiring> EvalState<'q, K> {
         );
         let mut frame = UndoFrame {
             rel,
-            pushed: !annotation.is_zero(),
+            prev_len: self.facts.len_of(rel) as u32,
             changed: Vec::new(),
         };
-        if frame.pushed {
+        if !annotation.is_zero() {
             let outputs = &mut self.outputs;
             let changed = &mut frame.changed;
             for d in &self.disjuncts {
@@ -680,10 +766,7 @@ impl<'q, K: Semiring> EvalState<'q, K> {
                     },
                 );
             }
-            self.facts
-                .entry(rel)
-                .or_default()
-                .push((row.to_vec(), annotation));
+            self.facts.push(rel, row, annotation);
         }
         self.frames.push(frame);
     }
@@ -704,12 +787,19 @@ impl<'q, K: Semiring> EvalState<'q, K> {
                 }
             }
         }
-        if frame.pushed {
-            self.facts
-                .get_mut(&frame.rel)
-                .expect("undo frame for a relation with no facts")
-                .pop();
-        }
+        // See the [`UndoFrame`] invariant: the newest frame undoes at most
+        // the one fact its push appended.  Release builds truncate to the
+        // recorded length either way.
+        let len = self.facts.len_of(frame.rel);
+        debug_assert!(
+            len == frame.prev_len as usize || len == frame.prev_len as usize + 1,
+            "EvalState push/pop mismatch: relation {:?} holds {} facts but \
+             the undo frame recorded {} before its push",
+            frame.rel,
+            len,
+            frame.prev_len,
+        );
+        self.facts.truncate(frame.rel, frame.prev_len as usize);
     }
 }
 
@@ -725,7 +815,7 @@ impl<'q, K: Semiring> EvalState<'q, K> {
 fn delta_join<K: Semiring>(
     query: &Cq,
     inequalities: Option<&Ccq>,
-    facts: &HashMap<RelId, Vec<(IdTuple, K)>>,
+    facts: &FactStore<K>,
     new_fact: (RelId, &[ValueId], &K),
     on_leaf: &mut dyn FnMut(IdTuple, &K),
 ) {
@@ -768,7 +858,7 @@ fn delta_join<K: Semiring>(
 struct DeltaJoin<'a, K: Semiring> {
     query: &'a Cq,
     inequalities: Option<&'a Ccq>,
-    facts: &'a HashMap<RelId, Vec<(IdTuple, K)>>,
+    facts: &'a FactStore<K>,
     new_fact: (RelId, &'a [ValueId], &'a K),
     designated: usize,
 }
@@ -793,26 +883,23 @@ impl<K: Semiring> DeltaJoin<'_, K> {
         }
         let atom = &self.query.atoms()[atom_index];
         let (new_rel, new_row, new_ann) = self.new_fact;
-        let old_facts: &[(IdTuple, K)] = self
-            .facts
-            .get(&atom.relation)
-            .map(|v| v.as_slice())
-            .unwrap_or(&[]);
-        // Candidate facts for this atom, by position relative to the
-        // designated atom (see `delta_join`).
-        let candidates = if atom_index == self.designated {
-            &[] as &[(IdTuple, K)]
-        } else {
-            old_facts
-        };
-        for (row, annotation) in candidates {
-            let mark = touched.len();
-            if unify_atom(&atom.args, row, assignment, touched) {
-                let product = partial_product.mul(annotation);
-                self.rec(atom_index + 1, assignment, touched, &product, on_leaf);
-            }
-            for var in touched.drain(mark..) {
-                assignment[var.0 as usize] = None;
+        // Candidate facts for this atom: the old facts of its relation,
+        // read straight out of the dense per-relation arena — except at the
+        // designated atom, which is pinned to the new fact (see
+        // `delta_join`).
+        if atom_index != self.designated {
+            if let Some(table) = self.facts.table(atom.relation) {
+                for (h, annotation) in table.annots.iter().enumerate() {
+                    let row = table.rows.row(h as u32);
+                    let mark = touched.len();
+                    if unify_atom(&atom.args, row, assignment, touched) {
+                        let product = partial_product.mul(annotation);
+                        self.rec(atom_index + 1, assignment, touched, &product, on_leaf);
+                    }
+                    for var in touched.drain(mark..) {
+                        assignment[var.0 as usize] = None;
+                    }
+                }
             }
         }
         // The new fact itself: mandatory at the designated atom, an extra
@@ -1198,5 +1285,38 @@ mod tests {
         let q = Cq::builder(&schema()).atom("S", &["v"]).build();
         let mut state: EvalState<'_, Bool> = EvalState::for_cq(&q);
         state.pop_fact();
+    }
+
+    /// The documented [`UndoFrame`] invariant — the newest frame undoes at
+    /// most the single fact its push appended — is checked on every pop in
+    /// debug builds.  The public API cannot violate it (pops always take
+    /// the newest frame), so this test corrupts a frame directly to pin
+    /// that a mismatch is caught rather than silently truncating the wrong
+    /// number of facts.
+    #[test]
+    #[cfg(debug_assertions)]
+    fn eval_state_push_pop_mismatch_is_caught_in_debug() {
+        let q = Cq::builder(&schema()).atom("S", &["v"]).build();
+        let s = schema().relation("S").unwrap();
+        let mut state: EvalState<'_, Natural> = EvalState::for_cq(&q);
+        state.push_fact(s, vec!["c".into()], Natural(2));
+        state.push_fact(s, vec!["d".into()], Natural(3));
+        // Corrupt the newest frame: it now claims the relation held 0 facts
+        // before its push, while the table holds 2 — neither `prev_len` nor
+        // `prev_len + 1`.
+        state.frames.last_mut().unwrap().prev_len = 0;
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            state.pop_fact();
+        }))
+        .expect_err("corrupted undo frame must trip the debug assertion");
+        let message = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            message.contains("push/pop mismatch"),
+            "unexpected panic message: {message}"
+        );
     }
 }

@@ -7,10 +7,11 @@
 //! K-instances for brute-force cross-validation.  Shapes follow the standard
 //! query-optimisation micro-benchmark conventions (path/star joins).
 
+use crate::ccq::Ccq;
 use crate::cq::{Atom, Cq, QVar};
 use crate::instance::Instance;
 use crate::schema::{DbValue, Schema, ValueId};
-use crate::ucq::Ucq;
+use crate::ucq::{Ducq, Ucq};
 use annot_semiring::Semiring;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -131,6 +132,34 @@ impl QueryGenerator {
         Ucq::new((0..disjuncts.max(1)).map(|_| self.cq()).collect::<Vec<_>>())
     }
 
+    /// Generates a CCQ: a random CQ (per the configuration) with random
+    /// disequalities — each pair of distinct existential variables is
+    /// constrained with probability 1/3, so the output ranges from a plain
+    /// CQ to (occasionally) a complete one.
+    pub fn ccq(&mut self) -> Ccq {
+        let cq = self.cq();
+        let existential = cq.existential_vars();
+        let mut inequalities = Vec::new();
+        for (i, &a) in existential.iter().enumerate() {
+            for &b in &existential[i + 1..] {
+                if self.rng.gen_range(0..3u32) == 0 {
+                    inequalities.push((a, b));
+                }
+            }
+        }
+        Ccq::new(cq, inequalities)
+    }
+
+    /// Generates a DUCQ — a union of CCQs ([`Ducq`]) — with the given number
+    /// of disjuncts, each drawn by [`QueryGenerator::ccq`].
+    pub fn ducq(&mut self, disjuncts: usize) -> Ducq {
+        Ducq::new(
+            (0..disjuncts.max(1))
+                .map(|_| self.ccq())
+                .collect::<Vec<_>>(),
+        )
+    }
+
     /// Generates a pair of CQs that are guaranteed to satisfy `Q₂ → Q₁`
     /// (there is a homomorphism from the second onto the first): the second
     /// query is obtained from the first by collapsing some variables and
@@ -247,6 +276,33 @@ mod tests {
         let mut generator = QueryGenerator::new(GeneratorConfig::default());
         let u = generator.ucq(3);
         assert_eq!(u.len(), 3);
+    }
+
+    #[test]
+    fn ccq_and_ducq_generation_are_reproducible_and_well_formed() {
+        let config = GeneratorConfig {
+            num_atoms: 3,
+            shape: QueryShape::Random,
+            seed: 11,
+            ..Default::default()
+        };
+        let d1 = QueryGenerator::new(config.clone()).ducq(2);
+        let d2 = QueryGenerator::new(config.clone()).ducq(2);
+        assert_eq!(d1, d2);
+        assert_eq!(d1.len(), 2);
+        // Inequalities only constrain existing existential variables, and
+        // the sample must exercise both constrained and unconstrained CCQs.
+        let mut saw_inequality = false;
+        let mut generator = QueryGenerator::new(config);
+        for _ in 0..20 {
+            let ccq = generator.ccq();
+            let vars: Vec<_> = ccq.cq().existential_vars();
+            for &(a, b) in ccq.inequalities() {
+                assert!(vars.contains(&a) && vars.contains(&b));
+                saw_inequality = true;
+            }
+        }
+        assert!(saw_inequality, "sample never drew an inequality");
     }
 
     #[test]

@@ -7,106 +7,32 @@
 //! # Storage layout
 //!
 //! Relations are stored columnar-flat: each relation owns a tuple arena
-//! `rows: Vec<ValueId>` chunked by arity (row `h` occupies
-//! `rows[h·arity .. (h+1)·arity]`), a parallel annotation slot vector
+//! ([`RowArena`], a `Vec<ValueId>` chunked by arity so row `h` occupies
+//! `data[h·arity .. (h+1)·arity]`), a parallel annotation slot vector
 //! `annots: Vec<K>`, and an open-addressed [`RowIndex`] hashing row contents
-//! to row handles.  Hot paths (the backtracking joins in
-//! [`crate::eval`]) iterate the arena contiguously and compare `u32`
-//! [`ValueId`]s; the heap-carrying [`DbValue`] representation is
-//! materialised only at the public API boundary.
+//! to row handles.  Both primitives live in the shared
+//! [`rowtable`](crate::rowtable) module, which the incremental
+//! [`EvalState`](crate::eval::EvalState) reuses for its fact stacks.  Hot
+//! paths (the backtracking joins in [`crate::eval`]) iterate the arena
+//! contiguously and compare `u32` [`ValueId`]s; the heap-carrying
+//! [`DbValue`] representation is materialised only at the public API
+//! boundary.
 //!
 //! Setting an annotation to `0` tombstones the row (the slot keeps its arena
 //! position and index entry but leaves the support); re-inserting the same
 //! tuple revives it in place, so the insert-zero/insert-sample pattern of
 //! the brute-force enumerators never rehashes.
 
+use crate::rowtable::{RowArena, RowIndex};
 use crate::schema::{DbValue, Domain, RelId, Schema, Tuple, ValueId};
 use annot_semiring::Semiring;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-const EMPTY_BUCKET: u32 = u32::MAX;
-
-/// FNV-1a over the `u32` ids of a row.
-fn hash_row(row: &[ValueId]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for v in row {
-        h ^= v.0 as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-/// An open-addressed (linear probing, power-of-two capacity) hash index from
-/// row contents to row handles.  Rows are never removed from the arena
-/// (tombstoning keeps them addressable), so the index needs no deletion
-/// support and every arena row is indexed exactly once.
-#[derive(Clone, Debug, Default)]
-struct RowIndex {
-    buckets: Vec<u32>,
-    len: usize,
-}
-
-impl RowIndex {
-    /// The handle of the row equal to `needle`, if present.
-    fn find(&self, arena: &[ValueId], arity: usize, needle: &[ValueId]) -> Option<u32> {
-        if self.buckets.is_empty() {
-            return None;
-        }
-        let mask = self.buckets.len() - 1;
-        let mut i = hash_row(needle) as usize & mask;
-        loop {
-            match self.buckets[i] {
-                EMPTY_BUCKET => return None,
-                h => {
-                    let start = h as usize * arity;
-                    if &arena[start..start + arity] == needle {
-                        return Some(h);
-                    }
-                }
-            }
-            i = (i + 1) & mask;
-        }
-    }
-
-    /// Indexes a freshly appended row (the caller guarantees no equal row is
-    /// already present).
-    fn insert_new(&mut self, arena: &[ValueId], arity: usize, handle: u32) {
-        if (self.len + 1) * 2 > self.buckets.len() {
-            self.grow(arena, arity);
-        }
-        let mask = self.buckets.len() - 1;
-        let start = handle as usize * arity;
-        let mut i = hash_row(&arena[start..start + arity]) as usize & mask;
-        while self.buckets[i] != EMPTY_BUCKET {
-            i = (i + 1) & mask;
-        }
-        self.buckets[i] = handle;
-        self.len += 1;
-    }
-
-    /// Rebuilds the bucket array at double capacity.  Handles are dense
-    /// (`0..len`), so the rebuild walks the arena directly.
-    fn grow(&mut self, arena: &[ValueId], arity: usize) {
-        let capacity = (self.buckets.len() * 2).max(8);
-        self.buckets = vec![EMPTY_BUCKET; capacity];
-        let mask = capacity - 1;
-        for handle in 0..self.len as u32 {
-            let start = handle as usize * arity;
-            let mut i = hash_row(&arena[start..start + arity]) as usize & mask;
-            while self.buckets[i] != EMPTY_BUCKET {
-                i = (i + 1) & mask;
-            }
-            self.buckets[i] = handle;
-        }
-    }
-}
-
 /// One relation's flat storage: tuple arena + annotation slots + row index.
 #[derive(Clone, Debug)]
 struct RelTable<K> {
-    arity: usize,
-    rows: Vec<ValueId>,
+    rows: RowArena,
     annots: Vec<K>,
     index: RowIndex,
 }
@@ -114,26 +40,16 @@ struct RelTable<K> {
 impl<K: Semiring> RelTable<K> {
     fn new(arity: usize) -> Self {
         RelTable {
-            arity,
-            rows: Vec::new(),
+            rows: RowArena::new(arity),
             annots: Vec::new(),
             index: RowIndex::default(),
         }
     }
 
-    fn num_rows(&self) -> usize {
-        self.annots.len()
-    }
-
-    fn row(&self, handle: u32) -> &[ValueId] {
-        let start = handle as usize * self.arity;
-        &self.rows[start..start + self.arity]
-    }
-
     /// Sets the annotation of `row`, appending an arena row on first sight.
     fn set(&mut self, row: &[ValueId], annotation: K) {
-        debug_assert_eq!(row.len(), self.arity);
-        match self.index.find(&self.rows, self.arity, row) {
+        debug_assert_eq!(row.len(), self.rows.arity());
+        match self.index.find(&self.rows, row) {
             Some(h) => self.annots[h as usize] = annotation,
             None => {
                 if annotation.is_zero() {
@@ -141,17 +57,16 @@ impl<K: Semiring> RelTable<K> {
                     // tuple is already outside the support.
                     return;
                 }
-                let h = self.num_rows() as u32;
-                self.rows.extend_from_slice(row);
+                let h = self.rows.push_row(row);
                 self.annots.push(annotation);
-                self.index.insert_new(&self.rows, self.arity, h);
+                self.index.insert_new(&self.rows, h);
             }
         }
     }
 
     fn get(&self, row: &[ValueId]) -> Option<&K> {
         self.index
-            .find(&self.rows, self.arity, row)
+            .find(&self.rows, row)
             .map(|h| &self.annots[h as usize])
             .filter(|k| !k.is_zero())
     }
@@ -162,7 +77,7 @@ impl<K: Semiring> RelTable<K> {
             .iter()
             .enumerate()
             .filter(|(_, k)| !k.is_zero())
-            .map(move |(h, k)| (self.row(h as u32), k))
+            .map(move |(h, k)| (self.rows.row(h as u32), k))
     }
 
     fn live_count(&self) -> usize {
@@ -348,7 +263,6 @@ impl<K: Semiring> Instance<K> {
             .relations
             .iter()
             .map(|t| RelTable {
-                arity: t.arity,
                 rows: t.rows.clone(),
                 // `f` sees only the support (zero slots stay zero), matching
                 // the functor's action on K-relations.

@@ -13,6 +13,9 @@
 //! * [`Cq`], [`Ucq`], [`Ccq`], [`Ducq`] — conjunctive queries, unions, CQs
 //!   with inequalities, and unions of those (Sec. 2, 4.6);
 //! * [`Instance`] — K-instances over any [`annot_semiring::Semiring`];
+//! * [`rowtable`] — the shared flat row-table machinery (arity-chunked
+//!   row arenas + open-addressed row index) both [`Instance`] and
+//!   [`eval::EvalState`] store relations with;
 //! * [`eval`] — semiring evaluation of CQs/CCQs/UCQs (Sec. 2);
 //! * [`CanonicalInstance`] — canonical instances ⟦Q⟧ (Sec. 4.6);
 //! * [`complete`] — complete descriptions ⟨Q⟩ (Sec. 4.6, 5);
@@ -47,6 +50,7 @@ pub mod eval;
 pub mod generator;
 pub mod instance;
 pub mod parser;
+pub mod rowtable;
 pub mod schema;
 pub mod ucq;
 

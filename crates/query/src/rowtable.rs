@@ -1,0 +1,225 @@
+//! Shared flat row-table machinery: arity-chunked row arenas and the
+//! open-addressed row index.
+//!
+//! Two storage layers of this crate keep relations as dense tables of
+//! interned rows and need the same primitives:
+//!
+//! * [`Instance`](crate::instance::Instance) stores each relation as a
+//!   [`RowArena`] (tuple contents), a parallel annotation vector, and a
+//!   [`RowIndex`] from row contents to row handles;
+//! * [`EvalState`](crate::eval::EvalState) stores its fact *stack* per
+//!   relation as a [`RowArena`] plus parallel annotations, pushed on
+//!   [`push_fact`](crate::eval::EvalState::push_fact) and truncated on
+//!   [`pop_fact`](crate::eval::EvalState::pop_fact).
+//!
+//! A [`RowArena`] is an arena of fixed-arity rows packed into one
+//! `Vec<ValueId>`: row `h` occupies `data[h·arity .. (h+1)·arity]`.  Hot
+//! paths iterate it contiguously and compare `u32` ids; no per-row
+//! allocation ever happens.  The arena supports appending and truncating
+//! only — the storage discipline of both consumers (instances tombstone
+//! rows in place instead of deleting; the fact stack pops by truncation).
+//!
+//! A [`RowIndex`] is an open-addressed (linear probing, power-of-two
+//! capacity) hash index from row contents to row handles, with no deletion
+//! support: instance rows are never removed from their arena, so every
+//! arena row is indexed exactly once.
+
+use crate::schema::ValueId;
+
+const EMPTY_BUCKET: u32 = u32::MAX;
+
+/// FNV-1a over the `u32` ids of a row.
+#[inline]
+fn hash_row(row: &[ValueId]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in row {
+        h ^= v.0 as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// An arena of fixed-arity interned rows packed into one flat vector.
+///
+/// The row count is tracked explicitly so that zero-arity relations (whose
+/// rows occupy no storage at all) still count their rows.
+#[derive(Clone, Debug, Default)]
+pub struct RowArena {
+    arity: usize,
+    len: usize,
+    data: Vec<ValueId>,
+}
+
+impl RowArena {
+    /// An empty arena of rows of the given arity.
+    pub fn new(arity: usize) -> Self {
+        RowArena {
+            arity,
+            len: 0,
+            data: Vec::new(),
+        }
+    }
+
+    /// The arity every row of this arena has.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the arena holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a row, returning its handle.  Panics in debug builds if the
+    /// row length does not match the arena's arity.
+    pub fn push_row(&mut self, row: &[ValueId]) -> u32 {
+        debug_assert_eq!(row.len(), self.arity, "row arity mismatch");
+        let handle = self.len as u32;
+        self.data.extend_from_slice(row);
+        self.len += 1;
+        handle
+    }
+
+    /// Shrinks the arena to the first `rows` rows (a no-op when it already
+    /// holds fewer).
+    pub fn truncate(&mut self, rows: usize) {
+        if rows < self.len {
+            self.len = rows;
+            self.data.truncate(rows * self.arity);
+        }
+    }
+
+    /// The contents of row `handle`.
+    pub fn row(&self, handle: u32) -> &[ValueId] {
+        let start = handle as usize * self.arity;
+        &self.data[start..start + self.arity]
+    }
+
+    /// Iterates over the rows in handle order.
+    pub fn iter(&self) -> impl Iterator<Item = &[ValueId]> + '_ {
+        (0..self.len as u32).map(move |h| self.row(h))
+    }
+}
+
+/// An open-addressed hash index from row contents to row handles over a
+/// [`RowArena`] (see the module docs for the supported discipline).
+#[derive(Clone, Debug, Default)]
+pub struct RowIndex {
+    buckets: Vec<u32>,
+    len: usize,
+}
+
+impl RowIndex {
+    /// The handle of the row equal to `needle`, if present.
+    pub fn find(&self, arena: &RowArena, needle: &[ValueId]) -> Option<u32> {
+        if self.buckets.is_empty() {
+            return None;
+        }
+        let mask = self.buckets.len() - 1;
+        let mut i = hash_row(needle) as usize & mask;
+        loop {
+            match self.buckets[i] {
+                EMPTY_BUCKET => return None,
+                h => {
+                    if arena.row(h) == needle {
+                        return Some(h);
+                    }
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Indexes a freshly appended row (the caller guarantees no equal row is
+    /// already present).
+    pub fn insert_new(&mut self, arena: &RowArena, handle: u32) {
+        if (self.len + 1) * 2 > self.buckets.len() {
+            self.grow(arena);
+        }
+        let mask = self.buckets.len() - 1;
+        let mut i = hash_row(arena.row(handle)) as usize & mask;
+        while self.buckets[i] != EMPTY_BUCKET {
+            i = (i + 1) & mask;
+        }
+        self.buckets[i] = handle;
+        self.len += 1;
+    }
+
+    /// Rebuilds the bucket array at double capacity.  Handles are dense
+    /// (`0..len`), so the rebuild walks the arena directly.
+    fn grow(&mut self, arena: &RowArena) {
+        let capacity = (self.buckets.len() * 2).max(8);
+        self.buckets = vec![EMPTY_BUCKET; capacity];
+        let mask = capacity - 1;
+        for handle in 0..self.len as u32 {
+            let mut i = hash_row(arena.row(handle)) as usize & mask;
+            while self.buckets[i] != EMPTY_BUCKET {
+                i = (i + 1) & mask;
+            }
+            self.buckets[i] = handle;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(values: &[u32]) -> Vec<ValueId> {
+        values.iter().map(|&v| ValueId(v)).collect()
+    }
+
+    #[test]
+    fn arena_push_row_and_truncate_round_trip() {
+        let mut arena = RowArena::new(2);
+        assert!(arena.is_empty());
+        let a = arena.push_row(&ids(&[1, 2]));
+        let b = arena.push_row(&ids(&[3, 4]));
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.row(0), &ids(&[1, 2])[..]);
+        assert_eq!(arena.row(1), &ids(&[3, 4])[..]);
+        assert_eq!(arena.iter().count(), 2);
+        arena.truncate(1);
+        assert_eq!(arena.len(), 1);
+        assert_eq!(arena.iter().count(), 1);
+        // Truncating to a larger size is a no-op.
+        arena.truncate(5);
+        assert_eq!(arena.len(), 1);
+        // The freed storage is reused.
+        let c = arena.push_row(&ids(&[5, 6]));
+        assert_eq!(c, 1);
+        assert_eq!(arena.row(1), &ids(&[5, 6])[..]);
+    }
+
+    #[test]
+    fn zero_arity_rows_are_counted() {
+        let mut arena = RowArena::new(0);
+        arena.push_row(&[]);
+        arena.push_row(&[]);
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.row(1), &[] as &[ValueId]);
+        arena.truncate(0);
+        assert!(arena.is_empty());
+    }
+
+    #[test]
+    fn index_finds_rows_across_growth() {
+        let mut arena = RowArena::new(2);
+        let mut index = RowIndex::default();
+        for v in 0..50u32 {
+            let h = arena.push_row(&ids(&[v, v + 1]));
+            index.insert_new(&arena, h);
+        }
+        for v in 0..50u32 {
+            assert_eq!(index.find(&arena, &ids(&[v, v + 1])), Some(v));
+        }
+        assert_eq!(index.find(&arena, &ids(&[50, 0])), None);
+        assert_eq!(RowIndex::default().find(&arena, &ids(&[0, 1])), None);
+    }
+}

@@ -19,7 +19,10 @@
 //!    counterexample, and a semantic counterexample must force a
 //!    `NotContained` verdict from the exact-criterion deciders.
 
-use annot_core::brute_force::{find_counterexample_cq, find_counterexample_ucq, BruteForceConfig};
+use annot_core::brute_force::{
+    find_counterexample_cq, find_counterexample_ducq, find_counterexample_ducq_naive,
+    find_counterexample_ucq, BruteForceConfig,
+};
 use annot_core::classes::ClassifiedSemiring;
 use annot_core::decide::{
     decide_cq, decide_cq_with_poly_order, decide_ucq, decide_ucq_with_poly_order, Answer,
@@ -31,7 +34,7 @@ use annot_polynomial::{leq_min_plus, Monomial, Polynomial, Var};
 use annot_query::complete::complete_description_cq;
 use annot_query::eval::{eval_boolean_cq, eval_cq, eval_ducq};
 use annot_query::generator::{GeneratorConfig, QueryGenerator, QueryShape};
-use annot_query::{CanonicalInstance, Cq, Instance, Ucq};
+use annot_query::{CanonicalInstance, Cq, Ducq, Instance, Ucq};
 use annot_semiring::{
     eval_polynomial, Bool, Lineage, NatPoly, Natural, Semiring, Tropical, Viterbi, Why,
 };
@@ -424,6 +427,98 @@ fn oracle_ucq_nat_poly() {
 #[test]
 fn oracle_ucq_natural() {
     oracle_ucq::<Natural>(false);
+}
+
+// ---------------------------------------------------------------------------
+// DUCQ oracle cases: the incremental (EvalState-driven) search vs the
+// one-shot reference
+// ---------------------------------------------------------------------------
+
+fn ducq_pair(seed: u64) -> (Ducq, Ducq) {
+    let mut generator = QueryGenerator::new(GeneratorConfig {
+        num_atoms: 2,
+        shape: QueryShape::Random,
+        var_pool: 3,
+        num_relations: 1,
+        seed,
+        ..Default::default()
+    });
+    (generator.ducq(2), generator.ducq(2))
+}
+
+/// Random DUCQs (unions of CCQs, whose disjuncts carry `u ≠ v` disequality
+/// constraints): the prefix-memoized oracle — which maintains both queries'
+/// all-outputs maps through `EvalState::for_ducq` — must agree with the
+/// naive reference oracle — which re-evaluates every instance one-shot via
+/// `eval_ducq_all_outputs` — on the existence of a counterexample, and
+/// every reported counterexample must replay under `eval_ducq`.
+///
+/// No syntactic decider covers DUCQs, so unlike the CQ/UCQ harnesses above
+/// this is a two-oracle differential; it runs over one representative
+/// semiring per dispatch class and order shape of the search (scalar
+/// direct: `B`, `N`, `T⁺`; heap-carrying factorized: `Why[X]`, `N[X]`).
+///
+/// `cases` is scaled per semiring so the whole suite respects the ~3 s
+/// debug wall budget on the single-core CI builder — the naive reference
+/// enumerates `Σ C(n,k)·sᵏ` instances per case, so semirings with many
+/// sample elements (`Why[X]`: 6 non-zero) pay an order of magnitude more
+/// per case than `B` (1 non-zero).
+fn oracle_ducq<K: Semiring>(cases: usize) {
+    let config = BruteForceConfig {
+        domain_size: 2,
+        max_support: 3,
+        ..Default::default()
+    };
+    run_cases(cases, |seed| {
+        let (d1, d2) = ducq_pair(11_000 + seed);
+        let memoized = find_counterexample_ducq::<K>(&d1, &d2, &config);
+        let naive = find_counterexample_ducq_naive::<K>(&d1, &d2, &config);
+        assert_eq!(
+            memoized.is_some(),
+            naive.is_some(),
+            "{}: incremental and one-shot DUCQ oracles disagree on {} vs {} (seed {})",
+            K::NAME,
+            d1,
+            d2,
+            11_000 + seed
+        );
+        for ce in [memoized, naive].into_iter().flatten() {
+            let lhs = eval_ducq(&d1, &ce.instance, &ce.tuple);
+            let rhs = eval_ducq(&d2, &ce.instance, &ce.tuple);
+            assert_eq!(ce.lhs, lhs, "{}: reported lhs is not Q₁ᴵ(t)", K::NAME);
+            assert_eq!(ce.rhs, rhs, "{}: reported rhs is not Q₂ᴵ(t)", K::NAME);
+            assert!(
+                !lhs.leq(&rhs),
+                "{}: reported DUCQ violation does not replay",
+                K::NAME
+            );
+        }
+    });
+}
+
+#[test]
+fn oracle_ducq_bool() {
+    oracle_ducq::<Bool>(24);
+}
+
+#[test]
+fn oracle_ducq_natural() {
+    oracle_ducq::<Natural>(18);
+}
+
+#[test]
+fn oracle_ducq_tropical() {
+    oracle_ducq::<Tropical>(18);
+}
+
+#[test]
+fn oracle_ducq_why() {
+    oracle_ducq::<Why>(10);
+}
+
+#[test]
+fn oracle_ducq_nat_poly() {
+    oracle_ducq::<NatPoly>(14);
 }
 
 /// On the exact-criterion semiring whose brute-force search is complete on

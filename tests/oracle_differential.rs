@@ -311,6 +311,90 @@ fn full_walk_counts<K: Semiring>() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The sibling-sharing factorized walk (PR 5)
+// ---------------------------------------------------------------------------
+
+/// The shared-substitution factorized walk — which memoizes, per prefix
+/// node, the sample-assignment evaluations of the unchanged (parent) output
+/// polynomials and re-evaluates only monomials containing the newly
+/// branched slot's variable — must return exactly the same counterexample
+/// verdicts as the naive one-shot oracle at caps 1–4, sequentially and in
+/// parallel, and a full (irrefutable, `Q ⊆ Q`) walk must still visit
+/// exactly `Σ_{k≤cap} C(n,k)·sᵏ` instances under both thread counts.
+/// `cases` scales the random-pair load per (cap, thread) cell: the naive
+/// reference's cost grows with the semiring's non-zero sample count, so
+/// `Why[X]` (6 non-zero samples) runs fewer pairs than `Lin[X]`/`N[X]`.
+fn sibling_sharing_matches_naive<K: Semiring>(cases: u64) {
+    let nonzero = K::sample_elements()
+        .into_iter()
+        .filter(|k| !k.is_zero())
+        .count();
+    for cap in 1..=4usize {
+        let config = BruteForceConfig {
+            domain_size: 2,
+            max_support: cap,
+            ..Default::default()
+        };
+        for seed in 0..cases {
+            let mut g = generator(9800 + seed);
+            let (u1, u2) = (g.ucq(2), g.ucq(2));
+            // The naive verdict is thread-independent; compute it once and
+            // hold the shared-substitution walk to it under both counts.
+            let naive = find_counterexample_ucq_naive::<K>(&u1, &u2, &config);
+            for threads in [1usize, 2] {
+                let config = config.clone().with_threads(threads);
+                let shared = find_counterexample_ucq::<K>(&u1, &u2, &config);
+                assert_eq!(
+                    shared.is_some(),
+                    naive.is_some(),
+                    "{}: cap {cap}, threads {threads}: sibling-sharing walk and naive \
+                     oracle disagree on {} vs {}",
+                    K::NAME,
+                    u1,
+                    u2
+                );
+                if let Some(ce) = shared {
+                    let lhs = eval_ucq(&u1, &ce.instance, &ce.tuple);
+                    let rhs = eval_ucq(&u2, &ce.instance, &ce.tuple);
+                    assert_eq!(ce.lhs, lhs, "{}: reported lhs replay", K::NAME);
+                    assert_eq!(ce.rhs, rhs, "{}: reported rhs replay", K::NAME);
+                    assert!(!lhs.leq(&rhs), "{}: reported violation replay", K::NAME);
+                }
+            }
+        }
+        // The Σ C(n,k)·sᵏ visit invariant on an irrefutable full walk.
+        let mut schema = Schema::with_relations([("R", 2)]);
+        let q = annot_query::parser::parse_ucq(&mut schema, "Q() :- R(u, v), R(v, w)").unwrap();
+        for threads in [1usize, 2] {
+            let config = config.clone().with_threads(threads);
+            let outcome = try_find_counterexample_ucq::<K>(&q, &q, &config).unwrap();
+            assert!(outcome.counterexample.is_none());
+            assert_eq!(
+                outcome.stats.instances_visited,
+                bounded_instance_count(4, nonzero, cap) as u64,
+                "{}: cap {cap}, threads {threads}: wrong visit count",
+                K::NAME
+            );
+        }
+    }
+}
+
+#[test]
+fn sibling_sharing_matches_naive_why() {
+    sibling_sharing_matches_naive::<Why>(3);
+}
+
+#[test]
+fn sibling_sharing_matches_naive_lineage() {
+    sibling_sharing_matches_naive::<Lineage>(6);
+}
+
+#[test]
+fn sibling_sharing_matches_naive_nat_poly() {
+    sibling_sharing_matches_naive::<NatPoly>(6);
+}
+
 #[test]
 fn full_walk_counts_direct_natural() {
     full_walk_counts::<Natural>();
