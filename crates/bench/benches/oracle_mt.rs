@@ -1,0 +1,58 @@
+//! Multi-thread oracle benchmarks: the work-stealing prefix walk (PR 6) on
+//! the deep factorized workload, swept over thread counts.
+//!
+//! The workload is the same irrefutable pair the single-thread deep bench
+//! (`oracle/deep_counterexample_search`) walks — `R(u,v) ⊆ R(u,v)·R(u,v)`
+//! over `Lin[X]`, domain 3, caps 6 and 8 — so `t1` here and the deep bench
+//! there measure the same search and the `t2`/`t4` entries read directly as
+//! parallel speedup.  On an irrefutable pair no counterexample prunes the
+//! walk: every one of the `Σ C(9,k)` prefix nodes is visited, which is the
+//! regime where task granularity, steal traffic, and the per-steal memo
+//! re-seed (a thief replays the stolen prefix before descending) are
+//! actually exercised.
+//!
+//! This group is *gated*: `bench_gate` compares it against the committed
+//! baseline, so a scheduler regression — lock contention on the deques, a
+//! task-explosion bug, quadratic seek — fails CI rather than landing silently.
+//! Speedup across thread counts is reported, not gated: CI machines do not
+//! promise real cores, so the gate only pins each (cap, threads) cell
+//! against its own history.
+
+use annot_core::brute_force::{find_counterexample_cq, BruteForceConfig};
+use annot_query::parser;
+use annot_query::Schema;
+use annot_semiring::Lineage;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn oracle_mt(c: &mut Criterion) {
+    let mut schema = Schema::with_relations([("R", 2)]);
+    let dq1 = parser::parse_cq(&mut schema, "Q() :- R(u, v)").unwrap();
+    let dq2 = parser::parse_cq(&mut schema, "Q() :- R(u, v), R(u, v)").unwrap();
+
+    let mut group = c.benchmark_group("oracle_mt/deep_counterexample_search");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1000));
+    for cap in [6usize, 8] {
+        for threads in [1usize, 2, 4] {
+            let config = BruteForceConfig {
+                domain_size: 3,
+                max_support: cap,
+                threads,
+                ..Default::default()
+            };
+            group.bench_function(format!("lineage/cap{cap}/t{threads}"), |b| {
+                b.iter(|| {
+                    black_box(find_counterexample_cq::<Lineage>(&dq1, &dq2, &config).is_none())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, oracle_mt);
+criterion_main!(benches);

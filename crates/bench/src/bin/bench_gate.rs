@@ -3,9 +3,9 @@
 //! Compares a fresh `BENCH_ESTIMATES` run (see `vendor/criterion`) against a
 //! committed baseline snapshot and fails — exit code 1 — when any *gated*
 //! benchmark regressed beyond the threshold.  By default the gate covers the
-//! two hot-path bench groups the repository's perf trajectory is pinned on
-//! (`oracle/*` and `hom_scaling/*`); everything else is reported but never
-//! fatal.
+//! hot-path bench groups the repository's perf trajectory is pinned on
+//! (`oracle/*`, `oracle_mt/*` and `hom_scaling/*`); everything else is
+//! reported but never fatal.
 //!
 //! Usage:
 //!
@@ -76,7 +76,7 @@ impl Default for GateConfig {
         GateConfig {
             threshold: 0.25,
             min_mean_ns: 1000.0,
-            gated_prefixes: vec!["oracle/".into(), "hom_scaling/".into()],
+            gated_prefixes: vec!["oracle/".into(), "oracle_mt/".into(), "hom_scaling/".into()],
         }
     }
 }
@@ -527,6 +527,35 @@ mod tests {
         let rows = compare(&base, &cur, &GateConfig::default());
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].verdict, Verdict::GatedRegression);
+    }
+
+    #[test]
+    fn multi_thread_oracle_group_is_gated() {
+        // `oracle_mt/*` is its own gated prefix — `"oracle/"` does not match
+        // it (prefix matching is literal, not path-segment aware), so the
+        // multi-thread tier must be listed explicitly to be enforced.
+        let base = snapshot(&[(
+            "oracle_mt/deep_counterexample_search",
+            "lineage/cap8/t4",
+            6_000_000.0,
+            100.0,
+        )]);
+        let cur = snapshot(&[(
+            "oracle_mt/deep_counterexample_search",
+            "lineage/cap8/t4",
+            12_000_000.0,
+            100.0,
+        )]);
+        let rows = compare(&base, &cur, &GateConfig::default());
+        assert_eq!(rows[0].verdict, Verdict::GatedRegression);
+        let only_single_thread_gated = GateConfig {
+            gated_prefixes: vec!["oracle/".into()],
+            ..GateConfig::default()
+        };
+        assert_eq!(
+            compare(&base, &cur, &only_single_thread_gated)[0].verdict,
+            Verdict::UngatedRegression
+        );
     }
 
     #[test]

@@ -41,10 +41,29 @@
 //! differing only on variables absent from both polynomials cannot change
 //! the verdict.
 //!
-//! The top-level branches of the tree (choice of the first annotated slot)
-//! are independent, so [`try_find_counterexample_ucq`] distributes them
-//! across a small scoped thread pool when [`BruteForceConfig::threads`] asks
-//! for one.
+//! With [`BruteForceConfig::threads`]` > 1` the tree is walked by a
+//! work-stealing scheduler (see [`crate::steal`]): every prefix node is a
+//! stealable task carrying its path from the root, each worker walks its own
+//! queue depth-first (children are enqueued where recursion would descend),
+//! and idle workers steal the shallowest pending subtree of a neighbour —
+//! skewed trees no longer pin the bulk of the walk on one core the way
+//! splitting only over top-level slots did.  A worker seeks its incremental
+//! evaluation states from its previous node to the next task's node by
+//! popping to the longest common prefix, so the owner's depth-first pops pay
+//! exactly the push/pop sequence of the recursive walk; a thief replays the
+//! (short) stolen prefix into its own states and re-seeds its sibling-memo
+//! caches locally — no evaluation state is ever shared between workers.
+//!
+//! The reported counterexample is **deterministic** regardless of thread
+//! count: every violation is recorded together with the path of the node
+//! that produced it, the context keeps the lexicographically smallest path
+//! (= the first node in the sequential depth-first order), and instead of
+//! stopping on the first hit, parallel workers prune exactly the tasks at or
+//! after the current best path — the nodes the sequential walk would never
+//! have visited.  The one exception is a search aborted by
+//! [`BruteForceConfig::max_instances`]: which nodes fit under the budget is
+//! schedule-dependent, so a budget-truncated parallel search may surface a
+//! different (or no) witness.
 //!
 //! [`find_counterexample_ucq_naive`] retains the previous per-instance
 //! one-shot evaluation as the reference implementation for differential
@@ -66,14 +85,23 @@
 //! closed form for both enumerators).  The support cap prunes the tree
 //! *during descent*: a node at depth `max_support` has no children.
 
+use crate::steal::StealPool;
 use annot_polynomial::{Monomial, Polynomial, Var};
 use annot_query::eval::{eval_cq, eval_ducq_all_outputs, eval_ucq_all_outputs, EvalState};
 use annot_query::{Cq, DbValue, Ducq, IdTuple, Instance, RelId, Schema, Tuple, Ucq, ValueId};
 use annot_semiring::{NatPoly, Semiring};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
+
+/// The path of a prefix-tree node from the root: one `(slot, branch)` pair
+/// per pushed fact (`branch` is always `0` in the factorized walk, a sample
+/// index in the direct one).  Paths double as the scheduler's task payload
+/// and as the total order on nodes — slice-lexicographic comparison is
+/// exactly the sequential depth-first visit order, which makes the smallest
+/// recorded path the deterministic witness.
+type PrefixPath = Vec<(u32, u32)>;
 
 /// A borrowed union query the brute-force oracle can search over: a plain
 /// [`Ucq`] or a [`Ducq`] (union of CCQs, whose disjuncts carry disequality
@@ -309,11 +337,14 @@ pub fn try_find_counterexample_cq<K: Semiring>(
 /// The prefix-memoized, optionally parallel counterexample search (see the
 /// module docs for the tree structure and sharing argument).
 ///
-/// Returns the first counterexample found together with enumeration
-/// counters, or [`BruteForceError::InstanceBudgetExceeded`] when
-/// `config.max_instances` ran out before the search settled.  With
-/// `config.threads > 1` the *existence* of a counterexample is deterministic
-/// but which one is reported may vary between runs.
+/// Returns the first counterexample in the sequential depth-first search
+/// order together with enumeration counters, or
+/// [`BruteForceError::InstanceBudgetExceeded`] when `config.max_instances`
+/// ran out before the search settled.  The reported witness is
+/// **deterministic across thread counts**: with `config.threads > 1` the
+/// work-stealing walk records the violation at the smallest prefix path (see
+/// the module docs), which is the one the sequential walk reports.  Only a
+/// search truncated by `max_instances` is schedule-dependent.
 pub fn try_find_counterexample_ucq<K: Semiring>(
     q1: &Ucq,
     q2: &Ucq,
@@ -370,19 +401,6 @@ fn try_find_counterexample_union<K: Semiring>(
         .into_iter()
         .filter(|s| !s.is_zero())
         .collect();
-    let ctx = SearchContext {
-        q1,
-        q2,
-        schema: &schema,
-        slots: &slots,
-        samples: &samples,
-        cap: config.max_support,
-        max_instances: config.max_instances,
-        visited: AtomicU64::new(0),
-        stop: AtomicBool::new(false),
-        budget_exceeded: AtomicBool::new(false),
-        found: Mutex::new(None),
-    };
 
     // Factorization through `N[X]` pays when the sample assignments it
     // amortises are plural *and* the annotation domain's operations are
@@ -394,34 +412,57 @@ fn try_find_counterexample_union<K: Semiring>(
     // pay for itself, so they keep the direct walk.
     let factorized = std::mem::needs_drop::<K>() && samples.len() >= 2;
 
-    // The root of the prefix tree: the empty instance (shared by both
-    // strategies — with no facts the all-outputs maps are the constants of
-    // the atomless disjuncts either way).
-    if ctx.count_instances(1) {
-        let mut worker = Worker::new(&ctx);
-        if let Some(violation) = worker.check_all_outputs() {
-            let counterexample = worker.materialise(violation);
-            ctx.record(counterexample);
-        }
-    }
-
     // With no non-zero samples the root is the only instance; with a zero
     // support cap the tree has no other nodes.  The factorized walk has one
     // top-level job per choice of first annotated slot; the direct walk one
     // per (slot, sample) pair.
-    let jobs = if ctx.cap == 0 || samples.is_empty() {
+    let branches = if factorized { 1 } else { samples.len() };
+    let jobs = if config.max_support == 0 || samples.is_empty() {
         0
-    } else if factorized {
-        slots.len()
     } else {
-        slots.len() * samples.len()
+        slots.len() * branches
     };
-    if jobs > 0 && !ctx.stopped() {
-        let threads = config.effective_threads().clamp(1, jobs);
+    let threads = if jobs == 0 {
+        1
+    } else {
+        config.effective_threads().clamp(1, jobs)
+    };
+
+    let ctx = SearchContext {
+        q1,
+        q2,
+        schema: &schema,
+        slots: &slots,
+        samples: &samples,
+        cap: config.max_support,
+        max_instances: config.max_instances,
+        sequential: threads == 1,
+        visited: AtomicU64::new(0),
+        stop: AtomicBool::new(false),
+        budget_exceeded: AtomicBool::new(false),
+        have_found: AtomicBool::new(false),
+        found: Mutex::new(None),
+    };
+
+    // The root of the prefix tree: the empty instance (shared by both
+    // strategies — with no facts the all-outputs maps are the constants of
+    // the atomless disjuncts either way).  Its path is empty, the minimum of
+    // the path order: a root violation is unbeatable and the walk is skipped.
+    let mut root_violated = false;
+    if ctx.count_instances(1) {
+        let mut worker = Worker::new(&ctx);
+        if let Some(violation) = worker.check_all_outputs() {
+            let counterexample = worker.materialise(violation);
+            ctx.record(&[], counterexample);
+            root_violated = true;
+        }
+    }
+
+    if jobs > 0 && !root_violated && !ctx.stopped() {
         if factorized {
-            drive_jobs(&ctx, threads, jobs, Worker::new);
+            drive_jobs(&ctx, threads, jobs, branches, Worker::new);
         } else {
-            drive_jobs(&ctx, threads, jobs, DirectWorker::new);
+            drive_jobs(&ctx, threads, jobs, branches, DirectWorker::new);
         }
     }
 
@@ -429,7 +470,8 @@ fn try_find_counterexample_union<K: Semiring>(
     let counterexample = ctx
         .found
         .into_inner()
-        .unwrap_or_else(|poisoned| poisoned.into_inner());
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .map(|(_path, counterexample)| counterexample);
     if counterexample.is_none() && ctx.budget_exceeded.load(Ordering::Relaxed) {
         return Err(BruteForceError::InstanceBudgetExceeded {
             max_instances: config.max_instances.unwrap_or(0),
@@ -448,14 +490,23 @@ fn try_find_counterexample_union<K: Semiring>(
     })
 }
 
-/// Runs `jobs` top-level subtree jobs over `threads` workers (each worker
-/// owns its evaluation states; jobs are claimed from a shared counter).
-/// With one thread everything runs on the caller's stack — the
-/// cross-validation harness parallelises across *cases* and keeps it there.
+/// Drives the prefix walk over `jobs` top-level subtrees with `threads`
+/// workers.
+///
+/// With one thread everything runs recursively on the caller's stack — the
+/// cross-validation harness parallelises across *cases* and keeps it there,
+/// and the recursion avoids the (small) per-node task overhead.  With more,
+/// the walk runs on a [`StealPool`]: the depth-1 nodes are dealt round-robin
+/// as seed tasks, every clean node enqueues its children on its worker's own
+/// queue, and idle workers steal the shallowest pending subtree from a
+/// neighbour.  Each worker owns its evaluation states and seeks them between
+/// consecutive tasks (see [`PrefixWalk::seek`]); nothing but the
+/// [`SearchContext`] is shared.
 fn drive_jobs<'s, K, W>(
     ctx: &'s SearchContext<'s, K>,
     threads: usize,
     jobs: usize,
+    branches: usize,
     new_worker: impl Fn(&'s SearchContext<'s, K>) -> W + Copy + Send + Sync,
 ) where
     K: Semiring,
@@ -469,26 +520,37 @@ fn drive_jobs<'s, K, W>(
             }
             worker.run_job(job);
         }
-    } else {
-        let next_job = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| {
-                    let mut worker = new_worker(ctx);
-                    loop {
-                        if ctx.stopped() {
-                            break;
-                        }
-                        let job = next_job.fetch_add(1, Ordering::Relaxed);
-                        if job >= jobs {
-                            break;
-                        }
-                        worker.run_job(job);
-                    }
-                });
-            }
-        });
+        return;
     }
+    let pool: StealPool<PrefixPath> = StealPool::new(threads);
+    // Seed one task per depth-1 node, dealt round-robin; highest jobs are
+    // pushed first so the owner end of every queue holds its lowest job and
+    // each worker starts in sequential order.
+    for job in (0..jobs).rev() {
+        let path = vec![((job / branches) as u32, (job % branches) as u32)];
+        pool.push(job % threads, path);
+    }
+    std::thread::scope(|scope| {
+        for me in 0..threads {
+            let pool = &pool;
+            scope.spawn(move || {
+                let mut worker = new_worker(ctx);
+                loop {
+                    if ctx.stopped() {
+                        break;
+                    }
+                    match pool.pop_own(me).or_else(|| pool.steal(me)) {
+                        Some(path) => {
+                            worker.run_task(pool, me, path);
+                            pool.task_done();
+                        }
+                        None if pool.pending() == 0 => break,
+                        None => std::thread::yield_now(),
+                    }
+                }
+            });
+        }
+    });
 }
 
 /// The depth-first control flow shared by both prefix-walk strategies:
@@ -506,6 +568,8 @@ trait PrefixWalk<K: Semiring> {
     fn instances_at(&self, depth: usize) -> u64;
     /// Current prefix length.
     fn depth(&self) -> usize;
+    /// The `(slot, branch)` pair at stack position `index`.
+    fn entry_at(&self, index: usize) -> (u32, u32);
     /// Extends the prefix by `slot` (with the strategy's `branch` choice).
     fn push(&mut self, slot: usize, branch: usize);
     /// Undoes the most recent [`push`](PrefixWalk::push).
@@ -513,6 +577,11 @@ trait PrefixWalk<K: Semiring> {
     /// Checks the current node; a found violation is recorded into the
     /// context and reported as `true`.
     fn check_and_record(&mut self) -> bool;
+
+    /// The current node's path from the root (the witness-priority key).
+    fn current_path(&self) -> PrefixPath {
+        (0..self.depth()).map(|i| self.entry_at(i)).collect()
+    }
 
     /// Runs one top-level job: the subtree rooted at the single-slot prefix
     /// `slot(job / branches) ↦ branch(job % branches)`.
@@ -528,6 +597,59 @@ trait PrefixWalk<K: Semiring> {
             self.descend(slot + 1, budget);
         }
         self.pop();
+    }
+
+    /// Runs one stealable task of the work-stealing walk: the single node at
+    /// `path`.  Prunes it when a better witness already exists, counts its
+    /// instances, seeks the evaluation states to it, checks it, and — when
+    /// it is clean and below the support cap — enqueues its children on this
+    /// worker's own queue.  Children are pushed highest-`(slot, branch)`
+    /// first so the owner, popping LIFO, walks them in ascending (sequential
+    /// depth-first) order while thieves take shallow subtrees from the other
+    /// end.
+    fn run_task(&mut self, pool: &StealPool<PrefixPath>, me: usize, path: PrefixPath) {
+        if self.ctx().pruned(&path) {
+            return;
+        }
+        if !self.ctx().count_instances(self.instances_at(path.len())) {
+            return;
+        }
+        self.seek(&path);
+        if self.check_and_record() {
+            return;
+        }
+        if path.len() >= self.ctx().cap {
+            return;
+        }
+        let next_slot = path.last().map_or(0, |&(slot, _)| slot as usize + 1);
+        for slot in (next_slot..self.ctx().slots.len()).rev() {
+            for branch in (0..self.branches_per_slot()).rev() {
+                let mut child = Vec::with_capacity(path.len() + 1);
+                child.extend_from_slice(&path);
+                child.push((slot as u32, branch as u32));
+                pool.push(me, child);
+            }
+        }
+    }
+
+    /// Seeks the incremental evaluation states from the current node to
+    /// `path`: pops to the longest common prefix, then pushes the remainder.
+    /// For an owner popping its own children this is one pop run plus one
+    /// push — the exact backtracking of the recursive walk; a thief pays one
+    /// replay of the stolen prefix and re-seeds its node-local memo caches
+    /// from scratch (sharing none with the victim).
+    fn seek(&mut self, path: &[(u32, u32)]) {
+        let mut common = 0;
+        while common < self.depth() && common < path.len() && self.entry_at(common) == path[common]
+        {
+            common += 1;
+        }
+        while self.depth() > common {
+            self.pop();
+        }
+        for &(slot, branch) in &path[common..] {
+            self.push(slot as usize, branch as usize);
+        }
     }
 
     /// Extends the current (already counted and checked) prefix by every
@@ -568,10 +690,19 @@ struct SearchContext<'s, K: Semiring> {
     /// Support cap (maximum depth of the prefix tree).
     cap: usize,
     max_instances: Option<u64>,
+    /// Whether the walk runs on the caller's thread alone.  The sequential
+    /// walk visits nodes in ascending path order, so its first recorded
+    /// violation is already the minimum and the search can stop outright;
+    /// parallel workers must instead keep walking the nodes before the
+    /// current best (see [`SearchContext::pruned`]).
+    sequential: bool,
     visited: AtomicU64,
     stop: AtomicBool,
     budget_exceeded: AtomicBool,
-    found: Mutex<Option<CounterExample<K>>>,
+    /// Cheap flag mirroring `found.is_some()`, so the per-task prune check
+    /// only takes the mutex once a witness actually exists.
+    have_found: AtomicBool,
+    found: Mutex<Option<(PrefixPath, CounterExample<K>)>>,
 }
 
 impl<K: Semiring> SearchContext<'_, K> {
@@ -598,17 +729,45 @@ impl<K: Semiring> SearchContext<'_, K> {
         self.stop.load(Ordering::Relaxed)
     }
 
-    /// Records a counterexample (keeping the first one reported) and stops
-    /// every worker.
-    fn record(&self, counterexample: CounterExample<K>) {
+    /// Records a counterexample found at the node `path`, keeping the one
+    /// with the smallest path (= first in the sequential depth-first order).
+    /// The sequential walk additionally stops outright: it visits nodes in
+    /// ascending path order, so its first hit is already the minimum.
+    fn record(&self, path: &[(u32, u32)], counterexample: CounterExample<K>) {
         let mut slot = self
             .found
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
-        if slot.is_none() {
-            *slot = Some(counterexample);
+        let improves = match &*slot {
+            Some((best, _)) => path < &best[..],
+            None => true,
+        };
+        if improves {
+            *slot = Some((path.to_vec(), counterexample));
+            self.have_found.store(true, Ordering::Release);
         }
-        self.stop.store(true, Ordering::Relaxed);
+        if self.sequential {
+            self.stop.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether the node at `path` can be skipped: a witness at or before it
+    /// already exists, so neither it nor any of its descendants (whose paths
+    /// all extend — and therefore exceed — `path`) can improve the minimum.
+    /// This is how a parallel search winds down after a hit: everything the
+    /// sequential walk would not have visited is discarded unvisited.
+    fn pruned(&self, path: &[(u32, u32)]) -> bool {
+        if !self.have_found.load(Ordering::Acquire) {
+            return false;
+        }
+        let slot = self
+            .found
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        match &*slot {
+            Some((best, _)) => path >= &best[..],
+            None => false,
+        }
     }
 }
 
@@ -649,11 +808,45 @@ impl<K> NodeCache<K> {
     }
 }
 
+/// A sibling-sharing memo key: the sample assignment restricted to the base
+/// variables of the checked row (see [`NodeCache`]).
+///
+/// The restriction is a short list of small sample indices, so in the common
+/// case — at most 16 base variables over at most 16 samples — it packs into
+/// a single `u64` fingerprint, 4 bits per variable position: hashing and
+/// comparing cost one word each and the deep odometer laps stop allocating a
+/// `Vec` per lookup.  Wider assignments (possible only with an adversarial
+/// sample set or a support cap above 16) fall back to the explicit vector.
+///
+/// The packing is injective per memo: every sibling of one parent node
+/// partitions against the same base polynomial, so `base_vars` — the
+/// positions being packed — is fixed for a given (node, row) memo and equal
+/// fingerprints mean equal restricted assignments.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum MemoKey {
+    Packed(u64),
+    Wide(Vec<u32>),
+}
+
+/// Builds the memo key of `choice` restricted to `base_vars` (packed when
+/// the [`MemoKey::Packed`] bounds hold, explicit otherwise).
+fn memo_key(base_vars: &[usize], choice: &[usize], samples: usize) -> MemoKey {
+    if samples <= 16 && base_vars.len() <= 16 {
+        let mut packed = 0u64;
+        for (position, &var) in base_vars.iter().enumerate() {
+            packed |= (choice[var] as u64) << (4 * position);
+        }
+        MemoKey::Packed(packed)
+    } else {
+        MemoKey::Wide(base_vars.iter().map(|&var| choice[var] as u32).collect())
+    }
+}
+
 /// The cached partial evaluations of one output row at one prefix node,
 /// per side of the containment check.
 struct RowMemo<K> {
-    lhs: HashMap<Vec<usize>, K>,
-    rhs: HashMap<Vec<usize>, K>,
+    lhs: HashMap<MemoKey, K>,
+    rhs: HashMap<MemoKey, K>,
 }
 
 impl<K> Default for RowMemo<K> {
@@ -842,7 +1035,7 @@ impl<'s, K: Semiring> Worker<'s, K> {
             // Outer lap: one assignment of the base variables.  Both base
             // evaluations are constant across the inner delta laps; the lhs
             // one is resolved here (memoized), the rhs one lazily below.
-            let base_key: Vec<usize> = base_vars.iter().map(|&v| choice[v]).collect();
+            let base_key = memo_key(&base_vars, &choice, samples.len());
             let base1 = memoized_base(
                 memo.as_mut().map(|m| &mut m.lhs),
                 &base_key,
@@ -977,6 +1170,10 @@ impl<K: Semiring> PrefixWalk<K> for Worker<'_, K> {
         self.stack.len()
     }
 
+    fn entry_at(&self, index: usize) -> (u32, u32) {
+        (self.stack[index] as u32, 0)
+    }
+
     fn push(&mut self, slot: usize, _branch: usize) {
         Worker::push(self, slot);
     }
@@ -989,7 +1186,7 @@ impl<K: Semiring> PrefixWalk<K> for Worker<'_, K> {
         match self.check_after_push() {
             Some(violation) => {
                 let counterexample = self.materialise(violation);
-                self.ctx.record(counterexample);
+                self.ctx.record(&self.current_path(), counterexample);
                 true
             }
             None => false,
@@ -1069,6 +1266,13 @@ impl<'s, K: Semiring> DirectWorker<'s, K> {
 
     /// The containment check after a push: same lazy-rhs / changed-delta
     /// structure as the factorized worker, minus the sample loop.
+    ///
+    /// The changed rows are checked in sorted order — the same order the
+    /// full check below iterates — so a node with several violating rows
+    /// reports the same one no matter how far the rhs had lagged when the
+    /// node was reached (a stolen task arrives via a multi-fact catch-up
+    /// where the recursive walk arrives one fact behind; the deterministic
+    /// witness must not depend on which of the two happened).
     fn check_after_push(&mut self) -> Option<(IdTuple, K, K)> {
         if self.lhs.outputs_rows().is_empty() {
             return None;
@@ -1081,16 +1285,15 @@ impl<'s, K: Semiring> DirectWorker<'s, K> {
             }
             return None;
         }
-        for row in self.lhs.last_changed_rows() {
-            if let Some(v) = self.check_tuple(row) {
-                return Some(v);
-            }
-        }
-        for row in self.rhs.last_changed_rows() {
-            // A row changed on both sides was just checked via the lhs.
-            if self.lhs.last_changed_rows().any(|t| t == row) {
-                continue;
-            }
+        let mut changed: Vec<IdTuple> = self
+            .lhs
+            .last_changed_rows()
+            .chain(self.rhs.last_changed_rows())
+            .cloned()
+            .collect();
+        changed.sort_unstable();
+        changed.dedup();
+        for row in &changed {
             if let Some(v) = self.check_tuple(row) {
                 return Some(v);
             }
@@ -1105,12 +1308,20 @@ impl<'s, K: Semiring> DirectWorker<'s, K> {
             let (rel, r) = &self.ctx.slots[slot];
             instance.add_annotation_row(*rel, r, self.ctx.samples[sample].clone());
         }
-        self.ctx.record(CounterExample {
-            instance,
-            tuple: self.ctx.schema.domain().resolve_tuple(&row),
-            lhs,
-            rhs,
-        });
+        let path: PrefixPath = self
+            .stack
+            .iter()
+            .map(|&(slot, sample)| (slot as u32, sample as u32))
+            .collect();
+        self.ctx.record(
+            &path,
+            CounterExample {
+                instance,
+                tuple: self.ctx.schema.domain().resolve_tuple(&row),
+                lhs,
+                rhs,
+            },
+        );
     }
 }
 
@@ -1131,6 +1342,11 @@ impl<K: Semiring> PrefixWalk<K> for DirectWorker<'_, K> {
 
     fn depth(&self) -> usize {
         self.stack.len()
+    }
+
+    fn entry_at(&self, index: usize) -> (u32, u32) {
+        let (slot, sample) = self.stack[index];
+        (slot as u32, sample as u32)
     }
 
     fn push(&mut self, slot: usize, branch: usize) {
@@ -1188,8 +1404,8 @@ fn eval_terms<K: Semiring>(
 /// `choice`, replaying it from `memo` keyed by the base-restricted
 /// assignment `key` when a parent cache is available.
 fn memoized_base<K: Semiring>(
-    memo: Option<&mut HashMap<Vec<usize>, K>>,
-    key: &[usize],
+    memo: Option<&mut HashMap<MemoKey, K>>,
+    key: &MemoKey,
     terms: &[Term<'_>],
     samples: &[K],
     choice: &[usize],
@@ -1203,7 +1419,7 @@ fn memoized_base<K: Semiring>(
     }
     let value = eval_terms(terms, samples, choice, naturals);
     if memo.len() < MAX_MEMO_ENTRIES {
-        memo.insert(key.to_vec(), value.clone());
+        memo.insert(key.clone(), value.clone());
     }
     value
 }
@@ -1705,7 +1921,9 @@ mod tests {
         assert!(find_counterexample_ucq::<Bool>(&q2, &q1, &config).is_none());
     }
 
-    /// The parallel search agrees with the sequential one on existence.
+    /// The parallel search reports the *same witness* as the sequential one
+    /// (the work-stealing walk keeps the smallest-path violation, which is
+    /// the one the depth-first order finds first).
     #[test]
     fn parallel_search_agrees_with_sequential() {
         let mut s = schema();
@@ -1723,9 +1941,78 @@ mod tests {
                 &BruteForceConfig::default().with_threads(4),
             );
             assert_eq!(sequential.is_some(), parallel.is_some());
-            if let Some(ce) = parallel {
-                assert!(!ce.lhs.leq(&ce.rhs));
+            if let (Some(seq), Some(par)) = (sequential, parallel) {
+                assert!(!par.lhs.leq(&par.rhs));
+                assert_eq!(seq.instance, par.instance);
+                assert_eq!(seq.tuple, par.tuple);
+                assert_eq!(seq.lhs, par.lhs);
+                assert_eq!(seq.rhs, par.rhs);
             }
         }
+    }
+
+    /// More workers than top-level jobs is valid (the pool clamps to the job
+    /// count) and thieves that replay stolen prefixes still produce the
+    /// sequential witness and the exact full-walk count.
+    #[test]
+    fn oversubscribed_thread_counts_stay_deterministic() {
+        let mut s = schema();
+        let q1 = parser::parse_ucq(&mut s, "Q() :- R(u, v), R(u, w)").unwrap();
+        let q2 = parser::parse_ucq(&mut s, "Q() :- R(u, v), R(u, v)").unwrap();
+        let sequential =
+            find_counterexample_ucq::<Natural>(&q1, &q2, &BruteForceConfig::default()).unwrap();
+        for threads in [2, 3, 8, 16] {
+            let parallel = find_counterexample_ucq::<Natural>(
+                &q1,
+                &q2,
+                &BruteForceConfig::default().with_threads(threads),
+            )
+            .unwrap();
+            assert_eq!(sequential.instance, parallel.instance, "threads {threads}");
+            assert_eq!(sequential.tuple, parallel.tuple);
+            assert_eq!(
+                (&sequential.lhs, &sequential.rhs),
+                (&parallel.lhs, &parallel.rhs)
+            );
+        }
+    }
+
+    /// The packed memo fingerprint is injective over its stated bounds and
+    /// falls back to the explicit key beyond them.
+    #[test]
+    fn memo_keys_pack_within_bounds_and_widen_beyond() {
+        // 16 base variables over 16 samples: the widest packable shape.
+        let base_vars: Vec<usize> = (0..16).collect();
+        let lo = vec![0usize; 16];
+        let mut hi = vec![15usize; 16];
+        assert_eq!(memo_key(&base_vars, &lo, 16), MemoKey::Packed(0));
+        assert_eq!(memo_key(&base_vars, &hi, 16), MemoKey::Packed(u64::MAX));
+        // Flipping any single position changes the fingerprint.
+        let full = memo_key(&base_vars, &hi, 16);
+        for position in 0..16 {
+            hi[position] = 14;
+            assert_ne!(memo_key(&base_vars, &hi, 16), full, "position {position}");
+            hi[position] = 15;
+        }
+        // The key reads `choice` *through* `base_vars`: non-base positions
+        // do not contribute.
+        let sparse_vars = [1usize, 3];
+        let choice_a = [9usize, 2, 9, 5];
+        let choice_b = [0usize, 2, 0, 5];
+        assert_eq!(
+            memo_key(&sparse_vars, &choice_a, 16),
+            memo_key(&sparse_vars, &choice_b, 16)
+        );
+        // 17 samples or 17 base variables exceed 4 bits/slot: explicit keys.
+        let wide_vars: Vec<usize> = (0..17).collect();
+        let wide_choice = vec![3usize; 17];
+        assert_eq!(
+            memo_key(&wide_vars, &wide_choice, 16),
+            MemoKey::Wide(vec![3u32; 17])
+        );
+        assert_eq!(
+            memo_key(&sparse_vars, &choice_a, 17),
+            MemoKey::Wide(vec![2, 5])
+        );
     }
 }

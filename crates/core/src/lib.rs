@@ -16,6 +16,7 @@
 //! | [`poly_order`] | decidable polynomial orders `¹_K` backing the small-model procedure | Sec. 3.2, 4.6 |
 //! | [`matching`] | bipartite matching (Hall's theorem) used by `↠_∞` | Sec. 5.3 |
 //! | [`brute_force`] | semantic baseline used for cross-validation | — |
+//! | [`steal`] | the work-stealing task pool driving the baseline's parallel walk | — |
 //! | [`decide`] | the unified, class-dispatching containment solver | Table 1 |
 //!
 //! ## Quick example
@@ -48,6 +49,7 @@ pub mod decide;
 pub mod matching;
 pub mod poly_order;
 pub mod small_model;
+pub mod steal;
 pub mod ucq;
 
 pub use classes::{

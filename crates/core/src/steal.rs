@@ -1,0 +1,198 @@
+//! A minimal hand-rolled work-stealing task pool.
+//!
+//! [`StealPool`] holds one two-ended task queue per worker.  A worker treats
+//! its own queue as a LIFO stack ([`push`](StealPool::push) /
+//! [`pop_own`](StealPool::pop_own) at the *back*), which gives a depth-first
+//! walk when tasks enqueue their own children; an idle worker
+//! [`steal`](StealPool::steal)s from the *front* of another worker's queue,
+//! which hands it the oldest — and therefore shallowest, largest — pending
+//! subtree.  This is the classic deque discipline of Chase–Lev schedulers,
+//! implemented with a mutex per queue instead of atomics: the brute-force
+//! oracle's tasks each perform at least one delta join, so queue operations
+//! are nowhere near the critical path and the mutex keeps the module small,
+//! obviously correct, and free of `unsafe`.
+//!
+//! # Termination protocol
+//!
+//! The pool counts *pending* tasks: [`push`](StealPool::push) increments the
+//! count and [`task_done`](StealPool::task_done) decrements it, so the count
+//! covers both queued tasks and tasks currently being processed.  A worker
+//! that processes a task **must** call `task_done` afterwards — and must do
+//! so only *after* pushing any child tasks, so the count can never reach
+//! zero while work is still being generated.  A worker that finds every
+//! queue empty may exit once [`pending`](StealPool::pending) reaches zero.
+//!
+//! Queues are never poisoned from the pool's point of view: all operations
+//! recover the inner deque from a poisoned mutex (a plain queue is always in
+//! a consistent state), so one panicking worker does not wedge the others.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// A fixed set of per-worker two-ended task queues with a shared pending
+/// count (see the module docs for the discipline and termination protocol).
+#[derive(Debug)]
+pub struct StealPool<T> {
+    queues: Vec<Mutex<VecDeque<T>>>,
+    pending: AtomicUsize,
+}
+
+impl<T> StealPool<T> {
+    /// A pool with one (empty) queue per worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `workers` is zero — a pool with no queues cannot hold a
+    /// task.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "StealPool needs at least one worker");
+        StealPool {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of worker queues.
+    pub fn workers(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Enqueues a task at the back (owner end) of `worker`'s queue and
+    /// counts it as pending.
+    pub fn push(&self, worker: usize, task: T) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.lock(worker).push_back(task);
+    }
+
+    /// Pops the most recently pushed task of `worker`'s own queue (LIFO:
+    /// depth-first when tasks push their children).  Does **not** change the
+    /// pending count — the caller owes a [`task_done`](StealPool::task_done)
+    /// once the task has been processed.
+    pub fn pop_own(&self, worker: usize) -> Option<T> {
+        self.lock(worker).pop_back()
+    }
+
+    /// Steals the oldest task from some other worker's queue, scanning
+    /// victims round-robin from `thief + 1`.  Same `task_done` obligation as
+    /// [`pop_own`](StealPool::pop_own).
+    pub fn steal(&self, thief: usize) -> Option<T> {
+        for offset in 1..self.queues.len() {
+            let victim = (thief + offset) % self.queues.len();
+            if let Some(task) = self.lock(victim).pop_front() {
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    /// Marks one previously popped or stolen task as fully processed.
+    pub fn task_done(&self) {
+        self.pending.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Tasks still queued or being processed.  A worker observing an empty
+    /// pool may exit once this reaches zero.
+    pub fn pending(&self) -> usize {
+        self.pending.load(Ordering::SeqCst)
+    }
+
+    fn lock(&self, worker: usize) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.queues[worker]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn owner_pops_lifo_thief_steals_fifo() {
+        let pool: StealPool<u32> = StealPool::new(2);
+        pool.push(0, 1);
+        pool.push(0, 2);
+        pool.push(0, 3);
+        // The owner sees its own queue as a stack …
+        assert_eq!(pool.pop_own(0), Some(3));
+        // … while a thief takes the oldest task from the other end.
+        assert_eq!(pool.steal(1), Some(1));
+        assert_eq!(pool.pop_own(0), Some(2));
+        assert_eq!(pool.pop_own(0), None);
+        assert_eq!(pool.steal(1), None);
+    }
+
+    #[test]
+    fn steal_scans_victims_round_robin() {
+        let pool: StealPool<u32> = StealPool::new(3);
+        pool.push(2, 7);
+        // Worker 0 skips its own empty queue and worker 1's, finds worker 2.
+        assert_eq!(pool.steal(0), Some(7));
+        // A worker never steals from itself.
+        pool.push(1, 9);
+        assert_eq!(pool.steal(1), None);
+        assert_eq!(pool.pop_own(1), Some(9));
+    }
+
+    #[test]
+    fn pending_counts_queued_and_in_flight_tasks() {
+        let pool: StealPool<u32> = StealPool::new(1);
+        assert_eq!(pool.pending(), 0);
+        pool.push(0, 1);
+        pool.push(0, 2);
+        assert_eq!(pool.pending(), 2);
+        let task = pool.pop_own(0).unwrap();
+        // Popping does not decrement: the task is in flight.
+        assert_eq!(pool.pending(), 2);
+        // Processing may push children before completing.
+        pool.push(0, task + 10);
+        pool.task_done();
+        assert_eq!(pool.pending(), 2);
+        pool.pop_own(0).unwrap();
+        pool.task_done();
+        pool.pop_own(0).unwrap();
+        pool.task_done();
+        assert_eq!(pool.pending(), 0);
+    }
+
+    /// A multi-threaded smoke test: tasks spawn children down to a depth and
+    /// every task is processed exactly once across workers.
+    #[test]
+    fn workers_drain_a_spawning_workload_to_completion() {
+        const WORKERS: usize = 4;
+        let pool: StealPool<u32> = StealPool::new(WORKERS);
+        let processed = AtomicU64::new(0);
+        pool.push(0, 4);
+        std::thread::scope(|scope| {
+            for me in 0..WORKERS {
+                let pool = &pool;
+                let processed = &processed;
+                scope.spawn(move || loop {
+                    match pool.pop_own(me).or_else(|| pool.steal(me)) {
+                        Some(depth) => {
+                            processed.fetch_add(1, Ordering::Relaxed);
+                            if depth > 0 {
+                                // Two children per task: 2^5 − 1 tasks total.
+                                pool.push(me, depth - 1);
+                                pool.push(me, depth - 1);
+                            }
+                            pool.task_done();
+                        }
+                        None if pool.pending() == 0 => break,
+                        None => std::thread::yield_now(),
+                    }
+                });
+            }
+        });
+        assert_eq!(processed.load(Ordering::Relaxed), 31);
+        assert_eq!(pool.pending(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_worker_pool_is_rejected() {
+        let _ = StealPool::<u32>::new(0);
+    }
+}

@@ -884,13 +884,12 @@ impl<K: Semiring> DeltaJoin<'_, K> {
         let atom = &self.query.atoms()[atom_index];
         let (new_rel, new_row, new_ann) = self.new_fact;
         // Candidate facts for this atom: the old facts of its relation,
-        // read straight out of the dense per-relation arena — except at the
-        // designated atom, which is pinned to the new fact (see
-        // `delta_join`).
+        // streamed contiguously out of the dense per-relation arena by the
+        // packed-row iterator — except at the designated atom, which is
+        // pinned to the new fact (see `delta_join`).
         if atom_index != self.designated {
             if let Some(table) = self.facts.table(atom.relation) {
-                for (h, annotation) in table.annots.iter().enumerate() {
-                    let row = table.rows.row(h as u32);
+                for (row, annotation) in table.rows.iter().zip(&table.annots) {
                     let mark = touched.len();
                     if unify_atom(&atom.args, row, assignment, touched) {
                         let product = partial_product.mul(annotation);

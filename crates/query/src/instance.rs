@@ -72,12 +72,16 @@ impl<K: Semiring> RelTable<K> {
     }
 
     /// Live `(row, annotation)` pairs, in arena order.
+    ///
+    /// Streams the flat arena contiguously (see
+    /// [`RowArena::iter`](crate::rowtable::RowArena::iter)) zipped with the
+    /// parallel annotation vector — the probe loop of the one-shot join
+    /// walks two dense arrays front to back, skipping tombstones.
     fn iter_live(&self) -> impl Iterator<Item = (&[ValueId], &K)> + '_ {
-        self.annots
+        self.rows
             .iter()
-            .enumerate()
+            .zip(&self.annots)
             .filter(|(_, k)| !k.is_zero())
-            .map(move |(h, k)| (self.rows.row(h as u32), k))
     }
 
     fn live_count(&self) -> usize {

@@ -16,10 +16,18 @@
 //! maps the incremental states maintain against the one-shot evaluators
 //! under randomized push/pop walks, and the `Σ_{k≤cap} C(n,k)·sᵏ`
 //! instance-count invariant of the new enumerator on full walks.
+//!
+//! The `thread_sweep_*` tests (PR 6) pin the work-stealing scheduler: the
+//! reported counterexample must be bit-identical across thread counts
+//! {1, 2, 8}, the visit invariant must survive stealing, and a search
+//! truncated by `max_instances` — where workers race the stop flag — must
+//! fail cleanly or report a genuine witness, never anything in between.
+//! CI runs them under `RUST_TEST_THREADS=1` so the oracle's own workers are
+//! the only concurrency being exercised.
 
 use annot_core::brute_force::{
     bounded_instance_count, find_counterexample_ucq, find_counterexample_ucq_naive,
-    try_find_counterexample_ucq, BruteForceConfig,
+    try_find_counterexample_ucq, BruteForceConfig, BruteForceError,
 };
 use annot_query::eval::{
     eval_ccq_all_outputs, eval_cq, eval_ducq_all_outputs, eval_ucq_all_outputs, EvalState,
@@ -398,6 +406,213 @@ fn sibling_sharing_matches_naive_nat_poly() {
 #[test]
 fn full_walk_counts_direct_natural() {
     full_walk_counts::<Natural>();
+}
+
+// ---------------------------------------------------------------------------
+// The work-stealing walk: thread sweeps (PR 6)
+// ---------------------------------------------------------------------------
+
+/// Across thread counts {1, 2, 8} the oracle must report the *same*
+/// counterexample — bit-identical instance, tuple and annotations — on every
+/// refutable pair, not merely agree that one exists.  The sequential walk's
+/// first hit is the DFS-minimal violating prefix; the stealing walk keeps the
+/// lexicographically smallest (job, prefix-path) witness, which coincides
+/// with it.  Randomized pairs supply multi-counterexample workloads where a
+/// "first thread wins" scheduler would diverge run to run.
+fn thread_sweep_witnesses<K: Semiring>(cases: u64) {
+    let base = BruteForceConfig {
+        domain_size: 2,
+        max_support: 3,
+        ..Default::default()
+    };
+    let mut refuted = 0u64;
+    for seed in 0..cases {
+        let mut g = generator(9900 + seed);
+        let (u1, u2) = (g.ucq(2), g.ucq(2));
+        let sequential = find_counterexample_ucq::<K>(&u1, &u2, &base.clone().with_threads(1));
+        for threads in [2usize, 8] {
+            let swept = find_counterexample_ucq::<K>(&u1, &u2, &base.clone().with_threads(threads));
+            match (&sequential, &swept) {
+                (None, None) => {}
+                (Some(seq), Some(par)) => {
+                    assert_eq!(
+                        seq.instance,
+                        par.instance,
+                        "{}: threads {threads}: witness instance drifted on {} vs {}",
+                        K::NAME,
+                        u1,
+                        u2
+                    );
+                    assert_eq!(seq.tuple, par.tuple, "{}: witness tuple drifted", K::NAME);
+                    assert_eq!(seq.lhs, par.lhs, "{}: witness lhs drifted", K::NAME);
+                    assert_eq!(seq.rhs, par.rhs, "{}: witness rhs drifted", K::NAME);
+                }
+                _ => panic!(
+                    "{}: threads {threads}: verdict flipped on {} vs {}",
+                    K::NAME,
+                    u1,
+                    u2
+                ),
+            }
+        }
+        refuted += u64::from(sequential.is_some());
+    }
+    assert!(
+        refuted > 0,
+        "{}: workload never refuted — the witness sweep is vacuous",
+        K::NAME
+    );
+}
+
+#[test]
+fn thread_sweep_witnesses_direct_natural() {
+    thread_sweep_witnesses::<Natural>(12);
+}
+
+#[test]
+fn thread_sweep_witnesses_factorized_lineage() {
+    thread_sweep_witnesses::<Lineage>(8);
+}
+
+#[test]
+fn thread_sweep_witnesses_factorized_why() {
+    thread_sweep_witnesses::<Why>(4);
+}
+
+/// Example 4.6's pair (`R(u,v), R(u,w)` vs `R(u,v), R(u,v)`) has *many*
+/// violating instances over ℕ at cap ≥ 2 — any two facts sharing a first
+/// column refute it — so the deterministic-witness guarantee is exercised on
+/// a workload where thread scheduling genuinely has rival witnesses to pick
+/// from, for both the direct (ℕ) and factorized (ℕ[X]) walks.
+#[test]
+fn thread_sweep_multi_witness_workload_is_deterministic() {
+    let mut schema = Schema::with_relations([("R", 2)]);
+    let q1 = annot_query::parser::parse_ucq(&mut schema, "Q() :- R(u, v), R(u, w)").unwrap();
+    let q2 = annot_query::parser::parse_ucq(&mut schema, "Q() :- R(u, v), R(u, v)").unwrap();
+    for cap in [2usize, 4] {
+        let config = BruteForceConfig {
+            domain_size: 2,
+            max_support: cap,
+            ..Default::default()
+        };
+        let seq_nat = find_counterexample_ucq::<Natural>(&q1, &q2, &config.clone().with_threads(1))
+            .expect("Example 4.6 refutes over ℕ");
+        let seq_poly =
+            find_counterexample_ucq::<NatPoly>(&q1, &q2, &config.clone().with_threads(1))
+                .expect("Example 4.6 refutes over ℕ[X]");
+        for threads in [2usize, 8] {
+            let config = config.clone().with_threads(threads);
+            let par_nat = find_counterexample_ucq::<Natural>(&q1, &q2, &config)
+                .expect("refutation must survive the thread sweep");
+            assert_eq!(
+                seq_nat.instance, par_nat.instance,
+                "ℕ: cap {cap}, threads {threads}"
+            );
+            assert_eq!(seq_nat.tuple, par_nat.tuple);
+            assert_eq!(seq_nat.lhs, par_nat.lhs);
+            assert_eq!(seq_nat.rhs, par_nat.rhs);
+            let par_poly = find_counterexample_ucq::<NatPoly>(&q1, &q2, &config)
+                .expect("refutation must survive the thread sweep");
+            assert_eq!(
+                seq_poly.instance, par_poly.instance,
+                "ℕ[X]: cap {cap}, threads {threads}"
+            );
+            assert_eq!(seq_poly.tuple, par_poly.tuple);
+            assert_eq!(seq_poly.lhs, par_poly.lhs);
+            assert_eq!(seq_poly.rhs, par_poly.rhs);
+        }
+    }
+}
+
+/// The `Σ_{k≤cap} C(n,k)·sᵏ` visit invariant must survive stealing: every
+/// prefix node is counted exactly once no matter which worker's deque it
+/// ends up on, including oversubscribed pools (8 workers, 1-ish cores).
+fn thread_sweep_visit_invariant<K: Semiring>() {
+    let mut schema = Schema::with_relations([("R", 2)]);
+    let q = annot_query::parser::parse_ucq(&mut schema, "Q() :- R(u, v), R(v, w)").unwrap();
+    let nonzero = K::sample_elements()
+        .into_iter()
+        .filter(|k| !k.is_zero())
+        .count();
+    for cap in [2usize, 4] {
+        let expected = bounded_instance_count(4, nonzero, cap) as u64;
+        for threads in [1usize, 2, 8] {
+            let config = BruteForceConfig {
+                domain_size: 2,
+                max_support: cap,
+                threads,
+                ..Default::default()
+            };
+            let outcome = try_find_counterexample_ucq::<K>(&q, &q, &config).unwrap();
+            assert!(outcome.counterexample.is_none(), "Q ⊆ Q must hold");
+            assert_eq!(
+                outcome.stats.instances_visited,
+                expected,
+                "{}: cap {cap}, threads {threads}: stealing broke the visit count",
+                K::NAME
+            );
+        }
+    }
+}
+
+#[test]
+fn thread_sweep_visit_invariant_direct_natural() {
+    thread_sweep_visit_invariant::<Natural>();
+}
+
+#[test]
+fn thread_sweep_visit_invariant_factorized_why() {
+    thread_sweep_visit_invariant::<Why>();
+}
+
+/// Workers race the `max_instances` stop flag: whichever way the race
+/// resolves, the outcome must be either a clean budget error or a genuine,
+/// replaying counterexample — never a fabricated witness, a wrong error
+/// payload, or a hang.
+#[test]
+fn thread_sweep_budget_race_fails_cleanly_or_finds_a_real_witness() {
+    let mut schema = Schema::with_relations([("R", 2)]);
+    let q1 = annot_query::parser::parse_ucq(&mut schema, "Q() :- R(u, v), R(u, w)").unwrap();
+    let q2 = annot_query::parser::parse_ucq(&mut schema, "Q() :- R(u, v), R(u, v)").unwrap();
+    let irrefutable = annot_query::parser::parse_ucq(&mut schema, "Q() :- R(u, v)").unwrap();
+    for threads in [1usize, 2, 8] {
+        let config = BruteForceConfig {
+            domain_size: 2,
+            max_support: 3,
+            threads,
+            max_instances: Some(10),
+        };
+        // An irrefutable pair (full walk ≫ 10 instances) can only exhaust
+        // the budget, on every thread count.
+        let err = try_find_counterexample_ucq::<Natural>(&irrefutable, &irrefutable, &config)
+            .expect_err("budget must trip before the full walk completes");
+        assert_eq!(
+            err,
+            BruteForceError::InstanceBudgetExceeded { max_instances: 10 }
+        );
+        // A refutable pair may beat the budget to a witness or lose the
+        // race, depending on scheduling — but a reported witness must
+        // replay, and a failure must be the budget error.
+        match try_find_counterexample_ucq::<Natural>(&q1, &q2, &config) {
+            Ok(outcome) => {
+                let ce = outcome
+                    .counterexample
+                    .expect("a walk that beat the budget must carry the refutation");
+                let lhs = eval_ucq(&q1, &ce.instance, &ce.tuple);
+                let rhs = eval_ucq(&q2, &ce.instance, &ce.tuple);
+                assert_eq!(ce.lhs, lhs, "threads {threads}: reported lhs replay");
+                assert_eq!(ce.rhs, rhs, "threads {threads}: reported rhs replay");
+                assert!(
+                    !lhs.leq(&rhs),
+                    "threads {threads}: reported violation replay"
+                );
+            }
+            Err(err) => assert_eq!(
+                err,
+                BruteForceError::InstanceBudgetExceeded { max_instances: 10 }
+            ),
+        }
+    }
 }
 
 #[test]
