@@ -263,6 +263,44 @@ pub fn propose_baseline(
     proposed
 }
 
+/// The gated benches whose *baseline* mean sits below the jitter floor.
+/// The gate never compares these (`Verdict::Skipped`), so a floor-dwelling
+/// gated bench is a silent allowlist entry: it looks protected but cannot
+/// regress the gate.  Baseline proposals must surface each one explicitly —
+/// the fix is to grow the bench's workload above the floor, or to un-gate
+/// it deliberately.
+pub fn sub_floor_gated(baseline: &BTreeMap<String, Estimate>, config: &GateConfig) -> Vec<String> {
+    baseline
+        .iter()
+        .filter(|(name, base)| is_gated(config, name) && base.mean_ns < config.min_mean_ns)
+        .map(|(name, _)| name.clone())
+        .collect()
+}
+
+/// Renders a `--propose-baseline` artifact: one explicit note line per
+/// silently-allowlisted gated bench (see [`sub_floor_gated`]) followed by
+/// the refreshed estimates.  The note lines are not valid estimate lines
+/// and the lenient line parser skips them, so the artifact still parses as
+/// a baseline; they exist so a human adopting the proposal cannot miss the
+/// hole.
+pub fn render_proposal(
+    proposed: &BTreeMap<String, Estimate>,
+    sub_floor: &[String],
+    config: &GateConfig,
+) -> String {
+    let mut out = String::new();
+    for name in sub_floor {
+        out.push_str(&format!(
+            "# NOTE: gated bench {name} is below the {} ns jitter floor in this \
+             baseline — it is never actually compared (silent allowlist); raise \
+             its workload above the floor or un-gate it deliberately\n",
+            config.min_mean_ns
+        ));
+    }
+    out.push_str(&render_estimates(proposed));
+    out
+}
+
 /// Serialises a snapshot back into the `BENCH_ESTIMATES` JSON-lines format
 /// (the committed-baseline format), in name order.  Names containing `"`
 /// or `\` are skipped: the field-extracting parser (like the shim that
@@ -454,14 +492,22 @@ fn main() -> ExitCode {
                 println!("bench_gate: significant improvement in {name}");
             }
             let proposed = propose_baseline(&baseline, &current);
-            if let Err(e) = std::fs::write(&path, render_estimates(&proposed)) {
+            let sub_floor = sub_floor_gated(&baseline, &config);
+            for name in &sub_floor {
+                println!(
+                    "bench_gate: note — gated bench {name} sits below the jitter \
+                     floor and is never compared (flagged in the proposal)"
+                );
+            }
+            if let Err(e) = std::fs::write(&path, render_proposal(&proposed, &sub_floor, &config)) {
                 eprintln!("bench_gate: cannot write proposed baseline {path}: {e}");
                 return ExitCode::from(2);
             }
             println!(
                 "bench_gate: proposed refreshed baseline written to {path} \
-                 ({} gated bench(es) improved significantly)",
-                improved.len()
+                 ({} gated bench(es) improved significantly, {} sub-floor note(s))",
+                improved.len(),
+                sub_floor.len()
             );
         }
     }
@@ -713,5 +759,45 @@ mod tests {
         let rendered = render_estimates(&snap);
         assert_eq!(parse_estimates(&rendered), snap);
         assert_eq!(rendered.lines().count(), 2);
+    }
+
+    #[test]
+    fn sub_floor_gated_benches_are_detected() {
+        let config = GateConfig::default();
+        let base = snapshot(&[
+            // Gated but below the 1000 ns floor: never actually compared.
+            ("oracle/search", "tiny", 400.0, 10.0),
+            // Gated and above the floor: genuinely protected.
+            ("oracle/search", "big", 6000.0, 100.0),
+            // Below the floor but not gated: no note owed.
+            ("parser/misc", "tiny", 400.0, 10.0),
+        ]);
+        assert_eq!(sub_floor_gated(&base, &config), vec!["oracle/search/tiny"]);
+    }
+
+    #[test]
+    fn proposal_artifact_flags_the_silent_allowlist_and_still_parses() {
+        let config = GateConfig::default();
+        let base = snapshot(&[
+            ("oracle/search", "tiny", 400.0, 10.0),
+            ("oracle/search", "big", 6000.0, 100.0),
+        ]);
+        let cur = snapshot(&[
+            ("oracle/search", "tiny", 380.0, 10.0),
+            ("oracle/search", "big", 3000.0, 50.0),
+        ]);
+        let proposed = propose_baseline(&base, &cur);
+        let artifact = render_proposal(&proposed, &sub_floor_gated(&base, &config), &config);
+        // The note names the hole and the floor explicitly …
+        let notes: Vec<&str> = artifact
+            .lines()
+            .filter(|l| l.starts_with("# NOTE:"))
+            .collect();
+        assert_eq!(notes.len(), 1);
+        assert!(notes[0].contains("oracle/search/tiny"), "{}", notes[0]);
+        assert!(notes[0].contains("1000 ns"), "{}", notes[0]);
+        // … and the artifact still parses as a baseline (notes are skipped
+        // by the lenient line parser).
+        assert_eq!(parse_estimates(&artifact), proposed);
     }
 }

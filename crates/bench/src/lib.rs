@@ -112,11 +112,13 @@ pub fn example_5_7() -> UcqCase {
         &mut schema,
         "Q() :- R(u, v), R(u, u) ; Q() :- R(u, v), R(v, v)",
     )
+    // invariant: hard-coded paper examples always parse
     .unwrap();
     let q2 = annot_query::parser::parse_ucq(
         &mut schema,
         "Q() :- R(u, v), R(w, w) ; Q() :- R(u, u), R(u, u)",
     )
+    // invariant: hard-coded paper examples always parse
     .unwrap();
     UcqCase {
         name: "example-5.7".to_string(),
@@ -128,7 +130,9 @@ pub fn example_5_7() -> UcqCase {
 /// The Example 4.6 CQ pair.
 pub fn example_4_6() -> CqCase {
     let mut schema = annot_query::Schema::with_relations([("R", 2)]);
+    // invariant: hard-coded paper examples always parse
     let q1 = annot_query::parser::parse_cq(&mut schema, "Q() :- R(u, v), R(u, w)").unwrap();
+    // invariant: hard-coded paper examples always parse
     let q2 = annot_query::parser::parse_cq(&mut schema, "Q() :- R(u, v), R(u, v)").unwrap();
     CqCase {
         name: "example-4.6".to_string(),

@@ -86,14 +86,14 @@
 //! *during descent*: a node at depth `max_support` has no children.
 
 use crate::steal::StealPool;
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::sync::Mutex;
 use annot_polynomial::{Monomial, Polynomial, Var};
 use annot_query::eval::{eval_cq, eval_ducq_all_outputs, eval_ucq_all_outputs, EvalState};
 use annot_query::{Cq, DbValue, Ducq, IdTuple, Instance, RelId, Schema, Tuple, Ucq, ValueId};
 use annot_semiring::{NatPoly, Semiring};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
 
 /// The path of a prefix-tree node from the root: one `(slot, branch)` pair
 /// per pushed fact (`branch` is always `0` in the factorized walk, a sample
@@ -235,7 +235,7 @@ impl BruteForceConfig {
     /// parallelism).
     fn effective_threads(&self) -> usize {
         match self.threads {
-            0 => std::thread::available_parallelism()
+            0 => crate::sync::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
             n => n,
@@ -320,6 +320,7 @@ pub fn find_counterexample_ucq<K: Semiring>(
 ) -> Option<CounterExample<K>> {
     match try_find_counterexample_ucq(q1, q2, config) {
         Ok(outcome) => outcome.counterexample,
+        // invariant: documented panic — the budget overflow contract of this wrapper (see its docs)
         Err(err) => panic!("{err}"),
     }
 }
@@ -375,6 +376,7 @@ pub fn find_counterexample_ducq<K: Semiring>(
 ) -> Option<CounterExample<K>> {
     match try_find_counterexample_ducq(q1, q2, config) {
         Ok(outcome) => outcome.counterexample,
+        // invariant: documented panic — the budget overflow contract of this wrapper (see its docs)
         Err(err) => panic!("{err}"),
     }
 }
@@ -440,8 +442,7 @@ fn try_find_counterexample_union<K: Semiring>(
         visited: AtomicU64::new(0),
         stop: AtomicBool::new(false),
         budget_exceeded: AtomicBool::new(false),
-        have_found: AtomicBool::new(false),
-        found: Mutex::new(None),
+        incumbent: Incumbent::new(),
     };
 
     // The root of the prefix tree: the empty instance (shared by both
@@ -466,12 +467,13 @@ fn try_find_counterexample_union<K: Semiring>(
         }
     }
 
+    // relaxed: the worker scope has joined; these are the final values.
     let visited = ctx.visited.load(Ordering::Relaxed);
     let counterexample = ctx
-        .found
-        .into_inner()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .incumbent
+        .into_best()
         .map(|(_path, counterexample)| counterexample);
+    // relaxed: same post-join argument as `visited` above.
     if counterexample.is_none() && ctx.budget_exceeded.load(Ordering::Relaxed) {
         return Err(BruteForceError::InstanceBudgetExceeded {
             max_instances: config.max_instances.unwrap_or(0),
@@ -530,7 +532,7 @@ fn drive_jobs<'s, K, W>(
         let path = vec![((job / branches) as u32, (job % branches) as u32)];
         pool.push(job % threads, path);
     }
-    std::thread::scope(|scope| {
+    crate::sync::thread::scope(|scope| {
         for me in 0..threads {
             let pool = &pool;
             scope.spawn(move || {
@@ -545,7 +547,7 @@ fn drive_jobs<'s, K, W>(
                             pool.task_done();
                         }
                         None if pool.pending() == 0 => break,
-                        None => std::thread::yield_now(),
+                        None => crate::sync::thread::yield_now(),
                     }
                 }
             });
@@ -699,43 +701,36 @@ struct SearchContext<'s, K: Semiring> {
     visited: AtomicU64,
     stop: AtomicBool,
     budget_exceeded: AtomicBool,
-    /// Cheap flag mirroring `found.is_some()`, so the per-task prune check
-    /// only takes the mutex once a witness actually exists.
-    have_found: AtomicBool,
-    found: Mutex<Option<(PrefixPath, CounterExample<K>)>>,
+    incumbent: Incumbent<CounterExample<K>>,
 }
 
-impl<K: Semiring> SearchContext<'_, K> {
-    /// Counts the `n` instances of one visited tree node (a node of depth
-    /// `k` covers the `sᵏ` sample assignments of its support) against the
-    /// budget; `false` means the budget is exhausted and the search must
-    /// abort.
-    fn count_instances(&self, n: u64) -> bool {
-        let visited = self
-            .visited
-            .fetch_add(n, Ordering::Relaxed)
-            .saturating_add(n);
-        if let Some(max) = self.max_instances {
-            if visited > max {
-                self.budget_exceeded.store(true, Ordering::Relaxed);
-                self.stop.store(true, Ordering::Relaxed);
-                return false;
-            }
+/// The incumbent-witness protocol shared by the parallel walk's workers:
+/// keep the counterexample with the smallest prefix path (= first in the
+/// sequential depth-first order), and let workers cheaply skip subtrees that
+/// can no longer improve on it.  Extracted from [`SearchContext`] so the
+/// `loom_model` tests below can model-check it in isolation.
+struct Incumbent<V> {
+    /// Cheap flag mirroring `best.is_some()`, so the per-task prune check
+    /// only takes the mutex once a witness actually exists.  Published with
+    /// `Release` and read with `Acquire` so that a reader seeing `true` is
+    /// ordered after the store of the witness it advertises; a stale `false`
+    /// merely skips one prune opportunity, which is always conservative.
+    have_found: AtomicBool,
+    best: Mutex<Option<(PrefixPath, V)>>,
+}
+
+impl<V> Incumbent<V> {
+    fn new() -> Self {
+        Incumbent {
+            have_found: AtomicBool::new(false),
+            best: Mutex::new(None),
         }
-        true
     }
 
-    fn stopped(&self) -> bool {
-        self.stop.load(Ordering::Relaxed)
-    }
-
-    /// Records a counterexample found at the node `path`, keeping the one
-    /// with the smallest path (= first in the sequential depth-first order).
-    /// The sequential walk additionally stops outright: it visits nodes in
-    /// ascending path order, so its first hit is already the minimum.
-    fn record(&self, path: &[(u32, u32)], counterexample: CounterExample<K>) {
+    /// Records a witness found at `path`, keeping the smallest path.
+    fn record(&self, path: &[(u32, u32)], value: V) {
         let mut slot = self
-            .found
+            .best
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
         let improves = match &*slot {
@@ -743,11 +738,10 @@ impl<K: Semiring> SearchContext<'_, K> {
             None => true,
         };
         if improves {
-            *slot = Some((path.to_vec(), counterexample));
+            *slot = Some((path.to_vec(), value));
+            // Release: pairs with the Acquire in `pruned` — see the field
+            // docs; the slot itself is protected by the mutex either way.
             self.have_found.store(true, Ordering::Release);
-        }
-        if self.sequential {
-            self.stop.store(true, Ordering::Relaxed);
         }
     }
 
@@ -757,17 +751,75 @@ impl<K: Semiring> SearchContext<'_, K> {
     /// This is how a parallel search winds down after a hit: everything the
     /// sequential walk would not have visited is discarded unvisited.
     fn pruned(&self, path: &[(u32, u32)]) -> bool {
+        // Acquire: pairs with the Release in `record` — see the field docs.
         if !self.have_found.load(Ordering::Acquire) {
             return false;
         }
         let slot = self
-            .found
+            .best
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
         match &*slot {
             Some((best, _)) => path >= &best[..],
             None => false,
         }
+    }
+
+    /// Consumes the incumbent, returning the best witness.
+    fn into_best(self) -> Option<(PrefixPath, V)> {
+        self.best
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+impl<K: Semiring> SearchContext<'_, K> {
+    /// Counts the `n` instances of one visited tree node (a node of depth
+    /// `k` covers the `sᵏ` sample assignments of its support) against the
+    /// budget; `false` means the budget is exhausted and the search must
+    /// abort.
+    fn count_instances(&self, n: u64) -> bool {
+        // relaxed: RMW counters are exact at any ordering, and nobody infers
+        // the visibility of other data from the count.
+        let visited = self
+            .visited
+            .fetch_add(n, Ordering::Relaxed)
+            .saturating_add(n);
+        if let Some(max) = self.max_instances {
+            if visited > max {
+                // relaxed: advisory flags polled by workers; a worker acting
+                // on a stale value merely visits a few more nodes, and the
+                // final outcome is read after the scope join.
+                self.budget_exceeded.store(true, Ordering::Relaxed);
+                // relaxed: same advisory-stop argument as above.
+                self.stop.store(true, Ordering::Relaxed);
+                return false;
+            }
+        }
+        true
+    }
+
+    fn stopped(&self) -> bool {
+        // relaxed: advisory poll — a stale `false` only delays the stop by a
+        // few node visits; it never affects which witness wins.
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    /// Records a counterexample found at the node `path` (see
+    /// [`Incumbent::record`]).  The sequential walk additionally stops
+    /// outright: it visits nodes in ascending path order, so its first hit
+    /// is already the minimum.
+    fn record(&self, path: &[(u32, u32)], counterexample: CounterExample<K>) {
+        self.incumbent.record(path, counterexample);
+        if self.sequential {
+            // relaxed: advisory stop; the witness is already recorded.
+            self.stop.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether the node at `path` can be skipped (see [`Incumbent::pruned`]).
+    fn pruned(&self, path: &[(u32, u32)]) -> bool {
+        self.incumbent.pruned(path)
     }
 }
 
@@ -1028,6 +1080,7 @@ impl<'s, K: Semiring> Worker<'s, K> {
             if !rows.contains_key(row) {
                 rows.insert(row.clone(), RowMemo::default());
             }
+            // invariant: inserted two lines up when absent
             rows.get_mut(row).expect("row memo just ensured")
         });
         let mut choice = vec![0usize; depth];
@@ -1448,6 +1501,7 @@ fn from_natural_cached<K: Semiring>(cache: &mut Vec<K>, c: u64) -> K {
     }
     while cache.len() <= c as usize {
         let one = K::one();
+        // invariant: the cache is seeded with 0 and 1, never empty
         let next = cache.last().expect("cache seeded with 0 and 1").add(&one);
         cache.push(next);
     }
@@ -1656,6 +1710,114 @@ fn enumerate_supports<K: Semiring>(
         instance.insert_row(rel, row, K::zero());
     }
     false
+}
+
+/// Exhaustive interleaving checks of the incumbent-witness protocol, run
+/// with `cargo test -p annot-core --features annot_loom`.  [`Incumbent`] is
+/// modelled directly (with a `u32` payload) — `record`/`pruned` are the
+/// entirety of the cross-worker protocol, and the surrounding walk only
+/// feeds them paths.
+#[cfg(all(test, feature = "annot_loom"))]
+mod loom_model {
+    use super::Incumbent;
+    use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    /// Witness minimality: with two workers racing to record different
+    /// paths, every schedule ends with the smallest path as the incumbent,
+    /// and `pruned` never discards a node that precedes the minimum.
+    #[test]
+    fn incumbent_keeps_the_minimal_witness_in_every_schedule() {
+        loom::model(|| {
+            let incumbent: Incumbent<u32> = Incumbent::new();
+            crate::sync::thread::scope(|scope| {
+                {
+                    let incumbent = &incumbent;
+                    scope.spawn(move || incumbent.record(&[(1, 0)], 10));
+                }
+                let incumbent = &incumbent;
+                scope.spawn(move || {
+                    incumbent.record(&[(0, 1)], 5);
+                    // From here on the best path is ≤ (0,1) in every
+                    // schedule — the racing (1,0) record can never displace
+                    // it — so the recorder's own node is prunable …
+                    assert!(incumbent.pruned(&[(0, 1)]));
+                    // … and a node before the minimum never is.
+                    assert!(!incumbent.pruned(&[(0, 0)]));
+                });
+            });
+            let (path, value) = incumbent.into_best().expect("a witness was recorded");
+            assert_eq!((&path[..], value), (&[(0, 1)][..], 5));
+        });
+    }
+
+    /// Why `Incumbent` publishes `have_found` with `Release`/`Acquire`: a
+    /// reader that trusts the flag is ordered after the witness it
+    /// advertises.  Here the mutex-protected slot is distilled to a plain
+    /// atomic so the flag alone carries the ordering, as it would for any
+    /// future mutex-free fast path over the incumbent.
+    #[test]
+    fn have_found_publication_holds_exhaustively() {
+        loom::model(|| {
+            let witness = AtomicU64::new(0);
+            let have_found = AtomicBool::new(false);
+            crate::sync::thread::scope(|scope| {
+                {
+                    let witness = &witness;
+                    let have_found = &have_found;
+                    scope.spawn(move || {
+                        // relaxed: ordered by the Release store below.
+                        witness.store(7, Ordering::Relaxed);
+                        have_found.store(true, Ordering::Release);
+                    });
+                }
+                let witness = &witness;
+                let have_found = &have_found;
+                scope.spawn(move || {
+                    if have_found.load(Ordering::Acquire) {
+                        // relaxed: ordered by the Acquire load above.
+                        assert_eq!(witness.load(Ordering::Relaxed), 7);
+                    }
+                });
+            });
+        });
+    }
+
+    /// The same protocol with the Release edge deliberately severed by the
+    /// shim's test-only weakening knob: the checker must find the schedule
+    /// where the flag is visible but the witness is stale.  This is the
+    /// demonstration that the model actually distinguishes the orderings
+    /// the code relies on — `have_found_publication_holds_exhaustively`
+    /// passing is meaningful because this twin fails.
+    #[test]
+    #[should_panic(expected = "model failed")]
+    fn weakened_have_found_publication_is_caught() {
+        let mut builder = loom::Builder::new();
+        builder.weaken_release_to_relaxed = true;
+        builder.check(|| {
+            let witness = AtomicU64::new(0);
+            let have_found = AtomicBool::new(false);
+            crate::sync::thread::scope(|scope| {
+                {
+                    let witness = &witness;
+                    let have_found = &have_found;
+                    scope.spawn(move || {
+                        // relaxed: ordered by the (weakened) store below.
+                        witness.store(7, Ordering::Relaxed);
+                        have_found.store(true, Ordering::Release);
+                    });
+                }
+                let witness = &witness;
+                let have_found = &have_found;
+                scope.spawn(move || {
+                    if have_found.load(Ordering::Acquire) {
+                        // relaxed: would be ordered by the Acquire load, if
+                        // the knob had not severed the Release edge.
+                        assert_eq!(witness.load(Ordering::Relaxed), 7);
+                    }
+                });
+            });
+        });
+    }
 }
 
 #[cfg(test)]

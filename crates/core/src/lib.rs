@@ -50,6 +50,7 @@ pub mod matching;
 pub mod poly_order;
 pub mod small_model;
 pub mod steal;
+pub mod sync;
 pub mod ucq;
 
 pub use classes::{

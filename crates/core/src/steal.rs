@@ -25,10 +25,24 @@
 //! Queues are never poisoned from the pool's point of view: all operations
 //! recover the inner deque from a poisoned mutex (a plain queue is always in
 //! a consistent state), so one panicking worker does not wedge the others.
+//!
+//! # Memory ordering
+//!
+//! All `pending` operations are `Relaxed`.  The termination argument needs
+//! only the counter's *modification order*, which is total for a single
+//! atomic at any ordering: increment-before-enqueue and
+//! children-before-`task_done` mean the order never contains `0` while a
+//! task is queued or in flight, so *no* load — however stale — can observe
+//! `0` early (a stale load still reads some value the counter actually
+//! held, no older than the last one its thread saw).  Workers never exit on
+//! `pending() == 0` expecting to *see* anything published by other threads;
+//! the queues themselves synchronise through their mutexes.  The
+//! `loom_model` tests below check this exhaustively at these exact
+//! orderings.
 
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::{Mutex, MutexGuard, PoisonError};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
 
 /// A fixed set of per-worker two-ended task queues with a shared pending
 /// count (see the module docs for the discipline and termination protocol).
@@ -61,7 +75,11 @@ impl<T> StealPool<T> {
     /// Enqueues a task at the back (owner end) of `worker`'s queue and
     /// counts it as pending.
     pub fn push(&self, worker: usize, task: T) {
-        self.pending.fetch_add(1, Ordering::SeqCst);
+        // relaxed: RMWs are exact in the counter's modification order at any
+        // ordering; incrementing *before* the task becomes visible in a
+        // queue is what keeps `pending` from reaching 0 while work exists
+        // (see the module docs).
+        self.pending.fetch_add(1, Ordering::Relaxed);
         self.lock(worker).push_back(task);
     }
 
@@ -88,16 +106,23 @@ impl<T> StealPool<T> {
 
     /// Marks one previously popped or stolen task as fully processed.
     pub fn task_done(&self) {
-        self.pending.fetch_sub(1, Ordering::SeqCst);
+        // relaxed: callers push children *before* this decrement, so the
+        // modification order cannot dip to 0 while descendants are pending
+        // (see the module docs).
+        self.pending.fetch_sub(1, Ordering::Relaxed);
     }
 
     /// Tasks still queued or being processed.  A worker observing an empty
     /// pool may exit once this reaches zero.
     pub fn pending(&self) -> usize {
-        self.pending.load(Ordering::SeqCst)
+        // relaxed: 0 enters the modification order only at genuine
+        // completion, so even a stale load cannot justify a premature exit;
+        // nothing read after the exit depends on this load for visibility
+        // (see the module docs).
+        self.pending.load(Ordering::Relaxed)
     }
 
-    fn lock(&self, worker: usize) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+    fn lock(&self, worker: usize) -> MutexGuard<'_, VecDeque<T>> {
         self.queues[worker]
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -107,7 +132,7 @@ impl<T> StealPool<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use crate::sync::atomic::AtomicU64;
 
     #[test]
     fn owner_pops_lifo_thief_steals_fifo() {
@@ -165,13 +190,14 @@ mod tests {
         let pool: StealPool<u32> = StealPool::new(WORKERS);
         let processed = AtomicU64::new(0);
         pool.push(0, 4);
-        std::thread::scope(|scope| {
+        crate::sync::thread::scope(|scope| {
             for me in 0..WORKERS {
                 let pool = &pool;
                 let processed = &processed;
                 scope.spawn(move || loop {
                     match pool.pop_own(me).or_else(|| pool.steal(me)) {
                         Some(depth) => {
+                            // relaxed: independent statistics counter.
                             processed.fetch_add(1, Ordering::Relaxed);
                             if depth > 0 {
                                 // Two children per task: 2^5 − 1 tasks total.
@@ -181,7 +207,7 @@ mod tests {
                             pool.task_done();
                         }
                         None if pool.pending() == 0 => break,
-                        None => std::thread::yield_now(),
+                        None => crate::sync::thread::yield_now(),
                     }
                 });
             }
@@ -194,5 +220,112 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_worker_pool_is_rejected() {
         let _ = StealPool::<u32>::new(0);
+    }
+}
+
+/// Exhaustive interleaving checks of the termination protocol, run with
+/// `cargo test -p annot-core --features annot_loom`.  The workloads are
+/// deliberately tiny (two workers, one spawning root) — the properties being
+/// checked are per-operation orderings, not throughput, and the model
+/// explores every schedule of every synchronisation operation.
+#[cfg(all(test, feature = "annot_loom"))]
+mod loom_model {
+    use super::*;
+    use crate::sync::atomic::AtomicU64;
+
+    /// The worker loop of `brute_force::drive_jobs`, verbatim — pop own,
+    /// steal, exit on `pending() == 0`, yield otherwise — plus the
+    /// termination invariant asserted at the exit point: once a worker
+    /// observes `pending() == 0`, *all* `total` tasks must already be
+    /// processed.  The count is read with an RMW (`fetch_add(0)`), which is
+    /// exact in every schedule, so the assertion probes the protocol rather
+    /// than load staleness.
+    fn worker_loop(pool: &StealPool<u32>, me: usize, processed: &AtomicU64, total: u64) {
+        loop {
+            match pool.pop_own(me).or_else(|| pool.steal(me)) {
+                Some(depth) => {
+                    // relaxed: independent statistics counter.
+                    processed.fetch_add(1, Ordering::Relaxed);
+                    if depth > 0 {
+                        pool.push(me, depth - 1);
+                        pool.push(me, depth - 1);
+                    }
+                    pool.task_done();
+                }
+                None if pool.pending() == 0 => {
+                    // relaxed: an RMW always reads the newest value.
+                    let done = processed.fetch_add(0, Ordering::Relaxed);
+                    assert_eq!(done, total, "worker exited with tasks still in flight");
+                    break;
+                }
+                None => crate::sync::thread::yield_now(),
+            }
+        }
+    }
+
+    /// Every schedule of a spawning workload processes every task exactly
+    /// once (no lost tasks) and no worker exits while work is in flight (no
+    /// premature termination) — at the `Relaxed` orderings `StealPool`
+    /// actually uses.
+    #[test]
+    fn termination_protocol_is_exact_in_every_schedule() {
+        loom::model(|| {
+            let pool: StealPool<u32> = StealPool::new(2);
+            let processed = AtomicU64::new(0);
+            // One depth-1 root seeded before the workers spawn, exactly like
+            // `drive_jobs` seeds depth-1 nodes: 1 + 2 = 3 tasks total.
+            pool.push(0, 1);
+            crate::sync::thread::scope(|scope| {
+                for me in 0..2 {
+                    let pool = &pool;
+                    let processed = &processed;
+                    scope.spawn(move || worker_loop(pool, me, processed, 3));
+                }
+            });
+            // relaxed: the scope join synchronises; ordering is irrelevant.
+            assert_eq!(processed.load(Ordering::Relaxed), 3);
+            assert_eq!(pool.pending(), 0);
+        });
+    }
+
+    /// The protocol's load-bearing rule — children are pushed *before*
+    /// `task_done` — demonstrated indispensable: with the order flipped,
+    /// `pending` dips to zero mid-run and the checker finds a schedule where
+    /// the other worker exits while tasks are still being generated.
+    #[test]
+    #[should_panic(expected = "model failed")]
+    fn decrement_before_enqueue_terminates_early() {
+        loom::model(|| {
+            let pool: StealPool<u32> = StealPool::new(2);
+            let processed = AtomicU64::new(0);
+            pool.push(0, 1);
+            crate::sync::thread::scope(|scope| {
+                {
+                    let pool = &pool;
+                    let processed = &processed;
+                    scope.spawn(move || loop {
+                        match pool.pop_own(0).or_else(|| pool.steal(0)) {
+                            Some(depth) => {
+                                // relaxed: independent statistics counter.
+                                processed.fetch_add(1, Ordering::Relaxed);
+                                // BUG under test: completing the task before
+                                // enqueueing its children lets `pending` hit
+                                // 0 while work is still being generated.
+                                pool.task_done();
+                                if depth > 0 {
+                                    pool.push(0, depth - 1);
+                                    pool.push(0, depth - 1);
+                                }
+                            }
+                            None if pool.pending() == 0 => break,
+                            None => crate::sync::thread::yield_now(),
+                        }
+                    });
+                }
+                let pool = &pool;
+                let processed = &processed;
+                scope.spawn(move || worker_loop(pool, 1, processed, 3));
+            });
+        });
     }
 }

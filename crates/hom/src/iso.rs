@@ -70,7 +70,9 @@ fn is_isomorphism(map: &VarMap, a: &Ccq, b: &Ccq) -> bool {
     // Injective + equal cardinality ⇒ bijective on variables.
     // Inequalities must map exactly onto inequalities.
     for &(u, v) in a.inequalities() {
+        // invariant: callers pass total mappings (every variable bound)
         let hu = map.get(u).expect("total");
+        // invariant: callers pass total mappings (every variable bound)
         let hv = map.get(v).expect("total");
         if !b.must_differ(hu, hv) {
             return false;

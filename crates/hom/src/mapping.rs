@@ -57,6 +57,7 @@ impl VarMap {
             atom.relation,
             atom.args
                 .iter()
+                // invariant: the caller checked the atom is fully bound
                 .map(|&v| self.get(v).expect("atom argument not bound"))
                 .collect(),
         )

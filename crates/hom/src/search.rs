@@ -247,6 +247,7 @@ impl<'a> HomSearch<'a> {
             AtomOrder::Syntactic => assigned
                 .iter()
                 .position(|&done| !done)
+                // invariant: guarded by the all-assigned check above
                 .expect("select_next called with all atoms assigned"),
             AtomOrder::MostConstrained => {
                 let mut best = usize::MAX;
@@ -346,7 +347,9 @@ impl<'a> HomSearch<'a> {
             Some(s) => s,
         };
         for &(a, b) in source.inequalities() {
+            // invariant: checked only once the mapping is total
             let ha = map.get(a).expect("total mapping");
+            // invariant: checked only once the mapping is total
             let hb = map.get(b).expect("total mapping");
             if ha == hb {
                 return false;

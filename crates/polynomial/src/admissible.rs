@@ -49,6 +49,7 @@ pub fn find_admissible_representation(p: &Polynomial) -> Option<Vec<OMonomial>> 
     if !p.is_homogeneous() {
         return None;
     }
+    // invariant: the zero case returned early above
     let degree = p.degree().expect("non-zero polynomial has a degree");
     if degree == 0 {
         // Only the constant 1 is admissible: o-monomials of degree 0 are all

@@ -49,6 +49,7 @@ fn collapse(query: &Cq, existential: &[QVar], partition: &[Vec<usize>]) -> Ccq {
             .iter()
             .map(|&i| existential[i])
             .min()
+            // invariant: blocks are built non-empty
             .expect("non-empty block");
         for &i in block {
             repr.insert(existential[i], rep);
@@ -130,8 +131,10 @@ pub fn bell_number(n: usize) -> u64 {
     let mut row = vec![1u64];
     for _ in 0..n {
         let mut next = Vec::with_capacity(row.len() + 1);
+        // invariant: rows of a positive-arity relation are non-empty
         next.push(*row.last().expect("non-empty"));
         for &x in &row {
+            // invariant: `next` was just pushed to
             let prev = *next.last().expect("non-empty");
             next.push(prev + x);
         }

@@ -243,6 +243,7 @@ impl CqBuilder {
         let rel = self
             .schema
             .relation(relation)
+            // invariant: documented panic — unknown relation names are a caller bug (see the docs)
             .unwrap_or_else(|| panic!("unknown relation {}", relation));
         let vars: Vec<QVar> = args.iter().map(|n| self.var(n)).collect();
         self.atoms.push(Atom::new(rel, vars));

@@ -233,6 +233,7 @@ fn all_outputs_with_inequalities<K: Semiring>(
                 .iter()
                 .map(|v| {
                     assignment[v.0 as usize]
+                        // invariant: safety was validated when the query was built
                         .expect("safe query: every free variable occurs in an atom")
                 })
                 .collect();
@@ -776,6 +777,7 @@ impl<'q, K: Semiring> EvalState<'q, K> {
     ///
     /// Panics if there is nothing to pop.
     pub fn pop_fact(&mut self) {
+        // invariant: documented panic — push/pop discipline is the caller's contract (see the docs)
         let frame = self.frames.pop().expect("pop_fact with no pushed fact");
         for (row, previous) in frame.changed {
             match previous {
@@ -845,6 +847,7 @@ fn delta_join<K: Semiring>(
                     .iter()
                     .map(|v| {
                         assignment[v.0 as usize]
+                            // invariant: safety was validated when the query was built
                             .expect("safe query: every free variable occurs in an atom")
                     })
                     .collect();

@@ -108,6 +108,7 @@ impl QueryGenerator {
         let mut used: Vec<u32> = atoms.iter().flat_map(|&(_, a, b)| [a, b]).collect();
         used.sort_unstable();
         used.dedup();
+        // invariant: `used` collected exactly the variables being indexed
         let index_of = |v: u32| used.iter().position(|&u| u == v).expect("used var") as u32;
         let var_names: Vec<String> = used.iter().map(|v| format!("v{}", v)).collect();
         let cq_atoms: Vec<Atom> = atoms
@@ -116,6 +117,7 @@ impl QueryGenerator {
                 Atom::new(
                     self.schema
                         .relation(&format!("R{}", rel))
+                        // invariant: the generator draws relations from the schema
                         .expect("relation"),
                     vec![QVar(index_of(a)), QVar(index_of(b))],
                 )

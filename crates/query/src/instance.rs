@@ -175,6 +175,7 @@ impl<K: Semiring> Instance<K> {
         let id = self
             .schema
             .relation(rel)
+            // invariant: documented panic — unknown relation names are a caller bug (see the docs)
             .unwrap_or_else(|| panic!("unknown relation {}", rel));
         self.insert(id, tuple, annotation);
     }

@@ -115,6 +115,7 @@ impl RowArena {
             .ok()
             .filter(|&h| h != u32::MAX)
             .unwrap_or_else(|| {
+                // invariant: documented panic — handle reuse across tables is a caller bug (see the docs)
                 panic!(
                     "RowArena overflow: row {} does not fit a u32 handle",
                     self.len

@@ -227,6 +227,7 @@ impl Schema {
     /// [`Schema::try_add_relation`] for construction-time use.
     pub fn add_relation(&mut self, name: &str, arity: usize) -> RelId {
         self.try_add_relation(name, arity)
+            // invariant: documented panic — duplicate relation names are a caller bug (see the docs)
             .unwrap_or_else(|e| panic!("{e}"))
     }
 

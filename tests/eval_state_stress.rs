@@ -121,7 +121,12 @@ fn random_walk<K: Semiring>(
     }
 }
 
+// Push/pop walk length; a short walk under Miri (interpreter overhead),
+// still deep enough to exercise push, undo and full unwind.
+#[cfg(not(miri))]
 const STEPS: usize = 70;
+#[cfg(miri)]
+const STEPS: usize = 10;
 
 // -- CQ ---------------------------------------------------------------------
 

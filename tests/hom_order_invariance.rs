@@ -31,7 +31,7 @@ fn generated_pair(seed: u64) -> (Cq, Cq) {
     (generator.cq(), generator.cq())
 }
 
-fn count_homs(search: &HomSearch) -> usize {
+fn count_homs(search: &HomSearch<'_>) -> usize {
     let mut count = 0usize;
     search.for_each(&mut |_| count += 1);
     count

@@ -78,13 +78,44 @@ fn eval_ucq<K: Semiring>(u: &Ucq, instance: &Instance<K>, t: &Tuple) -> K {
         .fold(K::zero(), |acc, cq| acc.add(&eval_cq(cq, instance, t)))
 }
 
+// Randomized case loads, with a Miri quick mode (the interpreter is
+// orders of magnitude slower; one case per shape still exercises every
+// code path memory-wise).  `quick_mode_is_not_a_no_op` pins the floors.
+#[cfg(not(miri))]
+const CQ_SEEDS: u64 = 40;
+#[cfg(miri)]
+const CQ_SEEDS: u64 = 2;
+#[cfg(not(miri))]
+const UCQ_SEEDS: u64 = 15;
+#[cfg(miri)]
+const UCQ_SEEDS: u64 = 1;
+#[cfg(not(miri))]
+const WALK_STEPS: usize = 60;
+#[cfg(miri)]
+const WALK_STEPS: usize = 10;
+
+/// Scales a full-mode case count down to the Miri quick mode, never below
+/// one case (a zero-case suite would be a silent no-op).
+fn quick(cases: u64) -> u64 {
+    if cfg!(miri) {
+        (cases / 4).max(1)
+    } else {
+        cases
+    }
+}
+
+#[test]
+fn quick_mode_is_not_a_no_op() {
+    assert!(CQ_SEEDS >= 1 && UCQ_SEEDS >= 1 && WALK_STEPS >= 1 && quick(3) >= 1);
+}
+
 fn differential_cq_cases<K: Semiring>() {
     let config = BruteForceConfig {
         domain_size: 2,
         max_support: 3,
         ..Default::default()
     };
-    for seed in 0..40u64 {
+    for seed in 0..CQ_SEEDS {
         let mut g = generator(9000 + seed);
         let (q1, q2) = (g.cq(), g.cq());
         check_agreement::<K>(&Ucq::single(q1), &Ucq::single(q2), &config, seed);
@@ -97,7 +128,7 @@ fn differential_ucq_cases<K: Semiring>() {
         max_support: 3,
         ..Default::default()
     };
-    for seed in 0..15u64 {
+    for seed in 0..UCQ_SEEDS {
         let mut g = generator(9500 + seed);
         let (u1, u2) = (g.ucq(2), g.ucq(2));
         check_agreement::<K>(&u1, &u2, &config, seed);
@@ -170,7 +201,7 @@ fn random_walk_matches_oneshot<K: Semiring>(
     let rels: Vec<_> = schema.rel_ids().collect();
     // The shadow stack of concrete facts mirrored into a rebuilt instance.
     let mut stack: Vec<(annot_query::RelId, Tuple, K)> = Vec::new();
-    for _ in 0..60 {
+    for _ in 0..WALK_STEPS {
         let push = stack.is_empty() || rng.gen_range(0..10u32) < 6;
         if push {
             let rel = rels[rng.gen_range(0..rels.len())];
@@ -390,17 +421,17 @@ fn sibling_sharing_matches_naive<K: Semiring>(cases: u64) {
 
 #[test]
 fn sibling_sharing_matches_naive_why() {
-    sibling_sharing_matches_naive::<Why>(3);
+    sibling_sharing_matches_naive::<Why>(quick(3));
 }
 
 #[test]
 fn sibling_sharing_matches_naive_lineage() {
-    sibling_sharing_matches_naive::<Lineage>(6);
+    sibling_sharing_matches_naive::<Lineage>(quick(6));
 }
 
 #[test]
 fn sibling_sharing_matches_naive_nat_poly() {
-    sibling_sharing_matches_naive::<NatPoly>(6);
+    sibling_sharing_matches_naive::<NatPoly>(quick(6));
 }
 
 #[test]
@@ -466,17 +497,17 @@ fn thread_sweep_witnesses<K: Semiring>(cases: u64) {
 
 #[test]
 fn thread_sweep_witnesses_direct_natural() {
-    thread_sweep_witnesses::<Natural>(12);
+    thread_sweep_witnesses::<Natural>(quick(12));
 }
 
 #[test]
 fn thread_sweep_witnesses_factorized_lineage() {
-    thread_sweep_witnesses::<Lineage>(8);
+    thread_sweep_witnesses::<Lineage>(quick(8));
 }
 
 #[test]
 fn thread_sweep_witnesses_factorized_why() {
-    thread_sweep_witnesses::<Why>(4);
+    thread_sweep_witnesses::<Why>(quick(4));
 }
 
 /// Example 4.6's pair (`R(u,v), R(u,w)` vs `R(u,v), R(u,v)`) has *many*

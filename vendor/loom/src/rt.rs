@@ -1,0 +1,891 @@
+//! The model-checking runtime: a cooperative scheduler that serialises every
+//! synchronisation operation of the threads under test and enumerates the
+//! possible serialisations by depth-first search over a recorded choice path.
+//!
+//! # How an execution runs
+//!
+//! The thread calling [`crate::model`] is *thread 0*; shim [`crate::thread`]
+//! spawns register further threads.  Every shim primitive (atomic op, mutex
+//! lock/unlock, yield, spawn, join, finish) is an **operation**: the calling
+//! thread first waits for its turn (`active == tid`), performs the operation
+//! under the scheduler lock, then picks the next thread to run.  Code between
+//! operations runs unscheduled, which is sound because all model-visible
+//! shared state is behind the shim primitives (plain data inside a shim
+//! `Mutex` is additionally protected by the real `std` mutex underneath).
+//!
+//! # How the search works
+//!
+//! Each decision — which thread performs the next operation, or which store a
+//! relaxed load observes — appends a `(chosen, alternatives)` pair to a
+//! **choice path**.  After an execution completes, the deepest pair with an
+//! unexplored alternative is incremented and everything below it truncated;
+//! the next execution replays the retained prefix and continues with default
+//! choices.  Exploration ends when no pair has alternatives left.  Context
+//! switches away from a runnable thread (preemptions) are bounded by
+//! [`Builder::preemption_bound`], the CHESS-style cut that keeps the schedule
+//! space tractable while catching most concurrency bugs at small bounds.
+//!
+//! # The memory model
+//!
+//! Every atomic keeps its full store history with vector-clock timestamps.
+//! Read-modify-writes always observe the newest store (C11 atomicity — so
+//! counters are exact under any `Ordering`).  A plain load may observe any
+//! store not ruled out by coherence (nothing older than what the thread last
+//! read or wrote there) or happens-before (nothing older than the newest
+//! store whose clock the loading thread already covers); when several stores
+//! qualify, the pick is a search choice.  An `Acquire` load observing a
+//! `Release` store joins the storer's clock into the loader's — unless
+//! [`Builder::weaken_release_to_relaxed`] is set, the test-only knob that
+//! drops exactly that edge so tests can prove the model would catch a
+//! missing `Release`/`Acquire` pair.  `SeqCst` is approximated as "always
+//! observes the newest store" (a single total order over a *single* atomic;
+//! cross-atomic SeqCst fences are not modelled — none are used here).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Token thrown (via `panic_any`) through threads of an aborted execution so
+/// they unwind and drain; never surfaces to the user — the recorded failure
+/// message is reported instead.
+pub(crate) struct AbortToken;
+
+/// Exploration parameters; `Builder::new().check(f)` is the long form of
+/// [`crate::model`]`(f)`.
+#[derive(Clone, Debug)]
+pub struct Builder {
+    /// Maximum number of context switches away from a still-runnable thread
+    /// per execution (voluntary switches — yields, blocking, thread exit —
+    /// are free).  Loom's CHESS heritage: most bugs surface by bound 2.
+    pub preemption_bound: usize,
+    /// Hard cap on explored executions; exceeding it panics rather than
+    /// silently truncating the search.
+    pub max_iterations: usize,
+    /// Hard cap on operations within one execution; exceeding it is reported
+    /// as a failure (a livelock the yield heuristics could not break).
+    pub max_steps: usize,
+    /// Test-only weakening knob: treat `Release` stores and `Acquire` loads
+    /// as `Relaxed`, severing the clock join that publication patterns rely
+    /// on.  Used to demonstrate the checker catches a weakened ordering.
+    pub weaken_release_to_relaxed: bool,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            preemption_bound: 2,
+            max_iterations: 500_000,
+            max_steps: 50_000,
+            weaken_release_to_relaxed: false,
+        }
+    }
+}
+
+impl Builder {
+    /// A builder with the default bounds.
+    pub fn new() -> Self {
+        Builder::default()
+    }
+
+    /// Explores every schedule of `f` within the bounds, panicking on the
+    /// first failing execution with the failure and its choice path.
+    pub fn check<F: Fn()>(&self, f: F) {
+        self.check_counted(f);
+    }
+
+    /// [`check`](Builder::check), returning how many executions were
+    /// explored (tests assert on this to pin exhaustiveness).
+    pub fn check_counted<F: Fn()>(&self, f: F) -> usize {
+        let mut path: Vec<Choice> = Vec::new();
+        let mut executions = 0usize;
+        loop {
+            executions += 1;
+            assert!(
+                executions <= self.max_iterations,
+                "loom shim: exceeded max_iterations ({}) — shrink the model \
+                 or raise the bound",
+                self.max_iterations
+            );
+            let sched = Arc::new(Scheduler::new(self.clone(), path));
+            set_current(Some(Ctx {
+                sched: Arc::clone(&sched),
+                tid: 0,
+            }));
+            let outcome = catch_unwind(AssertUnwindSafe(&f));
+            set_current(None);
+            path = sched.finish_execution(outcome, executions);
+            if !backtrack(&mut path) {
+                return executions;
+            }
+        }
+    }
+}
+
+/// Truncates `path` to the deepest choice with an unexplored alternative and
+/// advances it; `false` means the search space is exhausted.
+fn backtrack(path: &mut Vec<Choice>) -> bool {
+    while let Some(last) = path.last_mut() {
+        if last.chosen + 1 < last.alts {
+            last.chosen += 1;
+            return true;
+        }
+        path.pop();
+    }
+    false
+}
+
+/// One recorded decision: `chosen` out of `alts` equally-legal alternatives.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Choice {
+    chosen: usize,
+    alts: usize,
+}
+
+/// A vector clock over thread ids (threads are few; a dense vec suffices).
+#[derive(Clone, Debug, Default)]
+struct VClock(Vec<u32>);
+
+impl VClock {
+    fn tick(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (mine, theirs) in self.0.iter_mut().zip(&other.0) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// `self ≤ other` pointwise (missing components are zero).
+    fn le(&self, other: &VClock) -> bool {
+        self.0
+            .iter()
+            .enumerate()
+            .all(|(tid, &c)| c <= other.0.get(tid).copied().unwrap_or(0))
+    }
+}
+
+/// One store in an atomic's modification order.
+#[derive(Clone, Debug)]
+struct StoreEvent {
+    value: u64,
+    clock: VClock,
+    /// Whether observing this store with an acquire load joins `clock` into
+    /// the loader (i.e. the store was `Release` or stronger, unweakened).
+    release: bool,
+}
+
+/// How many times in a row one thread may observe the *same* stale store
+/// while a newer one exists.  Without this bound a spin loop re-reading a
+/// stale flag is a legal execution of unbounded length and the DFS never
+/// exhausts; with it, stale reads model C++'s "stores become visible in a
+/// finite amount of time" progress guarantee.  Only schedules that differ
+/// by futile extra spin iterations are pruned.
+const STALE_REREAD_LIMIT: u32 = 2;
+
+#[derive(Debug, Default)]
+struct AtomicState {
+    history: Vec<StoreEvent>,
+    /// Per-thread newest history index read from or written — the coherence
+    /// floor below which that thread may never read again.
+    seen: Vec<usize>,
+    /// Per-thread `(index, consecutive stale reads of it)`, enforcing
+    /// [`STALE_REREAD_LIMIT`].
+    reread: Vec<(usize, u32)>,
+}
+
+impl AtomicState {
+    fn seen_floor(&self, tid: usize) -> usize {
+        self.seen.get(tid).copied().unwrap_or(0)
+    }
+
+    fn mark_seen(&mut self, tid: usize, index: usize) {
+        if self.seen.len() <= tid {
+            self.seen.resize(tid + 1, 0);
+        }
+        self.seen[tid] = self.seen[tid].max(index);
+    }
+
+    /// Whether `tid` has already observed stale `index` as often in a row as
+    /// the progress bound allows.
+    fn reread_exhausted(&self, tid: usize, index: usize) -> bool {
+        matches!(self.reread.get(tid), Some(&(i, n)) if i == index && n >= STALE_REREAD_LIMIT)
+    }
+
+    /// Records that `tid` observed `index`; `stale` when a newer store
+    /// existed at read time (fresh reads reset the counter).
+    fn record_read(&mut self, tid: usize, index: usize, stale: bool) {
+        if self.reread.len() <= tid {
+            self.reread.resize(tid + 1, (0, 0));
+        }
+        self.reread[tid] = match self.reread[tid] {
+            _ if !stale => (index, 0),
+            (i, n) if i == index => (index, n + 1),
+            _ => (index, 1),
+        };
+    }
+}
+
+#[derive(Debug, Default)]
+struct MutexState {
+    held_by: Option<usize>,
+    /// Join of the clocks of every unlocker so far: locking joins this into
+    /// the locker, giving the release/acquire edge a real mutex provides.
+    clock: VClock,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum BlockedOn {
+    Mutex(usize),
+    Join(Vec<usize>),
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Status {
+    Runnable,
+    Blocked(BlockedOn),
+    Finished,
+}
+
+#[derive(Debug)]
+struct ThreadInfo {
+    status: Status,
+    clock: VClock,
+    /// Set by `yield_now`, cleared when the thread is next scheduled; the
+    /// scheduler prefers un-yielded threads at yield points, which breaks
+    /// spin-wait livelocks without starving the spinner.
+    yielded: bool,
+}
+
+#[derive(Debug)]
+struct SchedState {
+    threads: Vec<ThreadInfo>,
+    atomics: Vec<AtomicState>,
+    mutexes: Vec<MutexState>,
+    path: Vec<Choice>,
+    /// Cursor into `path`: decisions below it replay, at/above extend.
+    depth: usize,
+    preemptions: usize,
+    ops: usize,
+    /// Thread whose turn it is to perform an operation.
+    active: usize,
+    abort: bool,
+    failure: Option<String>,
+}
+
+/// The per-execution scheduler shared by all threads under test.
+pub(crate) struct Scheduler {
+    opts: Builder,
+    state: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+/// A thread's handle onto the scheduler of the execution it belongs to.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) sched: Arc<Scheduler>,
+    pub(crate) tid: usize,
+}
+
+impl std::fmt::Debug for Ctx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Ctx(tid {})", self.tid)
+    }
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<Ctx>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The calling thread's model context, if it runs under a model.
+pub(crate) fn current() -> Option<Ctx> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_current(ctx: Option<Ctx>) {
+    CURRENT.with(|c| *c.borrow_mut() = ctx);
+}
+
+fn lock_state(state: &Mutex<SchedState>) -> MutexGuard<'_, SchedState> {
+    state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Scheduler {
+    /// Condvar wait with a hang diagnostic: a scheduled thread should never
+    /// wait minutes for its turn, so after a long timeout the full scheduler
+    /// state is dumped to stderr (and the wait resumes — the test harness's
+    /// own timeout then kills the run with the dump already printed).
+    fn wait_state<'a>(
+        &'a self,
+        tid: usize,
+        st: MutexGuard<'a, SchedState>,
+    ) -> MutexGuard<'a, SchedState> {
+        let (st, timeout) = self
+            .cv
+            .wait_timeout(st, std::time::Duration::from_secs(10))
+            .unwrap_or_else(PoisonError::into_inner);
+        if timeout.timed_out() {
+            eprintln!(
+                "loom shim: thread {tid} waited >10s for its turn; active={} abort={} ops={} statuses={:?}",
+                st.active,
+                st.abort,
+                st.ops,
+                st.threads
+                    .iter()
+                    .map(|t| format!("{:?}/y{}", t.status, u8::from(t.yielded)))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        st
+    }
+}
+
+impl Scheduler {
+    fn new(opts: Builder, path: Vec<Choice>) -> Self {
+        let mut root = ThreadInfo {
+            status: Status::Runnable,
+            clock: VClock::default(),
+            yielded: false,
+        };
+        root.clock.tick(0);
+        Scheduler {
+            opts,
+            state: Mutex::new(SchedState {
+                threads: vec![root],
+                atomics: Vec::new(),
+                mutexes: Vec::new(),
+                path,
+                depth: 0,
+                preemptions: 0,
+                ops: 0,
+                active: 0,
+                abort: false,
+                failure: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    // ---- core turn-taking -------------------------------------------------
+
+    /// Waits until it is `tid`'s turn to perform an operation; ticks its
+    /// clock and counts the op.  Panics with [`AbortToken`] if the execution
+    /// aborted while waiting.
+    fn acquire_turn(&self, tid: usize) -> MutexGuard<'_, SchedState> {
+        let mut st = lock_state(&self.state);
+        loop {
+            if st.abort {
+                drop(st);
+                std::panic::panic_any(AbortToken);
+            }
+            if st.active == tid {
+                break;
+            }
+            st = self.wait_state(tid, st);
+        }
+        st.ops += 1;
+        if st.ops > self.opts.max_steps {
+            let max = self.opts.max_steps;
+            self.fail(
+                &mut st,
+                format!("execution exceeded {max} operations (livelock?)"),
+            );
+            drop(st);
+            self.cv.notify_all();
+            std::panic::panic_any(AbortToken);
+        }
+        st.threads[tid].clock.tick(tid);
+        st
+    }
+
+    /// Ends `tid`'s operation: picks the next thread and wakes it.  Panics
+    /// with [`AbortToken`] if picking failed (deadlock, nondeterminism).
+    fn release_turn(&self, mut st: MutexGuard<'_, SchedState>, tid: usize, yielding: bool) {
+        self.pick_next(&mut st, tid, yielding);
+        let abort = st.abort;
+        drop(st);
+        self.cv.notify_all();
+        if abort {
+            std::panic::panic_any(AbortToken);
+        }
+    }
+
+    /// [`release_turn`](Self::release_turn) for contexts that must never
+    /// panic (guard drops): failures are recorded, not thrown — the thread
+    /// hits the abort at its next operation instead.
+    fn release_turn_quiet(&self, mut st: MutexGuard<'_, SchedState>, tid: usize) {
+        if !st.abort {
+            self.pick_next(&mut st, tid, false);
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    fn fail(&self, st: &mut SchedState, msg: String) {
+        if st.failure.is_none() {
+            let path: Vec<String> = st.path[..st.depth.min(st.path.len())]
+                .iter()
+                .map(|c| format!("{}/{}", c.chosen, c.alts))
+                .collect();
+            st.failure = Some(format!("{msg}\n  choice path: [{}]", path.join(" ")));
+        }
+        st.abort = true;
+    }
+
+    /// Consumes one decision with `alts` alternatives: replays the recorded
+    /// pick below the exploration frontier, extends the path with the
+    /// default (0) at it.
+    fn choose(&self, st: &mut SchedState, alts: usize) -> usize {
+        if st.abort {
+            return 0;
+        }
+        let d = st.depth;
+        st.depth += 1;
+        if d < st.path.len() {
+            let c = st.path[d];
+            if c.alts != alts {
+                self.fail(
+                    st,
+                    format!(
+                        "nondeterministic execution: decision {d} has {alts} \
+                         alternatives, a previous run had {}",
+                        c.alts
+                    ),
+                );
+                return 0;
+            }
+            c.chosen.min(alts - 1)
+        } else {
+            st.path.push(Choice { chosen: 0, alts });
+            0
+        }
+    }
+
+    fn eligible(st: &SchedState, tid: usize) -> bool {
+        match &st.threads[tid].status {
+            Status::Runnable => true,
+            Status::Finished => false,
+            Status::Blocked(BlockedOn::Mutex(mid)) => st.mutexes[*mid].held_by.is_none(),
+            Status::Blocked(BlockedOn::Join(tids)) => tids
+                .iter()
+                .all(|&t| st.threads[t].status == Status::Finished),
+        }
+    }
+
+    /// Picks the next active thread.  Candidate order puts the current
+    /// thread first (continuing costs no preemption), then the rest by id;
+    /// at a yield the current thread is excluded and un-yielded peers are
+    /// preferred.  Switching away from a runnable, non-yielding thread
+    /// consumes preemption budget; at budget zero the current thread is the
+    /// only candidate, which is the CHESS bound's pruning.
+    fn pick_next(&self, st: &mut SchedState, current: usize, yielding: bool) {
+        if st.abort {
+            return;
+        }
+        let current_eligible =
+            st.threads[current].status == Status::Runnable && Self::eligible(st, current);
+        let others: Vec<usize> = (0..st.threads.len())
+            .filter(|&t| t != current && Self::eligible(st, t))
+            .collect();
+        let candidates: Vec<usize> = if yielding {
+            st.threads[current].yielded = true;
+            let fresh: Vec<usize> = others
+                .iter()
+                .copied()
+                .filter(|&t| !st.threads[t].yielded)
+                .collect();
+            if !fresh.is_empty() {
+                fresh
+            } else if !others.is_empty() {
+                others
+            } else {
+                vec![current]
+            }
+        } else if current_eligible {
+            if st.preemptions >= self.opts.preemption_bound {
+                vec![current]
+            } else {
+                let mut c = vec![current];
+                c.extend(others);
+                c
+            }
+        } else {
+            others
+        };
+        if candidates.is_empty() {
+            if st.threads.iter().all(|t| t.status == Status::Finished) {
+                st.active = usize::MAX;
+            } else {
+                self.fail(st, "deadlock: no eligible thread".to_owned());
+            }
+            return;
+        }
+        let k = self.choose(st, candidates.len());
+        if st.abort {
+            return;
+        }
+        let next = candidates[k];
+        if !yielding && current_eligible && next != current {
+            st.preemptions += 1;
+        }
+        st.threads[next].status = Status::Runnable;
+        st.threads[next].yielded = false;
+        st.active = next;
+    }
+
+    // ---- object registration ---------------------------------------------
+
+    pub(crate) fn register_atomic(&self, tid: usize, init: u64) -> usize {
+        let mut st = self.acquire_turn(tid);
+        let clock = st.threads[tid].clock.clone();
+        st.atomics.push(AtomicState {
+            // The initial value behaves like a store by the creating thread:
+            // anyone who sees the atomic exists (happens-after creation) may
+            // not read anything older.
+            history: vec![StoreEvent {
+                value: init,
+                clock,
+                release: false,
+            }],
+            seen: Vec::new(),
+            reread: Vec::new(),
+        });
+        let id = st.atomics.len() - 1;
+        self.release_turn(st, tid, false);
+        id
+    }
+
+    pub(crate) fn register_mutex(&self, tid: usize) -> usize {
+        let mut st = self.acquire_turn(tid);
+        let clock = st.threads[tid].clock.clone();
+        st.mutexes.push(MutexState {
+            held_by: None,
+            // Creation happens-before every lock.
+            clock,
+        });
+        let id = st.mutexes.len() - 1;
+        self.release_turn(st, tid, false);
+        id
+    }
+
+    // ---- atomics ----------------------------------------------------------
+
+    fn is_release(&self, ord: Ordering) -> bool {
+        match ord {
+            Ordering::Release | Ordering::AcqRel => !self.opts.weaken_release_to_relaxed,
+            Ordering::SeqCst => true,
+            _ => false,
+        }
+    }
+
+    fn is_acquire(&self, ord: Ordering) -> bool {
+        match ord {
+            Ordering::Acquire | Ordering::AcqRel => !self.opts.weaken_release_to_relaxed,
+            Ordering::SeqCst => true,
+            _ => false,
+        }
+    }
+
+    pub(crate) fn atomic_store(&self, tid: usize, id: usize, value: u64, ord: Ordering) {
+        let release = self.is_release(ord);
+        let mut st = self.acquire_turn(tid);
+        let clock = st.threads[tid].clock.clone();
+        let atomic = &mut st.atomics[id];
+        atomic.history.push(StoreEvent {
+            value,
+            clock,
+            release,
+        });
+        let newest = atomic.history.len() - 1;
+        atomic.mark_seen(tid, newest);
+        self.release_turn(st, tid, false);
+    }
+
+    pub(crate) fn atomic_load(&self, tid: usize, id: usize, ord: Ordering) -> u64 {
+        let acquire = self.is_acquire(ord);
+        let mut st = self.acquire_turn(tid);
+        let newest = st.atomics[id].history.len() - 1;
+        let index = if matches!(ord, Ordering::SeqCst) {
+            // Approximation: SeqCst loads observe the newest store (the
+            // single-variable total order; cross-atomic SeqCst fencing is
+            // not modelled).
+            newest
+        } else {
+            // Coherence floor: nothing older than this thread last saw
+            // there, nor older than the newest store it happens-after.
+            let mut floor = st.atomics[id].seen_floor(tid);
+            let thread_clock = st.threads[tid].clock.clone();
+            for (i, store) in st.atomics[id].history.iter().enumerate().rev() {
+                if store.clock.le(&thread_clock) {
+                    floor = floor.max(i);
+                    break;
+                }
+            }
+            // Newest-first so the default choice (0) matches what a real
+            // execution almost always observes; older stores are the
+            // explored staleness.  Stale indices this thread has already
+            // re-read `STALE_REREAD_LIMIT` times in a row are dropped —
+            // without that progress bound a spin loop re-reading a stale
+            // flag would make the schedule space infinite.
+            let candidates: Vec<usize> = (floor..=newest)
+                .rev()
+                .filter(|&i| i == newest || !st.atomics[id].reread_exhausted(tid, i))
+                .collect();
+            candidates[self.choose(&mut st, candidates.len())]
+        };
+        st.atomics[id].record_read(tid, index, index < newest);
+        if st.abort {
+            drop(st);
+            self.cv.notify_all();
+            std::panic::panic_any(AbortToken);
+        }
+        let value = st.atomics[id].history[index].value;
+        let release = st.atomics[id].history[index].release;
+        if acquire && release {
+            let store_clock = st.atomics[id].history[index].clock.clone();
+            st.threads[tid].clock.join(&store_clock);
+        }
+        st.atomics[id].mark_seen(tid, index);
+        self.release_turn(st, tid, false);
+        value
+    }
+
+    pub(crate) fn atomic_rmw(
+        &self,
+        tid: usize,
+        id: usize,
+        ord: Ordering,
+        f: impl FnOnce(u64) -> u64,
+    ) -> u64 {
+        let acquire = self.is_acquire(ord);
+        let release = self.is_release(ord);
+        let mut st = self.acquire_turn(tid);
+        // C11 atomicity: a read-modify-write always observes the newest
+        // store in the modification order, whatever its ordering — this is
+        // why `Relaxed` counters are exact.
+        let newest = st.atomics[id].history.len() - 1;
+        let prev = st.atomics[id].history[newest].value;
+        if acquire && st.atomics[id].history[newest].release {
+            let store_clock = st.atomics[id].history[newest].clock.clone();
+            st.threads[tid].clock.join(&store_clock);
+        }
+        let clock = st.threads[tid].clock.clone();
+        let atomic = &mut st.atomics[id];
+        atomic.history.push(StoreEvent {
+            value: f(prev),
+            clock,
+            release,
+        });
+        let newest = atomic.history.len() - 1;
+        atomic.mark_seen(tid, newest);
+        self.release_turn(st, tid, false);
+        prev
+    }
+
+    // ---- mutexes ----------------------------------------------------------
+
+    pub(crate) fn mutex_lock(&self, tid: usize, id: usize) {
+        let mut st = self.acquire_turn(tid);
+        loop {
+            if st.mutexes[id].held_by.is_none() {
+                st.mutexes[id].held_by = Some(tid);
+                let mutex_clock = st.mutexes[id].clock.clone();
+                // The real release/acquire edge a mutex provides: the locker
+                // happens-after every previous unlocker.
+                st.threads[tid].clock.join(&mutex_clock);
+                break;
+            }
+            st.threads[tid].status = Status::Blocked(BlockedOn::Mutex(id));
+            self.pick_next(&mut st, tid, false);
+            self.cv.notify_all();
+            loop {
+                if st.abort {
+                    drop(st);
+                    std::panic::panic_any(AbortToken);
+                }
+                if st.active == tid {
+                    break;
+                }
+                st = self.wait_state(tid, st);
+            }
+        }
+        self.release_turn(st, tid, false);
+    }
+
+    /// Never panics: called from guard drops, possibly mid-unwind or after
+    /// an abort.  The unlock is a scheduled operation like any other (it
+    /// waits for the thread's turn) — an unscheduled unlock would reassign
+    /// `active` behind the scheduled thread's back and both corrupt the
+    /// turn protocol and make replays nondeterministic.  During an abort
+    /// the turn-taking is suspended and only the bookkeeping runs.
+    pub(crate) fn mutex_unlock(&self, tid: usize, id: usize) {
+        let mut st = lock_state(&self.state);
+        loop {
+            if st.abort || st.active == tid {
+                break;
+            }
+            st = self.wait_state(tid, st);
+        }
+        if !st.abort {
+            st.ops += 1;
+            st.threads[tid].clock.tick(tid);
+        }
+        let thread_clock = st.threads[tid].clock.clone();
+        st.mutexes[id].clock.join(&thread_clock);
+        st.mutexes[id].held_by = None;
+        self.release_turn_quiet(st, tid);
+    }
+
+    // ---- threads ----------------------------------------------------------
+
+    pub(crate) fn yield_now(&self, tid: usize) {
+        let st = self.acquire_turn(tid);
+        self.release_turn(st, tid, true);
+    }
+
+    /// Registers a child thread; the child happens-after the spawn point.
+    pub(crate) fn spawn_thread(&self, parent: usize) -> usize {
+        let mut st = self.acquire_turn(parent);
+        let mut clock = st.threads[parent].clock.clone();
+        let tid = st.threads.len();
+        clock.tick(tid);
+        st.threads.push(ThreadInfo {
+            status: Status::Runnable,
+            clock,
+            yielded: false,
+        });
+        self.release_turn(st, parent, false);
+        tid
+    }
+
+    /// A child's last scheduled operation: mark finished so joiners unblock.
+    pub(crate) fn finish_thread(&self, tid: usize) {
+        let mut st = self.acquire_turn(tid);
+        st.threads[tid].status = Status::Finished;
+        self.release_turn(st, tid, false);
+    }
+
+    /// Blocks `tid` until every thread in `children` finished, then joins
+    /// their clocks (join happens-after everything the children did).
+    pub(crate) fn join_threads(&self, tid: usize, children: &[usize]) {
+        if children.is_empty() {
+            return;
+        }
+        let mut st = self.acquire_turn(tid);
+        loop {
+            if children
+                .iter()
+                .all(|&c| st.threads[c].status == Status::Finished)
+            {
+                for &c in children {
+                    let child_clock = st.threads[c].clock.clone();
+                    st.threads[tid].clock.join(&child_clock);
+                }
+                break;
+            }
+            st.threads[tid].status = Status::Blocked(BlockedOn::Join(children.to_vec()));
+            self.pick_next(&mut st, tid, false);
+            self.cv.notify_all();
+            loop {
+                if st.abort {
+                    drop(st);
+                    std::panic::panic_any(AbortToken);
+                }
+                if st.active == tid {
+                    break;
+                }
+                st = self.wait_state(tid, st);
+            }
+        }
+        self.release_turn(st, tid, false);
+    }
+
+    /// A child that unwound out of its closure: record the panic (unless it
+    /// is the abort token of an already-failing execution), mark finished,
+    /// hand the turn on.  Never panics — the OS thread is exiting.
+    pub(crate) fn emergency_exit(&self, tid: usize, payload: Box<dyn std::any::Any + Send>) {
+        let mut st = lock_state(&self.state);
+        if !payload.is::<AbortToken>() {
+            let msg = panic_message(payload.as_ref());
+            self.fail(&mut st, format!("thread {tid} panicked: {msg}"));
+        }
+        st.threads[tid].status = Status::Finished;
+        if st.active == tid {
+            st.active = usize::MAX;
+        }
+        if !st.abort {
+            self.pick_next(&mut st, tid, false);
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Called by the driver after the model closure returns on thread 0:
+    /// folds the closure's outcome into the recorded failure, drains any
+    /// still-running threads, panics if the execution failed, and returns
+    /// the choice path for backtracking.
+    fn finish_execution(
+        &self,
+        outcome: Result<(), Box<dyn std::any::Any + Send>>,
+        executions: usize,
+    ) -> Vec<Choice> {
+        let mut st = lock_state(&self.state);
+        st.threads[0].status = Status::Finished;
+        match outcome {
+            Ok(()) => {
+                let leaked: Vec<usize> = (1..st.threads.len())
+                    .filter(|&t| st.threads[t].status != Status::Finished)
+                    .collect();
+                if !leaked.is_empty() {
+                    self.fail(
+                        &mut st,
+                        format!("threads {leaked:?} were never joined before the model closure returned"),
+                    );
+                }
+            }
+            Err(payload) => {
+                if !payload.is::<AbortToken>() {
+                    let msg = panic_message(payload.as_ref());
+                    self.fail(&mut st, format!("model closure panicked: {msg}"));
+                }
+                // A failure must already be recorded when the token reaches
+                // thread 0; nothing to add otherwise.
+            }
+        }
+        // Drain: every spawned OS thread must observe the abort (or have
+        // finished) before this scheduler is dropped.
+        if st.threads.iter().any(|t| t.status != Status::Finished) {
+            st.abort = true;
+            self.cv.notify_all();
+            while st.threads.iter().any(|t| t.status != Status::Finished) {
+                self.cv.notify_all();
+                st = self.wait_state(0, st);
+            }
+        }
+        if let Some(failure) = st.failure.take() {
+            let ops = st.ops;
+            drop(st);
+            panic!(
+                "loom shim: model failed on execution {executions} after {ops} operations: {failure}"
+            );
+        }
+        std::mem::take(&mut st.path)
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}

@@ -1,0 +1,299 @@
+//! Shimmed `std::sync` types: a [`Mutex`] and the atomics the workspace
+//! uses.  Outside a model they delegate straight to `std`; inside one, every
+//! operation is scheduled and its memory effects tracked by [`crate::rt`].
+//!
+//! A sync object must be created in the same mode it is used in: creating it
+//! outside a model closure and touching it inside (or vice versa) panics
+//! with an explanatory message, because the runtime can only explore
+//! operations it mediates.
+
+use crate::rt::{self, Ctx};
+
+/// `std::sync::LockResult`, re-exported so facade signatures line up.
+pub use std::sync::LockResult;
+pub use std::sync::PoisonError;
+
+/// Atomic types with scheduler-mediated semantics under a model.
+pub mod atomic {
+    use super::mode_mismatch;
+    use crate::rt::{self, Ctx};
+    pub use std::sync::atomic::Ordering;
+
+    enum Mode<S> {
+        /// Created outside any model: a real `std` atomic.
+        Std(S),
+        /// Created under a model: an id into the runtime's store histories.
+        /// Operations resolve the *calling* thread's context at call time —
+        /// the registering thread's identity is irrelevant after creation.
+        Model { id: usize },
+    }
+
+    /// The calling thread's model context; panics if a model-mode atomic is
+    /// touched outside the model closure.
+    fn caller() -> Ctx {
+        rt::current().unwrap_or_else(|| {
+            panic!(
+                "loom shim: this atomic was created inside a model closure \
+                 but used outside one; model-mode objects are only usable \
+                 while their model runs"
+            )
+        })
+    }
+
+    macro_rules! shim_atomic {
+        ($name:ident, $std:ty, $prim:ty, $to_u64:expr, $from_u64:expr) => {
+            /// Shimmed atomic: `std` passthrough outside a model, scheduled
+            /// and history-tracked inside one.
+            pub struct $name(Mode<$std>);
+
+            impl $name {
+                /// Creates the atomic in the calling context's mode.
+                pub fn new(value: $prim) -> Self {
+                    match rt::current() {
+                        None => $name(Mode::Std(<$std>::new(value))),
+                        Some(ctx) => {
+                            let id = ctx.sched.register_atomic(ctx.tid, $to_u64(value));
+                            $name(Mode::Model { id })
+                        }
+                    }
+                }
+
+                /// Loads the value; under a model the observed store is a
+                /// search choice within coherence and happens-before limits.
+                pub fn load(&self, ord: Ordering) -> $prim {
+                    match &self.0 {
+                        Mode::Std(a) => {
+                            mode_mismatch(rt::current().is_none(), "atomic");
+                            a.load(ord)
+                        }
+                        Mode::Model { id } => {
+                            let cur = caller();
+                            $from_u64(cur.sched.atomic_load(cur.tid, *id, ord))
+                        }
+                    }
+                }
+
+                /// Stores a value.
+                pub fn store(&self, value: $prim, ord: Ordering) {
+                    match &self.0 {
+                        Mode::Std(a) => {
+                            mode_mismatch(rt::current().is_none(), "atomic");
+                            a.store(value, ord);
+                        }
+                        Mode::Model { id } => {
+                            let cur = caller();
+                            cur.sched.atomic_store(cur.tid, *id, $to_u64(value), ord);
+                        }
+                    }
+                }
+
+                /// Atomically replaces the value, returning the previous one.
+                pub fn swap(&self, value: $prim, ord: Ordering) -> $prim {
+                    match &self.0 {
+                        Mode::Std(a) => {
+                            mode_mismatch(rt::current().is_none(), "atomic");
+                            a.swap(value, ord)
+                        }
+                        Mode::Model { id } => {
+                            let cur = caller();
+                            $from_u64(cur.sched.atomic_rmw(cur.tid, *id, ord, |_| $to_u64(value)))
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    macro_rules! shim_atomic_arith {
+        ($name:ident, $prim:ty, $to_u64:expr, $from_u64:expr) => {
+            impl $name {
+                /// Atomically adds, returning the previous value.  Always
+                /// observes the newest store (RMW atomicity), so counters
+                /// stay exact even at `Relaxed`.
+                pub fn fetch_add(&self, value: $prim, ord: Ordering) -> $prim {
+                    match &self.0 {
+                        Mode::Std(a) => {
+                            mode_mismatch(rt::current().is_none(), "atomic");
+                            a.fetch_add(value, ord)
+                        }
+                        Mode::Model { id } => {
+                            let cur = caller();
+                            $from_u64(cur.sched.atomic_rmw(cur.tid, *id, ord, |prev| {
+                                $to_u64($from_u64(prev).wrapping_add(value))
+                            }))
+                        }
+                    }
+                }
+
+                /// Atomically subtracts, returning the previous value.
+                pub fn fetch_sub(&self, value: $prim, ord: Ordering) -> $prim {
+                    match &self.0 {
+                        Mode::Std(a) => {
+                            mode_mismatch(rt::current().is_none(), "atomic");
+                            a.fetch_sub(value, ord)
+                        }
+                        Mode::Model { id } => {
+                            let cur = caller();
+                            $from_u64(cur.sched.atomic_rmw(cur.tid, *id, ord, |prev| {
+                                $to_u64($from_u64(prev).wrapping_sub(value))
+                            }))
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    shim_atomic!(
+        AtomicBool,
+        std::sync::atomic::AtomicBool,
+        bool,
+        u64::from,
+        |v: u64| v != 0
+    );
+    shim_atomic!(
+        AtomicU64,
+        std::sync::atomic::AtomicU64,
+        u64,
+        std::convert::identity,
+        std::convert::identity
+    );
+    shim_atomic!(
+        AtomicUsize,
+        std::sync::atomic::AtomicUsize,
+        usize,
+        |v: usize| v as u64,
+        |v: u64| v as usize
+    );
+    shim_atomic_arith!(
+        AtomicU64,
+        u64,
+        std::convert::identity,
+        std::convert::identity
+    );
+    shim_atomic_arith!(AtomicUsize, usize, |v: usize| v as u64, |v: u64| v as usize);
+
+    impl std::fmt::Debug for AtomicBool {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.pad("AtomicBool(..)")
+        }
+    }
+    impl std::fmt::Debug for AtomicU64 {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.pad("AtomicU64(..)")
+        }
+    }
+    impl std::fmt::Debug for AtomicUsize {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.pad("AtomicUsize(..)")
+        }
+    }
+}
+
+/// Panics when a sync object created in one mode is used in the other.
+fn mode_mismatch(ok: bool, what: &str) {
+    assert!(
+        ok,
+        "loom shim: this {what} was created outside the model closure but \
+         used inside one (or vice versa); create every sync object inside \
+         the closure so the runtime can mediate it"
+    );
+}
+
+/// Shimmed `std::sync::Mutex`: real exclusion (a `std` mutex underneath)
+/// plus scheduled lock/unlock and happens-before tracking under a model.
+#[derive(Debug)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+    model: Option<(Ctx, usize)>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates the mutex in the calling context's mode.
+    pub fn new(value: T) -> Self {
+        let model = rt::current().map(|ctx| {
+            let id = ctx.sched.register_mutex(ctx.tid);
+            (ctx, id)
+        });
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+            model,
+        }
+    }
+
+    /// Acquires the mutex; under a model the blocking is mediated by the
+    /// scheduler (the inner `std` lock is then always uncontended).  Poison
+    /// semantics mirror `std`.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let release = match (&self.model, rt::current()) {
+            (None, None) => None,
+            (Some((_, id)), Some(cur)) => {
+                cur.sched.mutex_lock(cur.tid, *id);
+                // Unlock bookkeeping is attributed to the locking thread: a
+                // guard never migrates threads, so the locker unlocks.
+                Some((cur, *id))
+            }
+            _ => {
+                mode_mismatch(false, "mutex");
+                unreachable!("mode_mismatch panics on mixed modes")
+            }
+        };
+        match self.inner.lock() {
+            Ok(std) => Ok(MutexGuard {
+                std: Some(std),
+                release,
+            }),
+            Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                std: Some(poisoned.into_inner()),
+                release,
+            })),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value (poison mirrored from
+    /// `std`).
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+/// Guard for [`Mutex`]; dropping it releases the real lock first and then
+/// reports the release to the scheduler (never panicking, even mid-abort).
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    std: Option<std::sync::MutexGuard<'a, T>>,
+    release: Option<(Ctx, usize)>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.std
+            .as_deref()
+            // invariant: `std` is Some until drop — set at construction,
+            // taken only in `Drop`.
+            .expect("guard accessed after drop")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.std
+            .as_deref_mut()
+            // invariant: `std` is Some until drop — set at construction,
+            // taken only in `Drop`.
+            .expect("guard accessed after drop")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock before telling the scheduler: the next
+        // thread it wakes must find the std mutex free.
+        drop(self.std.take());
+        if let Some((ctx, id)) = self.release.take() {
+            ctx.sched.mutex_unlock(ctx.tid, id);
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Shimmed `std::thread`: `scope`/`spawn`/`yield_now` that register their
+//! threads with the model runtime when one is active, and pass through to
+//! `std` otherwise.
+//!
+//! Model-mode threads are real OS threads — the scheduler merely serialises
+//! their synchronisation operations — so `scope` is built on
+//! [`std::thread::scope`] (real loom has no `scope`; see the crate README).
+//! Under a model, our scope performs a *scheduled* join of every spawned
+//! child before `std`'s implicit join, so the join-all is part of the
+//! explored schedule and `std`'s own join never blocks a scheduled thread.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crate::rt::{self, Ctx};
+
+pub use std::thread::available_parallelism;
+
+/// Runs `f` as a registered model thread: enter the context, run, report the
+/// exit (normal or panicking) to the scheduler.  Returns `None` when the
+/// execution aborted mid-thread.
+fn run_registered<T>(ctx: Ctx, f: impl FnOnce() -> T) -> Option<T> {
+    if std::env::var_os("LOOM_SHIM_TRACE").is_some() {
+        eprintln!("loom trace: thread {} OS-started", ctx.tid);
+    }
+    rt::set_current(Some(ctx.clone()));
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let value = f();
+        ctx.sched.finish_thread(ctx.tid);
+        value
+    }));
+    rt::set_current(None);
+    if std::env::var_os("LOOM_SHIM_TRACE").is_some() {
+        eprintln!(
+            "loom trace: thread {} OS-exiting (panicked: {})",
+            ctx.tid,
+            outcome.is_err()
+        );
+    }
+    match outcome {
+        Ok(value) => Some(value),
+        Err(payload) => {
+            ctx.sched.emergency_exit(ctx.tid, payload);
+            None
+        }
+    }
+}
+
+/// Yields the current thread's turn; under a model the scheduler must hand
+/// the turn to a not-yet-yielded peer when one is runnable, which is what
+/// makes spin-wait loops (`yield` until a flag flips) explorable without
+/// livelocking the search.
+pub fn yield_now() {
+    match rt::current() {
+        None => std::thread::yield_now(),
+        Some(ctx) => ctx.sched.yield_now(ctx.tid),
+    }
+}
+
+/// Handle to a [`spawn`]ed thread.
+pub struct JoinHandle<T> {
+    std: std::thread::JoinHandle<Option<T>>,
+    child: Option<(Ctx, usize)>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish, returning its result; joining is a
+    /// scheduled operation under a model.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some((ctx, tid)) = &self.child {
+            ctx.sched.join_threads(ctx.tid, &[*tid]);
+        }
+        self.std.join().map(|value| {
+            // invariant: a registered thread only returns None when the
+            // execution aborted, and then `join_threads` has already
+            // panicked this thread with the abort token.
+            value.expect("joined a thread of an aborted execution")
+        })
+    }
+}
+
+/// Spawns a thread; registered with the model runtime when one is active.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match rt::current() {
+        None => JoinHandle {
+            std: std::thread::spawn(move || Some(f())),
+            child: None,
+        },
+        Some(ctx) => {
+            let tid = ctx.sched.spawn_thread(ctx.tid);
+            let child = Ctx {
+                sched: Arc::clone(&ctx.sched),
+                tid,
+            };
+            JoinHandle {
+                std: std::thread::spawn(move || run_registered(child, f)),
+                child: Some((ctx, tid)),
+            }
+        }
+    }
+}
+
+/// Scope for [`scope`]d spawns; mirrors [`std::thread::Scope`].
+pub struct Scope<'scope, 'env> {
+    std: &'scope std::thread::Scope<'scope, 'env>,
+    ctx: Option<Ctx>,
+    children: std::cell::RefCell<Vec<usize>>,
+}
+
+/// Handle to a scoped thread; dropping it detaches (the scope still joins).
+pub struct ScopedJoinHandle<'scope, T> {
+    std: std::thread::ScopedJoinHandle<'scope, Option<T>>,
+    child: Option<(Ctx, usize)>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread to finish, returning its result; joining is a
+    /// scheduled operation under a model.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some((ctx, tid)) = &self.child {
+            ctx.sched.join_threads(ctx.tid, &[*tid]);
+        }
+        self.std.join().map(|value| {
+            // invariant: a registered thread only returns None when the
+            // execution aborted, and then `join_threads` has already
+            // panicked this thread with the abort token.
+            value.expect("joined a thread of an aborted execution")
+        })
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; registered with the model runtime when one
+    /// is active.
+    pub fn spawn<T, F>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        match &self.ctx {
+            None => ScopedJoinHandle {
+                std: self.std.spawn(move || Some(f())),
+                child: None,
+            },
+            Some(ctx) => {
+                let tid = ctx.sched.spawn_thread(ctx.tid);
+                let child = Ctx {
+                    sched: Arc::clone(&ctx.sched),
+                    tid,
+                };
+                self.children.borrow_mut().push(tid);
+                ScopedJoinHandle {
+                    std: self.std.spawn(move || run_registered(child, f)),
+                    child: Some((ctx.clone(), tid)),
+                }
+            }
+        }
+    }
+}
+
+/// Mirror of [`std::thread::scope`].  Under a model, all children spawned on
+/// the scope are joined *through the scheduler* before the underlying `std`
+/// scope's implicit join, and a panic out of `f` aborts the execution first
+/// so blocked children drain instead of deadlocking `std`'s join.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    // The *reference* lifetime stays free (unlike `std`, whose closure takes
+    // `&'scope Scope<'scope, 'env>`): `std::thread::Scope` is invariant in
+    // `'scope`, so a wrapper constructed around the `&'s Scope<'s, 'env>`
+    // that `std` hands us can only be borrowed for a fresh, shorter
+    // lifetime.  Spawning only needs the `'scope` *type parameter*, which
+    // the HRTB still pins.
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+{
+    let ctx = rt::current();
+    std::thread::scope(move |std_scope| {
+        let shim = Scope {
+            std: std_scope,
+            ctx: ctx.clone(),
+            children: std::cell::RefCell::new(Vec::new()),
+        };
+        match ctx {
+            None => f(&shim),
+            Some(ctx) => {
+                let outcome = catch_unwind(AssertUnwindSafe(|| f(&shim)));
+                let children = shim.children.borrow().clone();
+                match outcome {
+                    Ok(value) => {
+                        ctx.sched.join_threads(ctx.tid, &children);
+                        value
+                    }
+                    Err(payload) => {
+                        // Abort before std's implicit join: children still
+                        // waiting for turns must drain, or that join hangs.
+                        ctx.sched.emergency_exit(ctx.tid, payload);
+                        std::panic::panic_any(rt::AbortToken);
+                    }
+                }
+            }
+        }
+    })
+}
