@@ -18,10 +18,17 @@
 //!   cross-validates the resulting procedures against brute-force semantic
 //!   checks.
 
+use annot_polynomial::Polynomial;
 use annot_semiring::{
     Bool, BoolPoly, BoundedNat, Clearance, Fuzzy, Lineage, NatPoly, Natural, PosBool, Schedule,
     Semiring, Trio, Tropical, Viterbi, Why,
 };
+
+/// The signature of a decidable polynomial-order comparison `P₁ ¹_K P₂`
+/// (see [`crate::poly_order::PolynomialOrder`]).  Stored as a plain function
+/// pointer so the runtime-dispatch registry ([`crate::registry`]) can carry
+/// it without a generic parameter.
+pub type PolyLeqFn = fn(&Polynomial, &Polynomial) -> bool;
 
 /// The smallest offset of a semiring (Sec. 5.2): the least `k` with
 /// `k·x =_K ℓ·x` for all `ℓ ≥ k`, or `Infinite` if there is none (e.g. `N`,
@@ -181,6 +188,16 @@ impl ClassProfile {
 pub trait ClassifiedSemiring: Semiring {
     /// The declared class profile.
     fn class_profile() -> ClassProfile;
+
+    /// The decidable polynomial order `¹_K` of this semiring, when one is
+    /// implemented ([`crate::poly_order::PolynomialOrder`]).  The unified
+    /// dispatcher ([`crate::decide`]) uses it to run the small-model
+    /// procedure of Thm. 4.17 for `SmallModel`-criterion semirings; the
+    /// default (`None`) makes the dispatcher fall back to the sufficient /
+    /// necessary homomorphism bounds.
+    fn poly_order() -> Option<PolyLeqFn> {
+        None
+    }
 }
 
 impl ClassifiedSemiring for Bool {
@@ -249,6 +266,10 @@ impl ClassifiedSemiring for Lineage {
 }
 
 impl ClassifiedSemiring for Tropical {
+    fn poly_order() -> Option<PolyLeqFn> {
+        Some(<Tropical as crate::poly_order::PolynomialOrder>::poly_leq)
+    }
+
     fn class_profile() -> ClassProfile {
         ClassProfile {
             name: "T+",
@@ -268,6 +289,10 @@ impl ClassifiedSemiring for Tropical {
 }
 
 impl ClassifiedSemiring for Viterbi {
+    fn poly_order() -> Option<PolyLeqFn> {
+        Some(<Viterbi as crate::poly_order::PolynomialOrder>::poly_leq)
+    }
+
     fn class_profile() -> ClassProfile {
         ClassProfile {
             name: "Viterbi",
@@ -290,6 +315,10 @@ impl ClassifiedSemiring for Viterbi {
 }
 
 impl ClassifiedSemiring for Schedule {
+    fn poly_order() -> Option<PolyLeqFn> {
+        Some(<Schedule as crate::poly_order::PolynomialOrder>::poly_leq)
+    }
+
     fn class_profile() -> ClassProfile {
         ClassProfile {
             name: "T-",
@@ -349,6 +378,10 @@ impl ClassifiedSemiring for Trio {
 }
 
 impl ClassifiedSemiring for NatPoly {
+    fn poly_order() -> Option<PolyLeqFn> {
+        Some(<NatPoly as crate::poly_order::PolynomialOrder>::poly_leq)
+    }
+
     fn class_profile() -> ClassProfile {
         ClassProfile {
             name: "N[X]",
@@ -368,6 +401,10 @@ impl ClassifiedSemiring for NatPoly {
 }
 
 impl ClassifiedSemiring for BoolPoly {
+    fn poly_order() -> Option<PolyLeqFn> {
+        Some(<BoolPoly as crate::poly_order::PolynomialOrder>::poly_leq)
+    }
+
     fn class_profile() -> ClassProfile {
         ClassProfile {
             name: "B[X]",

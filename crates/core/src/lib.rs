@@ -18,11 +18,13 @@
 //! | [`brute_force`] | semantic baseline used for cross-validation | — |
 //! | [`steal`] | the work-stealing task pool driving the baseline's parallel walk | — |
 //! | [`decide`] | the unified, class-dispatching containment solver | Table 1 |
+//! | [`registry`] | runtime dispatch by semiring name ([`SemiringId`], `decide_*_dyn`) | Table 1 |
 //!
 //! ## Quick example
 //!
 //! ```
-//! use annot_core::decide::{decide_cq, decide_cq_with_poly_order};
+//! use annot_core::decide::decide_cq;
+//! use annot_core::registry::{decide_cq_dyn, SemiringId};
 //! use annot_query::{parser, Schema};
 //! use annot_semiring::{Bool, NatPoly, Tropical};
 //!
@@ -35,8 +37,13 @@
 //! assert_eq!(decide_cq::<Bool>(&q1, &q2).decided(), Some(true));
 //! // … over provenance polynomials Q1 is NOT contained in Q2 …
 //! assert_eq!(decide_cq::<NatPoly>(&q1, &q2).decided(), Some(false));
-//! // … and over the tropical semiring it is contained again.
-//! assert_eq!(decide_cq_with_poly_order::<Tropical>(&q1, &q2).decided(), Some(true));
+//! // … and over the tropical semiring it is contained again — the same
+//! // entry point reaches the small-model procedure via the class profile.
+//! assert_eq!(decide_cq::<Tropical>(&q1, &q2).decided(), Some(true));
+//!
+//! // Runtime dispatch by name returns the identical Decision:
+//! let why = SemiringId::from_name("Why").unwrap();
+//! assert_eq!(decide_cq_dyn(why, &q1, &q2).decided(), Some(false));
 //! ```
 
 #![warn(missing_docs)]
@@ -48,16 +55,16 @@ pub mod cq;
 pub mod decide;
 pub mod matching;
 pub mod poly_order;
+pub mod registry;
 pub mod small_model;
 pub mod steal;
 pub mod sync;
 pub mod ucq;
 
 pub use classes::{
-    ClassProfile, ClassifiedSemiring, Complexity, CqCriterion, Offset, UcqCriterion,
+    ClassProfile, ClassifiedSemiring, Complexity, CqCriterion, Offset, PolyLeqFn, UcqCriterion,
 };
 pub use classify::{classify, EmpiricalClassification};
-pub use decide::{
-    decide_cq, decide_cq_with_poly_order, decide_ucq, decide_ucq_with_poly_order, Answer,
-};
+pub use decide::{decide_cq, decide_ucq, Decision, Verdict};
 pub use poly_order::PolynomialOrder;
+pub use registry::{decide_cq_dyn, decide_ucq_dyn, SemiringId};

@@ -18,6 +18,7 @@
 //! Ex. 5.4): evaluate the UCQs instead of single CQs over the canonical
 //! instances of `⟨Q₁⟩`.
 
+use crate::classes::PolyLeqFn;
 use crate::poly_order::PolynomialOrder;
 use annot_query::complete::{complete_description_cq, complete_description_ucq};
 use annot_query::eval::{eval_cq_all_outputs_rows, eval_ucq_all_outputs_rows};
@@ -36,12 +37,20 @@ use std::collections::BTreeMap;
 /// join per candidate tuple); tuples outside both supports compare as
 /// `0 ¹_K 0`, which holds in every semiring.
 pub fn cq_contained_small_model<K: PolynomialOrder>(q1: &Cq, q2: &Cq) -> bool {
+    cq_contained_small_model_with(q1, q2, K::poly_leq)
+}
+
+/// Monomorphic core of [`cq_contained_small_model`], taking the polynomial
+/// order as a plain function pointer so the runtime-dispatch layer
+/// ([`crate::decide`], [`crate::registry`]) can invoke it without a generic
+/// parameter.
+pub fn cq_contained_small_model_with(q1: &Cq, q2: &Cq, leq: PolyLeqFn) -> bool {
     let description = complete_description_cq(q1);
     for ccq in description.disjuncts() {
         let canonical = CanonicalInstance::of_ccq(ccq);
         let m1 = eval_cq_all_outputs_rows(q1, canonical.instance());
         let m2 = eval_cq_all_outputs_rows(q2, canonical.instance());
-        if !supports_ordered::<K>(&m1, &m2) {
+        if !supports_ordered(&m1, &m2, leq) {
             return false;
         }
     }
@@ -54,19 +63,20 @@ pub fn cq_contained_small_model<K: PolynomialOrder>(q1: &Cq, q2: &Cq) -> bool {
 /// in either support can witness a violation.  Both maps are evaluated over
 /// the *same* canonical instance, so their interned row keys are directly
 /// comparable.
-fn supports_ordered<K: PolynomialOrder>(
+fn supports_ordered(
     m1: &BTreeMap<IdTuple, NatPoly>,
     m2: &BTreeMap<IdTuple, NatPoly>,
+    leq: PolyLeqFn,
 ) -> bool {
     let zero = NatPoly::zero();
     for (t, p1) in m1 {
         let p2 = m2.get(t).unwrap_or(&zero);
-        if !K::poly_leq(p1.polynomial(), p2.polynomial()) {
+        if !leq(p1.polynomial(), p2.polynomial()) {
             return false;
         }
     }
     for (t, p2) in m2 {
-        if !m1.contains_key(t) && !K::poly_leq(zero.polynomial(), p2.polynomial()) {
+        if !m1.contains_key(t) && !leq(zero.polynomial(), p2.polynomial()) {
             return false;
         }
     }
@@ -80,6 +90,12 @@ fn supports_ordered<K: PolynomialOrder>(
 /// member-wise local method fails there; the canonical-instance comparison
 /// succeeds).
 pub fn ucq_contained_small_model<K: PolynomialOrder>(q1: &Ucq, q2: &Ucq) -> bool {
+    ucq_contained_small_model_with(q1, q2, K::poly_leq)
+}
+
+/// Monomorphic core of [`ucq_contained_small_model`] (see
+/// [`cq_contained_small_model_with`]).
+pub fn ucq_contained_small_model_with(q1: &Ucq, q2: &Ucq, leq: PolyLeqFn) -> bool {
     if q1.is_empty() {
         return true;
     }
@@ -88,7 +104,7 @@ pub fn ucq_contained_small_model<K: PolynomialOrder>(q1: &Ucq, q2: &Ucq) -> bool
         let canonical = CanonicalInstance::of_ccq(ccq);
         let m1 = eval_ucq_all_outputs_rows(q1, canonical.instance());
         let m2 = eval_ucq_all_outputs_rows(q2, canonical.instance());
-        if !supports_ordered::<K>(&m1, &m2) {
+        if !supports_ordered(&m1, &m2, leq) {
             return false;
         }
     }

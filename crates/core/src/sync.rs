@@ -16,9 +16,9 @@
 //! ordinary unit tests keep working under the feature too.
 
 #[cfg(feature = "annot_loom")]
-pub use loom::sync::{LockResult, Mutex, MutexGuard, PoisonError};
+pub use loom::sync::{Arc, LockResult, Mutex, MutexGuard, PoisonError};
 #[cfg(not(feature = "annot_loom"))]
-pub use std::sync::{LockResult, Mutex, MutexGuard, PoisonError};
+pub use std::sync::{Arc, LockResult, Mutex, MutexGuard, PoisonError};
 
 /// Atomic types and memory orderings (see the module docs for the swap).
 pub mod atomic {

@@ -10,7 +10,7 @@
 
 use crate::mapping::VarMap;
 use crate::search::{HomSearch, SearchOptions};
-use annot_query::{Ccq, Ducq, QVar};
+use annot_query::{Ccq, Cq, Ducq, QVar, Ucq};
 
 /// Whether two CCQs are isomorphic: there is a bijective renaming of
 /// variables (fixing the free variables positionally) mapping the atom
@@ -79,6 +79,39 @@ fn is_isomorphism(map: &VarMap, a: &Ccq, b: &Ccq) -> bool {
         }
     }
     a.inequalities().len() == b.inequalities().len()
+}
+
+/// Whether two plain CQs are isomorphic: a bijective variable renaming
+/// (fixing the free variables positionally) mapping the atom multiset of one
+/// exactly onto the other.  This is [`are_isomorphic`] with empty inequality
+/// sets — the semantic-cache layer keys decisions by this equivalence, since
+/// every containment criterion of the paper is invariant under it.
+pub fn are_isomorphic_cq(a: &Cq, b: &Cq) -> bool {
+    are_isomorphic(
+        &Ccq::new(a.clone(), std::iter::empty()),
+        &Ccq::new(b.clone(), std::iter::empty()),
+    )
+}
+
+/// Whether two UCQs are isomorphic as *multisets* of CQs: a bijection between
+/// the disjunct multisets matching isomorphic members.  Because isomorphism
+/// is an equivalence relation, greedy matching is exact (the first unused
+/// isomorphic partner is as good as any other).
+pub fn are_isomorphic_ucq(a: &Ucq, b: &Ucq) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut used = vec![false; b.len()];
+    'members: for qa in a.disjuncts() {
+        for (i, qb) in b.disjuncts().iter().enumerate() {
+            if !used[i] && are_isomorphic_cq(qa, qb) {
+                used[i] = true;
+                continue 'members;
+            }
+        }
+        return false;
+    }
+    true
 }
 
 /// Enumerates the automorphisms of a CCQ (isomorphisms to itself), as

@@ -12,6 +12,7 @@
 //! for CCQs, in which case the homomorphisms additionally preserve the
 //! inequalities.
 
+use crate::mapping::VarMap;
 use crate::search::{HomSearch, SearchOptions};
 use annot_query::{Atom, Ccq, Cq, RelId};
 use std::collections::BTreeMap;
@@ -37,10 +38,64 @@ pub(crate) fn relation_counts_dominated(q2: &Cq, q1: &Cq) -> bool {
         .all(|(rel, n2)| c1.get(rel).is_some_and(|n1| n2 <= n1))
 }
 
+/// Runs a search and returns the first accepted total mapping, if any.
+fn first_witness(
+    search: &HomSearch<'_>,
+    accept: &mut dyn FnMut(&VarMap) -> bool,
+) -> Option<VarMap> {
+    let mut found = None;
+    search.run(&mut |map| {
+        if accept(map) {
+            found = Some(map.clone());
+            true
+        } else {
+            false
+        }
+    });
+    found
+}
+
 /// `Q₂ → Q₁`: is there a homomorphism (containment mapping) from `q2` to
 /// `q1`?  (Chandra–Merlin; Sec. 3.3.)
 pub fn exists_hom(q2: &Cq, q1: &Cq) -> bool {
     HomSearch::new(q2, q1).exists()
+}
+
+/// `Q₂ → Q₁` with the witness: the first homomorphism found, as a variable
+/// mapping from `q2`'s variables into `q1`'s.
+pub fn find_hom(q2: &Cq, q1: &Cq) -> Option<VarMap> {
+    first_witness(&HomSearch::new(q2, q1), &mut |_| true)
+}
+
+/// `Q₂ ↪ Q₁` with the witness (see [`exists_injective_hom`]).
+pub fn find_injective_hom(q2: &Cq, q1: &Cq) -> Option<VarMap> {
+    if !relation_counts_dominated(q2, q1) {
+        return None;
+    }
+    let search = HomSearch::new(q2, q1).with_options(SearchOptions {
+        occurrence_injective: true,
+        ..Default::default()
+    });
+    first_witness(&search, &mut |_| true)
+}
+
+/// `Q₂ ⤖ Q₁` with the witness (see [`exists_bijective_hom`]).
+pub fn find_bijective_hom(q2: &Cq, q1: &Cq) -> Option<VarMap> {
+    if q2.num_atoms() != q1.num_atoms() {
+        return None;
+    }
+    find_injective_hom(q2, q1)
+}
+
+/// `Q₂ ↠ Q₁` with the witness (see [`exists_surjective_hom`]).
+pub fn find_surjective_hom(q2: &Cq, q1: &Cq) -> Option<VarMap> {
+    if !relation_counts_dominated(q1, q2) {
+        return None;
+    }
+    let search = HomSearch::new(q2, q1);
+    first_witness(&search, &mut |map| {
+        multiset_contains(&map.image_atoms(q2), q1.atoms())
+    })
 }
 
 /// `Q₂ → Q₁` for CCQs, preserving inequalities.

@@ -38,11 +38,15 @@ pub mod kinds;
 pub mod mapping;
 pub mod search;
 
-pub use iso::{are_isomorphic, automorphisms, count_isomorphic, has_nontrivial_automorphism};
+pub use iso::{
+    are_isomorphic, are_isomorphic_cq, are_isomorphic_ucq, automorphisms, count_isomorphic,
+    has_nontrivial_automorphism,
+};
 pub use kinds::{
     exists_bijective_hom, exists_bijective_hom_ccq, exists_hom, exists_hom_ccq,
     exists_injective_hom, exists_injective_hom_ccq, exists_surjective_hom,
-    exists_surjective_hom_ccq, homomorphically_covers, homomorphically_covers_ccq,
+    exists_surjective_hom_ccq, find_bijective_hom, find_hom, find_injective_hom,
+    find_surjective_hom, homomorphically_covers, homomorphically_covers_ccq,
 };
 pub use mapping::VarMap;
 pub use search::{AtomOrder, HomSearch, SearchOptions};

@@ -8,7 +8,10 @@
 //!    `std::thread` only through its `crate::sync` facade (`sync.rs`), so
 //!    the `annot_loom` feature can swap every primitive onto the vendored
 //!    model checker.  A direct `std::sync`/`std::thread` mention anywhere
-//!    else in `crates/core/src` is a violation.
+//!    else in `crates/core/src` is a violation.  `crates/service/src` (the
+//!    concurrent decision server) is facade-scoped too: it must import the
+//!    primitives from `annot_core::sync` so its synchronisation stays
+//!    swappable onto the model checker alongside the core's.
 //! 2. **Undocumented `Relaxed`** — every `Ordering::Relaxed` in non-test
 //!    code must carry a `// relaxed:` justification on the same line or the
 //!    few lines above, stating why the weakest ordering suffices.
@@ -50,7 +53,7 @@ impl fmt::Display for Rule {
         let (name, hint) = match self {
             Rule::FacadeBypass => (
                 "facade-bypass",
-                "use crate::sync, not std::sync/std::thread (annot-core only)",
+                "use the annot-core sync facade, not std::sync/std::thread (annot-core and annot-service)",
             ),
             Rule::UndocumentedRelaxed => (
                 "undocumented-relaxed",
@@ -80,7 +83,8 @@ struct Violation {
 /// The path-derived facts that decide which rules apply to a file.
 #[derive(Clone, Copy, Debug, Default)]
 struct FileClass {
-    /// Inside `crates/core/src`, excluding the facade itself (rule 1).
+    /// Inside `crates/core/src` (excluding the facade itself) or
+    /// `crates/service/src` (rule 1).
     facade_scoped: bool,
     /// Inside a deterministic search crate: `core`, `query`, `hom` (rule 4).
     deterministic: bool,
@@ -92,8 +96,9 @@ impl FileClass {
     /// Classifies a workspace-relative path with `/` separators.
     fn of(path: &str) -> FileClass {
         FileClass {
-            facade_scoped: path.starts_with("crates/core/src/")
-                && path != "crates/core/src/sync.rs",
+            facade_scoped: (path.starts_with("crates/core/src/")
+                && path != "crates/core/src/sync.rs")
+                || path.starts_with("crates/service/src/"),
             deterministic: ["crates/core/src/", "crates/query/src/", "crates/hom/src/"]
                 .iter()
                 .any(|p| path.starts_with(p)),
@@ -255,6 +260,33 @@ mod tests {
         assert_eq!(rules(FileClass::of(QUERY), src), vec![]);
         let thread = "let n = std::thread::available_parallelism();\n";
         assert_eq!(rules(FileClass::of(CORE), thread), vec![Rule::FacadeBypass]);
+    }
+
+    #[test]
+    fn service_sources_are_facade_scoped() {
+        let src = "use std::sync::Mutex;\n";
+        for path in [
+            "crates/service/src/server.rs",
+            "crates/service/src/cache.rs",
+            "crates/service/src/bin/annot_serve.rs",
+        ] {
+            assert_eq!(
+                rules(FileClass::of(path), src),
+                vec![Rule::FacadeBypass],
+                "{path}"
+            );
+        }
+        // … but not wall-clock scoped (a server may measure time), and
+        // other crates stay unaffected.
+        let clock = "let t = std::time::Instant::now();\n";
+        assert_eq!(
+            rules(FileClass::of("crates/service/src/server.rs"), clock),
+            vec![]
+        );
+        assert_eq!(
+            rules(FileClass::of("crates/semiring/src/lib.rs"), src),
+            vec![]
+        );
     }
 
     #[test]

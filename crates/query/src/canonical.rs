@@ -13,7 +13,7 @@
 use crate::ccq::Ccq;
 use crate::cq::{Cq, QVar};
 use crate::instance::Instance;
-use crate::schema::{DbValue, Tuple};
+use crate::schema::{DbValue, IdTuple, Tuple, ValueId};
 use annot_polynomial::Var;
 use annot_semiring::NatPoly;
 
@@ -23,24 +23,35 @@ use annot_semiring::NatPoly;
 pub struct CanonicalInstance {
     instance: Instance<NatPoly>,
     atom_vars: Vec<Var>,
-    num_query_vars: usize,
+    /// Interned domain id of each query variable, indexed by `QVar`.
+    var_rows: Vec<ValueId>,
 }
 
 impl CanonicalInstance {
     /// Builds ⟦Q⟧ for a plain CQ.
+    ///
+    /// Construction is fully interned: each query variable's fresh domain
+    /// value is interned once up front, and every atom occurrence is written
+    /// through the id-level [`Instance::add_annotation_row`] — no `DbValue`
+    /// tuples are materialised on this path.
     pub fn of_cq(query: &Cq) -> Self {
         let mut instance = Instance::new(query.schema().clone());
+        let var_rows: Vec<ValueId> = (0..query.num_vars() as u32)
+            .map(|v| query.schema().intern_value(&Self::value_of(QVar(v))))
+            .collect();
         let mut atom_vars = Vec::with_capacity(query.num_atoms());
+        let mut row: IdTuple = IdTuple::new();
         for (i, atom) in query.atoms().iter().enumerate() {
             let var = Var(i as u32);
             atom_vars.push(var);
-            let tuple: Tuple = atom.args.iter().map(|&v| Self::value_of(v)).collect();
-            instance.add_annotation(atom.relation, tuple, NatPoly::var(var));
+            row.clear();
+            row.extend(atom.args.iter().map(|&v| var_rows[v.0 as usize]));
+            instance.add_annotation_row(atom.relation, &row, NatPoly::var(var));
         }
         CanonicalInstance {
             instance,
             atom_vars,
-            num_query_vars: query.num_vars(),
+            var_rows,
         }
     }
 
@@ -70,11 +81,16 @@ impl CanonicalInstance {
         DbValue::Fresh(v.0)
     }
 
+    /// The interned domain id representing a query variable.
+    pub fn row_of(&self, v: QVar) -> ValueId {
+        self.var_rows[v.0 as usize]
+    }
+
     /// All domain values of the canonical instance (one per query variable),
     /// in variable order.  This is the candidate set for components of output
     /// tuples in Thm. 4.17.
     pub fn domain(&self) -> Vec<DbValue> {
-        (0..self.num_query_vars as u32)
+        (0..self.var_rows.len() as u32)
             .map(DbValue::Fresh)
             .collect()
     }
@@ -87,6 +103,11 @@ impl CanonicalInstance {
             .iter()
             .map(|&v| Self::value_of(v))
             .collect()
+    }
+
+    /// Interned counterpart of [`CanonicalInstance::identity_tuple`].
+    pub fn identity_row(&self, query: &Cq) -> IdTuple {
+        query.free_vars().iter().map(|&v| self.row_of(v)).collect()
     }
 }
 

@@ -1,0 +1,409 @@
+//! Renaming-invariant canonical codes for queries.
+//!
+//! Every containment criterion in the paper is invariant under *isomorphism*
+//! of queries — bijective renaming of existential variables (free variables
+//! are positional).  A semantic cache for containment decisions therefore
+//! wants a key that is identical for isomorphic queries: this module
+//! computes one as a canonical serialization ([`cq_code`] / [`ucq_code`])
+//! plus a 64-bit fingerprint ([`cq_key`] / [`ucq_key`]).
+//!
+//! The construction is the classic colour-refinement + canonical-labelling
+//! scheme:
+//!
+//! 1. variables are coloured by their occurrence structure (relation name,
+//!    argument position), free variables pinned by their output positions;
+//! 2. colours are refined Weisfeiler–Leman-style until the partition
+//!    stabilises;
+//! 3. a canonical variable numbering is chosen as the one minimising the
+//!    serialized atom list, searching only orderings consistent with the
+//!    colour classes.
+//!
+//! The search in step 3 is capped ([`LABELING_CAP`]): queries whose colour
+//! classes are too large and symmetric fall back to a coarser — but still
+//! renaming-invariant — code built from the colour multiset alone.  The
+//! code is thus always *sound* for caching (isomorphic queries always get
+//! equal codes) but not complete (rare non-isomorphic pairs may collide);
+//! exact cache layers recover completeness by re-checking candidates with
+//! `annot_hom::are_isomorphic_ucq` inside a bucket.
+//!
+//! Codes hash relation *names* (not [`crate::RelId`]s), so they are stable
+//! across schemas that spell the same relations.
+
+use crate::{Cq, Ucq};
+
+/// Maximum number of colour-consistent labelings examined before falling
+/// back to the coarse invariant code.
+pub const LABELING_CAP: u64 = 5040;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a word slice — the fingerprint used throughout this module.
+pub fn hash64(words: &[u64]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &w in words {
+        for byte in w.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
+fn hash_str(s: &str) -> u64 {
+    let mut h = FNV_OFFSET;
+    for byte in s.as_bytes() {
+        h ^= u64::from(*byte);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The canonical code of a CQ: a serialization equal for isomorphic CQs.
+///
+/// Layout: `[num_vars, num_free, free tuple…, num_atoms, atoms…]` with each
+/// atom as `[relation-name hash, arity, canonical arg indices…]`, atoms
+/// sorted; or the coarse fallback layout (tagged differently) when the
+/// labelling search exceeds [`LABELING_CAP`].
+pub fn cq_code(q: &Cq) -> Vec<u64> {
+    let colors = refine_colors(q);
+    let classes = color_classes(&colors);
+
+    let mut labelings: u64 = 1;
+    for class in &classes {
+        labelings = labelings.saturating_mul(factorial(class.len() as u64));
+        if labelings > LABELING_CAP {
+            return coarse_code(q, &colors);
+        }
+    }
+
+    let mut best: Option<Vec<u64>> = None;
+    let mut order: Vec<usize> = Vec::with_capacity(colors.len());
+    enumerate_labelings(&classes, 0, &mut order, &mut |order| {
+        // order[k] = variable index with canonical number k.
+        let mut label = vec![0u64; colors.len()];
+        for (canon, &var) in order.iter().enumerate() {
+            label[var] = canon as u64;
+        }
+        let code = serialize(q, &label);
+        match &best {
+            Some(b) if *b <= code => {}
+            _ => best = Some(code),
+        }
+    });
+    // invariant: the class partition covers every variable, so at least one
+    // labeling is always enumerated
+    best.expect("at least one labeling")
+}
+
+/// The canonical code of a UCQ: member codes, sorted, length-prefixed.
+/// Equal for UCQs whose disjunct multisets match up to isomorphism.
+pub fn ucq_code(q: &Ucq) -> Vec<u64> {
+    let mut members: Vec<Vec<u64>> = q.disjuncts().iter().map(cq_code).collect();
+    members.sort();
+    let mut out = vec![q.len() as u64];
+    for member in members {
+        out.push(member.len() as u64);
+        out.extend(member);
+    }
+    out
+}
+
+/// 64-bit fingerprint of [`cq_code`].
+pub fn cq_key(q: &Cq) -> u64 {
+    hash64(&cq_code(q))
+}
+
+/// 64-bit fingerprint of [`ucq_code`].
+pub fn ucq_key(q: &Ucq) -> u64 {
+    hash64(&ucq_code(q))
+}
+
+fn factorial(n: u64) -> u64 {
+    (2..=n).fold(1u64, |acc, k| acc.saturating_mul(k))
+}
+
+fn rel_hash(q: &Cq, rel: crate::RelId) -> u64 {
+    hash64(&[hash_str(q.schema().name(rel)), q.schema().arity(rel) as u64])
+}
+
+/// Colour refinement: returns a stable colour per variable index.  Free
+/// variables are pinned by their positions in the output tuple; existential
+/// variables start from their occurrence structure; both are refined by the
+/// colours of co-occurring variables until the partition stabilises.
+fn refine_colors(q: &Cq) -> Vec<u64> {
+    let n = q.num_vars();
+    let mut colors = vec![0u64; n];
+    for (i, color) in colors.iter_mut().enumerate() {
+        let v = crate::QVar(i as u32);
+        let mut free_positions: Vec<u64> = q
+            .free_vars()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &f)| f == v)
+            .map(|(pos, _)| pos as u64)
+            .collect();
+        free_positions.sort_unstable();
+        let mut occurrences: Vec<u64> = Vec::new();
+        for atom in q.atoms() {
+            for (pos, &arg) in atom.args.iter().enumerate() {
+                if arg == v {
+                    occurrences.push(hash64(&[rel_hash(q, atom.relation), pos as u64]));
+                }
+            }
+        }
+        occurrences.sort_unstable();
+        let mut seed = vec![1, free_positions.len() as u64];
+        seed.extend(free_positions);
+        seed.push(occurrences.len() as u64);
+        seed.extend(occurrences);
+        *color = hash64(&seed);
+    }
+
+    let mut distinct = count_distinct(&colors);
+    for _ in 0..n {
+        let atom_colors: Vec<u64> = q
+            .atoms()
+            .iter()
+            .map(|atom| {
+                let mut words = vec![rel_hash(q, atom.relation)];
+                words.extend(atom.args.iter().map(|a| colors[a.0 as usize]));
+                hash64(&words)
+            })
+            .collect();
+        let mut next = vec![0u64; n];
+        for (i, next_color) in next.iter_mut().enumerate() {
+            let v = crate::QVar(i as u32);
+            let mut signature: Vec<u64> = Vec::new();
+            for (ai, atom) in q.atoms().iter().enumerate() {
+                for (pos, &arg) in atom.args.iter().enumerate() {
+                    if arg == v {
+                        signature.push(hash64(&[atom_colors[ai], pos as u64]));
+                    }
+                }
+            }
+            signature.sort_unstable();
+            let mut words = vec![colors[i], signature.len() as u64];
+            words.extend(signature);
+            *next_color = hash64(&words);
+        }
+        let next_distinct = count_distinct(&next);
+        colors = next;
+        if next_distinct == distinct {
+            break;
+        }
+        distinct = next_distinct;
+    }
+    colors
+}
+
+fn count_distinct(colors: &[u64]) -> usize {
+    let mut sorted = colors.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len()
+}
+
+/// Variable indices grouped by colour, classes ordered by colour value.
+fn color_classes(colors: &[u64]) -> Vec<Vec<usize>> {
+    let mut pairs: Vec<(u64, usize)> = colors.iter().copied().zip(0..).collect();
+    pairs.sort_unstable();
+    let mut classes: Vec<Vec<usize>> = Vec::new();
+    for (color, var) in pairs {
+        match classes.last_mut() {
+            Some(last) if colors[last[0]] == color => last.push(var),
+            _ => classes.push(vec![var]),
+        }
+    }
+    classes
+}
+
+/// Enumerates every concatenation of per-class permutations, invoking `f`
+/// with the full variable order each time.
+fn enumerate_labelings(
+    classes: &[Vec<usize>],
+    class_index: usize,
+    order: &mut Vec<usize>,
+    f: &mut impl FnMut(&[usize]),
+) {
+    if class_index == classes.len() {
+        f(order);
+        return;
+    }
+    let mut class = classes[class_index].clone();
+    permute(&mut class, 0, &mut |perm| {
+        let base = order.len();
+        order.extend_from_slice(perm);
+        enumerate_labelings(classes, class_index + 1, order, f);
+        order.truncate(base);
+    });
+}
+
+fn permute(items: &mut [usize], k: usize, f: &mut impl FnMut(&[usize])) {
+    if k == items.len() {
+        f(items);
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute(items, k + 1, f);
+        items.swap(k, i);
+    }
+}
+
+/// Serializes the query under a fixed variable relabelling.
+fn serialize(q: &Cq, label: &[u64]) -> Vec<u64> {
+    let mut atoms: Vec<Vec<u64>> = q
+        .atoms()
+        .iter()
+        .map(|atom| {
+            let mut words = vec![rel_hash(q, atom.relation), atom.args.len() as u64];
+            words.extend(atom.args.iter().map(|a| label[a.0 as usize]));
+            words
+        })
+        .collect();
+    atoms.sort();
+    let mut out = vec![
+        2, // exact-code tag
+        q.num_vars() as u64,
+        q.free_vars().len() as u64,
+    ];
+    out.extend(q.free_vars().iter().map(|f| label[f.0 as usize]));
+    out.push(q.num_atoms() as u64);
+    for atom in atoms {
+        out.extend(atom);
+    }
+    out
+}
+
+/// The coarse fallback code: colour multiset + coloured atom multiset.
+/// Renaming-invariant but not injective up to isomorphism.
+fn coarse_code(q: &Cq, colors: &[u64]) -> Vec<u64> {
+    let mut var_colors = colors.to_vec();
+    var_colors.sort_unstable();
+    let mut atom_colors: Vec<u64> = q
+        .atoms()
+        .iter()
+        .map(|atom| {
+            let mut words = vec![rel_hash(q, atom.relation)];
+            words.extend(atom.args.iter().map(|a| colors[a.0 as usize]));
+            hash64(&words)
+        })
+        .collect();
+    atom_colors.sort_unstable();
+    let mut out = vec![
+        3, // coarse-code tag
+        q.num_vars() as u64,
+        q.free_vars().len() as u64,
+    ];
+    out.extend(q.free_vars().iter().map(|f| colors[f.0 as usize]));
+    out.push(q.num_atoms() as u64);
+    out.extend(var_colors);
+    out.extend(atom_colors);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cq, Schema};
+
+    fn schema() -> Schema {
+        Schema::with_relations([("R", 2), ("S", 1)])
+    }
+
+    #[test]
+    fn renaming_and_reordering_preserve_codes() {
+        let a = Cq::builder(&schema())
+            .atom("R", &["u", "v"])
+            .atom("S", &["v"])
+            .build();
+        let b = Cq::builder(&schema())
+            .atom("S", &["q"])
+            .atom("R", &["p", "q"])
+            .build();
+        assert_eq!(cq_code(&a), cq_code(&b));
+        assert_eq!(cq_key(&a), cq_key(&b));
+    }
+
+    #[test]
+    fn structurally_different_queries_get_different_codes() {
+        let path = Cq::builder(&schema())
+            .atom("R", &["x", "y"])
+            .atom("R", &["y", "z"])
+            .build();
+        let fork = Cq::builder(&schema())
+            .atom("R", &["x", "y"])
+            .atom("R", &["x", "z"])
+            .build();
+        let double = Cq::builder(&schema())
+            .atom("R", &["x", "y"])
+            .atom("R", &["x", "y"])
+            .build();
+        assert_ne!(cq_code(&path), cq_code(&fork));
+        assert_ne!(cq_code(&path), cq_code(&double));
+        assert_ne!(cq_code(&fork), cq_code(&double));
+    }
+
+    #[test]
+    fn free_variable_positions_are_pinned() {
+        let first = Cq::builder(&schema())
+            .free(&["x"])
+            .atom("R", &["x", "y"])
+            .build();
+        let second = Cq::builder(&schema())
+            .free(&["y"])
+            .atom("R", &["x", "y"])
+            .build();
+        assert_ne!(cq_code(&first), cq_code(&second));
+        // … but renaming a free variable together with its position is fine.
+        let renamed = Cq::builder(&schema())
+            .free(&["a"])
+            .atom("R", &["a", "b"])
+            .build();
+        assert_eq!(cq_code(&first), cq_code(&renamed));
+    }
+
+    #[test]
+    fn symmetric_queries_are_stable_under_renaming() {
+        // R(x,y), R(y,x) has a non-trivial automorphism: the colour classes
+        // are non-singleton, exercising the labelling search.
+        let a = Cq::builder(&schema())
+            .atom("R", &["x", "y"])
+            .atom("R", &["y", "x"])
+            .build();
+        let b = Cq::builder(&schema())
+            .atom("R", &["q", "p"])
+            .atom("R", &["p", "q"])
+            .build();
+        assert_eq!(cq_code(&a), cq_code(&b));
+    }
+
+    #[test]
+    fn ucq_codes_ignore_disjunct_order() {
+        let s = schema();
+        let m1 = Cq::builder(&s).atom("R", &["x", "y"]).build();
+        let m2 = Cq::builder(&s).atom("S", &["x"]).build();
+        let u1 = Ucq::new(vec![m1.clone(), m2.clone()]);
+        let u2 = Ucq::new(vec![m2, m1]);
+        assert_eq!(ucq_code(&u1), ucq_code(&u2));
+        assert_eq!(ucq_key(&u1), ucq_key(&u2));
+    }
+
+    #[test]
+    fn relation_identity_is_by_name_not_id() {
+        // Same query spelled against two schemas that register the
+        // relations in a different order.
+        let s1 = Schema::with_relations([("R", 2), ("S", 1)]);
+        let s2 = Schema::with_relations([("S", 1), ("R", 2)]);
+        let a = Cq::builder(&s1)
+            .atom("R", &["x", "y"])
+            .atom("S", &["y"])
+            .build();
+        let b = Cq::builder(&s2)
+            .atom("R", &["x", "y"])
+            .atom("S", &["y"])
+            .build();
+        assert_eq!(cq_code(&a), cq_code(&b));
+    }
+}

@@ -49,6 +49,7 @@ pub mod cq;
 pub mod eval;
 pub mod generator;
 pub mod instance;
+pub mod key;
 pub mod parser;
 pub mod rowtable;
 pub mod schema;

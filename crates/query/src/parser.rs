@@ -53,39 +53,68 @@ fn err<T>(message: impl Into<String>) -> Result<T, ParseError> {
     })
 }
 
+/// Runs a parse against a scratch copy of the schema and commits the copy
+/// only on success, so a failed parse leaves `schema` exactly as it was —
+/// even when relations were registered before the offending literal.
+/// `Schema::clone` shares the value domain and copies only the relation
+/// table, so commit is a cheap assignment.
+fn transactional<T>(
+    schema: &mut Schema,
+    parse: impl FnOnce(&mut Schema) -> Result<T, ParseError>,
+) -> Result<T, ParseError> {
+    let mut scratch = schema.clone();
+    let parsed = parse(&mut scratch)?;
+    *schema = scratch;
+    Ok(parsed)
+}
+
 /// Parses a single CQ (no inequalities allowed).
+///
+/// On error the schema is left untouched (parsing is transactional).
 pub fn parse_cq(schema: &mut Schema, input: &str) -> Result<Cq, ParseError> {
-    let ccq = parse_ccq(schema, input)?;
-    if !ccq.inequalities().is_empty() {
-        return err("expected a plain CQ but found inequalities");
-    }
-    Ok(ccq.cq().clone())
+    transactional(schema, |scratch| {
+        let ccq = parse_ccq_into(scratch, input)?;
+        if !ccq.inequalities().is_empty() {
+            return err("expected a plain CQ but found inequalities");
+        }
+        Ok(ccq.cq().clone())
+    })
 }
 
 /// Parses a single CQ with (optional) inequalities.
+///
+/// On error the schema is left untouched (parsing is transactional).
 pub fn parse_ccq(schema: &mut Schema, input: &str) -> Result<Ccq, ParseError> {
+    transactional(schema, |scratch| parse_ccq_into(scratch, input))
+}
+
+/// Parses a UCQ: one or more rules separated by `;` (or newlines).
+///
+/// On error the schema is left untouched (parsing is transactional).
+pub fn parse_ucq(schema: &mut Schema, input: &str) -> Result<Ucq, ParseError> {
+    transactional(schema, |scratch| {
+        let rules = split_rules(input);
+        if rules.is_empty() {
+            return Ok(Ucq::empty());
+        }
+        let mut members = Vec::new();
+        for rule in rules {
+            let ccq = parse_rule(scratch, rule)?;
+            if !ccq.inequalities().is_empty() {
+                return err("UCQ members may not contain inequalities");
+            }
+            members.push(ccq.cq().clone());
+        }
+        Ok(Ucq::new(members))
+    })
+}
+
+fn parse_ccq_into(schema: &mut Schema, input: &str) -> Result<Ccq, ParseError> {
     let rules = split_rules(input);
     if rules.len() != 1 {
         return err(format!("expected exactly one rule, found {}", rules.len()));
     }
     parse_rule(schema, rules[0])
-}
-
-/// Parses a UCQ: one or more rules separated by `;` (or newlines).
-pub fn parse_ucq(schema: &mut Schema, input: &str) -> Result<Ucq, ParseError> {
-    let rules = split_rules(input);
-    if rules.is_empty() {
-        return Ok(Ucq::empty());
-    }
-    let mut members = Vec::new();
-    for rule in rules {
-        let ccq = parse_rule(schema, rule)?;
-        if !ccq.inequalities().is_empty() {
-            return err("UCQ members may not contain inequalities");
-        }
-        members.push(ccq.cq().clone());
-    }
-    Ok(Ucq::new(members))
 }
 
 fn split_rules(input: &str) -> Vec<&str> {
@@ -323,5 +352,35 @@ mod tests {
         assert_eq!(q1.len(), 2);
         assert_eq!(q2.len(), 2);
         assert_eq!(q2.disjuncts()[1].num_vars(), 1);
+    }
+
+    #[test]
+    fn failed_parses_leave_the_schema_untouched() {
+        let mut schema = Schema::new();
+        parse_cq(&mut schema, "Q() :- R(x, y)").unwrap();
+        assert_eq!(schema.len(), 1);
+
+        // The first literal registers S before the second literal errors
+        // with an arity clash — S must NOT survive the failed parse.
+        let r = parse_cq(&mut schema, "Q() :- S(x), R(x)");
+        assert!(r.is_err());
+        assert_eq!(schema.len(), 1);
+        assert!(schema.relation("S").is_none());
+
+        // Same through the UCQ path: the first member parses fine and
+        // registers T, the second member is garbage.
+        let r = parse_ucq(&mut schema, "Q() :- T(x, y) ; Q() :- ");
+        assert!(r.is_err());
+        assert!(schema.relation("T").is_none());
+
+        // parse_cq rejecting inequalities must also roll back relations
+        // registered while parsing the body.
+        let r = parse_cq(&mut schema, "Q() :- U(x, y), x != y");
+        assert!(r.is_err());
+        assert!(schema.relation("U").is_none());
+
+        // A successful parse still commits.
+        parse_ucq(&mut schema, "Q() :- S(x, y) ; Q() :- R(y, y)").unwrap();
+        assert_eq!(schema.arity(schema.relation("S").unwrap()), 2);
     }
 }

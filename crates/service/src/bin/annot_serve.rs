@@ -1,0 +1,50 @@
+//! `annot-serve` — the containment decision server.
+//!
+//! ```text
+//! annot_serve [ADDR] [--workers N]
+//! ```
+//!
+//! Binds `ADDR` (default `127.0.0.1:7878`; use port 0 for an ephemeral
+//! port, printed on startup) and serves the line protocol of
+//! `annot_service::proto` until a client sends `SHUTDOWN`.
+
+use annot_service::{serve, Service, ShutdownFlag};
+use std::net::TcpListener;
+
+fn main() {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut workers = 0usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| die("--workers needs a number"));
+            }
+            "--help" | "-h" => {
+                println!("usage: annot_serve [ADDR] [--workers N]");
+                return;
+            }
+            other if !other.starts_with('-') => addr = other.to_string(),
+            other => die(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    let listener =
+        TcpListener::bind(&addr).unwrap_or_else(|e| die(&format!("cannot bind {addr}: {e}")));
+    match listener.local_addr() {
+        Ok(local) => println!("annot-serve: listening on {local}"),
+        Err(e) => println!("annot-serve: listening ({e})"),
+    }
+    let service = Service::new();
+    let shutdown = ShutdownFlag::new();
+    serve(&listener, &service, &shutdown, workers);
+    println!("annot-serve: stopped");
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("annot-serve: {message}");
+    std::process::exit(2)
+}

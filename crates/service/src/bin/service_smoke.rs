@@ -1,0 +1,124 @@
+//! `service_smoke` — the CI smoke test for the decision server.
+//!
+//! Starts the real TCP server on an ephemeral port, runs a scripted client
+//! session over actual sockets, and asserts on every reply and on the
+//! cache counters:
+//!
+//! 1. a `DECIDE` that must miss the cache,
+//! 2. an α-renamed, atom-reordered repeat that must be an iso-cache *hit*
+//!    (answered without re-running the decider),
+//! 3. a different-semiring repeat that must miss,
+//! 4. a parse error,
+//! 5. an unknown semiring,
+//! 6. `STATS` asserting the hit/miss/decide counters,
+//! 7. `QUIT` and `SHUTDOWN` for an orderly exit.
+//!
+//! Exits non-zero (panics) on any mismatch; prints `service-smoke: PASS`
+//! on success.
+
+use annot_service::{serve, Service, ShutdownFlag};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone stream")),
+            writer: stream,
+        }
+    }
+
+    fn roundtrip(&mut self, request: &str) -> String {
+        self.writer
+            .write_all(format!("{request}\n").as_bytes())
+            .expect("send");
+        self.writer.flush().expect("flush");
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("receive");
+        let reply = reply.trim_end().to_string();
+        println!(">> {request}\n<< {reply}");
+        reply
+    }
+}
+
+fn expect_prefix(reply: &str, prefix: &str, what: &str) {
+    assert!(
+        reply.starts_with(prefix),
+        "{what}: expected reply starting with {prefix:?}, got {reply:?}"
+    );
+}
+
+fn main() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().expect("local addr");
+    let service = Service::new();
+    let shutdown = ShutdownFlag::new();
+
+    annot_core::sync::thread::scope(|s| {
+        s.spawn(|| serve(&listener, &service, &shutdown, 2));
+
+        let mut client = Client::connect(addr);
+        expect_prefix(&client.roundtrip("PING"), "OK pong", "ping");
+
+        // 1. Cold request: Example 4.6 over Why[X] — not contained, miss.
+        let miss =
+            client.roundtrip("DECIDE Why Q() :- R(u, v), R(u, w) \u{2291} Q() :- R(u, v), R(u, v)");
+        expect_prefix(&miss, "OK not-contained miss", "cold decide");
+
+        // 2. Isomorphic repeat (renamed variables, reordered atoms, ASCII
+        //    sign, alias casing): must be served from the cache.
+        let hit =
+            client.roundtrip("DECIDE why[x] Q() :- R(a, c), R(a, b) <= Q() :- R(p, q), R(p, q)");
+        expect_prefix(&hit, "OK not-contained hit", "iso repeat");
+
+        // 3. Same pair over another semiring: its own entry, and over B the
+        //    verdict flips.
+        let other =
+            client.roundtrip("DECIDE Bool Q() :- R(u, v), R(u, w) <= Q() :- R(u, v), R(u, v)");
+        expect_prefix(&other, "OK contained miss", "different semiring");
+
+        // 4. Parse error (unbalanced parenthesis) — and the shared schema
+        //    must survive it.
+        let bad = client.roundtrip("DECIDE Why Q() :- R(x <= Q() :- R(x, y)");
+        expect_prefix(&bad, "ERR left query:", "parse error");
+
+        // 5. Unknown semiring.
+        let unknown = client.roundtrip("DECIDE Banana Q() :- R(x, y) <= Q() :- R(x, y)");
+        expect_prefix(&unknown, "ERR unknown semiring", "unknown semiring");
+
+        // 6. Counters: exactly one hit, two misses, two decider runs.
+        let stats = client.roundtrip("STATS");
+        assert_eq!(
+            stats, "OK stats hits=1 misses=2 decides=2 entries=2",
+            "stats after the scripted session"
+        );
+
+        // A second connection sees the same cache: another iso-variant hit.
+        let mut second = Client::connect(addr);
+        let cross =
+            second.roundtrip("DECIDE WHY Q() :- R(k, m), R(k, n) <= Q() :- R(s, t), R(s, t)");
+        expect_prefix(&cross, "OK not-contained hit", "cross-connection hit");
+
+        // 7. Orderly exit.
+        expect_prefix(&client.roundtrip("QUIT"), "OK bye", "quit");
+        expect_prefix(
+            &second.roundtrip("SHUTDOWN"),
+            "OK shutting-down",
+            "shutdown",
+        );
+    });
+
+    let stats = service.cache().stats();
+    assert_eq!(
+        (stats.hits, stats.misses, stats.decides),
+        (2, 2, 2),
+        "final counters"
+    );
+    println!("service-smoke: PASS");
+}

@@ -1,0 +1,242 @@
+//! The iso-canonical semantic cache.
+//!
+//! Containment decisions are keyed by the *canonical form of the query
+//! pair up to isomorphism*: a request for `Q₁ ⊑ Q₂` over semiring `K`
+//! hits the cache whenever an α-renamed / atom-reordered variant of the
+//! same pair was decided before.  The lookup is two-stage:
+//!
+//! 1. a 64-bit fingerprint built from the renaming-invariant canonical
+//!    codes of both queries ([`annot_query::key`]) plus the semiring
+//!    selects a bucket — isomorphic pairs always agree on it;
+//! 2. within the bucket, a candidate entry counts as a hit only if both
+//!    sides are actually isomorphic ([`annot_hom::are_isomorphic_ucq`]) —
+//!    this refinement makes the cache *exact* even when the capped
+//!    canonical-labelling search fell back to a coarse code or two
+//!    non-isomorphic pairs collide in 64 bits.
+//!
+//! The map is sharded: each shard is its own mutex-guarded table, picked
+//! by key, so concurrent decisions on different pairs rarely contend.
+//! Decisions are computed *outside* the shard lock — a duplicated compute
+//! when two clients race on the same fresh pair is benign (both arrive at
+//! the same [`Decision`]), a decider running under a shard lock would
+//! serialise the server.
+
+use annot_core::decide::Decision;
+use annot_core::registry::SemiringId;
+use annot_core::sync::atomic::{AtomicU64, Ordering};
+use annot_core::sync::{Mutex, PoisonError};
+use annot_hom::are_isomorphic_ucq;
+use annot_query::key::{hash64, ucq_code};
+use annot_query::Ucq;
+use std::collections::HashMap;
+
+/// Number of independently locked shards.  A small power of two well above
+/// the worker count keeps contention negligible without wasting memory.
+const NUM_SHARDS: usize = 64;
+
+/// One cached decision: the pair it answers (held for the isomorphism
+/// refinement) and the decision itself.
+struct Entry {
+    semiring: SemiringId,
+    q1: Ucq,
+    q2: Ucq,
+    decision: Decision,
+}
+
+/// Counter snapshot returned by [`Cache::stats`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that missed and ran a decider.
+    pub misses: u64,
+    /// Decider executions (== misses, minus races that lost the insert).
+    pub decides: u64,
+    /// Entries currently stored.
+    pub entries: u64,
+}
+
+/// The sharded semantic cache.
+pub struct Cache {
+    shards: Vec<Mutex<HashMap<u64, Vec<Entry>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    decides: AtomicU64,
+    entries: AtomicU64,
+}
+
+impl Cache {
+    /// An empty cache.
+    pub fn new() -> Cache {
+        Cache {
+            shards: (0..NUM_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            decides: AtomicU64::new(0),
+            entries: AtomicU64::new(0),
+        }
+    }
+
+    /// The canonical fingerprint of a request: semiring + canonical codes
+    /// of the (ordered) query pair.  Isomorphic requests agree on it.
+    fn fingerprint(semiring: SemiringId, q1: &Ucq, q2: &Ucq) -> u64 {
+        let c1 = ucq_code(q1);
+        let c2 = ucq_code(q2);
+        let name: Vec<u64> = semiring.name().bytes().map(u64::from).collect();
+        let mut words = Vec::with_capacity(c1.len() + c2.len() + 2);
+        words.push(hash64(&name));
+        words.push(c1.len() as u64);
+        words.extend(c1);
+        words.extend(c2);
+        hash64(&words)
+    }
+
+    /// Returns the cached decision for an isomorphic variant of
+    /// `(semiring, q1, q2)`, or runs `decide` and caches its result.
+    /// The second component reports whether this was a cache hit.
+    pub fn get_or_decide(
+        &self,
+        semiring: SemiringId,
+        q1: &Ucq,
+        q2: &Ucq,
+        decide: impl FnOnce(&Ucq, &Ucq) -> Decision,
+    ) -> (Decision, bool) {
+        let key = Self::fingerprint(semiring, q1, q2);
+        let shard = &self.shards[(key as usize) % NUM_SHARDS];
+        if let Some(found) = Self::lookup(&mut self.lock(shard), key, semiring, q1, q2) {
+            // relaxed: monotonic statistics counter, no ordering needed
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (found, true);
+        }
+        // relaxed: monotonic statistics counter, no ordering needed
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Decide outside the lock; see the module docs for the race note.
+        let decision = decide(q1, q2);
+        // relaxed: monotonic statistics counter, no ordering needed
+        self.decides.fetch_add(1, Ordering::Relaxed);
+        let mut table = self.lock(shard);
+        if Self::lookup(&mut table, key, semiring, q1, q2).is_none() {
+            table.entry(key).or_default().push(Entry {
+                semiring,
+                q1: q1.clone(),
+                q2: q2.clone(),
+                decision: decision.clone(),
+            });
+            // relaxed: monotonic statistics counter, no ordering needed
+            self.entries.fetch_add(1, Ordering::Relaxed);
+        }
+        (decision, false)
+    }
+
+    fn lookup(
+        table: &mut HashMap<u64, Vec<Entry>>,
+        key: u64,
+        semiring: SemiringId,
+        q1: &Ucq,
+        q2: &Ucq,
+    ) -> Option<Decision> {
+        table.get(&key).and_then(|bucket| {
+            bucket
+                .iter()
+                .find(|e| {
+                    e.semiring == semiring
+                        && are_isomorphic_ucq(&e.q1, q1)
+                        && are_isomorphic_ucq(&e.q2, q2)
+                })
+                .map(|e| e.decision.clone())
+        })
+    }
+
+    fn lock<'a>(
+        &self,
+        shard: &'a Mutex<HashMap<u64, Vec<Entry>>>,
+    ) -> annot_core::sync::MutexGuard<'a, HashMap<u64, Vec<Entry>>> {
+        shard.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// A consistent-enough snapshot of the counters (each counter is read
+    /// atomically; the set is not).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            // relaxed: statistics snapshot, approximate by design
+            hits: self.hits.load(Ordering::Relaxed),
+            // relaxed: statistics snapshot, approximate by design
+            misses: self.misses.load(Ordering::Relaxed),
+            // relaxed: statistics snapshot, approximate by design
+            decides: self.decides.load(Ordering::Relaxed),
+            // relaxed: statistics snapshot, approximate by design
+            entries: self.entries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for Cache {
+    fn default() -> Self {
+        Cache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use annot_core::registry::decide_ucq_dyn;
+    use annot_query::{parser, Schema};
+
+    fn decide_with(semiring: SemiringId) -> impl Fn(&Ucq, &Ucq) -> Decision {
+        move |a: &Ucq, b: &Ucq| decide_ucq_dyn(semiring, a, b)
+    }
+
+    #[test]
+    fn isomorphic_requests_hit_without_redeciding() {
+        let cache = Cache::new();
+        let mut s = Schema::with_relations([("R", 2)]);
+        let q1 = parser::parse_ucq(&mut s, "Q() :- R(u, v), R(u, w)").unwrap();
+        let q2 = parser::parse_ucq(&mut s, "Q() :- R(u, v), R(u, v)").unwrap();
+        let why = SemiringId::from_name("Why").unwrap();
+
+        let (first, hit) = cache.get_or_decide(why, &q1, &q2, decide_with(why));
+        assert!(!hit);
+        // An α-renamed, atom-reordered variant of the same pair.
+        let p1 = parser::parse_ucq(&mut s, "Q() :- R(a, c), R(a, b)").unwrap();
+        let p2 = parser::parse_ucq(&mut s, "Q() :- R(x, y), R(x, y)").unwrap();
+        let (second, hit) =
+            cache.get_or_decide(why, &p1, &p2, |_, _| panic!("must be served from cache"));
+        assert!(hit);
+        assert_eq!(first, second);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.decides), (1, 1, 1));
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn different_semirings_do_not_share_entries() {
+        let cache = Cache::new();
+        let mut s = Schema::with_relations([("R", 2)]);
+        let q1 = parser::parse_ucq(&mut s, "Q() :- R(u, v), R(u, w)").unwrap();
+        let q2 = parser::parse_ucq(&mut s, "Q() :- R(u, v), R(u, v)").unwrap();
+        let bool_id = SemiringId::from_name("B").unwrap();
+        let why = SemiringId::from_name("Why").unwrap();
+        let (b, _) = cache.get_or_decide(bool_id, &q1, &q2, decide_with(bool_id));
+        let (w, hit) = cache.get_or_decide(why, &q1, &q2, decide_with(why));
+        assert!(!hit);
+        // B: contained; Why[X]: not — the entries must not be conflated.
+        assert_eq!(b.decided(), Some(true));
+        assert_eq!(w.decided(), Some(false));
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn ordered_pair_directions_are_distinct() {
+        let cache = Cache::new();
+        let mut s = Schema::with_relations([("R", 2)]);
+        let q1 = parser::parse_ucq(&mut s, "Q() :- R(u, v), R(u, w)").unwrap();
+        let q2 = parser::parse_ucq(&mut s, "Q() :- R(u, v)").unwrap();
+        let n = SemiringId::from_name("N").unwrap();
+        let (_, hit1) = cache.get_or_decide(n, &q1, &q2, decide_with(n));
+        let (_, hit2) = cache.get_or_decide(n, &q2, &q1, decide_with(n));
+        assert!(!hit1 && !hit2);
+        assert_eq!(cache.stats().entries, 2);
+    }
+}

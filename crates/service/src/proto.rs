@@ -1,0 +1,181 @@
+//! The line protocol spoken by the decision server.
+//!
+//! Requests are single lines, UTF-8, newline-terminated:
+//!
+//! ```text
+//! DECIDE <semiring> <q1> ⊑ <q2>     decide K-containment of two (U)CQs
+//! STATS                             cache counters
+//! PING                              liveness probe
+//! QUIT                              close this connection
+//! SHUTDOWN                          stop the server
+//! ```
+//!
+//! The containment sign may be spelled `⊑` (U+2291) or ASCII `<=`.  The
+//! queries use the Datalog-style grammar of [`annot_query::parser`] —
+//! a UCQ with `;`-separated rules; a single rule is a CQ.  The semiring
+//! name is resolved case-insensitively through
+//! [`annot_core::registry::SemiringId::from_name`] (`Why`, `Why[X]`,
+//! `T+`, `Tropical`, `N`, `Bag`, …).
+//!
+//! Replies are single lines as well:
+//!
+//! ```text
+//! OK <verdict> <cache> <method>     verdict ∈ {contained, not-contained, unknown}
+//!                                   cache  ∈ {hit, miss}
+//! OK stats hits=… misses=… decides=… entries=…
+//! OK pong
+//! OK bye
+//! OK shutting-down
+//! ERR <message>
+//! ```
+
+use crate::cache::CacheStats;
+use annot_core::decide::{Decision, Verdict};
+
+/// A parsed request line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// `DECIDE <semiring> <q1> ⊑ <q2>`
+    Decide {
+        /// Semiring name, unresolved (lookup happens in the server so the
+        /// error message can name the offending spelling).
+        semiring: String,
+        /// Left query text.
+        q1: String,
+        /// Right query text.
+        q2: String,
+    },
+    /// `STATS`
+    Stats,
+    /// `PING`
+    Ping,
+    /// `QUIT`
+    Quit,
+    /// `SHUTDOWN`
+    Shutdown,
+}
+
+/// Parses one request line.  Errors are the `ERR` message to send back.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let line = line.trim();
+    let (verb, rest) = match line.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim()),
+        None => (line, ""),
+    };
+    match verb.to_ascii_uppercase().as_str() {
+        "DECIDE" => parse_decide(rest),
+        "STATS" => Ok(Request::Stats),
+        "PING" => Ok(Request::Ping),
+        "QUIT" => Ok(Request::Quit),
+        "SHUTDOWN" => Ok(Request::Shutdown),
+        "" => Err("empty request".to_string()),
+        other => Err(format!(
+            "unknown verb {other:?} (expected DECIDE, STATS, PING, QUIT or SHUTDOWN)"
+        )),
+    }
+}
+
+fn parse_decide(rest: &str) -> Result<Request, String> {
+    let (semiring, queries) = rest
+        .split_once(char::is_whitespace)
+        .ok_or_else(|| "DECIDE needs: <semiring> <q1> \u{2291} <q2>".to_string())?;
+    let (q1, q2) = split_containment(queries)
+        .ok_or_else(|| "DECIDE needs a containment sign: \u{2291} or <=".to_string())?;
+    if q1.trim().is_empty() || q2.trim().is_empty() {
+        return Err("DECIDE: empty query on one side of the containment sign".to_string());
+    }
+    Ok(Request::Decide {
+        semiring: semiring.to_string(),
+        q1: q1.trim().to_string(),
+        q2: q2.trim().to_string(),
+    })
+}
+
+/// Splits on the first `⊑` or `<=`.  Neither can occur inside the query
+/// grammar (identifiers, parentheses, commas, `:-`, `;`, `!=`), so the
+/// first occurrence is unambiguous.
+fn split_containment(text: &str) -> Option<(&str, &str)> {
+    let unicode = text.find('\u{2291}').map(|i| (i, '\u{2291}'.len_utf8()));
+    let ascii = text.find("<=").map(|i| (i, 2));
+    let (at, width) = match (unicode, ascii) {
+        (Some(u), Some(a)) => {
+            if u.0 < a.0 {
+                u
+            } else {
+                a
+            }
+        }
+        (Some(u), None) => u,
+        (None, Some(a)) => a,
+        (None, None) => return None,
+    };
+    Some((&text[..at], &text[at + width..]))
+}
+
+/// Formats the reply for a decision, including whether it was a cache hit.
+pub fn format_decision(decision: &Decision, hit: bool) -> String {
+    let verdict = match decision.answer {
+        Verdict::Contained => "contained",
+        Verdict::NotContained => "not-contained",
+        Verdict::Unknown { .. } => "unknown",
+    };
+    let cache = if hit { "hit" } else { "miss" };
+    format!("OK {verdict} {cache} {}", decision.method)
+}
+
+/// Formats the `STATS` reply.
+pub fn format_stats(stats: &CacheStats) -> String {
+    format!(
+        "OK stats hits={} misses={} decides={} entries={}",
+        stats.hits, stats.misses, stats.decides, stats.entries
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decide_lines_parse_with_either_sign() {
+        let unicode = parse_request("DECIDE Why Q() :- R(u, v) \u{2291} Q() :- R(x, y)").unwrap();
+        let ascii = parse_request("DECIDE Why Q() :- R(u, v) <= Q() :- R(x, y)").unwrap();
+        let expected = Request::Decide {
+            semiring: "Why".to_string(),
+            q1: "Q() :- R(u, v)".to_string(),
+            q2: "Q() :- R(x, y)".to_string(),
+        };
+        assert_eq!(unicode, expected);
+        assert_eq!(ascii, expected);
+    }
+
+    #[test]
+    fn ucq_bodies_with_semicolons_survive_the_split() {
+        let r =
+            parse_request("DECIDE T+ Q() :- R(v), S(v) <= Q() :- R(v), R(v) ; Q() :- S(v), S(v)")
+                .unwrap();
+        match r {
+            Request::Decide { q1, q2, .. } => {
+                assert_eq!(q1, "Q() :- R(v), S(v)");
+                assert!(q2.contains(';'));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_verbs_parse_case_insensitively() {
+        assert_eq!(parse_request("stats"), Ok(Request::Stats));
+        assert_eq!(parse_request(" PING "), Ok(Request::Ping));
+        assert_eq!(parse_request("quit"), Ok(Request::Quit));
+        assert_eq!(parse_request("Shutdown"), Ok(Request::Shutdown));
+    }
+
+    #[test]
+    fn malformed_lines_error_without_panicking() {
+        assert!(parse_request("").is_err());
+        assert!(parse_request("FROBNICATE x").is_err());
+        assert!(parse_request("DECIDE Why").is_err());
+        assert!(parse_request("DECIDE Why Q() :- R(x)").is_err());
+        assert!(parse_request("DECIDE Why <= Q() :- R(x)").is_err());
+    }
+}

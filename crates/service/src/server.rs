@@ -1,0 +1,275 @@
+//! The concurrent decision server: shared state, request handling, and the
+//! thread-per-core accept loop.
+//!
+//! All synchronisation goes through [`annot_core::sync`] (the workspace
+//! facade; `annot-lint` enforces this), so the server's protocol logic can
+//! be model-checked alongside the core's concurrency if ever needed.
+//!
+//! ## Shared schema
+//!
+//! The server parses every query against **one** shared [`Schema`] behind a
+//! mutex.  That keeps relation ids stable across requests and connections,
+//! which the cache's isomorphism refinement relies on (atoms are compared
+//! by relation id).  Parsing is transactional, so a malformed request —
+//! even one that registers new relations before failing — leaves the shared
+//! schema untouched.
+
+use crate::cache::Cache;
+use crate::proto::{self, Request};
+use annot_core::registry::{decide_ucq_dyn, SemiringId};
+use annot_core::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use annot_core::sync::{Mutex, PoisonError};
+use annot_query::{parser, Schema};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+
+/// The server's shared state: one schema, one semantic cache.
+pub struct Service {
+    schema: Mutex<Schema>,
+    cache: Cache,
+}
+
+/// What a connection handler should do after sending a reply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Send the reply, keep the connection open.
+    Reply(String),
+    /// Send the reply, close this connection.
+    Close(String),
+    /// Send the reply, then stop the whole server.
+    Shutdown(String),
+}
+
+impl Outcome {
+    /// The reply line, whatever the follow-up action.
+    pub fn reply(&self) -> &str {
+        match self {
+            Outcome::Reply(s) | Outcome::Close(s) | Outcome::Shutdown(s) => s,
+        }
+    }
+}
+
+impl Service {
+    /// A fresh service with an empty schema and cache.
+    pub fn new() -> Service {
+        Service {
+            schema: Mutex::new(Schema::new()),
+            cache: Cache::new(),
+        }
+    }
+
+    /// The semantic cache (exposed for statistics and tests).
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+
+    /// Handles one request line and says what to do next.  This is the
+    /// entire protocol logic — transport-free, so tests can drive it
+    /// without sockets.
+    pub fn handle_line(&self, line: &str) -> Outcome {
+        match proto::parse_request(line) {
+            Err(message) => Outcome::Reply(format!("ERR {message}")),
+            Ok(Request::Ping) => Outcome::Reply("OK pong".to_string()),
+            Ok(Request::Stats) => Outcome::Reply(proto::format_stats(&self.cache.stats())),
+            Ok(Request::Quit) => Outcome::Close("OK bye".to_string()),
+            Ok(Request::Shutdown) => Outcome::Shutdown("OK shutting-down".to_string()),
+            Ok(Request::Decide { semiring, q1, q2 }) => match self.decide(&semiring, &q1, &q2) {
+                Ok(reply) => Outcome::Reply(reply),
+                Err(message) => Outcome::Reply(format!("ERR {message}")),
+            },
+        }
+    }
+
+    fn decide(&self, semiring: &str, q1: &str, q2: &str) -> Result<String, String> {
+        let id = SemiringId::from_name(semiring)
+            .ok_or_else(|| format!("unknown semiring {semiring:?}"))?;
+        let (u1, u2) = {
+            let mut schema = self.schema.lock().unwrap_or_else(PoisonError::into_inner);
+            let u1 = parser::parse_ucq(&mut schema, q1).map_err(|e| format!("left query: {e}"))?;
+            let u2 = parser::parse_ucq(&mut schema, q2).map_err(|e| format!("right query: {e}"))?;
+            (u1, u2)
+        };
+        let (decision, hit) = self
+            .cache
+            .get_or_decide(id, &u1, &u2, |a, b| decide_ucq_dyn(id, a, b));
+        Ok(proto::format_decision(&decision, hit))
+    }
+}
+
+impl Default for Service {
+    fn default() -> Self {
+        Service::new()
+    }
+}
+
+/// Cooperative shutdown signal for [`serve`].
+pub struct ShutdownFlag {
+    stop: AtomicBool,
+    workers: AtomicUsize,
+}
+
+impl ShutdownFlag {
+    /// A new, unset flag.
+    pub fn new() -> ShutdownFlag {
+        ShutdownFlag {
+            stop: AtomicBool::new(false),
+            workers: AtomicUsize::new(0),
+        }
+    }
+
+    /// Whether shutdown was requested.
+    pub fn is_set(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown and wakes every worker blocked in `accept` by
+    /// opening one throwaway connection per worker to `addr`.
+    pub fn trigger(&self, addr: SocketAddr) {
+        self.stop.store(true, Ordering::SeqCst);
+        let workers = self.workers.load(Ordering::SeqCst);
+        for _ in 0..workers {
+            // A failed wake connect is fine: the worker is not blocked in
+            // accept (it will see the flag on its next loop iteration).
+            drop(TcpStream::connect(addr));
+        }
+    }
+}
+
+impl Default for ShutdownFlag {
+    fn default() -> Self {
+        ShutdownFlag::new()
+    }
+}
+
+/// Runs the server on `listener` with `workers` accept threads, blocking
+/// until [`ShutdownFlag::trigger`] fires (via the `SHUTDOWN` verb or an
+/// external call).  Pass `workers = 0` to use the available parallelism.
+///
+/// Thread-per-core: every worker blocks in `accept` on the shared listener
+/// and serves the accepted connection to completion before accepting again,
+/// so at most `workers` connections are served concurrently.  Workers
+/// handling a connection notice shutdown once that connection closes.
+pub fn serve(listener: &TcpListener, service: &Service, shutdown: &ShutdownFlag, workers: usize) {
+    let workers = match workers {
+        0 => annot_core::sync::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    };
+    shutdown.workers.store(workers, Ordering::SeqCst);
+    annot_core::sync::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| worker_loop(listener, service, shutdown));
+        }
+    });
+}
+
+fn worker_loop(listener: &TcpListener, service: &Service, shutdown: &ShutdownFlag) {
+    loop {
+        if shutdown.is_set() {
+            return;
+        }
+        let Ok((stream, _)) = listener.accept() else {
+            // Accept errors are transient (aborted handshakes, fd pressure);
+            // re-check the flag and keep serving.
+            continue;
+        };
+        if shutdown.is_set() {
+            return; // the accepted connection was a shutdown wake-up
+        }
+        // A broken connection only affects that client.
+        drop(handle_connection(stream, service, shutdown));
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    service: &Service,
+    shutdown: &ShutdownFlag,
+) -> std::io::Result<()> {
+    let local = stream.local_addr()?;
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        let outcome = service.handle_line(&line);
+        writer.write_all(outcome.reply().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        match outcome {
+            Outcome::Reply(_) => {}
+            Outcome::Close(_) => return Ok(()),
+            Outcome::Shutdown(_) => {
+                shutdown.trigger(local);
+                return Ok(());
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_session_without_sockets() {
+        let service = Service::new();
+        assert_eq!(service.handle_line("PING").reply(), "OK pong");
+
+        let miss =
+            service.handle_line("DECIDE Why Q() :- R(u, v), R(u, w) <= Q() :- R(u, v), R(u, v)");
+        assert_eq!(
+            miss.reply().split_whitespace().take(3).collect::<Vec<_>>(),
+            ["OK", "not-contained", "miss"]
+        );
+        // α-renamed and atom-reordered: served from the cache.
+        let hit = service
+            .handle_line("DECIDE why Q() :- R(a, c), R(a, b) \u{2291} Q() :- R(p, q), R(p, q)");
+        assert_eq!(
+            hit.reply().split_whitespace().take(3).collect::<Vec<_>>(),
+            ["OK", "not-contained", "hit"]
+        );
+        // Same pair, different semiring: a miss with a different verdict.
+        let other =
+            service.handle_line("DECIDE B Q() :- R(u, v), R(u, w) <= Q() :- R(u, v), R(u, v)");
+        assert_eq!(
+            other.reply().split_whitespace().take(3).collect::<Vec<_>>(),
+            ["OK", "contained", "miss"]
+        );
+
+        assert!(service
+            .handle_line("DECIDE NoSuchSemiring Q() :- R(x) <= Q() :- R(x)")
+            .reply()
+            .starts_with("ERR unknown semiring"));
+        assert!(service
+            .handle_line("DECIDE Why Q() :- R(x <= Q() :- R(x)")
+            .reply()
+            .starts_with("ERR left query:"));
+
+        let stats = service.handle_line("STATS");
+        assert_eq!(
+            stats.reply(),
+            "OK stats hits=1 misses=2 decides=2 entries=2"
+        );
+        assert_eq!(service.handle_line("QUIT"), Outcome::Close("OK bye".into()));
+        assert_eq!(
+            service.handle_line("SHUTDOWN"),
+            Outcome::Shutdown("OK shutting-down".into())
+        );
+    }
+
+    #[test]
+    fn failed_parses_do_not_poison_the_shared_schema() {
+        let service = Service::new();
+        // R is registered with arity 2 by a good request …
+        service.handle_line("DECIDE B Q() :- R(x, y) <= Q() :- R(x, x)");
+        // … a bad request tries to re-register S then fails on arity clash …
+        let err = service.handle_line("DECIDE B Q() :- S(x), R(x) <= Q() :- R(x, y)");
+        assert!(err.reply().starts_with("ERR"));
+        // … and S must not have leaked into the schema: a fresh use of S
+        // with a different arity parses fine.
+        let ok = service.handle_line("DECIDE B Q() :- S(x, y) <= Q() :- S(x, x)");
+        assert!(ok.reply().starts_with("OK"), "{:?}", ok.reply());
+    }
+}

@@ -1,0 +1,71 @@
+//! In-process integration test: the real TCP server, a scripted session.
+
+use annot_service::{serve, Service, ShutdownFlag};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+
+fn roundtrip(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> String {
+    stream.write_all(format!("{line}\n").as_bytes()).unwrap();
+    stream.flush().unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    reply.trim_end().to_string()
+}
+
+fn connect(addr: SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).unwrap();
+    let reader = BufReader::new(stream.try_clone().unwrap());
+    (stream, reader)
+}
+
+#[test]
+fn tcp_session_hits_the_iso_cache_across_connections() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let service = Service::new();
+    let shutdown = ShutdownFlag::new();
+
+    annot_core::sync::thread::scope(|s| {
+        s.spawn(|| serve(&listener, &service, &shutdown, 2));
+
+        let (mut c1, mut r1) = connect(addr);
+        assert_eq!(roundtrip(&mut c1, &mut r1, "PING"), "OK pong");
+        let miss = roundtrip(
+            &mut c1,
+            &mut r1,
+            "DECIDE N[X] Q() :- R(u, v), R(u, w) \u{2291} Q() :- R(u, v), R(u, v)",
+        );
+        assert!(miss.starts_with("OK not-contained miss"), "{miss}");
+
+        // A different connection, an α-renamed pair, the NatPoly alias:
+        // answered from the shared cache.
+        let (mut c2, mut r2) = connect(addr);
+        let hit = roundtrip(
+            &mut c2,
+            &mut r2,
+            "DECIDE NatPoly Q() :- R(a, b), R(a, c) <= Q() :- R(x, y), R(x, y)",
+        );
+        assert!(hit.starts_with("OK not-contained hit"), "{hit}");
+
+        // Malformed and unknown-semiring requests answer ERR and leave the
+        // connection usable.
+        let err = roundtrip(&mut c2, &mut r2, "DECIDE N[X] oops");
+        assert!(err.starts_with("ERR"), "{err}");
+        let err = roundtrip(
+            &mut c2,
+            &mut r2,
+            "DECIDE Banana Q() :- R(x, y) <= Q() :- R(x, y)",
+        );
+        assert!(err.starts_with("ERR unknown semiring"), "{err}");
+        assert_eq!(
+            roundtrip(&mut c2, &mut r2, "STATS"),
+            "OK stats hits=1 misses=1 decides=1 entries=1"
+        );
+
+        assert_eq!(roundtrip(&mut c1, &mut r1, "QUIT"), "OK bye");
+        assert_eq!(roundtrip(&mut c2, &mut r2, "SHUTDOWN"), "OK shutting-down");
+    });
+
+    let stats = service.cache().stats();
+    assert_eq!((stats.hits, stats.misses, stats.decides), (1, 1, 1));
+}

@@ -3,7 +3,7 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use annot_core::decide::{decide_cq, decide_cq_with_poly_order};
+use annot_core::decide::decide_cq;
 use annot_polynomial::Var;
 use annot_query::eval::eval_cq;
 use annot_query::{parser, Instance, Schema};
@@ -61,7 +61,7 @@ fn main() {
     );
     println!(
         "  over T+ (tropical):       {:?}",
-        decide_cq_with_poly_order::<Tropical>(&q1, &q2)
+        decide_cq::<Tropical>(&q1, &q2)
     );
     println!(
         "  over N (bags):            {:?}",

@@ -9,7 +9,7 @@
 //!
 //! Run with `cargo run --example rdf_annotation`.
 
-use annot_core::decide::{decide_cq, decide_cq_with_poly_order};
+use annot_core::decide::decide_cq;
 use annot_query::eval::answers;
 use annot_query::{parser, Instance, Schema, ValueId};
 use annot_semiring::{Clearance, Fuzzy, Tropical};
@@ -89,7 +89,7 @@ fn main() {
     );
     println!(
         "  staleness costs (T+, small-model):          {:?}",
-        decide_cq_with_poly_order::<Tropical>(&q_direct, &q_loose)
+        decide_cq::<Tropical>(&q_direct, &q_loose)
     );
     println!("\nand the reverse, Q_loose ⊆ Q_direct?");
     println!(
@@ -98,6 +98,6 @@ fn main() {
     );
     println!(
         "  staleness:  {:?}",
-        decide_cq_with_poly_order::<Tropical>(&q_loose, &q_direct)
+        decide_cq::<Tropical>(&q_loose, &q_direct)
     );
 }

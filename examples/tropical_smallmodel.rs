@@ -3,7 +3,7 @@
 //!
 //! Run with `cargo run --example tropical_smallmodel`.
 
-use annot_core::decide::decide_cq_with_poly_order;
+use annot_core::decide::decide_cq;
 use annot_core::small_model::{cq_contained_small_model, ucq_contained_small_model};
 use annot_hom::kinds;
 use annot_query::complete::complete_description_cq;
@@ -50,7 +50,7 @@ fn main() {
     );
     println!(
         "dispatcher answer over T+: {:?}",
-        decide_cq_with_poly_order::<Tropical>(&q1, &q2)
+        decide_cq::<Tropical>(&q1, &q2)
     );
 
     // Example 5.4: a UCQ containment where the member-wise method fails.

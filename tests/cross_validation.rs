@@ -24,10 +24,7 @@ use annot_core::brute_force::{
     find_counterexample_ucq, BruteForceConfig,
 };
 use annot_core::classes::ClassifiedSemiring;
-use annot_core::decide::{
-    decide_cq, decide_cq_with_poly_order, decide_ucq, decide_ucq_with_poly_order, Answer,
-};
-use annot_core::poly_order::PolynomialOrder;
+use annot_core::decide::{decide_cq, decide_ucq, Decision, Verdict};
 use annot_hom::kinds;
 use annot_polynomial::admissible::is_cq_admissible;
 use annot_polynomial::{leq_min_plus, Monomial, Polynomial, Var};
@@ -291,28 +288,27 @@ fn ucq_pair(seed: u64) -> (Ucq, Ucq) {
 fn check_against_oracle(
     name: &str,
     case: &str,
-    answer: &Answer,
+    decision: &Decision,
     counterexample_found: bool,
     exact: bool,
 ) {
     if exact {
         assert!(
-            answer.decided().is_some(),
+            decision.decided().is_some(),
             "{name}: exact criterion returned Unknown on {case}"
         );
     }
-    match answer {
-        Answer::Contained(criterion) => assert!(
+    if decision.answer == Verdict::Contained {
+        assert!(
             !counterexample_found,
-            "{name}: decider claims containment via {criterion} but brute force \
-             refutes it on {case}"
-        ),
-        Answer::NotContained(_) => {}
-        Answer::Unknown { .. } => {}
+            "{name}: decider claims containment via {} but brute force \
+             refutes it on {case}",
+            decision.method
+        );
     }
     if counterexample_found && exact {
         assert_eq!(
-            answer.decided(),
+            decision.decided(),
             Some(false),
             "{name}: semantic counterexample exists but decider did not refute {case}"
         );
@@ -334,21 +330,6 @@ fn oracle_cq<K: ClassifiedSemiring>(exact: bool) {
     });
 }
 
-fn oracle_cq_poly_order<K: ClassifiedSemiring + PolynomialOrder>() {
-    let config = BruteForceConfig {
-        domain_size: 2,
-        max_support: 3,
-        ..Default::default()
-    };
-    let name = K::class_profile().name;
-    run_cases(CQ_CASES_PER_SEMIRING, |seed| {
-        let (q1, q2) = cq_pair(3000 + seed);
-        let answer = decide_cq_with_poly_order::<K>(&q1, &q2);
-        let refuted = find_counterexample_cq::<K>(&q1, &q2, &config).is_some();
-        check_against_oracle(name, &format!("{} vs {}", q1, q2), &answer, refuted, true);
-    });
-}
-
 fn oracle_ucq<K: ClassifiedSemiring>(exact: bool) {
     let config = BruteForceConfig {
         domain_size: 2,
@@ -365,22 +346,6 @@ fn oracle_ucq<K: ClassifiedSemiring>(exact: bool) {
     });
 }
 
-fn oracle_ucq_poly_order<K: ClassifiedSemiring + PolynomialOrder>() {
-    let config = BruteForceConfig {
-        domain_size: 2,
-        max_support: 3,
-        ..Default::default()
-    };
-    let name = K::class_profile().name;
-    run_cases(UCQ_CASES_PER_SEMIRING, |seed| {
-        let (u1, u2) = ucq_pair(5000 + seed);
-        let answer = decide_ucq_with_poly_order::<K>(&u1, &u2);
-        let refuted = find_counterexample_ucq::<K>(&u1, &u2, &config).is_some();
-        let case = format!("{} vs {} (seed {})", u1, u2, 5000 + seed);
-        check_against_oracle(name, &case, &answer, refuted, true);
-    });
-}
-
 #[test]
 fn oracle_cq_bool() {
     oracle_cq::<Bool>(true);
@@ -393,14 +358,14 @@ fn oracle_cq_lineage() {
 
 #[test]
 fn oracle_cq_tropical() {
-    oracle_cq_poly_order::<Tropical>();
+    oracle_cq::<Tropical>(true);
 }
 
 #[test]
 fn oracle_cq_viterbi() {
     // Viterbi is decided through its −ln isomorphism to T⁺ (the small-model
     // procedure with the min-plus polynomial order).
-    oracle_cq_poly_order::<Viterbi>();
+    oracle_cq::<Viterbi>(true);
 }
 
 #[test]
@@ -433,12 +398,12 @@ fn oracle_ucq_lineage() {
 
 #[test]
 fn oracle_ucq_tropical() {
-    oracle_ucq_poly_order::<Tropical>();
+    oracle_ucq::<Tropical>(true);
 }
 
 #[test]
 fn oracle_ucq_viterbi() {
-    oracle_ucq_poly_order::<Viterbi>();
+    oracle_ucq::<Viterbi>(true);
 }
 
 #[test]

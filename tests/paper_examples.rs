@@ -3,9 +3,7 @@
 //! plus the CQ-admissibility examples of Sec. 4.5 (experiment E4).
 
 use annot_core::brute_force::{find_counterexample_cq, find_counterexample_ucq, BruteForceConfig};
-use annot_core::decide::{
-    decide_cq, decide_cq_with_poly_order, decide_ucq, decide_ucq_with_poly_order,
-};
+use annot_core::decide::{decide_cq, decide_ucq};
 use annot_core::small_model::{cq_contained_small_model, ucq_contained_small_model};
 use annot_core::ucq::{bijective, covering, local, surjective};
 use annot_hom::kinds;
@@ -36,10 +34,7 @@ fn example_4_6_tropical_containment_without_injective_hom() {
     assert!(!kinds::exists_injective_hom(&q2, &q1));
     // Yet the small-model procedure proves T⁺-containment (Sec. 4.6).
     assert!(cq_contained_small_model::<Tropical>(&q1, &q2));
-    assert_eq!(
-        decide_cq_with_poly_order::<Tropical>(&q1, &q2).decided(),
-        Some(true)
-    );
+    assert_eq!(decide_cq::<Tropical>(&q1, &q2).decided(), Some(true));
     // Brute-force semantic check agrees (no counterexample over T⁺) …
     let config = BruteForceConfig {
         domain_size: 2,
@@ -99,10 +94,7 @@ fn example_5_4_local_method_fails_for_tropical() {
     }
     // The union containment nevertheless holds.
     assert!(ucq_contained_small_model::<Tropical>(&q1, &q2));
-    assert_eq!(
-        decide_ucq_with_poly_order::<Tropical>(&q1, &q2).decided(),
-        Some(true)
-    );
+    assert_eq!(decide_ucq::<Tropical>(&q1, &q2).decided(), Some(true));
     // Brute force over T⁺ agrees.
     let config = BruteForceConfig {
         domain_size: 2,

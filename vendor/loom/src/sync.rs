@@ -13,6 +13,11 @@ use crate::rt::{self, Ctx};
 pub use std::sync::LockResult;
 pub use std::sync::PoisonError;
 
+/// `std::sync::Arc`, re-exported unmodified: reference counting has no
+/// scheduler-visible effects beyond the release/acquire pair in `Drop`,
+/// which this simplified shim does not model (real loom does).
+pub use std::sync::Arc;
+
 /// Atomic types with scheduler-mediated semantics under a model.
 pub mod atomic {
     use super::mode_mismatch;
