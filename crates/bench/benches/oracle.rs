@@ -13,7 +13,7 @@ use annot_core::brute_force::{find_counterexample_cq, for_each_instance, BruteFo
 use annot_hom::{AtomOrder, HomSearch, SearchOptions};
 use annot_query::parser;
 use annot_query::{Cq, Schema};
-use annot_semiring::{Bool, Lineage, Natural};
+use annot_semiring::{Bool, Lineage, Natural, Why};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
@@ -73,7 +73,43 @@ fn oracle(c: &mut Criterion) {
         group.bench_function(format!("lineage/cap{cap}"), |b| {
             b.iter(|| black_box(find_counterexample_cq::<Lineage>(&dq1, &dq2, &config).is_none()))
         });
+        // The same irrefutable pair over Why[X] (`w ∪ w = w`, so `a ⊆ a²`
+        // element-wise): the priciest shipped deep walk, since Why[X] has the
+        // largest decisive sample set of the factorized semirings.
+        group.bench_function(format!("why/cap{cap}"), |b| {
+            b.iter(|| black_box(find_counterexample_cq::<Why>(&dq1, &dq2, &config).is_none()))
+        });
     }
+    group.finish();
+
+    // The search-space quotient (PR 9) on both walk strategies: the same
+    // deep irrefutable workloads with value-symmetry orbit pruning and
+    // decisive sample subsets on their default settings.  `why/*` exercises
+    // the factorized strategy, `natural/cap6` the direct one (`a ≤ a²` holds
+    // in `N`, so the pair is irrefutable there too and the walk is full).
+    let mut group = c.benchmark_group("oracle/quotient");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1000));
+    for cap in [6usize, 8] {
+        let config = BruteForceConfig {
+            domain_size: 3,
+            max_support: cap,
+            ..Default::default()
+        };
+        group.bench_function(format!("why/cap{cap}"), |b| {
+            b.iter(|| black_box(find_counterexample_cq::<Why>(&dq1, &dq2, &config).is_none()))
+        });
+    }
+    let config = BruteForceConfig {
+        domain_size: 3,
+        max_support: 6,
+        ..Default::default()
+    };
+    group.bench_function("natural/cap6", |b| {
+        b.iter(|| black_box(find_counterexample_cq::<Natural>(&dq1, &dq2, &config).is_none()))
+    });
     group.finish();
 
     let mut group = c.benchmark_group("oracle/instance_enumeration");

@@ -71,19 +71,42 @@
 //!
 //! # Enumeration contract
 //!
-//! Both the prefix-tree search and [`for_each_instance`] enumerate
-//! **exactly** the K-instances over the domain `{0, …, domain_size−1}` whose
-//! annotations are non-zero sample elements and whose support has at most
-//! `max_support` tuples — each instance once.  With `n` possible tuples and
-//! `s` non-zero sample elements that is
+//! [`for_each_instance`] enumerates **exactly** the K-instances over the
+//! domain `{0, …, domain_size−1}` whose annotations are non-zero sample
+//! elements and whose support has at most `max_support` tuples — each
+//! instance once.  With `n` possible tuples and `s` non-zero sample elements
+//! that is
 //!
 //! ```text
 //! Σ_{k=0}^{min(n, max_support)}  C(n, k) · s^k
 //! ```
 //!
-//! instances ([`bounded_instance_count`]; the regression tests below pin the
-//! closed form for both enumerators).  The support cap prunes the tree
+//! instances ([`bounded_instance_count`]).  The support cap prunes the tree
 //! *during descent*: a node at depth `max_support` has no children.
+//!
+//! The prefix-tree search walks the same space **quotiented two ways**.  Its
+//! samples are [`Semiring::decisive_samples`] — a per-semiring subset of the
+//! sample elements certified (`tests/decisive_samples.rs`) to refute exactly
+//! when the full set does — and by default it prunes every support that is
+//! not the lexicographically minimal member of its orbit under the
+//! permutations of the domain values
+//! ([`BruteForceConfig::symmetry_quotient`]).  A domain permutation is an
+//! isomorphism of instances and constant-free queries cannot distinguish
+//! isomorphic instances, so one representative per orbit decides the search;
+//! the constant-free precondition (`queries_are_constant_free`) is checked
+//! at entry and the walk falls back to the full enumeration when it fails.
+//! A full quotiented walk visits
+//!
+//! ```text
+//! Σ_{k=0}^{min(n, max_support)}  orbits(k) · s^k
+//! ```
+//!
+//! instances ([`quotiented_instance_count`], with `orbits(k)` the number of
+//! orbits of `k`-element slot sets, a Burnside sum over the permutations'
+//! cycle types) — the same closed form for both walk strategies: the
+//! factorized walk visits `orbits(k)` tree nodes of depth `k` accounting
+//! `sᵏ` instances each, the direct walk `orbits(k)·sᵏ` nodes of one
+//! instance each.  The regression tests below pin both closed forms.
 
 use crate::steal::StealPool;
 use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -185,6 +208,19 @@ pub struct BruteForceConfig {
     /// an external timeout kills the process.  Use this in CI so adversarial
     /// schemas fail loudly.
     pub max_instances: Option<u64>,
+    /// Whether the prefix walk quotients the support enumeration by the
+    /// symmetry of the domain values (default `true`): supports that are not
+    /// the lexicographically minimal member of their orbit under the
+    /// `domain_size!` value permutations are pruned, so the walk visits one
+    /// representative instance per isomorphism orbit (see the module docs
+    /// for the closed-form visit count).  The quotient is only *effective*
+    /// when the query pair is constant-free — checked at search entry, with
+    /// a fallback to the full walk — and when
+    /// `domain_size ≤ `[`MAX_QUOTIENT_DOMAIN`] (beyond that the permutation
+    /// group outgrows the per-node check).  Turn it off to force the full
+    /// walk; the differential suite does, to pin quotiented against
+    /// unquotiented verdicts.
+    pub symmetry_quotient: bool,
 }
 
 impl BruteForceConfig {
@@ -198,6 +234,7 @@ impl BruteForceConfig {
             max_support: domain_size.saturating_mul(domain_size),
             threads: 1,
             max_instances: None,
+            symmetry_quotient: true,
         }
     }
 
@@ -284,8 +321,9 @@ impl std::error::Error for BruteForceError {}
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SearchStats {
     /// Instances visited before the search returned (on a full walk this is
-    /// exactly [`bounded_instance_count`]; smaller when a counterexample
-    /// stopped the search early).
+    /// exactly [`quotiented_instance_count`] over the decisive samples when
+    /// the symmetry quotient is effective, [`bounded_instance_count`]
+    /// otherwise; smaller when a counterexample stopped the search early).
     pub instances_visited: u64,
 }
 
@@ -300,7 +338,8 @@ pub struct SearchOutcome<K: Semiring> {
 
 /// Searches for a counterexample to `Q₁ ⊆_K Q₂` among the K-instances over a
 /// domain of `config.domain_size` values whose annotations are drawn from
-/// `K::sample_elements()`.
+/// [`Semiring::decisive_samples`] (a refutation-preserving subset of the
+/// sample elements; the naive reference oracle keeps the full set).
 ///
 /// Panics if the search exceeds `config.max_instances`; use
 /// [`try_find_counterexample_cq`] to handle the budget as an error.
@@ -398,11 +437,32 @@ fn try_find_counterexample_union<K: Semiring>(
     };
     let slots = slots_over(&schema, config.domain_size);
     // Zero annotations never enter a support; enumerating them would only
-    // duplicate the "slot absent" branch.
-    let samples: Vec<K> = K::sample_elements()
+    // duplicate the "slot absent" branch.  The decisive subset refutes
+    // exactly when the full sample set does (the per-semiring certificates
+    // behind `Semiring::decisive_samples`); the naive reference oracle keeps
+    // the full set.
+    let samples: Vec<K> = K::decisive_samples()
         .into_iter()
         .filter(|s| !s.is_zero())
         .collect();
+
+    // The value-symmetry quotient: a domain permutation is an isomorphism of
+    // instances, so for constant-free queries one support per orbit decides
+    // the search.  The guard is asserted here — today it holds by
+    // construction of the AST (see `queries_are_constant_free`), and a
+    // future constants-capable AST falls back to the full walk.  An empty
+    // `orbit_maps` turns the per-node canonicity check off.
+    let quotient = config.symmetry_quotient
+        && config.domain_size <= MAX_QUOTIENT_DOMAIN
+        && queries_are_constant_free(q1, q2);
+    let orbit_maps: Vec<Vec<u32>> = if quotient {
+        slot_permutation_maps(&schema, &slots, config.domain_size)
+            .into_iter()
+            .filter(|map| map.iter().enumerate().any(|(i, &to)| to != i as u32))
+            .collect()
+    } else {
+        Vec::new()
+    };
 
     // Factorization through `N[X]` pays when the sample assignments it
     // amortises are plural *and* the annotation domain's operations are
@@ -436,6 +496,7 @@ fn try_find_counterexample_union<K: Semiring>(
         schema: &schema,
         slots: &slots,
         samples: &samples,
+        orbit_maps: &orbit_maps,
         cap: config.max_support,
         max_instances: config.max_instances,
         sequential: threads == 1,
@@ -525,11 +586,19 @@ fn drive_jobs<'s, K, W>(
         return;
     }
     let pool: StealPool<PrefixPath> = StealPool::new(threads);
-    // Seed one task per depth-1 node, dealt round-robin; highest jobs are
-    // pushed first so the owner end of every queue holds its lowest job and
-    // each worker starts in sequential order.
+    // Seed one task per *canonical* depth-1 node, dealt round-robin; highest
+    // jobs are pushed first so the owner end of every queue holds its lowest
+    // job and each worker starts in sequential order.  Non-canonical
+    // singleton supports root fully pruned subtrees (canonicity is
+    // prefix-closed), so their seeds are never enqueued; the slot whose
+    // tuple is the lexicographic minimum of its relation block is always
+    // canonical, so at least one seed survives.
     for job in (0..jobs).rev() {
-        let path = vec![((job / branches) as u32, (job % branches) as u32)];
+        let slot = (job / branches) as u32;
+        if !ctx.canonical_support(&[slot]) {
+            continue;
+        }
+        let path = vec![(slot, (job % branches) as u32)];
         pool.push(job % threads, path);
     }
     crate::sync::thread::scope(|scope| {
@@ -590,6 +659,12 @@ trait PrefixWalk<K: Semiring> {
     fn run_job(&mut self, job: usize) {
         let branches = self.branches_per_slot();
         let (slot, branch) = (job / branches, job % branches);
+        // A non-canonical singleton support prunes the whole subtree (and
+        // all of its instance accounting): canonicity is prefix-closed, so
+        // no canonical support descends from it.
+        if !self.ctx().canonical_support(&[slot as u32]) {
+            return;
+        }
         if !self.ctx().count_instances(self.instances_at(1)) {
             return;
         }
@@ -613,6 +688,13 @@ trait PrefixWalk<K: Semiring> {
         if self.ctx().pruned(&path) {
             return;
         }
+        // Children are filtered for canonicity at enqueue time below, so
+        // this entry check only ever fires for seed tasks — kept anyway to
+        // make "every executed task is canonical" a local invariant.
+        let mut support: Vec<u32> = path.iter().map(|&(slot, _)| slot).collect();
+        if !self.ctx().canonical_support(&support) {
+            return;
+        }
         if !self.ctx().count_instances(self.instances_at(path.len())) {
             return;
         }
@@ -624,7 +706,18 @@ trait PrefixWalk<K: Semiring> {
             return;
         }
         let next_slot = path.last().map_or(0, |&(slot, _)| slot as usize + 1);
+        let depth = path.len();
+        support.push(0);
         for slot in (next_slot..self.ctx().slots.len()).rev() {
+            // Skip non-canonical children here rather than at their own
+            // task entry: their whole subtrees are pruned either way (see
+            // `SearchContext::canonical_support`), and filtering at enqueue
+            // spares the queue churn.  The check is per *support*, so it is
+            // hoisted out of the branch loop.
+            support[depth] = slot as u32;
+            if !self.ctx().canonical_support(&support) {
+                continue;
+            }
             for branch in (0..self.branches_per_slot()).rev() {
                 let mut child = Vec::with_capacity(path.len() + 1);
                 child.extend_from_slice(&path);
@@ -660,7 +753,18 @@ trait PrefixWalk<K: Semiring> {
         if budget == 0 {
             return;
         }
+        // The child support is the current (ascending) slot stack plus the
+        // candidate slot — rebuilt once per node, mutated in place per
+        // child.  Canonicity is a property of the support alone, so the
+        // check is hoisted out of the branch loop.
+        let depth = self.depth();
+        let mut support: Vec<u32> = (0..depth).map(|i| self.entry_at(i).0).collect();
+        support.push(0);
         for slot in next_slot..self.ctx().slots.len() {
+            support[depth] = slot as u32;
+            if !self.ctx().canonical_support(&support) {
+                continue;
+            }
             for branch in 0..self.branches_per_slot() {
                 let child_instances = self.instances_at(self.depth() + 1);
                 if self.ctx().stopped() || !self.ctx().count_instances(child_instances) {
@@ -687,8 +791,14 @@ struct SearchContext<'s, K: Semiring> {
     /// pre-interned into the schema's domain once — the walk never touches a
     /// `DbValue` again.
     slots: &'s [(RelId, IdTuple)],
-    /// The non-zero sample annotations.
+    /// The non-zero decisive sample annotations.
     samples: &'s [K],
+    /// One slot-relabelling table per non-identity domain-value permutation
+    /// (empty when the symmetry quotient is off): `orbit_maps[p][slot]` is
+    /// the slot whose tuple is the image of `slot`'s tuple under the `p`-th
+    /// permutation.  Built once per search; the per-node canonicity check
+    /// only chases these tables.
+    orbit_maps: &'s [Vec<u32>],
     /// Support cap (maximum depth of the prefix tree).
     cap: usize,
     max_instances: Option<u64>,
@@ -820,6 +930,36 @@ impl<K: Semiring> SearchContext<'_, K> {
     /// Whether the node at `path` can be skipped (see [`Incumbent::pruned`]).
     fn pruned(&self, path: &[(u32, u32)]) -> bool {
         self.incumbent.pruned(path)
+    }
+
+    /// Whether `support` — the slot indices of a prefix node's path, in the
+    /// walk's ascending order — is the lexicographically minimal member of
+    /// its orbit under the domain-value permutations (vacuously `true` when
+    /// the quotient is off).
+    ///
+    /// Pruning on this predicate is sound for a depth-first walk because
+    /// canonicity is *prefix-closed*: a DFS prefix `P` of a support `S`
+    /// holds the `|P|` smallest slots of `S` and every remaining slot
+    /// exceeds `max(P)`, so the order statistics of `π(S) ⊇ π(P)` are
+    /// bounded by those of `π(P)` position by position — if some permutation
+    /// `π` sorts `π(P)` strictly below `P`, the same `π` sorts `π(S)`
+    /// strictly below `S`.  Pruning a non-canonical prefix therefore never
+    /// cuts off a canonical descendant, and the walk visits exactly one (the
+    /// lex-least) representative per orbit.
+    fn canonical_support(&self, support: &[u32]) -> bool {
+        if self.orbit_maps.is_empty() || support.is_empty() {
+            return true;
+        }
+        let mut image: Vec<u32> = Vec::with_capacity(support.len());
+        for map in self.orbit_maps {
+            image.clear();
+            image.extend(support.iter().map(|&slot| map[slot as usize]));
+            image.sort_unstable();
+            if image.as_slice() < support {
+                return false;
+            }
+        }
+        true
     }
 }
 
@@ -1596,6 +1736,9 @@ pub fn for_each_instance<K: Semiring>(
     visit: &mut dyn FnMut(&Instance<K>) -> bool,
 ) -> bool {
     let all_tuples = slots_over(schema, config.domain_size);
+    // full-samples: the naive enumerator is the differential *reference* —
+    // it deliberately keeps the complete sample set (and no symmetry
+    // quotient) so the decisive-subset walk is validated against it.
     let samples: Vec<K> = K::sample_elements()
         .into_iter()
         .filter(|s| !s.is_zero())
@@ -1624,6 +1767,158 @@ pub fn bounded_instance_count(n: usize, s: usize, cap: usize) -> u128 {
         total += binom * (s as u128).pow(k as u32);
     }
     total
+}
+
+/// The largest domain size the symmetry quotient stays on for: beyond it the
+/// `domain_size!`-sized permutation group makes the per-node canonicity
+/// check (one sorted image per non-identity permutation) cost more than the
+/// subtrees it prunes are worth, so the search falls back to the full walk.
+/// Domains of the sizes the oracle can actually exhaust (2–4) sit far below
+/// the cutoff.
+pub const MAX_QUOTIENT_DOMAIN: usize = 5;
+
+/// The closed-form number of instances a full *symmetry-quotiented* prefix
+/// walk visits: `Σ_{k=0}^{min(n, cap)} orbits(k) · s^k`, where `orbits(k)`
+/// counts the orbits of `k`-element slot sets under the domain-value
+/// permutations.  By Burnside's lemma `orbits(k)` is the group average of
+/// the number of `k`-subsets each permutation fixes setwise, and a
+/// permutation with slot-cycle lengths `c₁, c₂, …` fixes exactly
+/// `[xᵏ] Π_i (1 + x^{cᵢ})` of them (a fixed subset is a union of whole
+/// cycles).  Both walk strategies visit exactly this count on a full
+/// (irrefutable, unbudgeted) walk whenever the quotient is effective — same
+/// `n` and `s` as [`bounded_instance_count`], which the quotiented count
+/// never exceeds.
+pub fn quotiented_instance_count(
+    schema: &Schema,
+    domain_size: usize,
+    s: usize,
+    cap: usize,
+) -> u128 {
+    let slots = slots_over(schema, domain_size);
+    let n = slots.len();
+    let cap = cap.min(n);
+    let maps = slot_permutation_maps(schema, &slots, domain_size);
+    let group = maps.len() as u128;
+    // Σ_π (#k-subsets fixed setwise by π), accumulated per k.
+    let mut fixed = vec![0u128; cap + 1];
+    for map in &maps {
+        // The cycle-index product Π (1 + x^len), truncated at `cap`.
+        let mut poly = vec![0u128; cap + 1];
+        poly[0] = 1;
+        let mut seen = vec![false; n];
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            let mut len = 0usize;
+            let mut cur = start;
+            while !seen[cur] {
+                seen[cur] = true;
+                cur = map[cur] as usize;
+                len += 1;
+            }
+            for k in (len..=cap).rev() {
+                poly[k] += poly[k - len];
+            }
+        }
+        for (k, fix) in fixed.iter_mut().enumerate() {
+            *fix += poly[k];
+        }
+    }
+    let mut total = 0u128;
+    for (k, fix) in fixed.iter().enumerate() {
+        // Burnside: the group average of fixed-point counts is the (always
+        // integral) orbit count.
+        debug_assert_eq!(fix % group, 0, "Burnside sum not divisible by |G|");
+        total += (fix / group) * (s as u128).pow(k as u32);
+    }
+    total
+}
+
+/// Whether the domain-permutation symmetry argument applies to a query
+/// pair: no atom may mention a concrete domain value, else permuting the
+/// domain is no longer containment-invariant.  Today this holds by
+/// construction — [`Atom::args`](annot_query::Atom) is typed `Vec<QVar>`
+/// and CCQ disequalities relate variables only, so the AST *cannot* express
+/// a constant — but the quotient's soundness rests on it, so the search
+/// re-establishes it here instead of silently assuming it.  The argument
+/// scan is kept as a real traversal with the element type pinned: an AST
+/// extension that adds constants to atom arguments fails to compile here
+/// and must teach this guard about the new shape (the search then falls
+/// back to the full, unquotiented walk for queries that use it).
+fn queries_are_constant_free(q1: UnionQuery<'_>, q2: UnionQuery<'_>) -> bool {
+    fn cq_constant_free(cq: &Cq) -> bool {
+        cq.atoms()
+            .iter()
+            .all(|atom| atom.args.iter().all(|_var: &annot_query::QVar| true))
+    }
+    let constant_free = |q: UnionQuery<'_>| match q {
+        UnionQuery::Ucq(u) => u.disjuncts().iter().all(cq_constant_free),
+        UnionQuery::Ducq(d) => d.disjuncts().iter().all(|c| cq_constant_free(c.cq())),
+    };
+    constant_free(q1) && constant_free(q2)
+}
+
+/// All permutations of `{0, …, n−1}`, identity included, in no particular
+/// order.
+fn domain_permutations(n: usize) -> Vec<Vec<usize>> {
+    fn extend(prefix: &mut Vec<usize>, used: &mut [bool], out: &mut Vec<Vec<usize>>) {
+        if prefix.len() == used.len() {
+            out.push(prefix.clone());
+            return;
+        }
+        for value in 0..used.len() {
+            if !used[value] {
+                used[value] = true;
+                prefix.push(value);
+                extend(prefix, used, out);
+                prefix.pop();
+                used[value] = false;
+            }
+        }
+    }
+    let mut out = Vec::new();
+    extend(&mut Vec::with_capacity(n), &mut vec![false; n], &mut out);
+    out
+}
+
+/// One slot-relabelling table per permutation of the domain values
+/// (identity included): `maps[p][slot]` is the index in `slots` of the
+/// tuple obtained by applying the `p`-th permutation to every component of
+/// `slots[slot]`'s tuple.  Permuting values maps each relation block onto
+/// itself, so the table is a permutation of `0..slots.len()`.
+fn slot_permutation_maps(
+    schema: &Schema,
+    slots: &[(RelId, IdTuple)],
+    domain_size: usize,
+) -> Vec<Vec<u32>> {
+    // Interning is idempotent: this re-yields the ids `slots_over` built
+    // the slot tuples from.
+    let domain: Vec<ValueId> = (0..domain_size as i64)
+        .map(|v| schema.intern_value(&DbValue::Int(v)))
+        .collect();
+    let digit: HashMap<ValueId, usize> = domain
+        .iter()
+        .enumerate()
+        .map(|(index, &value)| (value, index))
+        .collect();
+    let index_of: HashMap<&(RelId, IdTuple), u32> = slots
+        .iter()
+        .enumerate()
+        .map(|(index, slot)| (slot, index as u32))
+        .collect();
+    domain_permutations(domain_size)
+        .into_iter()
+        .map(|perm| {
+            slots
+                .iter()
+                .map(|&(rel, ref tuple)| {
+                    let image: IdTuple = tuple.iter().map(|v| domain[perm[digit[v]]]).collect();
+                    index_of[&(rel, image)]
+                })
+                .collect()
+        })
+        .collect()
 }
 
 /// Every tuple slot of the schema over the domain `{0, …, domain_size−1}`,
@@ -1901,6 +2196,7 @@ mod tests {
         assert_eq!(BruteForceConfig::default().max_support, 4);
         assert_eq!(BruteForceConfig::default().threads, 1);
         assert_eq!(BruteForceConfig::default().max_instances, None);
+        assert!(BruteForceConfig::default().symmetry_quotient);
         assert_eq!(BruteForceConfig::with_domain_size(3).max_support, 9);
         // Binary widest relation: 3² tuples, capped at domain² = 9.
         let s = Schema::with_relations([("R", 2), ("S", 1)]);
@@ -1949,32 +2245,101 @@ mod tests {
         }
     }
 
-    /// The prefix-tree search walks the same support-bounded instance set:
-    /// on a pair with no counterexample (`Q ⊆ Q` always holds) a full walk
-    /// visits exactly the closed-form count, sequentially and in parallel.
+    /// The prefix-tree search walks the support-bounded instance set
+    /// quotiented by value symmetry: on a pair with no counterexample
+    /// (`Q ⊆ Q` always holds) a full walk visits exactly the quotiented
+    /// closed form, sequentially and in parallel — and exactly the
+    /// unquotiented closed form with the quotient knob off.
     #[test]
     fn prefix_tree_walks_the_closed_form_instance_count() {
         let mut s = schema();
         let q = parser::parse_ucq(&mut s, "Q() :- R(u, v), R(v, w)").unwrap();
-        let nonzero_samples = Natural::sample_elements()
+        let nonzero_samples = Natural::decisive_samples()
             .into_iter()
             .filter(|k| !k.is_zero())
             .count();
         for cap in 0..=5usize {
-            let expected = bounded_instance_count(4, nonzero_samples, cap) as u64;
+            let quotiented = quotiented_instance_count(&s, 2, nonzero_samples, cap) as u64;
+            let full = bounded_instance_count(4, nonzero_samples, cap) as u64;
+            assert!(quotiented <= full, "quotient must not add instances");
             for threads in [1usize, 4] {
-                let config = BruteForceConfig {
-                    domain_size: 2,
-                    max_support: cap,
-                    threads,
-                    ..Default::default()
-                };
-                let outcome = try_find_counterexample_ucq::<Natural>(&q, &q, &config).unwrap();
-                assert!(outcome.counterexample.is_none(), "Q ⊆ Q must hold");
-                assert_eq!(
-                    outcome.stats.instances_visited, expected,
-                    "cap {cap}, threads {threads}: wrong instance count"
-                );
+                for (symmetry_quotient, expected) in [(true, quotiented), (false, full)] {
+                    let config = BruteForceConfig {
+                        domain_size: 2,
+                        max_support: cap,
+                        threads,
+                        symmetry_quotient,
+                        ..Default::default()
+                    };
+                    let outcome = try_find_counterexample_ucq::<Natural>(&q, &q, &config).unwrap();
+                    assert!(outcome.counterexample.is_none(), "Q ⊆ Q must hold");
+                    assert_eq!(
+                        outcome.stats.instances_visited, expected,
+                        "cap {cap}, threads {threads}, quotient {symmetry_quotient}: \
+                         wrong instance count"
+                    );
+                }
+            }
+        }
+    }
+
+    /// `quotiented_instance_count`'s Burnside sum agrees with a direct orbit
+    /// enumeration: list every support set as a bitmask, act on it with the
+    /// slot permutation tables, and count the lexicographically least
+    /// representatives — the exact sets [`SearchContext::canonical_support`]
+    /// keeps.  Pins the hand-computed domain-2 orbit profile as well.
+    #[test]
+    fn quotiented_count_matches_independent_orbit_enumeration() {
+        fn orbit_profile(schema: &Schema, domain_size: usize, cap: usize) -> Vec<u128> {
+            let slots = slots_over(schema, domain_size);
+            let maps = slot_permutation_maps(schema, &slots, domain_size);
+            let n = slots.len();
+            assert!(n < 32, "bitmask enumeration needs n < 32");
+            let cap = cap.min(n);
+            let mut orbits = vec![0u128; cap + 1];
+            for mask in 0u32..(1u32 << n) {
+                let k = mask.count_ones() as usize;
+                if k > cap {
+                    continue;
+                }
+                let support: Vec<u32> = (0..n as u32).filter(|i| mask & (1 << i) != 0).collect();
+                let canonical = maps.iter().all(|map| {
+                    let mut image: Vec<u32> =
+                        support.iter().map(|&slot| map[slot as usize]).collect();
+                    image.sort_unstable();
+                    image.as_slice() >= support.as_slice()
+                });
+                if canonical {
+                    orbits[k] += 1;
+                }
+            }
+            orbits
+        }
+
+        // Hand-computed pin: domain 2, one binary relation, 4 slots.  The
+        // only non-identity permutation swaps slots 0↔3 and 1↔2 (two
+        // 2-cycles), so Burnside gives orbits(k) = (C(4,k) + [k even]·fix)/2
+        // = 1, 2, 4, 2, 1 for k = 0..4.
+        let binary = Schema::with_relations([("R", 2)]);
+        assert_eq!(orbit_profile(&binary, 2, 4), vec![1, 2, 4, 2, 1]);
+
+        let mixed = Schema::with_relations([("R", 2), ("S", 1)]);
+        for (schema, domain_size) in [(&binary, 2), (&binary, 3), (&mixed, 2)] {
+            let n = slots_over(schema, domain_size).len();
+            for cap in 0..=n {
+                let orbits = orbit_profile(schema, domain_size, cap);
+                for samples in [1usize, 2, 5] {
+                    let expected: u128 = orbits
+                        .iter()
+                        .enumerate()
+                        .map(|(k, &count)| count * (samples as u128).pow(k as u32))
+                        .sum();
+                    assert_eq!(
+                        quotiented_instance_count(schema, domain_size, samples, cap),
+                        expected,
+                        "domain {domain_size}, cap {cap}, samples {samples}"
+                    );
+                }
             }
         }
     }
@@ -2003,11 +2368,13 @@ mod tests {
         let config = BruteForceConfig::default();
         let outcome = try_find_counterexample_ucq::<Natural>(&q1, &Ucq::empty(), &config).unwrap();
         assert!(outcome.counterexample.is_some());
-        let nonzero = Natural::sample_elements()
+        let nonzero = Natural::decisive_samples()
             .into_iter()
             .filter(|k| !k.is_zero())
             .count();
-        assert!(outcome.stats.instances_visited < bounded_instance_count(4, nonzero, 4) as u64);
+        assert!(
+            outcome.stats.instances_visited < quotiented_instance_count(&s, 2, nonzero, 4) as u64
+        );
     }
 
     /// The memoized search and the retained naive oracle agree on the
@@ -2042,12 +2409,12 @@ mod tests {
             BruteForceError::InstanceBudgetExceeded { max_instances: 10 }
         );
         assert!(err.to_string().contains("max_instances = 10"));
-        // A budget large enough for the full walk does not trip.
-        let nonzero = Natural::sample_elements()
+        // A budget exactly as large as the quotiented walk does not trip.
+        let nonzero = Natural::decisive_samples()
             .into_iter()
             .filter(|k| !k.is_zero())
-            .count() as u64;
-        let full = bounded_instance_count(4, nonzero as usize, 4) as u64;
+            .count();
+        let full = quotiented_instance_count(&s, 2, nonzero, 4) as u64;
         let config = BruteForceConfig::default().with_max_instances(Some(full));
         assert!(try_find_counterexample_ucq::<Natural>(&q1, &q1, &config).is_ok());
         // A search that refutes within the budget succeeds even though the

@@ -117,12 +117,16 @@ fn check_rec<K: Semiring>(
 
 impl PolynomialOrder for annot_semiring::Bool {
     fn poly_leq(p1: &Polynomial, p2: &Polynomial) -> bool {
+        // full-samples: `B`'s sample set is its entire (two-element)
+        // carrier, so the enumeration is an exact decision, not a search.
         poly_leq_by_enumeration(&Self::sample_elements(), p1, p2)
     }
 }
 
 impl PolynomialOrder for Clearance {
     fn poly_leq(p1: &Polynomial, p2: &Polynomial) -> bool {
+        // full-samples: the clearance lattice's sample set is its entire
+        // finite carrier — an exact decision over every valuation.
         poly_leq_by_enumeration(&Self::sample_elements(), p1, p2)
     }
 }

@@ -23,10 +23,17 @@
 //! 4. **Wall clock in deterministic code** — `Instant::now` / `SystemTime`
 //!    must not appear in the deterministic search crates (`core`, `query`,
 //!    `hom`); timing belongs in the bench harness.
+//! 5. **Full-sample oracle walk** — the oracle search space is quotiented
+//!    through `Semiring::decisive_samples()` (PR 9); a direct
+//!    `sample_elements()` call in `crates/core` non-test code must carry a
+//!    `// full-samples:` justification (same line or the few lines above)
+//!    saying why the complete set is deliberate — e.g. the naive
+//!    differential reference, or an exact enumeration over a finite
+//!    carrier.
 //!
 //! Test code (everything from the first `#[cfg(test)]`-style attribute to
 //! the end of the file — test modules idiomatically sit last) is exempt
-//! from rules 2–4.  Comment-only mentions never count: the scan strips
+//! from rules 2–5.  Comment-only mentions never count: the scan strips
 //! line comments before matching, so prose may name `std::thread` freely.
 //!
 //! Exit status is non-zero when any violation is found, which is how CI
@@ -46,6 +53,7 @@ enum Rule {
     UndocumentedRelaxed,
     UndocumentedPanic,
     WallClock,
+    FullSampleOracle,
 }
 
 impl fmt::Display for Rule {
@@ -66,6 +74,11 @@ impl fmt::Display for Rule {
             Rule::WallClock => (
                 "wall-clock",
                 "no Instant::now/SystemTime in deterministic search code",
+            ),
+            Rule::FullSampleOracle => (
+                "full-sample-oracle",
+                "oracle code searches decisive_samples(); add a `// full-samples:` \
+                 justification for a deliberate full-set enumeration",
             ),
         };
         write!(f, "{name}: {hint}")
@@ -90,6 +103,8 @@ struct FileClass {
     deterministic: bool,
     /// A `src/bin/` target (exempt from rule 3).
     binary: bool,
+    /// Inside `crates/core/src` — home of the oracle search paths (rule 5).
+    oracle_scoped: bool,
 }
 
 impl FileClass {
@@ -103,6 +118,7 @@ impl FileClass {
                 .iter()
                 .any(|p| path.starts_with(p)),
             binary: path.contains("/src/bin/"),
+            oracle_scoped: path.starts_with("crates/core/src/"),
         }
     }
 }
@@ -161,6 +177,12 @@ fn lint_source(class: FileClass, content: &str) -> Vec<Violation> {
         }
         if class.deterministic && (code.contains("Instant::now") || code.contains("SystemTime")) {
             flag(Rule::WallClock);
+        }
+        if class.oracle_scoped
+            && code.contains("sample_elements")
+            && !justified(&lines, i, "// full-samples:")
+        {
+            flag(Rule::FullSampleOracle);
         }
     }
     violations
@@ -360,6 +382,42 @@ mod tests {
         assert_eq!(rules(FileClass::of("crates/bench/src/lib.rs"), src), vec![]);
         let sys = "let t = SystemTime::now();\n";
         assert_eq!(rules(FileClass::of(CORE), sys), vec![Rule::WallClock]);
+    }
+
+    #[test]
+    fn full_sample_calls_in_core_require_a_justification() {
+        let bare = "let samples = K::sample_elements();\n";
+        assert_eq!(
+            rules(FileClass::of(CORE), bare),
+            vec![Rule::FullSampleOracle]
+        );
+        // A justification on the same line or within the window passes.
+        let same_line = "let samples = K::sample_elements(); // full-samples: exact carrier\n";
+        assert_eq!(rules(FileClass::of(CORE), same_line), vec![]);
+        let above = "// full-samples: the naive reference deliberately keeps\n\
+                     // the complete set.\nlet samples = K::sample_elements();\n";
+        assert_eq!(rules(FileClass::of(CORE), above), vec![]);
+        let too_far =
+            "// full-samples: exact carrier\n\n\n\n\n\nlet samples = K::sample_elements();\n";
+        assert_eq!(
+            rules(FileClass::of(CORE), too_far),
+            vec![Rule::FullSampleOracle]
+        );
+        // The quotiented accessor is what oracle code should call.
+        let decisive = "let samples = K::decisive_samples();\n";
+        assert_eq!(rules(FileClass::of(CORE), decisive), vec![]);
+        // Outside crates/core the rule does not apply (the semiring crate
+        // *defines* sample_elements, tests drive it freely).
+        assert_eq!(rules(FileClass::of(QUERY), bare), vec![]);
+        assert_eq!(
+            rules(FileClass::of("crates/semiring/src/ops.rs"), bare),
+            vec![]
+        );
+        // Test modules in core are exempt, comment mentions never count.
+        let in_tests = "#[cfg(test)]\nmod tests {\n    let s = K::sample_elements();\n}\n";
+        assert_eq!(rules(FileClass::of(CORE), in_tests), vec![]);
+        let comment = "/// Draws from `K::sample_elements()`.\nfn f() {}\n";
+        assert_eq!(rules(FileClass::of(CORE), comment), vec![]);
     }
 
     #[test]

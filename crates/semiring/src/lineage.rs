@@ -90,6 +90,23 @@ impl Semiring for Lineage {
             Lineage::from_vars([x, y]),
         ]
     }
+
+    fn decisive_samples() -> Vec<Self> {
+        // `{x,y}` is order-redundant: in `Lin[X]` both operations are union
+        // (away from `⊥`), so `{x,y} = {x} ⊕ {y} = {x} ⊗ {y}` — every
+        // evaluation reaching it through a sample slot is reproduced by the
+        // retained singletons across the polynomial's structure, and its
+        // order relations (`{x} ¹ {x,y}`, `{y} ¹ {x,y}`) are implied by
+        // the joinands.  Certified by `tests/decisive_samples.rs`.
+        let x = Var(0);
+        let y = Var(1);
+        vec![
+            Lineage::Bottom,
+            Lineage::one(),
+            Lineage::var(x),
+            Lineage::var(y),
+        ]
+    }
 }
 
 #[cfg(test)]

@@ -42,6 +42,16 @@ impl Semiring for Natural {
     }
 
     fn sample_elements() -> Vec<Self> {
+        // `decisive_samples()` deliberately keeps the default (full) set:
+        // over `N` every sample can be a *sole* refuter.  For any value `v`
+        // there are polynomial pairs violated only on a hump strictly
+        // around `v` — e.g. `10x² ⋢ x³ + 21x` fails exactly for `3 < x < 7`
+        // (only 5 refutes here), `14x² ⋢ x³ + 45x` exactly for `5 < x < 9`
+        // (only 7) — so no element is order-redundant.  The decisiveness
+        // suite (`tests/decisive_samples.rs`) pins both witnesses.  The
+        // same coefficient-hump argument applies to the other scalar
+        // carriers (`BoundedNat`, `T⁺`/`T⁻`, `Fuzzy`/`Viterbi` interior
+        // levels), which also keep their full sets.
         vec![
             Natural(0),
             Natural(1),

@@ -69,6 +69,26 @@ pub trait Semiring: Clone + PartialEq + Debug + Send + Sync {
     /// carriers a small informative slice suffices).
     fn sample_elements() -> Vec<Self>;
 
+    /// The subset of [`Semiring::sample_elements`] the brute-force
+    /// containment oracle draws non-zero annotations from.
+    ///
+    /// The contract is *decisiveness*: for every pair of provenance
+    /// polynomials `p₁, p₂ ∈ N[X]`, if some assignment of full sample
+    /// elements to the variables refutes `Eval(p₁) ¹_K Eval(p₂)`, then some
+    /// assignment of decisive elements refutes it too.  Since query
+    /// annotations enter containment only through such evaluations
+    /// (Prop. 3.2), a decisive subset preserves exactly the oracle's
+    /// refutation power while shrinking its `sᵏ` enumeration factor.
+    ///
+    /// The default — the full sample set — is always decisive.  Overrides
+    /// must justify every dropped element inline and are certified
+    /// empirically by the repository's decisiveness suite
+    /// (`tests/decisive_samples.rs`), which also exercises the reduced sets
+    /// end-to-end against the full-sample naive oracle.
+    fn decisive_samples() -> Vec<Self> {
+        Self::sample_elements()
+    }
+
     /// `n`-fold sum of `1`, i.e. the canonical image of a natural number.
     fn from_natural(n: u64) -> Self {
         let one = Self::one();

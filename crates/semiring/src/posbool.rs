@@ -101,6 +101,23 @@ impl Semiring for PosBool {
             PosBool::var(x).mul(&PosBool::var(y)),
         ]
     }
+
+    fn decisive_samples() -> Vec<Self> {
+        // `x⊕y` and `x⊗y` are order-redundant: `PosBool[X]` is the free
+        // distributive lattice, so both are lattice combinations of the
+        // retained generators — every order relation they have against the
+        // rest follows from `x ¹ x⊕y`, `x⊗y ¹ x` (absorption) and is
+        // implied by a retained element, so neither can be a sole refuter.
+        // Certified by `tests/decisive_samples.rs`.
+        let x = Var(0);
+        let y = Var(1);
+        vec![
+            PosBool::zero(),
+            PosBool::one(),
+            PosBool::var(x),
+            PosBool::var(y),
+        ]
+    }
 }
 
 #[cfg(test)]

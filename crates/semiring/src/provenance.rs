@@ -75,6 +75,26 @@ impl Semiring for NatPoly {
             NatPoly(x.pow(2)),
         ]
     }
+
+    fn decisive_samples() -> Vec<Self> {
+        // The indeterminates are *generic* for refutation in `N[X]`: the
+        // order is coefficient-wise, so evaluating at fresh variables keeps
+        // both polynomials symbolic and refutes whenever any evaluation
+        // does (a coefficient-wise violation survives every further
+        // specialisation in reverse: if `p₁ ¹ p₂` coefficient-wise, all
+        // substitution instances satisfy `¹` too).  The composite samples
+        // (`2`, `x⊕y`, `x⊗y`, `x²`) are such substitution instances of the
+        // retained generators and are never sole refuters.  Certified by
+        // `tests/decisive_samples.rs`.
+        let x = Polynomial::var(Var(0));
+        let y = Polynomial::var(Var(1));
+        vec![
+            NatPoly(Polynomial::zero()),
+            NatPoly(Polynomial::one()),
+            NatPoly(x),
+            NatPoly(y),
+        ]
+    }
 }
 
 /// The Boolean provenance-polynomial semiring `B[X]`: finite sets of
@@ -145,6 +165,22 @@ impl Semiring for BoolPoly {
             BoolPoly::from_monomials([x.clone(), y.clone()]),
             BoolPoly::from_monomials([x.mul(&y)]),
             BoolPoly::from_monomials([x.mul(&x)]),
+        ]
+    }
+
+    fn decisive_samples() -> Vec<Self> {
+        // As for `N[X]`: fresh indeterminates are generic for refutation
+        // (the order is monomial-set inclusion, preserved by substitution),
+        // so the composite samples — sums, products and powers of the
+        // retained generators — are never sole refuters.  Certified by
+        // `tests/decisive_samples.rs`.
+        let x = Monomial::var(Var(0));
+        let y = Monomial::var(Var(1));
+        vec![
+            BoolPoly::zero(),
+            BoolPoly::one(),
+            BoolPoly::from_monomials([x]),
+            BoolPoly::from_monomials([y]),
         ]
     }
 }

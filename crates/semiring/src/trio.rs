@@ -103,6 +103,27 @@ impl Semiring for Trio {
             Trio::var(x).add(&Trio::var(x)),
         ]
     }
+
+    fn decisive_samples() -> Vec<Self> {
+        // `x⊗y` is order-redundant: a joint witness at a single slot is
+        // reproduced by ⊗-products of the retained singletons across a
+        // monomial's slots, exactly as in `Why[X]`.  The doubled witness
+        // `x⊕x` is *retained*: Trio tracks multiplicities, and refutations
+        // that hinge on coefficient sensitivity need a sample whose
+        // multiplicity exceeds 1 (the exploration harness shows dropping it
+        // together with `x⊗y` loses refutations).  Certified by
+        // `tests/decisive_samples.rs`.
+        let x = Var(0);
+        let y = Var(1);
+        vec![
+            Trio::zero(),
+            Trio::one(),
+            Trio::var(x),
+            Trio::var(y),
+            Trio::var(x).add(&Trio::var(y)),
+            Trio::var(x).add(&Trio::var(x)),
+        ]
+    }
 }
 
 #[cfg(test)]

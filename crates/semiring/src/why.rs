@@ -82,6 +82,35 @@ impl Semiring for Why {
             Why::var(x).add(&Why::one()),
         ]
     }
+
+    fn decisive_samples() -> Vec<Self> {
+        // Two of the six non-zero samples are order-redundant for
+        // refutation purposes and drop out of the oracle's walk:
+        //
+        // * `x⊗y = {{x,y}}` — a joint witness at a *single* slot.  Every
+        //   order relation it participates in is already witnessed by the
+        //   retained generators: joint witnesses arise in evaluations as
+        //   ⊗-products of the singleton annotations `{{x}}`, `{{y}}` across
+        //   a monomial's slots, and the non-⊗-idempotent behaviour it could
+        //   signal (`a² ≠ a`) is carried by `x⊕y` (`(x⊕y)² ⊋ x⊕y`).
+        // * `x⊕1 = {{x},∅}` — the ⊕-join of the retained `1` and `{{x}}`,
+        //   pointwise above both (`1 ¹ x⊕1`, `x ¹ x⊕1`), so every order
+        //   relation against the rest is implied by a joinand and it is
+        //   never a sole refuter.
+        //
+        // Both drops are certified by `tests/decisive_samples.rs` (random
+        // polynomial pairs, all assignments, against the full set) and
+        // end-to-end by the reduced-vs-full oracle differential sweep.
+        let x = Var(0);
+        let y = Var(1);
+        vec![
+            Why::zero(),
+            Why::one(),
+            Why::var(x),
+            Why::var(y),
+            Why::var(x).add(&Why::var(y)),
+        ]
+    }
 }
 
 #[cfg(test)]

@@ -10,7 +10,9 @@
 //! 3. a different-semiring repeat that must miss,
 //! 4. a parse error,
 //! 5. an unknown semiring,
-//! 6. `STATS` asserting the hit/miss/decide counters,
+//! 6. `STATS` asserting the hit/miss/decide counters plus the per-shard
+//!    occupancy (64 counts, summing to `entries`) and the approximate byte
+//!    footprint,
 //! 7. `QUIT` and `SHUTDOWN` for an orderly exit.
 //!
 //! Exits non-zero (panics) on any mismatch; prints `service-smoke: PASS`
@@ -54,6 +56,15 @@ fn expect_prefix(reply: &str, prefix: &str, what: &str) {
     );
 }
 
+/// Extracts one `key=value` field from a `STATS` reply.
+fn stat_field<'a>(reply: &'a str, key: &str) -> &'a str {
+    let prefix = format!("{key}=");
+    reply
+        .split_whitespace()
+        .find_map(|word| word.strip_prefix(prefix.as_str()))
+        .unwrap_or_else(|| panic!("STATS reply lacks {key}=: {reply}"))
+}
+
 fn main() {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
     let addr = listener.local_addr().expect("local addr");
@@ -92,11 +103,35 @@ fn main() {
         let unknown = client.roundtrip("DECIDE Banana Q() :- R(x, y) <= Q() :- R(x, y)");
         expect_prefix(&unknown, "ERR unknown semiring", "unknown semiring");
 
-        // 6. Counters: exactly one hit, two misses, two decider runs.
+        // 6. Counters: exactly one hit, two misses, two decider runs —
+        //    plus the per-shard occupancy and byte estimate (PR 9).
         let stats = client.roundtrip("STATS");
+        expect_prefix(&stats, "OK stats ", "stats after the scripted session");
+        for (key, expected) in [
+            ("hits", 1u64),
+            ("misses", 2),
+            ("decides", 2),
+            ("entries", 2),
+        ] {
+            assert_eq!(
+                stat_field(&stats, key).parse::<u64>().expect(key),
+                expected,
+                "stats counter {key}"
+            );
+        }
+        let approx: u64 = stat_field(&stats, "approx_bytes")
+            .parse()
+            .expect("approx_bytes");
+        assert!(approx > 0, "two cached entries must occupy bytes: {stats}");
+        let shards: Vec<u64> = stat_field(&stats, "shards")
+            .split(',')
+            .map(|c| c.parse().expect("shard count"))
+            .collect();
+        assert_eq!(shards.len(), 64, "one occupancy count per shard");
         assert_eq!(
-            stats, "OK stats hits=1 misses=2 decides=2 entries=2",
-            "stats after the scripted session"
+            shards.iter().sum::<u64>(),
+            2,
+            "shard occupancy must sum to entries: {stats}"
         );
 
         // A second connection sees the same cache: another iso-variant hit.

@@ -44,7 +44,7 @@ struct Entry {
 }
 
 /// Counter snapshot returned by [`Cache::stats`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CacheStats {
     /// Requests answered from the cache.
     pub hits: u64,
@@ -54,6 +54,13 @@ pub struct CacheStats {
     pub decides: u64,
     /// Entries currently stored.
     pub entries: u64,
+    /// Entries per shard, indexed by shard number — the load-balance view
+    /// of the fingerprint distribution.  Sums to [`CacheStats::entries`].
+    pub shard_entries: Vec<u64>,
+    /// Approximate bytes held by the cached entries: the entry structs plus
+    /// a spine-walk estimate of each stored query.  A capacity-planning
+    /// number, not an allocator audit.
+    pub approx_bytes: u64,
 }
 
 /// The sharded semantic cache.
@@ -157,8 +164,25 @@ impl Cache {
     }
 
     /// A consistent-enough snapshot of the counters (each counter is read
-    /// atomically; the set is not).
+    /// atomically; the set is not).  The per-shard occupancy and byte
+    /// estimate walk the shards one lock at a time — `STATS` is rare, and
+    /// holding one shard briefly never blocks decisions on the others.
     pub fn stats(&self) -> CacheStats {
+        let mut shard_entries = Vec::with_capacity(NUM_SHARDS);
+        let mut approx_bytes = 0u64;
+        for shard in &self.shards {
+            let table = self.lock(shard);
+            let mut count = 0u64;
+            for bucket in table.values() {
+                count += bucket.len() as u64;
+                for entry in bucket {
+                    approx_bytes += std::mem::size_of::<Entry>() as u64
+                        + approx_ucq_bytes(&entry.q1)
+                        + approx_ucq_bytes(&entry.q2);
+                }
+            }
+            shard_entries.push(count);
+        }
         CacheStats {
             // relaxed: statistics snapshot, approximate by design
             hits: self.hits.load(Ordering::Relaxed),
@@ -168,8 +192,25 @@ impl Cache {
             decides: self.decides.load(Ordering::Relaxed),
             // relaxed: statistics snapshot, approximate by design
             entries: self.entries.load(Ordering::Relaxed),
+            shard_entries,
+            approx_bytes,
         }
     }
+}
+
+/// A rough accounting of one stored query's footprint: the UCQ spine plus
+/// each disjunct's atom list and argument vectors.  Heap blocks the spine
+/// walk cannot see (interner strings, allocator slack) are out of scope.
+fn approx_ucq_bytes(u: &Ucq) -> u64 {
+    let mut bytes = std::mem::size_of::<Ucq>() as u64;
+    for cq in u.disjuncts() {
+        bytes += std::mem::size_of_val(cq) as u64;
+        for atom in cq.atoms() {
+            bytes += std::mem::size_of_val(atom) as u64
+                + (atom.args.len() * std::mem::size_of::<annot_query::QVar>()) as u64;
+        }
+    }
+    bytes
 }
 
 impl Default for Cache {
@@ -225,6 +266,34 @@ mod tests {
         assert_eq!(b.decided(), Some(true));
         assert_eq!(w.decided(), Some(false));
         assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn stats_report_shard_occupancy_and_bytes() {
+        let cache = Cache::new();
+        let empty = cache.stats();
+        assert_eq!(empty.shard_entries, vec![0; NUM_SHARDS]);
+        assert_eq!(empty.approx_bytes, 0);
+
+        let mut s = Schema::with_relations([("R", 2)]);
+        let q1 = parser::parse_ucq(&mut s, "Q() :- R(u, v), R(u, w)").unwrap();
+        let q2 = parser::parse_ucq(&mut s, "Q() :- R(u, v)").unwrap();
+        let n = SemiringId::from_name("N").unwrap();
+        cache.get_or_decide(n, &q1, &q2, decide_with(n));
+        cache.get_or_decide(n, &q2, &q1, decide_with(n));
+
+        let stats = cache.stats();
+        assert_eq!(stats.shard_entries.len(), NUM_SHARDS);
+        assert_eq!(stats.entries, 2);
+        assert_eq!(
+            stats.shard_entries.iter().sum::<u64>(),
+            stats.entries,
+            "per-shard occupancy must sum to the entry counter"
+        );
+        assert!(
+            stats.approx_bytes > 0,
+            "two cached entries must occupy bytes"
+        );
     }
 
     #[test]

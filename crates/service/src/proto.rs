@@ -22,7 +22,7 @@
 //! ```text
 //! OK <verdict> <cache> <method>     verdict ∈ {contained, not-contained, unknown}
 //!                                   cache  ∈ {hit, miss}
-//! OK stats hits=… misses=… decides=… entries=…
+//! OK stats hits=… misses=… decides=… entries=… approx_bytes=… shards=…,…,…
 //! OK pong
 //! OK bye
 //! OK shutting-down
@@ -123,11 +123,18 @@ pub fn format_decision(decision: &Decision, hit: bool) -> String {
     format!("OK {verdict} {cache} {}", decision.method)
 }
 
-/// Formats the `STATS` reply.
+/// Formats the `STATS` reply: the four counters, the approximate byte
+/// footprint, then one comma-separated occupancy count per shard.
 pub fn format_stats(stats: &CacheStats) -> String {
+    let shards: Vec<String> = stats.shard_entries.iter().map(u64::to_string).collect();
     format!(
-        "OK stats hits={} misses={} decides={} entries={}",
-        stats.hits, stats.misses, stats.decides, stats.entries
+        "OK stats hits={} misses={} decides={} entries={} approx_bytes={} shards={}",
+        stats.hits,
+        stats.misses,
+        stats.decides,
+        stats.entries,
+        stats.approx_bytes,
+        shards.join(",")
     )
 }
 
@@ -168,6 +175,22 @@ mod tests {
         assert_eq!(parse_request(" PING "), Ok(Request::Ping));
         assert_eq!(parse_request("quit"), Ok(Request::Quit));
         assert_eq!(parse_request("Shutdown"), Ok(Request::Shutdown));
+    }
+
+    #[test]
+    fn stats_reply_reports_shards_and_bytes() {
+        let stats = CacheStats {
+            hits: 1,
+            misses: 2,
+            decides: 2,
+            entries: 2,
+            shard_entries: vec![0, 2, 0],
+            approx_bytes: 640,
+        };
+        assert_eq!(
+            format_stats(&stats),
+            "OK stats hits=1 misses=2 decides=2 entries=2 approx_bytes=640 shards=0,2,0"
+        );
     }
 
     #[test]

@@ -248,10 +248,18 @@ mod tests {
             .starts_with("ERR left query:"));
 
         let stats = service.handle_line("STATS");
-        assert_eq!(
-            stats.reply(),
-            "OK stats hits=1 misses=2 decides=2 entries=2"
+        let reply = stats.reply().to_string();
+        assert!(
+            reply.starts_with("OK stats hits=1 misses=2 decides=2 entries=2 approx_bytes="),
+            "unexpected STATS reply: {reply}"
         );
+        let shards = reply
+            .split_whitespace()
+            .find_map(|w| w.strip_prefix("shards="))
+            .expect("STATS reply carries per-shard occupancy");
+        let counts: Vec<u64> = shards.split(',').map(|c| c.parse().unwrap()).collect();
+        assert_eq!(counts.len(), 64, "one occupancy count per shard");
+        assert_eq!(counts.iter().sum::<u64>(), 2, "shard counts sum to entries");
         assert_eq!(service.handle_line("QUIT"), Outcome::Close("OK bye".into()));
         assert_eq!(
             service.handle_line("SHUTDOWN"),

@@ -57,10 +57,20 @@ fn tcp_session_hits_the_iso_cache_across_connections() {
             "DECIDE Banana Q() :- R(x, y) <= Q() :- R(x, y)",
         );
         assert!(err.starts_with("ERR unknown semiring"), "{err}");
-        assert_eq!(
-            roundtrip(&mut c2, &mut r2, "STATS"),
-            "OK stats hits=1 misses=1 decides=1 entries=1"
+        let stats = roundtrip(&mut c2, &mut r2, "STATS");
+        assert!(
+            stats.starts_with("OK stats hits=1 misses=1 decides=1 entries=1 approx_bytes="),
+            "{stats}"
         );
+        let shards: Vec<u64> = stats
+            .split_whitespace()
+            .find_map(|w| w.strip_prefix("shards="))
+            .expect("STATS reply carries per-shard occupancy")
+            .split(',')
+            .map(|c| c.parse().unwrap())
+            .collect();
+        assert_eq!(shards.len(), 64, "one occupancy count per shard");
+        assert_eq!(shards.iter().sum::<u64>(), 1, "shard counts sum to entries");
 
         assert_eq!(roundtrip(&mut c1, &mut r1, "QUIT"), "OK bye");
         assert_eq!(roundtrip(&mut c2, &mut r2, "SHUTDOWN"), "OK shutting-down");

@@ -1,0 +1,267 @@
+//! Empirical decisiveness certificates for [`Semiring::decisive_samples`].
+//!
+//! The brute-force oracle refutes `Q₁ ⊑_K Q₂` by exhibiting an instance
+//! whose output annotations violate `¹_K`; annotations enter that check
+//! only through evaluations of provenance polynomials (Prop. 3.2).  A
+//! *decisive* sample subset must therefore refute exactly the ordered
+//! polynomial pairs the full sample set refutes — for every pair `(p₁, p₂)`
+//! and every assignment of full samples violating `Eval(p₁) ¹ Eval(p₂)`,
+//! some assignment of decisive samples must violate it too.
+//!
+//! This suite certifies that property for every shipped semiring over a
+//! seeded sweep of random polynomial pairs plus directed pairs known to
+//! need "awkward" elements (non-idempotent samples, coefficient humps).
+//! It also contains a sensitivity check: a deliberately over-reduced
+//! sample set for `N` must *fail* the certificate, so a wrongly dropped
+//! element cannot slip through silently.
+
+use annot_polynomial::{Monomial, Polynomial, Var};
+use annot_semiring::{
+    eval_polynomial, Bool, BoolPoly, BoundedNat, Clearance, Fuzzy, Lineage, NatPoly, Natural,
+    PosBool, Schedule, Semiring, Trio, Tropical, Viterbi, Why,
+};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Number of random polynomial pairs per semiring.  Each pair is checked
+/// exhaustively over all sample assignments, so this dominates the suite's
+/// runtime; 200 pairs × ≤ 3 variables keeps it under a second per semiring
+/// in release builds while exercising far more shapes than the oracle's
+/// query workloads do.
+const RANDOM_PAIRS: usize = 200;
+
+/// Variables per random polynomial (assignments are exhaustive, `sᵛ`).
+const VARS: u32 = 3;
+
+fn random_poly(rng: &mut StdRng, vars: u32) -> Polynomial {
+    let terms = rng.gen_range(1usize..=3);
+    let mut p = Polynomial::zero();
+    for _ in 0..terms {
+        let mut m = Monomial::one();
+        for v in 0..vars {
+            let e = rng.gen_range(0u32..=2);
+            if e > 0 {
+                m = m.mul(&Monomial::var_pow(Var(v), e));
+            }
+        }
+        p.add_term(m, rng.gen_range(1u64..=3));
+    }
+    p
+}
+
+/// Directed pairs that historically need specific sample elements: the
+/// squaring pair (refuted only by non-`⊗`-idempotent elements), the
+/// doubling pair (refuted only where coefficients matter), and the
+/// degree-2-vs-3 "hump" pair `10x² ⋢ x³ + 21x`, which over `N` is violated
+/// only for `3 < x < 7` — a sole-refuter witness for `Natural(5)`.
+fn directed_pairs() -> Vec<(Polynomial, Polynomial)> {
+    let x = Polynomial::var(Var(0));
+    let y = Polynomial::var(Var(1));
+    // `c·x² ⋢ x³ + a·x` is violated exactly where `x(x - r₁)(x - r₂) < 0`
+    // for `{r₁, r₂}` the roots of `x² - c·x + a`: a refutation *hump*
+    // strictly between the roots.  Placing the roots around a single sample
+    // makes that sample the sole refuter.
+    let hump = |c: u64, a: u64| {
+        let mut lhs = Polynomial::zero();
+        lhs.add_term(Monomial::var_pow(Var(0), 2), c);
+        let mut rhs = Polynomial::zero();
+        rhs.add_term(Monomial::var_pow(Var(0), 3), 1);
+        rhs.add_term(Monomial::var(Var(0)), a);
+        (lhs, rhs)
+    };
+    vec![
+        (x.pow(2), x.clone()),
+        (x.clone(), x.pow(2)),
+        (x.plus(&x), x.clone()),
+        (x.times(&y), x.plus(&y)),
+        (x.plus(&y), x.times(&y)),
+        (x.plus(&y).pow(2), x.pow(2).plus(&y.pow(2))),
+        hump(10, 21), // roots 3, 7: over `N`, only the sample 5 refutes
+        hump(14, 45), // roots 5, 9: over `N`, only the sample 7 refutes
+    ]
+}
+
+/// Whether some exhaustive assignment of `samples` to the first `vars`
+/// variables refutes `Eval(p₁) ¹ Eval(p₂)`.
+fn refuted_by<K: Semiring>(samples: &[K], p1: &Polynomial, p2: &Polynomial, vars: u32) -> bool {
+    let s = samples.len();
+    let total = s.pow(vars);
+    for code in 0..total {
+        let mut rest = code;
+        let assignment: Vec<K> = (0..vars)
+            .map(|_| {
+                let a = samples[rest % s].clone();
+                rest /= s;
+                a
+            })
+            .collect();
+        let val = |v: Var| assignment[v.0 as usize].clone();
+        if !eval_polynomial(p1, &val).leq(&eval_polynomial(p2, &val)) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Runs the certificate for one semiring: over directed + random pairs,
+/// `reduced` must refute exactly what `full` refutes.  Returns the first
+/// disagreeing pair, if any.
+fn certificate<K: Semiring>(
+    full: &[K],
+    reduced: &[K],
+    seed: u64,
+) -> Option<(Polynomial, Polynomial)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pairs = directed_pairs();
+    for _ in 0..RANDOM_PAIRS {
+        let p1 = random_poly(&mut rng, VARS);
+        let p2 = random_poly(&mut rng, VARS);
+        pairs.push((p1, p2));
+    }
+    for (p1, p2) in pairs {
+        if refuted_by(full, &p1, &p2, VARS) != refuted_by(reduced, &p1, &p2, VARS) {
+            return Some((p1, p2));
+        }
+    }
+    None
+}
+
+macro_rules! certify {
+    ($($name:ident: $k:ty,)*) => {$(
+        #[test]
+        fn $name() {
+            let full = <$k>::sample_elements();
+            let reduced = <$k>::decisive_samples();
+            for r in &reduced {
+                assert!(
+                    full.contains(r),
+                    "{}: decisive sample {r:?} is not a sample element",
+                    <$k>::NAME
+                );
+            }
+            assert!(
+                reduced.iter().any(|r| !r.is_zero()),
+                "{}: decisive set has no non-zero element",
+                <$k>::NAME
+            );
+            if let Some((p1, p2)) = certificate::<$k>(&full, &reduced, 0x9e37) {
+                panic!(
+                    "{}: decisive subset loses the refutation of {p1:?} ¹ {p2:?}",
+                    <$k>::NAME
+                );
+            }
+        }
+    )*};
+}
+
+certify! {
+    bool_decisive: Bool,
+    posbool_decisive: PosBool,
+    fuzzy_decisive: Fuzzy,
+    viterbi_decisive: Viterbi,
+    clearance_decisive: Clearance,
+    lineage_decisive: Lineage,
+    tropical_decisive: Tropical,
+    schedule_decisive: Schedule,
+    why_decisive: Why,
+    trio_decisive: Trio,
+    natpoly_decisive: NatPoly,
+    boolpoly_decisive: BoolPoly,
+    natural_decisive: Natural,
+    bounded1_decisive: BoundedNat<1>,
+    bounded2_decisive: BoundedNat<2>,
+    bounded3_decisive: BoundedNat<3>,
+    bounded5_decisive: BoundedNat<5>,
+}
+
+/// Sensitivity: the certificate must catch a wrongly dropped sample.  Over
+/// `N`, `10x² ¹ x³ + 21x` is violated only for `3 < x < 7`, so `Natural(5)`
+/// is the sole refuter within the sample range — a "reduced" set without it
+/// must fail.
+#[test]
+fn over_reduced_natural_samples_fail_the_certificate() {
+    let full = Natural::sample_elements();
+    let bogus = vec![Natural(0), Natural(1), Natural(2), Natural(3), Natural(7)];
+    assert!(
+        certificate::<Natural>(&full, &bogus, 0x9e37).is_some(),
+        "dropping Natural(5) must lose the hump-pair refutation"
+    );
+}
+
+/// Exploration harness used to select the shipped reduced sets; kept
+/// ignored so the choice stays reproducible.  Prints, for each candidate
+/// semiring, which single samples can be dropped without losing any
+/// refutation over the certificate workload.
+#[test]
+#[ignore = "exploration harness, run manually with --ignored --nocapture"]
+fn explore_droppable_samples() {
+    fn droppable<K: Semiring>() {
+        let full = K::sample_elements();
+        for (i, e) in full.iter().enumerate() {
+            if e.is_zero() || e.is_one() {
+                continue;
+            }
+            let mut reduced = full.clone();
+            reduced.remove(i);
+            let verdict = match certificate::<K>(&full, &reduced, 0x9e37) {
+                None => "droppable",
+                Some(_) => "needed",
+            };
+            println!("{}: {e:?} -> {verdict}", K::NAME);
+        }
+    }
+    droppable::<Why>();
+    droppable::<Trio>();
+    droppable::<PosBool>();
+    droppable::<Lineage>();
+    droppable::<NatPoly>();
+    droppable::<BoolPoly>();
+    droppable::<Natural>();
+    droppable::<Fuzzy>();
+    droppable::<Viterbi>();
+    droppable::<Tropical>();
+    droppable::<Schedule>();
+}
+
+/// Joint-candidate exploration: a set of individually droppable samples is
+/// not necessarily jointly droppable, so the shipped subsets are validated
+/// here as wholes, over a much heavier random workload (multiple seeds).
+#[test]
+#[ignore = "exploration harness, run manually with --ignored --nocapture"]
+fn explore_joint_candidates() {
+    fn joint<K: Semiring>(label: &str, keep: &[usize]) {
+        let full = K::sample_elements();
+        let reduced: Vec<K> = keep.iter().map(|&i| full[i].clone()).collect();
+        let mut lost = 0usize;
+        for seed in [0x9e37u64, 0x51ed, 0xc0de, 0xfeed, 0xbeef] {
+            if certificate::<K>(&full, &reduced, seed).is_some() {
+                lost += 1;
+            }
+        }
+        println!(
+            "{} {label} keep={keep:?} -> {}",
+            K::NAME,
+            if lost == 0 {
+                "ok".to_string()
+            } else {
+                format!("LOSES ({lost}/5 seeds)")
+            }
+        );
+    }
+    // Why full: [0, 1, {x}, {y}, x+y, xy, x+1]
+    joint::<Why>("drop xy,x+1", &[0, 1, 2, 3, 4]);
+    // Lineage full: [⊥, 1, {x}, {y}, {x,y}]
+    joint::<Lineage>("drop {x,y}", &[0, 1, 2, 3]);
+    // PosBool full: [0, 1, x, y, x+y, xy]
+    joint::<PosBool>("drop x+y,xy", &[0, 1, 2, 3]);
+    // Trio full: [0, 1, x, y, x+y, xy, 2x]
+    joint::<Trio>("drop xy", &[0, 1, 2, 3, 4, 6]);
+    joint::<Trio>("drop 2x", &[0, 1, 2, 3, 4, 5]);
+    // NatPoly full: [0, 1, 2, x, y, x+y, xy, x²]
+    joint::<NatPoly>("drop 2,x+y,xy,x²", &[0, 1, 3, 4]);
+    // BoolPoly full: [0, 1, {x}, {y}, {x,y}, {xy}, {x²}]
+    joint::<BoolPoly>("drop {x,y},{xy},{x²}", &[0, 1, 2, 3]);
+    // Natural full: [0, 1, 2, 3, 5, 7] — the hump pairs must now pin both
+    // 5 and 7 as sole refuters.
+    joint::<Natural>("drop 7", &[0, 1, 2, 3, 4]);
+    joint::<Natural>("drop 5", &[0, 1, 2, 3, 5]);
+}

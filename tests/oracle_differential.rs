@@ -14,8 +14,18 @@
 //! This suite pins their agreement over randomized CQ/CCQ/UCQ workloads for
 //! the representative semirings of both dispatch classes, the annotation
 //! maps the incremental states maintain against the one-shot evaluators
-//! under randomized push/pop walks, and the `Σ_{k≤cap} C(n,k)·sᵏ`
-//! instance-count invariant of the new enumerator on full walks.
+//! under randomized push/pop walks, and the instance-count invariant of the
+//! enumerator on full walks — `Σ_{k≤cap} orbits(k)·sᵏ` quotiented, falling
+//! back to `Σ_{k≤cap} C(n,k)·sᵏ` with the quotient knob off.
+//!
+//! Since PR 9 the memoized walks search over [`Semiring::decisive_samples`]
+//! and prune value-symmetric support prefixes, while the naive reference
+//! still materialises every instance over the *full* `sample_elements()`
+//! set: every memoized-vs-naive agreement check below therefore doubles as
+//! a reduced-vs-full differential.  The `quotient_sweep_*` tests add the
+//! quotiented-vs-unquotiented axis explicitly (via the config knob) across
+//! CQ/UCQ/DUCQ shapes and thread counts {1, 2, 8}, with per-mode witness
+//! bit-equality.
 //!
 //! The `thread_sweep_*` tests (PR 6) pin the work-stealing scheduler: the
 //! reported counterexample must be bit-identical across thread counts
@@ -26,8 +36,9 @@
 //! the only concurrency being exercised.
 
 use annot_core::brute_force::{
-    bounded_instance_count, find_counterexample_ucq, find_counterexample_ucq_naive,
-    try_find_counterexample_ucq, BruteForceConfig, BruteForceError,
+    bounded_instance_count, find_counterexample_ducq, find_counterexample_ducq_naive,
+    find_counterexample_ucq, find_counterexample_ucq_naive, quotiented_instance_count,
+    try_find_counterexample_ucq, BruteForceConfig, BruteForceError, CounterExample,
 };
 use annot_query::eval::{
     eval_ccq_all_outputs, eval_cq, eval_ducq_all_outputs, eval_ucq_all_outputs, EvalState,
@@ -319,33 +330,40 @@ fn eval_state_ducq_maps_match_under_random_walks() {
 // ---------------------------------------------------------------------------
 
 /// An irrefutable search (`Q ⊆ Q` always holds) must walk exactly
-/// `Σ_{k≤cap} C(n,k)·sᵏ` instances — for the factorized walk (which visits
-/// `Σ C(n,k)` tree nodes and *accounts* `sᵏ` instances per node) just as for
-/// the direct walk, sequentially and in parallel.
+/// `Σ_{k≤cap} orbits(k)·sᵏ` instances over the decisive samples — for the
+/// factorized walk (which visits `Σ orbits(k)` tree nodes and *accounts*
+/// `sᵏ` instances per node) just as for the direct walk, sequentially and
+/// in parallel — and exactly `Σ_{k≤cap} C(n,k)·sᵏ` with the symmetry
+/// quotient turned off.
 fn full_walk_counts<K: Semiring>() {
     let mut schema = Schema::with_relations([("R", 2)]);
     let q = annot_query::parser::parse_ucq(&mut schema, "Q() :- R(u, v), R(v, w)").unwrap();
-    let nonzero = K::sample_elements()
+    let nonzero = K::decisive_samples()
         .into_iter()
         .filter(|k| !k.is_zero())
         .count();
     for cap in 0..=4usize {
-        let expected = bounded_instance_count(4, nonzero, cap) as u64;
+        let quotiented = quotiented_instance_count(&schema, 2, nonzero, cap) as u64;
+        let full = bounded_instance_count(4, nonzero, cap) as u64;
         for threads in [1usize, 2] {
-            let config = BruteForceConfig {
-                domain_size: 2,
-                max_support: cap,
-                threads,
-                ..Default::default()
-            };
-            let outcome = try_find_counterexample_ucq::<K>(&q, &q, &config).unwrap();
-            assert!(outcome.counterexample.is_none(), "Q ⊆ Q must hold");
-            assert_eq!(
-                outcome.stats.instances_visited,
-                expected,
-                "{}: cap {cap}, threads {threads}: wrong instance count",
-                K::NAME
-            );
+            for (symmetry_quotient, expected) in [(true, quotiented), (false, full)] {
+                let config = BruteForceConfig {
+                    domain_size: 2,
+                    max_support: cap,
+                    threads,
+                    symmetry_quotient,
+                    ..Default::default()
+                };
+                let outcome = try_find_counterexample_ucq::<K>(&q, &q, &config).unwrap();
+                assert!(outcome.counterexample.is_none(), "Q ⊆ Q must hold");
+                assert_eq!(
+                    outcome.stats.instances_visited,
+                    expected,
+                    "{}: cap {cap}, threads {threads}, quotient {symmetry_quotient}: \
+                     wrong instance count",
+                    K::NAME
+                );
+            }
         }
     }
 }
@@ -365,7 +383,7 @@ fn full_walk_counts<K: Semiring>() {
 /// reference's cost grows with the semiring's non-zero sample count, so
 /// `Why[X]` (6 non-zero samples) runs fewer pairs than `Lin[X]`/`N[X]`.
 fn sibling_sharing_matches_naive<K: Semiring>(cases: u64) {
-    let nonzero = K::sample_elements()
+    let nonzero = K::decisive_samples()
         .into_iter()
         .filter(|k| !k.is_zero())
         .count();
@@ -402,7 +420,7 @@ fn sibling_sharing_matches_naive<K: Semiring>(cases: u64) {
                 }
             }
         }
-        // The Σ C(n,k)·sᵏ visit invariant on an irrefutable full walk.
+        // The Σ orbits(k)·sᵏ visit invariant on an irrefutable full walk.
         let mut schema = Schema::with_relations([("R", 2)]);
         let q = annot_query::parser::parse_ucq(&mut schema, "Q() :- R(u, v), R(v, w)").unwrap();
         for threads in [1usize, 2] {
@@ -411,7 +429,7 @@ fn sibling_sharing_matches_naive<K: Semiring>(cases: u64) {
             assert!(outcome.counterexample.is_none());
             assert_eq!(
                 outcome.stats.instances_visited,
-                bounded_instance_count(4, nonzero, cap) as u64,
+                quotiented_instance_count(&schema, 2, nonzero, cap) as u64,
                 "{}: cap {cap}, threads {threads}: wrong visit count",
                 K::NAME
             );
@@ -555,33 +573,40 @@ fn thread_sweep_multi_witness_workload_is_deterministic() {
     }
 }
 
-/// The `Σ_{k≤cap} C(n,k)·sᵏ` visit invariant must survive stealing: every
+/// The quotiented visit invariant must survive stealing: every canonical
 /// prefix node is counted exactly once no matter which worker's deque it
-/// ends up on, including oversubscribed pools (8 workers, 1-ish cores).
+/// ends up on, including oversubscribed pools (8 workers, 1-ish cores) —
+/// and stolen-prefix replay must respect the pruned order in both quotient
+/// modes (`Σ orbits(k)·sᵏ` with the quotient on, `Σ C(n,k)·sᵏ` off).
 fn thread_sweep_visit_invariant<K: Semiring>() {
     let mut schema = Schema::with_relations([("R", 2)]);
     let q = annot_query::parser::parse_ucq(&mut schema, "Q() :- R(u, v), R(v, w)").unwrap();
-    let nonzero = K::sample_elements()
+    let nonzero = K::decisive_samples()
         .into_iter()
         .filter(|k| !k.is_zero())
         .count();
     for cap in [2usize, 4] {
-        let expected = bounded_instance_count(4, nonzero, cap) as u64;
+        let quotiented = quotiented_instance_count(&schema, 2, nonzero, cap) as u64;
+        let full = bounded_instance_count(4, nonzero, cap) as u64;
         for threads in [1usize, 2, 8] {
-            let config = BruteForceConfig {
-                domain_size: 2,
-                max_support: cap,
-                threads,
-                ..Default::default()
-            };
-            let outcome = try_find_counterexample_ucq::<K>(&q, &q, &config).unwrap();
-            assert!(outcome.counterexample.is_none(), "Q ⊆ Q must hold");
-            assert_eq!(
-                outcome.stats.instances_visited,
-                expected,
-                "{}: cap {cap}, threads {threads}: stealing broke the visit count",
-                K::NAME
-            );
+            for (symmetry_quotient, expected) in [(true, quotiented), (false, full)] {
+                let config = BruteForceConfig {
+                    domain_size: 2,
+                    max_support: cap,
+                    threads,
+                    symmetry_quotient,
+                    ..Default::default()
+                };
+                let outcome = try_find_counterexample_ucq::<K>(&q, &q, &config).unwrap();
+                assert!(outcome.counterexample.is_none(), "Q ⊆ Q must hold");
+                assert_eq!(
+                    outcome.stats.instances_visited,
+                    expected,
+                    "{}: cap {cap}, threads {threads}, quotient {symmetry_quotient}: \
+                     stealing broke the visit count",
+                    K::NAME
+                );
+            }
         }
     }
 }
@@ -612,6 +637,7 @@ fn thread_sweep_budget_race_fails_cleanly_or_finds_a_real_witness() {
             max_support: 3,
             threads,
             max_instances: Some(10),
+            symmetry_quotient: true,
         };
         // An irrefutable pair (full walk ≫ 10 instances) can only exhaust
         // the budget, on every thread count.
@@ -654,4 +680,156 @@ fn full_walk_counts_factorized_why() {
 #[test]
 fn full_walk_counts_factorized_nat_poly() {
     full_walk_counts::<NatPoly>();
+}
+
+// ---------------------------------------------------------------------------
+// The search-space quotients: reduced samples × symmetry pruning (PR 9)
+// ---------------------------------------------------------------------------
+
+fn eval_ducq<K: Semiring>(d: &Ducq, instance: &Instance<K>, t: &Tuple) -> K {
+    eval_ducq_all_outputs(d, instance)
+        .get(t)
+        .cloned()
+        .unwrap_or_else(K::zero)
+}
+
+/// Runs one (pair, shape) cell of the quotient sweep: for both positions of
+/// the `symmetry_quotient` knob the sequential verdict must match the
+/// full-sample naive oracle's, the witness must be bit-identical across
+/// thread counts {1, 2, 8} *within* each mode, and every reported witness
+/// must replay under the one-shot evaluators.  (Across modes only the
+/// verdict is pinned: the unquotiented walk may legitimately stop at a
+/// witness whose support the quotiented walk prunes as non-canonical.)
+/// Returns whether the pair was refuted.
+fn sweep_quotient_modes<K: Semiring>(
+    base: &BruteForceConfig,
+    naive_refutes: bool,
+    run: &dyn Fn(&BruteForceConfig) -> Option<CounterExample<K>>,
+    replay: &dyn Fn(&CounterExample<K>) -> (K, K),
+    label: &str,
+) -> bool {
+    let mut refuted = false;
+    for symmetry_quotient in [true, false] {
+        let config = BruteForceConfig {
+            symmetry_quotient,
+            ..base.clone()
+        };
+        let reference = run(&config.clone().with_threads(1));
+        assert_eq!(
+            reference.is_some(),
+            naive_refutes,
+            "{}: {label}: quotient {symmetry_quotient} flipped the verdict against \
+             the full-sample naive oracle",
+            K::NAME
+        );
+        if let Some(ce) = &reference {
+            let (lhs, rhs) = replay(ce);
+            assert_eq!(ce.lhs, lhs, "{}: {label}: reported lhs replay", K::NAME);
+            assert_eq!(ce.rhs, rhs, "{}: {label}: reported rhs replay", K::NAME);
+            assert!(
+                !lhs.leq(&rhs),
+                "{}: {label}: reported violation replay",
+                K::NAME
+            );
+            refuted = true;
+        }
+        for threads in [2usize, 8] {
+            let swept = run(&config.clone().with_threads(threads));
+            match (&reference, &swept) {
+                (None, None) => {}
+                (Some(seq), Some(par)) => {
+                    assert_eq!(
+                        seq.instance,
+                        par.instance,
+                        "{}: {label}: threads {threads}, quotient {symmetry_quotient}: \
+                         witness instance drifted",
+                        K::NAME
+                    );
+                    assert_eq!(seq.tuple, par.tuple, "{}: witness tuple drifted", K::NAME);
+                    assert_eq!(seq.lhs, par.lhs, "{}: witness lhs drifted", K::NAME);
+                    assert_eq!(seq.rhs, par.rhs, "{}: witness rhs drifted", K::NAME);
+                }
+                _ => panic!(
+                    "{}: {label}: threads {threads}, quotient {symmetry_quotient}: \
+                     verdict drifted across threads",
+                    K::NAME
+                ),
+            }
+        }
+    }
+    refuted
+}
+
+/// The quotiented-vs-unquotiented differential across CQ/UCQ/DUCQ shapes:
+/// randomized pairs, both `symmetry_quotient` positions, thread counts
+/// {1, 2, 8}, verdicts held to the full-sample naive reference and
+/// witnesses held bit-identical across threads.
+fn quotient_sweep<K: Semiring>(cases: u64) {
+    let base = BruteForceConfig {
+        domain_size: 2,
+        max_support: 3,
+        ..Default::default()
+    };
+    let mut refuted = 0u64;
+    for seed in 0..cases {
+        let mut g = generator(9600 + seed);
+        let cq_pair = (Ucq::single(g.cq()), Ucq::single(g.cq()));
+        let ucq_pair = (g.ucq(2), g.ucq(2));
+        for (shape, (u1, u2)) in [("CQ", cq_pair), ("UCQ", ucq_pair)] {
+            let naive = find_counterexample_ucq_naive::<K>(&u1, &u2, &base).is_some();
+            let hit = sweep_quotient_modes::<K>(
+                &base,
+                naive,
+                &|config| find_counterexample_ucq::<K>(&u1, &u2, config),
+                &|ce| {
+                    (
+                        eval_ucq(&u1, &ce.instance, &ce.tuple),
+                        eval_ucq(&u2, &ce.instance, &ce.tuple),
+                    )
+                },
+                &format!("{shape} seed {seed}"),
+            );
+            refuted += u64::from(hit);
+        }
+        let (d1, d2) = (g.ducq(2), g.ducq(2));
+        let naive = find_counterexample_ducq_naive::<K>(&d1, &d2, &base).is_some();
+        let hit = sweep_quotient_modes::<K>(
+            &base,
+            naive,
+            &|config| find_counterexample_ducq::<K>(&d1, &d2, config),
+            &|ce| {
+                (
+                    eval_ducq(&d1, &ce.instance, &ce.tuple),
+                    eval_ducq(&d2, &ce.instance, &ce.tuple),
+                )
+            },
+            &format!("DUCQ seed {seed}"),
+        );
+        refuted += u64::from(hit);
+    }
+    assert!(
+        refuted > 0,
+        "{}: quotient sweep never refuted — the differential is vacuous",
+        K::NAME
+    );
+}
+
+#[test]
+fn quotient_sweep_natural() {
+    quotient_sweep::<Natural>(quick(8));
+}
+
+#[test]
+fn quotient_sweep_why() {
+    quotient_sweep::<Why>(quick(3));
+}
+
+#[test]
+fn quotient_sweep_lineage() {
+    quotient_sweep::<Lineage>(quick(4));
+}
+
+#[test]
+fn quotient_sweep_nat_poly() {
+    quotient_sweep::<NatPoly>(quick(3));
 }
