@@ -9,7 +9,9 @@
 //!   of the query pair *up to isomorphism* and made exact by an
 //!   isomorphism refinement inside each bucket;
 //! * [`server`] — shared-schema request handling and the thread-per-core
-//!   accept loop over a `TcpListener`.
+//!   accept loop over a `TcpListener`, with admission control (decide
+//!   budgets, connection cap, read timeouts) and pipelined `BATCH` framing
+//!   for sustained traffic.
 //!
 //! Semiring dispatch is runtime-dynamic through
 //! [`annot_core::registry::SemiringId`], so one server process answers for
@@ -34,6 +36,6 @@ pub mod cache;
 pub mod proto;
 pub mod server;
 
-pub use cache::{Cache, CacheStats};
-pub use proto::{parse_request, Request};
-pub use server::{serve, Outcome, Service, ShutdownFlag};
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use proto::{parse_request, Request, ServiceCounters};
+pub use server::{serve, BatchItem, Outcome, Service, ServiceConfig, ShutdownFlag};

@@ -4,7 +4,9 @@
 //!
 //! ```text
 //! DECIDE <semiring> <q1> ⊑ <q2>     decide K-containment of two (U)CQs
-//! STATS                             cache counters
+//! BATCH <n>                         pipelined mode: the next n lines are
+//!                                   requests, answered per-item (below)
+//! STATS                             cache + service counters
 //! PING                              liveness probe
 //! QUIT                              close this connection
 //! SHUTDOWN                          stop the server
@@ -22,12 +24,43 @@
 //! ```text
 //! OK <verdict> <cache> <method>     verdict ∈ {contained, not-contained, unknown}
 //!                                   cache  ∈ {hit, miss}
-//! OK stats hits=… misses=… decides=… entries=… approx_bytes=… shards=…,…,…
+//! OK stats hits=… … shards=…,…,…    see `format_stats`
 //! OK pong
 //! OK bye
 //! OK shutting-down
-//! ERR <message>
+//! ERR <message>                     malformed request; the connection stays up
+//! OVERLOAD <reason> <k>=<v>…        admission control refused the request
+//!                                   (decide budget, batch cap); retry smaller
+//! BUSY connections cap=<n>          connection cap reached; sent once, then
+//!                                   the server closes the connection
 //! ```
+//!
+//! ## Batch framing
+//!
+//! `BATCH <n>` (1 ≤ n ≤ the server's batch cap) switches the connection
+//! into pipelined mode for exactly `n` lines: the client sends `n`
+//! request lines back-to-back without waiting, the server answers each
+//! with its usual reply *prefixed by the 0-based sequence number*, and
+//! terminates the batch with `DONE <n>`:
+//!
+//! ```text
+//! → BATCH 3
+//! → DECIDE Why Q() :- R(u, v) ⊑ Q() :- R(x, y)
+//! → PING
+//! → DECIDE N Q() :- R(u, v) ⊑ Q() :- R(x, y)
+//! ← 2 OK contained miss …
+//! ← 0 OK contained miss …
+//! ← 1 OK pong
+//! ← DONE 3
+//! ```
+//!
+//! Replies may arrive **out of order** (items are decided concurrently
+//! across cache shards); the sequence tag, not the arrival order,
+//! identifies the item.  Only `DECIDE`, `PING` and `STATS` are allowed
+//! inside a batch — `QUIT`, `SHUTDOWN` and nested `BATCH` answer a tagged
+//! `ERR` and the batch continues.  The framing is transactional at the
+//! transport level: a connection that dies before all `n` lines arrive
+//! has none of its batch processed.
 
 use crate::cache::CacheStats;
 use annot_core::decide::{Decision, Verdict};
@@ -44,6 +77,11 @@ pub enum Request {
         q1: String,
         /// Right query text.
         q2: String,
+    },
+    /// `BATCH <n>`: the next `n` lines are requests, answered per-item.
+    Batch {
+        /// Number of request lines that follow.
+        count: usize,
     },
     /// `STATS`
     Stats,
@@ -64,13 +102,14 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     };
     match verb.to_ascii_uppercase().as_str() {
         "DECIDE" => parse_decide(rest),
+        "BATCH" => parse_batch(rest),
         "STATS" => Ok(Request::Stats),
         "PING" => Ok(Request::Ping),
         "QUIT" => Ok(Request::Quit),
         "SHUTDOWN" => Ok(Request::Shutdown),
         "" => Err("empty request".to_string()),
         other => Err(format!(
-            "unknown verb {other:?} (expected DECIDE, STATS, PING, QUIT or SHUTDOWN)"
+            "unknown verb {other:?} (expected DECIDE, BATCH, STATS, PING, QUIT or SHUTDOWN)"
         )),
     }
 }
@@ -89,6 +128,16 @@ fn parse_decide(rest: &str) -> Result<Request, String> {
         q1: q1.trim().to_string(),
         q2: q2.trim().to_string(),
     })
+}
+
+fn parse_batch(rest: &str) -> Result<Request, String> {
+    let count: usize = rest
+        .parse()
+        .map_err(|_| format!("BATCH needs a count, got {rest:?}"))?;
+    if count == 0 {
+        return Err("BATCH count must be at least 1".to_string());
+    }
+    Ok(Request::Batch { count })
 }
 
 /// Splits on the first `⊑` or `<=`.  Neither can occur inside the query
@@ -123,16 +172,40 @@ pub fn format_decision(decision: &Decision, hit: bool) -> String {
     format!("OK {verdict} {cache} {}", decision.method)
 }
 
-/// Formats the `STATS` reply: the four counters, the approximate byte
-/// footprint, then one comma-separated occupancy count per shard.
-pub fn format_stats(stats: &CacheStats) -> String {
+/// Service-level counters reported alongside the cache's in `STATS`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceCounters {
+    /// Requests refused by admission control (decide budget, batch cap).
+    pub overloads: u64,
+    /// Connections refused by the connection cap (`BUSY` replies sent).
+    pub busy: u64,
+    /// Batches processed to completion.
+    pub batches: u64,
+}
+
+/// Formats the `STATS` reply: the request/insert counters, the eviction
+/// counters by reason, the admission-control counters, the logical tick,
+/// the approximate byte footprint (the byte-budget enforcement input),
+/// then one comma-separated occupancy count per shard.
+pub fn format_stats(stats: &CacheStats, service: &ServiceCounters) -> String {
     let shards: Vec<String> = stats.shard_entries.iter().map(u64::to_string).collect();
     format!(
-        "OK stats hits={} misses={} decides={} entries={} approx_bytes={} shards={}",
+        "OK stats hits={} misses={} decides={} inserts={} entries={} \
+         evictions={} evict_cap={} evict_ttl={} evict_bytes={} \
+         overloads={} busy={} batches={} ticks={} approx_bytes={} shards={}",
         stats.hits,
         stats.misses,
         stats.decides,
+        stats.inserts,
         stats.entries,
+        stats.evictions(),
+        stats.evicted_capacity,
+        stats.evicted_expired,
+        stats.evicted_bytes,
+        service.overloads,
+        service.busy,
+        service.batches,
+        stats.ticks,
         stats.approx_bytes,
         shards.join(",")
     )
@@ -178,18 +251,41 @@ mod tests {
     }
 
     #[test]
-    fn stats_reply_reports_shards_and_bytes() {
+    fn batch_headers_parse_and_validate() {
+        assert_eq!(parse_request("BATCH 3"), Ok(Request::Batch { count: 3 }));
+        assert_eq!(parse_request("batch 1"), Ok(Request::Batch { count: 1 }));
+        assert!(parse_request("BATCH").is_err());
+        assert!(parse_request("BATCH 0").is_err());
+        assert!(parse_request("BATCH -2").is_err());
+        assert!(parse_request("BATCH many").is_err());
+        assert!(parse_request("BATCH 3 4").is_err());
+    }
+
+    #[test]
+    fn stats_reply_reports_every_counter() {
         let stats = CacheStats {
             hits: 1,
             misses: 2,
             decides: 2,
-            entries: 2,
-            shard_entries: vec![0, 2, 0],
+            inserts: 2,
+            entries: 1,
+            evicted_capacity: 1,
+            evicted_expired: 0,
+            evicted_bytes: 0,
+            ticks: 3,
+            shard_entries: vec![0, 1, 0],
             approx_bytes: 640,
         };
+        let service = ServiceCounters {
+            overloads: 4,
+            busy: 5,
+            batches: 6,
+        };
         assert_eq!(
-            format_stats(&stats),
-            "OK stats hits=1 misses=2 decides=2 entries=2 approx_bytes=640 shards=0,2,0"
+            format_stats(&stats, &service),
+            "OK stats hits=1 misses=2 decides=2 inserts=2 entries=1 \
+             evictions=1 evict_cap=1 evict_ttl=0 evict_bytes=0 \
+             overloads=4 busy=5 batches=6 ticks=3 approx_bytes=640 shards=0,1,0"
         );
     }
 

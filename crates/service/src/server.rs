@@ -13,20 +13,97 @@
 //! by relation id).  Parsing is transactional, so a malformed request —
 //! even one that registers new relations before failing — leaves the shared
 //! schema untouched.
+//!
+//! ## Admission control and degradation
+//!
+//! A long-lived server must degrade, not drown.  [`ServiceConfig`] bounds
+//! every axis a hostile client could push on:
+//!
+//! * **decide budget** (`max_query_vars` / `max_query_atoms`) — a `DECIDE`
+//!   whose queries exceed the caps is refused with a structured
+//!   `OVERLOAD decide-budget …` reply *before* any decider (or canonical
+//!   labelling) runs.  The containment procedures are worst-case
+//!   exponential in the variable count — the same reason the oracle takes
+//!   `BruteForceConfig::max_instances` and the cache key caps its
+//!   labelling search — so the budget is the service-level analogue of
+//!   those knobs: bounded work per request, enforced at the door.
+//! * **batch cap** (`max_batch`) — a `BATCH n` beyond the cap is refused
+//!   with `OVERLOAD batch …` and no item is read.
+//! * **connection cap** (`max_connections`) — a connection over the cap
+//!   is answered `BUSY connections cap=…` and closed without serving.
+//! * **read timeout** (`read_timeout`) — a connection that stays silent
+//!   mid-line or between requests past the timeout is closed, so
+//!   slow-loris clients cannot pin accept-loop workers.
+//! * **line cap** (`max_line_bytes`) — an overlong request line is
+//!   discarded (to the next newline) and answered with a structured
+//!   `ERR`; the connection stays usable.
 
-use crate::cache::Cache;
-use crate::proto::{self, Request};
+use crate::cache::{Cache, CacheConfig};
+use crate::proto::{self, Request, ServiceCounters};
 use annot_core::registry::{decide_ucq_dyn, SemiringId};
-use annot_core::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use annot_core::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use annot_core::sync::{Mutex, PoisonError};
-use annot_query::{parser, Schema};
-use std::io::{BufRead, BufReader, Write};
+use annot_query::{parser, Schema, Ucq};
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
 
-/// The server's shared state: one schema, one semantic cache.
+/// How many worker threads a batch fans out over.  Batch items complete
+/// out of order across cache shards; the pool is small because each item
+/// already parallelises poorly (one shared schema lock per parse).
+const BATCH_WORKERS: usize = 4;
+
+/// Knobs for the server's sustained-traffic behaviour.  The default is
+/// the PR 8 behaviour: unbounded cache, no budgets, no timeouts — every
+/// limit is opt-in, so exact-counter tests stay pinned.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Cache bounds (shard capacity, TTL ticks, global byte budget).
+    pub cache: CacheConfig,
+    /// Per-request decide budget: maximum variables in any disjunct of
+    /// either query (`None` = unbounded).  Exceeding it is an
+    /// `OVERLOAD decide-budget` reply.
+    pub max_query_vars: Option<usize>,
+    /// Per-request decide budget: maximum atoms in any disjunct of either
+    /// query (`None` = unbounded).
+    pub max_query_atoms: Option<usize>,
+    /// Maximum `BATCH n` a client may request.
+    pub max_batch: usize,
+    /// Maximum concurrently *served* connections (`None` = bounded only
+    /// by the worker count).  Connections over the cap get `BUSY`.
+    pub max_connections: Option<usize>,
+    /// Read/idle timeout per connection (`None` = wait forever).
+    pub read_timeout: Option<Duration>,
+    /// Maximum request line length in bytes; longer lines are discarded
+    /// and answered with a structured `ERR`.
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            cache: CacheConfig::default(),
+            max_query_vars: None,
+            max_query_atoms: None,
+            max_batch: 1024,
+            max_connections: None,
+            read_timeout: None,
+            max_line_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// The server's shared state: one schema, one semantic cache, the
+/// admission-control counters.
 pub struct Service {
     schema: Mutex<Schema>,
     cache: Cache,
+    config: ServiceConfig,
+    overloads: AtomicU64,
+    busy: AtomicU64,
+    batches: AtomicU64,
+    /// Connections currently being served (admission-control input).
+    active: AtomicUsize,
 }
 
 /// What a connection handler should do after sending a reply.
@@ -38,29 +115,87 @@ pub enum Outcome {
     Close(String),
     /// Send the reply, then stop the whole server.
     Shutdown(String),
+    /// No immediate reply: the next `count` lines are batch items; feed
+    /// them to [`Service::handle_batch`] and send its tagged replies.
+    Batch {
+        /// Number of request lines that follow.
+        count: usize,
+    },
 }
 
 impl Outcome {
-    /// The reply line, whatever the follow-up action.
+    /// The reply line, whatever the follow-up action.  Empty for
+    /// [`Outcome::Batch`], whose replies are per-item.
     pub fn reply(&self) -> &str {
         match self {
             Outcome::Reply(s) | Outcome::Close(s) | Outcome::Shutdown(s) => s,
+            Outcome::Batch { .. } => "",
         }
     }
 }
 
+/// One slot of a batch: a request line, or a transport-level problem the
+/// reader already diagnosed (oversized line, invalid UTF-8) whose
+/// pre-formatted reply is sent tagged at that slot's sequence number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchItem {
+    /// A request line to parse and execute.
+    Request(String),
+    /// A transport-level failure; the string is the reply to send.
+    Invalid(String),
+}
+
+impl From<&str> for BatchItem {
+    fn from(line: &str) -> BatchItem {
+        BatchItem::Request(line.to_string())
+    }
+}
+
 impl Service {
-    /// A fresh service with an empty schema and cache.
+    /// A fresh service with an empty schema, an unbounded cache and no
+    /// admission limits (the PR 8 behaviour).
     pub fn new() -> Service {
+        Service::with_config(ServiceConfig::default())
+    }
+
+    /// A fresh service under the given limits.
+    pub fn with_config(config: ServiceConfig) -> Service {
         Service {
             schema: Mutex::new(Schema::new()),
-            cache: Cache::new(),
+            cache: Cache::with_config(config.cache),
+            config,
+            overloads: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            active: AtomicUsize::new(0),
         }
     }
 
     /// The semantic cache (exposed for statistics and tests).
     pub fn cache(&self) -> &Cache {
         &self.cache
+    }
+
+    /// The limits this service enforces.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The service-level counters (admission control, batches).
+    pub fn counters(&self) -> ServiceCounters {
+        ServiceCounters {
+            // relaxed: statistics snapshot, approximate by design
+            overloads: self.overloads.load(Ordering::Relaxed),
+            // relaxed: statistics snapshot, approximate by design
+            busy: self.busy.load(Ordering::Relaxed),
+            // relaxed: statistics snapshot, approximate by design
+            batches: self.batches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The full `STATS` reply line.
+    pub fn stats_line(&self) -> String {
+        proto::format_stats(&self.cache.stats(), &self.counters())
     }
 
     /// Handles one request line and says what to do next.  This is the
@@ -70,29 +205,160 @@ impl Service {
         match proto::parse_request(line) {
             Err(message) => Outcome::Reply(format!("ERR {message}")),
             Ok(Request::Ping) => Outcome::Reply("OK pong".to_string()),
-            Ok(Request::Stats) => Outcome::Reply(proto::format_stats(&self.cache.stats())),
+            Ok(Request::Stats) => Outcome::Reply(self.stats_line()),
             Ok(Request::Quit) => Outcome::Close("OK bye".to_string()),
             Ok(Request::Shutdown) => Outcome::Shutdown("OK shutting-down".to_string()),
-            Ok(Request::Decide { semiring, q1, q2 }) => match self.decide(&semiring, &q1, &q2) {
-                Ok(reply) => Outcome::Reply(reply),
-                Err(message) => Outcome::Reply(format!("ERR {message}")),
-            },
+            Ok(Request::Batch { count }) => {
+                if count > self.config.max_batch {
+                    // relaxed: monotonic statistics counter, no ordering needed
+                    self.overloads.fetch_add(1, Ordering::Relaxed);
+                    Outcome::Reply(format!(
+                        "OVERLOAD batch count={count} cap={}",
+                        self.config.max_batch
+                    ))
+                } else {
+                    Outcome::Batch { count }
+                }
+            }
+            Ok(Request::Decide { semiring, q1, q2 }) => {
+                Outcome::Reply(self.decide(&semiring, &q1, &q2))
+            }
         }
     }
 
-    fn decide(&self, semiring: &str, q1: &str, q2: &str) -> Result<String, String> {
-        let id = SemiringId::from_name(semiring)
-            .ok_or_else(|| format!("unknown semiring {semiring:?}"))?;
-        let (u1, u2) = {
-            let mut schema = self.schema.lock().unwrap_or_else(PoisonError::into_inner);
-            let u1 = parser::parse_ucq(&mut schema, q1).map_err(|e| format!("left query: {e}"))?;
-            let u2 = parser::parse_ucq(&mut schema, q2).map_err(|e| format!("right query: {e}"))?;
-            (u1, u2)
+    /// Executes the items of a `BATCH` and returns `(sequence, reply)`
+    /// pairs **in completion order** — items are decided concurrently
+    /// over a small worker pool, so replies for independent cache shards
+    /// overtake each other.  The sequence number identifies the item.
+    ///
+    /// Only `DECIDE`, `PING` and `STATS` run inside a batch; connection
+    /// control verbs answer a tagged `ERR` and the batch continues.
+    pub fn handle_batch(&self, items: &[BatchItem]) -> Vec<(u64, String)> {
+        // relaxed: monotonic statistics counter, no ordering needed
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        if items.len() <= 1 {
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| (i as u64, self.batch_item(item)))
+                .collect();
+        }
+        let results: Mutex<Vec<(u64, String)>> = Mutex::new(Vec::with_capacity(items.len()));
+        let next = AtomicUsize::new(0);
+        let workers = BATCH_WORKERS.min(items.len());
+        annot_core::sync::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    // relaxed: a work-claiming RMW; each index is handed
+                    // out exactly once, and no other memory rides on it
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let reply = self.batch_item(&items[i]);
+                    results
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push((i as u64, reply));
+                });
+            }
+        });
+        results.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn batch_item(&self, item: &BatchItem) -> String {
+        let line = match item {
+            BatchItem::Request(line) => line,
+            BatchItem::Invalid(reply) => return reply.clone(),
         };
+        match proto::parse_request(line) {
+            Err(message) => format!("ERR {message}"),
+            Ok(Request::Ping) => "OK pong".to_string(),
+            Ok(Request::Stats) => self.stats_line(),
+            Ok(Request::Decide { semiring, q1, q2 }) => self.decide(&semiring, &q1, &q2),
+            Ok(Request::Batch { .. }) => "ERR BATCH cannot nest inside a batch".to_string(),
+            Ok(Request::Quit) | Ok(Request::Shutdown) => {
+                "ERR connection control verbs are not allowed in a batch".to_string()
+            }
+        }
+    }
+
+    fn decide(&self, semiring: &str, q1: &str, q2: &str) -> String {
+        let Some(id) = SemiringId::from_name(semiring) else {
+            return format!("ERR unknown semiring {semiring:?}");
+        };
+        let parsed = {
+            let mut schema = self.schema.lock().unwrap_or_else(PoisonError::into_inner);
+            parser::parse_ucq(&mut schema, q1)
+                .map_err(|e| format!("ERR left query: {e}"))
+                .and_then(|u1| {
+                    parser::parse_ucq(&mut schema, q2)
+                        .map(|u2| (u1, u2))
+                        .map_err(|e| format!("ERR right query: {e}"))
+                })
+        };
+        let (u1, u2) = match parsed {
+            Ok(pair) => pair,
+            Err(reply) => return reply,
+        };
+        if let Some(refusal) = self.admission_refusal(&u1, &u2) {
+            // relaxed: monotonic statistics counter, no ordering needed
+            self.overloads.fetch_add(1, Ordering::Relaxed);
+            return refusal;
+        }
         let (decision, hit) = self
             .cache
             .get_or_decide(id, &u1, &u2, |a, b| decide_ucq_dyn(id, a, b));
-        Ok(proto::format_decision(&decision, hit))
+        proto::format_decision(&decision, hit)
+    }
+
+    /// The decide budget: refuses requests whose queries the worst-case
+    /// exponential procedures should not be asked to chew on.  `None`
+    /// means admitted.
+    fn admission_refusal(&self, u1: &Ucq, u2: &Ucq) -> Option<String> {
+        let disjuncts = || u1.disjuncts().iter().chain(u2.disjuncts().iter());
+        if let Some(cap) = self.config.max_query_vars {
+            let vars = disjuncts().map(|cq| cq.num_vars()).max().unwrap_or(0);
+            if vars > cap {
+                return Some(format!("OVERLOAD decide-budget vars={vars} cap={cap}"));
+            }
+        }
+        if let Some(cap) = self.config.max_query_atoms {
+            let atoms = disjuncts().map(|cq| cq.num_atoms()).max().unwrap_or(0);
+            if atoms > cap {
+                return Some(format!("OVERLOAD decide-budget atoms={atoms} cap={cap}"));
+            }
+        }
+        None
+    }
+
+    /// Admits one connection, or counts and refuses it.  The returned
+    /// guard releases the slot when dropped.
+    fn try_admit(&self) -> Option<ConnGuard<'_>> {
+        let cap = self.config.max_connections.unwrap_or(usize::MAX);
+        // relaxed: the RMW makes slot claims exact; nothing else is
+        // published through this counter
+        let prev = self.active.fetch_add(1, Ordering::Relaxed);
+        if prev >= cap {
+            // relaxed: undo of the claim above, same counter discipline
+            self.active.fetch_sub(1, Ordering::Relaxed);
+            // relaxed: monotonic statistics counter, no ordering needed
+            self.busy.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        Some(ConnGuard { service: self })
+    }
+}
+
+/// RAII release of a connection slot claimed by [`Service::try_admit`].
+struct ConnGuard<'a> {
+    service: &'a Service,
+}
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        // relaxed: releases the slot claimed by the paired fetch_add
+        self.service.active.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -147,8 +413,11 @@ impl Default for ShutdownFlag {
 ///
 /// Thread-per-core: every worker blocks in `accept` on the shared listener
 /// and serves the accepted connection to completion before accepting again,
-/// so at most `workers` connections are served concurrently.  Workers
-/// handling a connection notice shutdown once that connection closes.
+/// so at most `workers` connections are served concurrently — and at most
+/// `min(workers, max_connections)` when the service caps connections
+/// (excess connections are answered `BUSY` and closed, freeing the worker
+/// immediately).  Workers handling a connection notice shutdown once that
+/// connection closes.
 pub fn serve(listener: &TcpListener, service: &Service, shutdown: &ShutdownFlag, workers: usize) {
     let workers = match workers {
         0 => annot_core::sync::thread::available_parallelism()
@@ -177,9 +446,108 @@ fn worker_loop(listener: &TcpListener, service: &Service, shutdown: &ShutdownFla
         if shutdown.is_set() {
             return; // the accepted connection was a shutdown wake-up
         }
-        // A broken connection only affects that client.
-        drop(handle_connection(stream, service, shutdown));
+        match service.try_admit() {
+            Some(guard) => {
+                // A broken connection only affects that client.
+                drop(handle_connection(stream, service, shutdown));
+                drop(guard);
+            }
+            None => {
+                // Structured refusal, best effort: the client may already
+                // be gone.
+                let cap = service.config().max_connections.unwrap_or(usize::MAX);
+                let mut stream = stream;
+                drop(stream.write_all(format!("BUSY connections cap={cap}\n").as_bytes()));
+            }
+        }
     }
+}
+
+/// One line read off a connection, or why there isn't one.
+enum ReadLine {
+    /// A complete request line (newline stripped, may be empty).
+    Text(String),
+    /// The line exceeded the configured cap; its bytes were discarded up
+    /// to the next newline and the connection is resynchronised.
+    Oversized,
+    /// The line was not valid UTF-8.
+    Garbage,
+    /// The peer closed the connection.
+    Eof,
+}
+
+/// Reads one newline-terminated line of at most `cap` bytes.  Overlong
+/// lines are consumed to the newline and reported as [`ReadLine::Oversized`]
+/// so the protocol can answer with a structured error and keep going.
+fn read_request_line(reader: &mut impl BufRead, cap: usize) -> std::io::Result<ReadLine> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(available) => available,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            // EOF: an unterminated trailing fragment is dropped — the
+            // peer hung up mid-request, there is nobody to answer.
+            return Ok(ReadLine::Eof);
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(newline) => {
+                buf.extend_from_slice(&available[..newline]);
+                reader.consume(newline + 1);
+                if buf.len() > cap {
+                    return Ok(ReadLine::Oversized);
+                }
+                return Ok(match String::from_utf8(buf) {
+                    Ok(text) => ReadLine::Text(text),
+                    Err(_) => ReadLine::Garbage,
+                });
+            }
+            None => {
+                let taken = available.len();
+                buf.extend_from_slice(available);
+                reader.consume(taken);
+                if buf.len() > cap {
+                    discard_to_newline(reader)?;
+                    return Ok(ReadLine::Oversized);
+                }
+            }
+        }
+    }
+}
+
+/// Consumes input up to and including the next newline (or EOF).
+fn discard_to_newline(reader: &mut impl BufRead) -> std::io::Result<()> {
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(available) => available,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            return Ok(());
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(newline) => {
+                reader.consume(newline + 1);
+                return Ok(());
+            }
+            None => {
+                let taken = available.len();
+                reader.consume(taken);
+            }
+        }
+    }
+}
+
+/// Whether an I/O error is the read timeout firing (spelled `WouldBlock`
+/// on Unix, `TimedOut` on Windows).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
 }
 
 fn handle_connection(
@@ -188,29 +556,112 @@ fn handle_connection(
     shutdown: &ShutdownFlag,
 ) -> std::io::Result<()> {
     let local = stream.local_addr()?;
-    let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
-        let outcome = service.handle_line(&line);
-        writer.write_all(outcome.reply().as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
-        match outcome {
-            Outcome::Reply(_) => {}
-            Outcome::Close(_) => return Ok(()),
-            Outcome::Shutdown(_) => {
-                shutdown.trigger(local);
+    if let Some(timeout) = service.config().read_timeout {
+        stream.set_read_timeout(Some(timeout))?;
+    }
+    // Per-connection write-side buffering: single replies flush per line,
+    // batches flush once per batch.
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    let mut reader = BufReader::new(stream);
+    let line_cap = service.config().max_line_bytes;
+    loop {
+        let line = match read_request_line(&mut reader, line_cap) {
+            Ok(line) => line,
+            Err(e) if is_timeout(&e) => {
+                // Slow-loris or idle client: say why, then hang up (best
+                // effort — the peer may be gone).
+                drop(writer.write_all(b"ERR timeout: closing idle connection\n"));
+                drop(writer.flush());
                 return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        let text = match line {
+            ReadLine::Eof => return Ok(()),
+            ReadLine::Oversized => {
+                writer
+                    .write_all(format!("ERR oversized line (cap {line_cap} bytes)\n").as_bytes())?;
+                writer.flush()?;
+                continue;
+            }
+            ReadLine::Garbage => {
+                writer.write_all(b"ERR request is not valid UTF-8\n")?;
+                writer.flush()?;
+                continue;
+            }
+            ReadLine::Text(text) => text,
+        };
+        match service.handle_line(&text) {
+            Outcome::Batch { count } => {
+                if !run_batch(&mut reader, &mut writer, service, count, line_cap)? {
+                    return Ok(()); // truncated batch: peer is gone
+                }
+            }
+            outcome => {
+                writer.write_all(outcome.reply().as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+                match outcome {
+                    Outcome::Reply(_) | Outcome::Batch { .. } => {}
+                    Outcome::Close(_) => return Ok(()),
+                    Outcome::Shutdown(_) => {
+                        shutdown.trigger(local);
+                        return Ok(());
+                    }
+                }
             }
         }
     }
-    Ok(())
+}
+
+/// Reads the `count` item lines of a batch, executes them, writes the
+/// tagged replies (completion order) and the `DONE` terminator.  Returns
+/// `false` when the connection died before all items arrived — the batch
+/// is transactional at the transport level, so nothing was executed.
+fn run_batch(
+    reader: &mut impl BufRead,
+    writer: &mut impl Write,
+    service: &Service,
+    count: usize,
+    line_cap: usize,
+) -> std::io::Result<bool> {
+    let mut items = Vec::with_capacity(count);
+    for _ in 0..count {
+        match read_request_line(reader, line_cap) {
+            Ok(ReadLine::Text(text)) => items.push(BatchItem::Request(text)),
+            Ok(ReadLine::Oversized) => items.push(BatchItem::Invalid(format!(
+                "ERR oversized line (cap {line_cap} bytes)"
+            ))),
+            Ok(ReadLine::Garbage) => items.push(BatchItem::Invalid(
+                "ERR request is not valid UTF-8".to_string(),
+            )),
+            Ok(ReadLine::Eof) => return Ok(false),
+            Err(e) if is_timeout(&e) => return Ok(false),
+            Err(e) => return Err(e),
+        }
+    }
+    for (seq, reply) in service.handle_batch(&items) {
+        writer.write_all(format!("{seq} {reply}\n").as_bytes())?;
+    }
+    writer.write_all(format!("DONE {count}\n").as_bytes())?;
+    writer.flush()?;
+    Ok(true)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Extracts one `key=value` field from a `STATS` reply.
+    fn stat(reply: &str, key: &str) -> u64 {
+        let prefix = format!("{key}=");
+        reply
+            .split_whitespace()
+            .find_map(|w| w.strip_prefix(prefix.as_str()))
+            .unwrap_or_else(|| panic!("STATS reply lacks {key}=: {reply}"))
+            .parse()
+            .unwrap_or_else(|_| panic!("STATS field {key} is not a number: {reply}"))
+    }
 
     #[test]
     fn protocol_session_without_sockets() {
@@ -249,10 +700,21 @@ mod tests {
 
         let stats = service.handle_line("STATS");
         let reply = stats.reply().to_string();
-        assert!(
-            reply.starts_with("OK stats hits=1 misses=2 decides=2 entries=2 approx_bytes="),
-            "unexpected STATS reply: {reply}"
-        );
+        assert!(reply.starts_with("OK stats "), "{reply}");
+        // Default config: no eviction, so the counters are exact.
+        for (key, expected) in [
+            ("hits", 1u64),
+            ("misses", 2),
+            ("decides", 2),
+            ("inserts", 2),
+            ("entries", 2),
+            ("evictions", 0),
+            ("overloads", 0),
+            ("busy", 0),
+            ("batches", 0),
+        ] {
+            assert_eq!(stat(&reply, key), expected, "stats counter {key}");
+        }
         let shards = reply
             .split_whitespace()
             .find_map(|w| w.strip_prefix("shards="))
@@ -279,5 +741,120 @@ mod tests {
         // with a different arity parses fine.
         let ok = service.handle_line("DECIDE B Q() :- S(x, y) <= Q() :- S(x, x)");
         assert!(ok.reply().starts_with("OK"), "{:?}", ok.reply());
+    }
+
+    #[test]
+    fn decide_budget_refuses_oversized_queries_before_deciding() {
+        let service = Service::with_config(ServiceConfig {
+            max_query_vars: Some(4),
+            max_query_atoms: Some(3),
+            ..ServiceConfig::default()
+        });
+        // Within budget: 3 vars, 2 atoms.
+        let ok = service.handle_line("DECIDE B Q() :- R(a, b), R(b, c) <= Q() :- R(x, y)");
+        assert!(ok.reply().starts_with("OK"), "{}", ok.reply());
+        // 5 variables: over the vars cap.
+        let vars = service
+            .handle_line("DECIDE B Q() :- R(a, b), R(b, c), R(c, d), R(d, e) <= Q() :- R(x, y)");
+        assert_eq!(vars.reply(), "OVERLOAD decide-budget vars=5 cap=4");
+        // 4 atoms on 4 vars: past the atoms cap.
+        let atoms = service
+            .handle_line("DECIDE B Q() :- R(a, b), R(b, c), R(c, a), R(a, d) <= Q() :- R(x, y)");
+        assert_eq!(atoms.reply(), "OVERLOAD decide-budget atoms=4 cap=3");
+        let stats = service.handle_line("STATS").reply().to_string();
+        assert_eq!(stat(&stats, "overloads"), 2);
+        assert_eq!(stat(&stats, "decides"), 1, "refused requests never decide");
+    }
+
+    #[test]
+    fn batch_items_run_and_are_tagged_by_sequence() {
+        let service = Service::new();
+        assert_eq!(service.handle_line("BATCH 4"), Outcome::Batch { count: 4 });
+        let items: Vec<BatchItem> = [
+            "DECIDE Why Q() :- R(u, v), R(u, w) <= Q() :- R(u, v), R(u, v)",
+            "PING",
+            "DECIDE why Q() :- R(a, b), R(a, c) <= Q() :- R(p, q), R(p, q)",
+            "SHUTDOWN",
+        ]
+        .into_iter()
+        .map(BatchItem::from)
+        .collect();
+        let mut replies = service.handle_batch(&items);
+        replies.sort_by_key(|&(seq, _)| seq);
+        let seqs: Vec<u64> = replies.iter().map(|&(s, _)| s).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3], "every item answered exactly once");
+        assert!(replies[0].1.starts_with("OK not-contained"), "{replies:?}");
+        assert_eq!(replies[1].1, "OK pong");
+        assert!(replies[3].1.starts_with("ERR"), "control verbs refused");
+        // Items 0 and 2 are isomorphic: one decided, one hit (in *some*
+        // order — they race across the pool).
+        let stats = service.handle_line("STATS").reply().to_string();
+        assert_eq!(stat(&stats, "hits") + stat(&stats, "misses"), 2);
+        assert_eq!(stat(&stats, "batches"), 1);
+    }
+
+    #[test]
+    fn batch_cap_is_an_overload_reply() {
+        let service = Service::with_config(ServiceConfig {
+            max_batch: 8,
+            ..ServiceConfig::default()
+        });
+        assert_eq!(service.handle_line("BATCH 8"), Outcome::Batch { count: 8 });
+        let over = service.handle_line("BATCH 9");
+        assert_eq!(over.reply(), "OVERLOAD batch count=9 cap=8");
+        let stats = service.handle_line("STATS").reply().to_string();
+        assert_eq!(stat(&stats, "overloads"), 1);
+    }
+
+    #[test]
+    fn invalid_batch_items_answer_their_prepared_reply() {
+        let service = Service::new();
+        let items = vec![
+            BatchItem::Request("PING".to_string()),
+            BatchItem::Invalid("ERR oversized line (cap 16 bytes)".to_string()),
+        ];
+        let mut replies = service.handle_batch(&items);
+        replies.sort_by_key(|&(seq, _)| seq);
+        assert_eq!(replies[0].1, "OK pong");
+        assert_eq!(replies[1].1, "ERR oversized line (cap 16 bytes)");
+    }
+
+    #[test]
+    fn bounded_reader_resynchronises_after_oversized_and_garbage_lines() {
+        let mut input: Vec<u8> = Vec::new();
+        input.extend_from_slice(b"0123456789ABCDEF-way-too-long\n");
+        input.extend_from_slice(b"PING\n");
+        input.extend_from_slice(&[0xFF, 0xFE, b'\n']);
+        input.extend_from_slice(b"QUIT\n");
+        let mut reader = std::io::BufReader::new(&input[..]);
+        assert!(matches!(
+            read_request_line(&mut reader, 16).unwrap(),
+            ReadLine::Oversized
+        ));
+        match read_request_line(&mut reader, 16).unwrap() {
+            ReadLine::Text(t) => assert_eq!(t, "PING"),
+            other => panic!("expected PING, got {:?}", discriminant_name(&other)),
+        }
+        assert!(matches!(
+            read_request_line(&mut reader, 16).unwrap(),
+            ReadLine::Garbage
+        ));
+        match read_request_line(&mut reader, 16).unwrap() {
+            ReadLine::Text(t) => assert_eq!(t, "QUIT"),
+            other => panic!("expected QUIT, got {:?}", discriminant_name(&other)),
+        }
+        assert!(matches!(
+            read_request_line(&mut reader, 16).unwrap(),
+            ReadLine::Eof
+        ));
+    }
+
+    fn discriminant_name(line: &ReadLine) -> &'static str {
+        match line {
+            ReadLine::Text(_) => "Text",
+            ReadLine::Oversized => "Oversized",
+            ReadLine::Garbage => "Garbage",
+            ReadLine::Eof => "Eof",
+        }
     }
 }

@@ -1,6 +1,8 @@
-//! In-process integration test: the real TCP server, a scripted session.
+//! In-process integration test: the real TCP server, a scripted session —
+//! exact counters with the default (eviction-free) config, plus a
+//! tiny-capacity scenario that must evict.
 
-use annot_service::{serve, Service, ShutdownFlag};
+use annot_service::{serve, CacheConfig, Service, ServiceConfig, ShutdownFlag};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 
@@ -18,10 +20,21 @@ fn connect(addr: SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
     (stream, reader)
 }
 
+fn stat_u64(reply: &str, key: &str) -> u64 {
+    let prefix = format!("{key}=");
+    reply
+        .split_whitespace()
+        .find_map(|w| w.strip_prefix(prefix.as_str()))
+        .unwrap_or_else(|| panic!("STATS reply lacks {key}=: {reply}"))
+        .parse()
+        .unwrap_or_else(|_| panic!("STATS field {key} is not a number: {reply}"))
+}
+
 #[test]
 fn tcp_session_hits_the_iso_cache_across_connections() {
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
+    // Default config: no eviction, so every counter below is exact.
     let service = Service::new();
     let shutdown = ShutdownFlag::new();
 
@@ -58,10 +71,21 @@ fn tcp_session_hits_the_iso_cache_across_connections() {
         );
         assert!(err.starts_with("ERR unknown semiring"), "{err}");
         let stats = roundtrip(&mut c2, &mut r2, "STATS");
-        assert!(
-            stats.starts_with("OK stats hits=1 misses=1 decides=1 entries=1 approx_bytes="),
-            "{stats}"
-        );
+        assert!(stats.starts_with("OK stats "), "{stats}");
+        for (key, expected) in [
+            ("hits", 1u64),
+            ("misses", 1),
+            ("decides", 1),
+            ("inserts", 1),
+            ("entries", 1),
+            ("evictions", 0),
+            ("overloads", 0),
+            ("busy", 0),
+            ("batches", 0),
+        ] {
+            assert_eq!(stat_u64(&stats, key), expected, "stats counter {key}");
+        }
+        assert!(stat_u64(&stats, "approx_bytes") > 0, "{stats}");
         let shards: Vec<u64> = stats
             .split_whitespace()
             .find_map(|w| w.strip_prefix("shards="))
@@ -78,4 +102,60 @@ fn tcp_session_hits_the_iso_cache_across_connections() {
 
     let stats = service.cache().stats();
     assert_eq!((stats.hits, stats.misses, stats.decides), (1, 1, 1));
+}
+
+#[test]
+fn tiny_capacity_session_evicts_and_stays_within_budget() {
+    const BUDGET: u64 = 4 * 1024;
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let service = Service::with_config(ServiceConfig {
+        cache: CacheConfig {
+            shard_capacity: Some(1),
+            ttl: None,
+            byte_budget: Some(BUDGET),
+        },
+        ..ServiceConfig::default()
+    });
+    let shutdown = ShutdownFlag::new();
+
+    annot_core::sync::thread::scope(|s| {
+        s.spawn(|| serve(&listener, &service, &shutdown, 1));
+
+        let (mut c, mut r) = connect(addr);
+        // 32 pairwise non-isomorphic pairs: every one a miss + insert.
+        for i in 0..32 {
+            let reply = roundtrip(
+                &mut c,
+                &mut r,
+                &format!("DECIDE B Q() :- V{i}(x, y), V{i}(y, z) <= Q() :- V{i}(u, v)"),
+            );
+            assert!(reply.starts_with("OK "), "{reply}");
+        }
+        let stats = roundtrip(&mut c, &mut r, "STATS");
+        assert_eq!(stat_u64(&stats, "misses"), 32, "{stats}");
+        let evictions = stat_u64(&stats, "evictions");
+        assert!(
+            evictions > 0,
+            "bounded cache under churn must evict: {stats}"
+        );
+        assert_eq!(
+            stat_u64(&stats, "inserts"),
+            stat_u64(&stats, "entries") + evictions,
+            "eviction bookkeeping balances: {stats}"
+        );
+        assert!(
+            stat_u64(&stats, "approx_bytes") <= BUDGET,
+            "footprint must respect the byte budget: {stats}"
+        );
+        // An evicted pair decides again on re-request — still a valid
+        // reply, counted as a fresh miss.
+        let again = roundtrip(
+            &mut c,
+            &mut r,
+            "DECIDE B Q() :- V0(x, y), V0(y, z) <= Q() :- V0(u, v)",
+        );
+        assert!(again.starts_with("OK "), "{again}");
+        assert_eq!(roundtrip(&mut c, &mut r, "SHUTDOWN"), "OK shutting-down");
+    });
 }
